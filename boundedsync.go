@@ -1,0 +1,132 @@
+// Package repro is a laboratory for bounded-size synchronization
+// objects, reproducing Afek & Stupp, "Delimiting the Power of Bounded
+// Size Synchronization Objects" (PODC 1994).
+//
+// The paper's question: a compare&swap register is "universal" in
+// Herlihy's hierarchy, but what if it can hold only k distinct values?
+// Its answers, all executable here:
+//
+//   - the register alone elects a leader among exactly k−1 processes
+//     (Burns–Cruz–Loui regime, election.DirectCAS);
+//   - adding read/write registers helps — capacity grows like O(k!)
+//     (election.Permutation) — but wait-freedom is the hard part;
+//   - and it cannot grow forever: the reduction by emulation
+//     (internal/core, re-exported below) turns any leader election for
+//     O(k^(k²+3)) processes into (k−1)!-set consensus among (k−1)!+1
+//     processes over read/write registers, which is impossible.
+//
+// This facade re-exports the library's main entry points; the full API
+// lives in the internal packages, organized per DESIGN.md:
+//
+//	sim          deterministic shared-memory simulator
+//	registers    SWMR/MWMR registers, tagged registers, atomic snapshot
+//	objects      compare&swap-(k), test&set, fetch&add, RMW(k), …
+//	spec, linearize  sequential specs + linearizability checker
+//	explore      exhaustive schedule exploration, valence analysis
+//	consensus, setconsensus, election  task protocols and verdicts
+//	core         the paper's emulation (Figures 1–6)
+//	agents       the Lemma 1.1 move/jump game
+//	hierarchy    Herlihy-hierarchy witnesses
+//	universal    Herlihy's universal construction over CAS(k) cells
+package repro
+
+import (
+	"repro/internal/agents"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/hierarchy"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// Re-exported core types: the simulator vocabulary.
+type (
+	// System is a simulated asynchronous shared-memory machine.
+	System = sim.System
+	// Env is a process's handle to shared memory.
+	Env = sim.Env
+	// Program is the code of one simulated process.
+	Program = sim.Program
+	// ProcID identifies a process.
+	ProcID = sim.ProcID
+	// Value is the type of shared data.
+	Value = sim.Value
+	// Scheduler picks which process steps next.
+	Scheduler = sim.Scheduler
+	// Config controls a run (scheduler, faults, step bounds).
+	Config = sim.Config
+	// Result reports a run's outcome.
+	Result = sim.Result
+	// Symbol is a value of a bounded alphabet Σ = {⊥, 0, …, k−2}.
+	Symbol = objects.Symbol
+	// CAS is a compare&swap-(k) register.
+	CAS = objects.CAS
+	// Reduction is the paper's emulation (algorithm B of Claim 1).
+	Reduction = core.Reduction
+	// Game is the Lemma 1.1 move/jump game.
+	Game = agents.Game
+)
+
+// Bottom is ⊥, the initial compare&swap value.
+const Bottom = objects.Bottom
+
+// NewSystem returns an empty simulated machine.
+func NewSystem() *System { return sim.NewSystem() }
+
+// NewCAS returns a compare&swap-(k) register named name.
+func NewCAS(name string, k int) *CAS { return objects.NewCAS(name, k) }
+
+// RoundRobin returns the deterministic fair scheduler.
+func RoundRobin() Scheduler { return sim.RoundRobin() }
+
+// Random returns a seeded uniformly random scheduler.
+func Random(seed int64) Scheduler { return sim.Random(seed) }
+
+// DirectElection returns n programs electing a leader with one
+// compare&swap-(k) register alone (capacity k−1; Burns–Cruz–Loui).
+func DirectElection(cas *CAS, n int) []Program { return election.DirectCAS(cas, n) }
+
+// AnnouncedElection returns programs electing a leader among processes
+// with arbitrary identities using the register plus an announce array.
+func AnnouncedElection(sys *System, cas *CAS, identities []Value) []Program {
+	return election.AnnouncedCAS(sys, cas, identities)
+}
+
+// PermutationElection returns PermutationCapacity(k) programs electing
+// a leader over the first-use permutation tree — the Θ((k−1)!) capacity
+// shape of the paper's companion algorithm [Afek–Stupp FOCS '93].
+func PermutationElection(sys *System, cas *CAS, identities []Value) []Program {
+	return election.Permutation(sys, cas, identities)
+}
+
+// PermutationCapacity returns how many processes PermutationElection
+// supports over compare&swap-(k): Σ_{j=1..k−1} (k−1)!/(k−1−j)!.
+func PermutationCapacity(k int) int { return election.Capacity(k) }
+
+// RegisterAloneCapacity returns k−1, the Burns–Cruz–Loui capacity of
+// the bare register.
+func RegisterAloneCapacity(k int) int { return k - 1 }
+
+// GroupBound returns (k−1)!, the paper's bound on emulator groups and
+// on distinct set-consensus decisions (Claim 1).
+func GroupBound(k int) int { return core.MaxLabels(k) }
+
+// NewReduction assembles the paper's emulation of algorithm A over one
+// compare&swap-(k): m = (k−1)!+1 emulators on read/write registers.
+func NewReduction(cfg core.Config) *Reduction { return core.NewReduction(cfg) }
+
+// FirstValueAlgorithm returns the first-value consensus algorithm — the
+// cleanest correct input for the reduction's census (E1).
+func FirstValueAlgorithm(k, n int) *core.Algorithm { return core.FirstValueA(k, n) }
+
+// NewAgentGame starts a Lemma 1.1 move/jump game on the complete
+// directed graph over k nodes with agents at the given start positions.
+func NewAgentGame(k int, start []int) (*Game, error) { return agents.New(k, start) }
+
+// AgentMoveBound returns the lemma's m^k bound on moves before a
+// painted cycle.
+func AgentMoveBound(m, k int) int { return agents.MoveBound(m, k) }
+
+// HierarchyTable returns the Herlihy-hierarchy rows the paper refines,
+// instantiated for compare&swap-(k).
+func HierarchyTable(k int) []hierarchy.Level { return hierarchy.Table(k) }

@@ -1,0 +1,105 @@
+// Command electionlab sweeps leader-election capacity against the
+// compare&swap alphabet size k, reproducing the paper's headline shape
+// (E3/E4): the bare register elects k−1 processes; with read/write
+// registers the permutation protocol elects Θ((k−1)!); and the paper's
+// upper bound O(k^(k²+3)) caps what any wait-free algorithm could do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/election"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "electionlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kMax := flag.Int("kmax", 6, "largest alphabet size to sweep")
+	seeds := flag.Int("seeds", 5, "random schedules per configuration")
+	verify := flag.Bool("verify", true, "actually run the elections (not just report capacities)")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "k\tregister alone (k−1)\tpermutation (Θ((k−1)!))\tpaper bound O(k^(k²+3))\tverified")
+	for k := 2; k <= *kMax; k++ {
+		verified := "-"
+		if *verify && k <= 5 {
+			if err := verifyCapacity(k, *seeds); err != nil {
+				return fmt.Errorf("k=%d: %w", k, err)
+			}
+			verified = "✓"
+		}
+		bound := math.Pow(float64(k), float64(k*k+3))
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.3g\t%s\n", k, k-1, election.Capacity(k), bound, verified)
+	}
+	return w.Flush()
+}
+
+// verifyCapacity runs both protocols at their stated capacities under
+// round-robin plus random schedules and checks the election contracts.
+func verifyCapacity(k, seeds int) error {
+	for s := 0; s <= seeds; s++ {
+		var sched sim.Scheduler = sim.RoundRobin()
+		if s > 0 {
+			sched = sim.Random(int64(s))
+		}
+
+		// Register alone, n = k−1.
+		sysA := sim.NewSystem()
+		casA := objects.NewCAS("cas", k)
+		sysA.Add(casA)
+		ids := make([]sim.Value, k-1)
+		for i := range ids {
+			ids[i] = i
+		}
+		for _, p := range election.DirectCAS(casA, k-1) {
+			sysA.Spawn(p)
+		}
+		res, err := sysA.Run(sim.Config{Scheduler: sched})
+		if err != nil {
+			return err
+		}
+		if err := election.CheckElection(res, ids); err != nil {
+			return err
+		}
+
+		// Permutation protocol at full capacity.
+		n := election.Capacity(k)
+		pids := make([]sim.Value, n)
+		for i := range pids {
+			pids[i] = fmt.Sprintf("p%d", i)
+		}
+		sysB := sim.NewSystem()
+		casB := objects.NewCAS("cas", k)
+		sysB.Add(casB)
+		for _, p := range election.Permutation(sysB, casB, pids) {
+			sysB.Spawn(p)
+		}
+		var sched2 sim.Scheduler = sim.RoundRobin()
+		if s > 0 {
+			sched2 = sim.Random(int64(s))
+		}
+		res, err = sysB.Run(sim.Config{Scheduler: sched2, MaxTotalSteps: 1 << 24})
+		if err != nil {
+			return err
+		}
+		if res.Halted {
+			return fmt.Errorf("permutation election did not terminate")
+		}
+		if err := election.CheckElection(res, pids); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Command explore enumerates every schedule of a chosen small protocol
+// (optionally with crash branching) and prints the outcome census, the
+// initial valence, and — for doomed protocols — a concrete violating
+// schedule and the greedy bivalence path, the FLP-style adversary
+// argument made executable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	protocol := flag.String("protocol", "tas2", "protocol: rw2 | rw3 | tas2 | tas3gen | fa2 | queue2 | cas")
+	k := flag.Int("k", 4, "compare&swap alphabet (for -protocol cas)")
+	n := flag.Int("n", 2, "processes (for -protocol cas)")
+	crashes := flag.Int("crashes", 1, "crash budget per schedule")
+	maxRuns := flag.Int("maxruns", 200000, "exploration budget")
+	bivalence := flag.Bool("bivalence", true, "trace the greedy bivalence path")
+	flag.Parse()
+
+	builder, props, err := pick(*protocol, *k, *n)
+	if err != nil {
+		return err
+	}
+
+	c := explore.Run(builder, explore.Options{MaxCrashes: *crashes, MaxRuns: *maxRuns}, func(res *sim.Result) error {
+		if err := consensus.CheckAgreement(res); err != nil {
+			return err
+		}
+		return consensus.CheckValidity(res, props)
+	})
+	fmt.Printf("census of %s (crash budget %d):\n%s", *protocol, *crashes, explore.DescribeCensus(c))
+
+	v := explore.Valence(builder, explore.Options{MaxRuns: *maxRuns / 4}, nil)
+	fmt.Println("initial valence:", explore.ValenceString(v))
+
+	if *bivalence {
+		path, still := explore.BivalencePath(builder, explore.Options{MaxRuns: *maxRuns / 16}, 12)
+		if still {
+			fmt.Printf("bivalence path ran the full 12 steps and is STILL bivalent: %s\n",
+				explore.FormatSchedule(path))
+			fmt.Println("(an adversary can keep this protocol undecided — the FLP shape)")
+		} else {
+			fmt.Printf("bivalence exhausted after %d steps: some step decides — the object arbitrates\n",
+				len(path))
+		}
+	}
+	return nil
+}
+
+func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {
+	props := func(n int) []sim.Value {
+		out := make([]sim.Value, n)
+		for i := range out {
+			out[i] = 100 + i
+		}
+		return out
+	}
+	switch name {
+	case "rw2":
+		p := props(2)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	case "rw3":
+		p := props(3)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	case "tas2":
+		p := props(2)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			ts := objects.NewTestAndSet("t")
+			sys.Add(ts)
+			for _, prog := range consensus.TASProtocol(sys, ts, [2]sim.Value{p[0], p[1]}) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	case "fa2":
+		p := props(2)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			fa := objects.NewFetchAdd("f", 0)
+			sys.Add(fa)
+			for _, prog := range consensus.FetchAddProtocol(sys, fa, [2]sim.Value{p[0], p[1]}) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	case "queue2":
+		p := props(2)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			q := objects.NewQueue("q", "winner")
+			sys.Add(q)
+			for _, prog := range consensus.QueueProtocol(sys, q, [2]sim.Value{p[0], p[1]}) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	case "cas":
+		p := props(n)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			cas := objects.NewCAS("cas", k)
+			sys.Add(cas)
+			for _, prog := range consensus.CASProtocol(sys, cas, p) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}

@@ -1,0 +1,225 @@
+// Command paperlab regenerates every experiment of EXPERIMENTS.md in
+// one run: the reduction census (E1/E2), the election capacity ladder
+// (E3/E4/E11), the agent-game bounds and exact maxima (E5/E13), the
+// hierarchy witnesses (E6), the emulation anatomy (E7/E8), and the
+// universal-construction failure modes (E9). It is the program-shaped
+// twin of `go test -bench=.`: same claims, table output.
+//
+//	go run ./cmd/paperlab            # everything
+//	go run ./cmd/paperlab -only e4   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/agents"
+	"repro/internal/core"
+	"repro/internal/election"
+	"repro/internal/hierarchy"
+	"repro/internal/objects"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/universal"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "paperlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9")
+	flag.Parse()
+
+	experiments := []struct {
+		id, title string
+		fn        func(*tabwriter.Writer) error
+	}{
+		{"e1", "E1/E2 — reduction census: ≤ (k−1)! distinct decisions", e1},
+		{"e3", "E3 — register-alone capacity (Burns–Cruz–Loui)", e3},
+		{"e4", "E4/E11 — capacity ladder: alone vs +r/w vs products", e4},
+		{"e5", "E5/E13 — Lemma 1.1: bounds and exact adversarial maxima", e5},
+		{"e6", "E6 — hierarchy witnesses", e6},
+		{"e8", "E7/E8 — emulation anatomy on the cycling workload", e8},
+		{"e9", "E9 — universality and its size limits", e9},
+	}
+	for _, ex := range experiments {
+		if *only != "" && !strings.EqualFold(*only, ex.id) {
+			continue
+		}
+		fmt.Printf("── %s ──\n", ex.title)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		if err := ex.fn(w); err != nil {
+			return fmt.Errorf("%s: %w", ex.id, err)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func e1(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "k\tm\tbound (k−1)!\tdistinct\tgroups\taudit")
+	for _, tc := range []struct{ k, n int }{{3, 112}, {4, 168}, {5, 500}} {
+		r := core.NewReduction(core.Config{K: tc.k, Quota: 3, A: core.FirstValueA(tc.k, tc.n)})
+		res, err := r.System().Run(sim.Config{Scheduler: sim.Random(1), MaxTotalSteps: 1 << 24, DisableTrace: true})
+		if err != nil {
+			return err
+		}
+		rep := r.Analyze(res)
+		if len(rep.Errors) > 0 {
+			return fmt.Errorf("k=%d: %d emulators failed", tc.k, len(rep.Errors))
+		}
+		audit := "ok"
+		if err := r.Audit(); err != nil {
+			audit = err.Error()
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\n", tc.k, r.Config().M, rep.MaxLabels, rep.Distinct, rep.Groups, audit)
+	}
+	return nil
+}
+
+func e3(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "k\tcapacity\tverified")
+	for k := 3; k <= 6; k++ {
+		n := k - 1
+		ids := make([]sim.Value, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		verified := 0
+		for seed := int64(0); seed < 20; seed++ {
+			sys := sim.NewSystem()
+			cas := objects.NewCAS("cas", k)
+			sys.Add(cas)
+			for _, p := range election.DirectCAS(cas, n) {
+				sys.Spawn(p)
+			}
+			res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed), DisableTrace: true})
+			if err != nil {
+				return err
+			}
+			if err := election.CheckElection(res, ids); err != nil {
+				return err
+			}
+			verified++
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d schedules\n", k, n, verified)
+	}
+	return nil
+}
+
+func e4(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "k\talone (k−1)\t+r/w (Σ P(k−1,j))\ttwo registers ((k−1)²)")
+	for k := 3; k <= 6; k++ {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", k, k-1, election.Capacity(k),
+			election.MultiRegisterCapacity(k, k))
+	}
+	return nil
+}
+
+func e5(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "m\tk\tbound m^k\texact max\tbest of 100 random")
+	for _, mk := range []struct{ m, k int }{{2, 3}, {3, 3}, {4, 3}, {2, 4}, {3, 4}} {
+		best := 0
+		for seed := int64(0); seed < 100; seed++ {
+			g, start, err := agents.RandomRun(mk.m, mk.k, seed, 100000)
+			if err != nil {
+				return err
+			}
+			if err := g.VerifyPotentialLaw(start); err != nil {
+				return err
+			}
+			if g.Moves() > best {
+				best = g.Moves()
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\n", mk.m, mk.k,
+			agents.MoveBound(mk.m, mk.k), agents.ExactLongestRun(mk.m, mk.k), best)
+	}
+	return nil
+}
+
+func e6(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "object\tn\tverdict\tcounterexample")
+	for _, wt := range []hierarchy.Witness{
+		hierarchy.CheckRW(2, 100000),
+		hierarchy.CheckTAS(2, 100000),
+		hierarchy.CheckTAS(3, 100000),
+		hierarchy.CheckSwap(2, 100000),
+		hierarchy.CheckQueue(3, 100000),
+		hierarchy.CheckCAS(4, 3, 50000),
+		hierarchy.CheckStickyBit(3, 100000),
+	} {
+		verdict := "solves"
+		if !wt.Solves {
+			verdict = "fails"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", wt.Object, wt.N, verdict, wt.Violation)
+	}
+	return nil
+}
+
+func e8(w *tabwriter.Writer) error {
+	r := core.NewReduction(core.Config{K: 3, Quota: 6, A: core.CyclingA(3, 90, 4)})
+	res, err := r.System().Run(sim.Config{Scheduler: sim.RoundRobin(), MaxTotalSteps: 1 << 24, DisableTrace: true})
+	if err != nil {
+		return err
+	}
+	rep := r.Analyze(res)
+	t := rep.TotalStats()
+	fmt.Fprintln(w, "branch\tcount")
+	fmt.Fprintf(w, "iterations\t%d\n", t.Iterations)
+	fmt.Fprintf(w, "suspension batches\t%d\n", t.Suspends)
+	fmt.Fprintf(w, "simple ops\t%d\n", t.SimpleOps)
+	fmt.Fprintf(w, "rebalances (Fig. 5 releases)\t%d\n", t.Rebalances)
+	fmt.Fprintf(w, "in-tree attaches (Fig. 6 l.9)\t%d\n", t.Attaches)
+	fmt.Fprintf(w, "tree activations / splits (l.12)\t%d\n", t.Activations)
+	fmt.Fprintf(w, "idle waits\t%d\n", t.Idles)
+	if err := r.Audit(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "audit\tok")
+	return nil
+}
+
+func e9(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "k\tmax processes\tops run\tover-capacity\tbounded cells")
+	for k := 3; k <= 5; k++ {
+		n := k - 1
+		sys := sim.NewSystem()
+		u, err := universal.NewUniversal(sys, "ctr", spec.CounterSpec{}, n, k, 0)
+		if err != nil {
+			return err
+		}
+		for p := 0; p < n; p++ {
+			sess := u.NewSession()
+			sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+				for j := 0; j < 4; j++ {
+					if _, err := sess.Invoke(e, universal.Op{Kind: "add", Args: []sim.Value{1}}); err != nil {
+						return nil, err
+					}
+				}
+				return nil, nil
+			})
+		}
+		if _, err := sys.Run(sim.Config{Scheduler: sim.Random(int64(k)), DisableTrace: true}); err != nil {
+			return err
+		}
+		_, overErr := universal.NewUniversal(sim.NewSystem(), "x", spec.CounterSpec{}, k, k, 0)
+		over := "allowed?!"
+		if overErr != nil {
+			over = "refused"
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\texhausts (ErrLogExhausted)\n", k, n, n*4, over)
+	}
+	return nil
+}

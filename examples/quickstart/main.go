@@ -1,0 +1,44 @@
+// Quickstart: elect a leader among k−1 processes with one
+// compare&swap-(k) register, the Burns–Cruz–Loui baseline of the paper,
+// using the public facade.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	const k = 5 // alphabet {⊥, 0, 1, 2, 3}: capacity k−1 = 4 processes
+
+	sys := repro.NewSystem()
+	cas := repro.NewCAS("cas", k)
+	sys.Add(cas)
+
+	// Four processes race to claim a symbol; the register's final value
+	// names the winner, and every process — winner or loser — decides it.
+	for _, p := range repro.DirectElection(cas, k-1) {
+		sys.Spawn(p)
+	}
+
+	res, err := sys.Run(repro.Config{Scheduler: repro.Random(42)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decisions:       ", res.Values)
+	fmt.Println("register history:", cas.History())
+	d := res.DistinctDecisions()
+	if len(d) != 1 {
+		log.Fatalf("election split: %v", d)
+	}
+	fmt.Printf("leader elected: process %v (unanimous, %d shared steps)\n", d[0], res.TotalSteps)
+
+	// The same register cannot host a fifth process: its alphabet is
+	// the resource the paper measures.
+	fmt.Printf("capacity of compare&swap-(%d) alone: %d processes\n", k, repro.RegisterAloneCapacity(k))
+	fmt.Printf("with read/write registers (permutation protocol): %d processes\n", repro.PermutationCapacity(k))
+}

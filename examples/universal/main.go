@@ -1,0 +1,90 @@
+// Universal construction: why "universal" is not unconditional. A
+// wait-free shared counter is built from compare&swap-(k) consensus
+// cells (Herlihy's construction); it works for n ≤ k−1 processes, the
+// constructor refuses more — one k-valued cell cannot arbitrate k
+// proposers — and a bounded cell budget runs dry. Both failure modes
+// are the paper's motivation: bounded-size strong objects are not
+// universal.
+//
+//	go run ./examples/universal
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/universal"
+)
+
+func main() {
+	const k = 4
+	const n = 3 // = k−1: the most compare&swap-(4) cells can host
+
+	sys := sim.NewSystem()
+	u, err := universal.NewUniversal(sys, "ctr", spec.CounterSpec{}, n, k, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		sess := u.NewSession()
+		sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+			var got []int
+			for j := 0; j < 4; j++ {
+				v, err := sess.Invoke(e, universal.Op{Kind: "add", Args: []sim.Value{1}})
+				if err != nil {
+					return nil, err
+				}
+				got = append(got, v.(int))
+			}
+			return got, nil
+		})
+	}
+	res, err := sys.Run(sim.Config{Scheduler: sim.Random(11)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("universal counter over compare&swap-(%d), %d processes × 4 add(1):\n", k, n)
+	for i := 0; i < n; i++ {
+		if res.Errors[i] != nil {
+			log.Fatalf("process %d: %v", i, res.Errors[i])
+		}
+		fmt.Printf("  p%d tickets: %v\n", i, res.Values[i])
+	}
+	fmt.Println("every ticket 0..11 issued exactly once: linearizable, wait-free.")
+
+	// Failure mode 1: too many processes for the cell alphabet.
+	if _, err := universal.NewUniversal(sim.NewSystem(), "u2", spec.CounterSpec{}, k, k, 0); err != nil {
+		fmt.Printf("\nn=%d over compare&swap-(%d): %v\n", k, k, err)
+	}
+
+	// Failure mode 2: bounded cell budget exhausts.
+	sys2 := sim.NewSystem()
+	u2, err := universal.NewUniversal(sys2, "small", spec.CounterSpec{}, 2, 3, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sess := u2.NewSession()
+		sys2.Spawn(func(e *sim.Env) (sim.Value, error) {
+			for {
+				if _, err := sess.Invoke(e, universal.Op{Kind: "add", Args: []sim.Value{1}}); err != nil {
+					return nil, err
+				}
+			}
+		})
+	}
+	res2, err := sys2.Run(sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if errors.Is(res2.Errors[i], universal.ErrLogExhausted) {
+			fmt.Printf("with only 6 cells: process %d stopped — %v\n", i, res2.Errors[i])
+			break
+		}
+	}
+	fmt.Println("bounded size + bounded count = not universal; the paper quantifies exactly how much size buys.")
+}

@@ -1,0 +1,290 @@
+// Package agents implements the combinatorial move/jump process of
+// Lemma 1.1 (proof due to Noga Alon), the heart of the paper's tree
+// invariant: m agents live on the complete directed graph over k nodes;
+// a Move relocates an agent along an edge and paints that edge; a Jump
+// relocates an agent to a node u, allowed only if another agent has
+// moved into u since the jumper's last visit (or ever, if never
+// visited). The question: how many moves can happen before the painted
+// edges contain a directed cycle? The answer is at most m^k, via the
+// potential function Φ = Σ_agents m^rank(position) under a reverse
+// topological ranking of the final acyclic painted graph.
+package agents
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EventKind distinguishes moves from jumps in a game log.
+type EventKind int
+
+// Event kinds.
+const (
+	EventMove EventKind = iota + 1
+	EventJump
+)
+
+// Event records one agent action.
+type Event struct {
+	Kind  EventKind
+	Agent int
+	From  int
+	To    int
+}
+
+// String renders "move a0 2→1" / "jump a3 0→2".
+func (ev Event) String() string {
+	k := "move"
+	if ev.Kind == EventJump {
+		k = "jump"
+	}
+	return fmt.Sprintf("%s a%d %d→%d", k, ev.Agent, ev.From, ev.To)
+}
+
+// Errors returned by game actions.
+var (
+	ErrSelfLoop    = errors.New("agents: self-loop not allowed")
+	ErrBadNode     = errors.New("agents: node out of range")
+	ErrBadAgent    = errors.New("agents: agent out of range")
+	ErrJumpIllegal = errors.New("agents: jump target not refreshed since last visit")
+	ErrCycleClosed = errors.New("agents: painted edges already contain a cycle")
+)
+
+// Game is one run of the move/jump process.
+type Game struct {
+	k, m    int
+	pos     []int // agent → node
+	painted [][]bool
+	// lastVisit[a][u] is the time agent a last stood on node u (-1 never);
+	// lastMoveInto[u] is the time of the latest Move into u (-1 never).
+	lastVisit    [][]int
+	lastMoveInto []int
+	clock        int
+	moves        int
+	log          []Event
+	cycle        bool
+}
+
+// New creates a game on k nodes with m agents at the given starting
+// positions (len(start) = m).
+func New(k int, start []int) (*Game, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadNode, k)
+	}
+	g := &Game{
+		k:            k,
+		m:            len(start),
+		pos:          make([]int, len(start)),
+		painted:      make([][]bool, k),
+		lastVisit:    make([][]int, len(start)),
+		lastMoveInto: make([]int, k),
+	}
+	for i := range g.painted {
+		g.painted[i] = make([]bool, k)
+		g.lastMoveInto[i] = -1
+	}
+	for a, p := range start {
+		if p < 0 || p >= k {
+			return nil, fmt.Errorf("%w: agent %d starts at %d", ErrBadNode, a, p)
+		}
+		g.pos[a] = p
+		g.lastVisit[a] = make([]int, k)
+		for u := range g.lastVisit[a] {
+			g.lastVisit[a][u] = -1
+		}
+		g.lastVisit[a][p] = 0
+	}
+	g.clock = 1
+	return g, nil
+}
+
+// K returns the node count; M the agent count.
+func (g *Game) K() int { return g.k }
+
+// M returns the agent count.
+func (g *Game) M() int { return g.m }
+
+// Moves returns the number of moves performed so far.
+func (g *Game) Moves() int { return g.moves }
+
+// Position returns agent a's current node.
+func (g *Game) Position(a int) int { return g.pos[a] }
+
+// Painted reports whether edge (u→v) has been painted.
+func (g *Game) Painted(u, v int) bool { return g.painted[u][v] }
+
+// CycleClosed reports whether the painted edges contain a directed
+// cycle (the run is over).
+func (g *Game) CycleClosed() bool { return g.cycle }
+
+// Log returns the event log.
+func (g *Game) Log() []Event {
+	out := make([]Event, len(g.log))
+	copy(out, g.log)
+	return out
+}
+
+// CanJump reports whether agent a may jump to node u right now.
+func (g *Game) CanJump(a, u int) bool {
+	if a < 0 || a >= g.m || u < 0 || u >= g.k || u == g.pos[a] {
+		return false
+	}
+	return g.lastMoveInto[u] > g.lastVisit[a][u]
+}
+
+// Move relocates agent a along the edge to node u, painting it. The
+// move that closes a cycle is rejected: the run counts moves while the
+// painted graph stays acyclic, matching the lemma's statement.
+func (g *Game) Move(a, u int) error {
+	if err := g.validate(a, u); err != nil {
+		return err
+	}
+	v := g.pos[a]
+	if g.wouldClose(v, u) {
+		g.cycle = true
+		return fmt.Errorf("%w: move %d→%d", ErrCycleClosed, v, u)
+	}
+	g.painted[v][u] = true
+	g.pos[a] = u
+	g.lastVisit[a][u] = g.clock
+	g.lastMoveInto[u] = g.clock
+	g.clock++
+	g.moves++
+	g.log = append(g.log, Event{Kind: EventMove, Agent: a, From: v, To: u})
+	return nil
+}
+
+// Jump relocates agent a to node u without painting, if legal.
+func (g *Game) Jump(a, u int) error {
+	if err := g.validate(a, u); err != nil {
+		return err
+	}
+	if !g.CanJump(a, u) {
+		return fmt.Errorf("%w: agent %d to node %d", ErrJumpIllegal, a, u)
+	}
+	v := g.pos[a]
+	g.pos[a] = u
+	g.lastVisit[a][u] = g.clock
+	g.clock++
+	g.log = append(g.log, Event{Kind: EventJump, Agent: a, From: v, To: u})
+	return nil
+}
+
+func (g *Game) validate(a, u int) error {
+	if g.cycle {
+		return ErrCycleClosed
+	}
+	if a < 0 || a >= g.m {
+		return fmt.Errorf("%w: %d", ErrBadAgent, a)
+	}
+	if u < 0 || u >= g.k {
+		return fmt.Errorf("%w: %d", ErrBadNode, u)
+	}
+	if u == g.pos[a] {
+		return ErrSelfLoop
+	}
+	return nil
+}
+
+// wouldClose reports whether painting (v→u) creates a directed cycle:
+// true iff u already reaches v through painted edges (or v == u).
+func (g *Game) wouldClose(v, u int) bool {
+	seen := make([]bool, g.k)
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for y := 0; y < g.k; y++ {
+			if g.painted[x][y] && !seen[y] {
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// MoveBound returns the lemma's bound m^k on the number of moves. The
+// lemma's potential argument needs at least two agents for the weights
+// to separate; for m = 1 the base is floored at 2 (bound 2^k), matching
+// the Potential weighting.
+func MoveBound(m, k int) int {
+	base := m
+	if base < 2 {
+		base = 2
+	}
+	b := 1
+	for i := 0; i < k; i++ {
+		b *= base
+	}
+	return b
+}
+
+// TopoRanks computes a reverse topological ranking of the painted graph
+// (ranks k−1..0 such that every painted edge goes from a higher rank to
+// a lower one), as in the lemma's proof. The painted graph must be
+// acyclic.
+func (g *Game) TopoRanks() ([]int, error) {
+	indeg := make([]int, g.k)
+	for u := 0; u < g.k; u++ {
+		for v := 0; v < g.k; v++ {
+			if g.painted[u][v] {
+				indeg[v]++
+			}
+		}
+	}
+	// Kahn's algorithm from sources: sources get the highest ranks.
+	rank := make([]int, g.k)
+	next := g.k - 1
+	var queue []int
+	for u := 0; u < g.k; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		rank[u] = next
+		next--
+		processed++
+		for v := 0; v < g.k; v++ {
+			if g.painted[u][v] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	if processed != g.k {
+		return nil, errors.New("agents: painted graph is cyclic, no topological rank")
+	}
+	return rank, nil
+}
+
+// Potential computes Φ = Σ_agents m^rank(pos(agent)) for the given
+// ranking. m = max(2, #agents) so that jumps "upward" cannot offset a
+// move's decrease, exactly the weighting of the lemma's proof.
+func (g *Game) Potential(rank []int) int {
+	base := g.m
+	if base < 2 {
+		base = 2
+	}
+	total := 0
+	for _, p := range g.pos {
+		w := 1
+		for i := 0; i < rank[p]; i++ {
+			w *= base
+		}
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,272 @@
+package agents_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/agents"
+)
+
+func mustGame(t *testing.T, k int, start []int) *agents.Game {
+	t.Helper()
+	g, err := agents.New(k, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMovePaintsAndRelocates(t *testing.T) {
+	g := mustGame(t, 3, []int{0, 0})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Painted(0, 1) {
+		t.Error("edge 0→1 not painted")
+	}
+	if g.Position(0) != 1 {
+		t.Errorf("agent 0 at %d, want 1", g.Position(0))
+	}
+	if g.Moves() != 1 {
+		t.Errorf("Moves = %d, want 1", g.Moves())
+	}
+}
+
+func TestMoveClosingCycleRejected(t *testing.T) {
+	g := mustGame(t, 3, []int{0})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Move(0, 0) // 0→1→2→0 closes the cycle
+	if !errors.Is(err, agents.ErrCycleClosed) {
+		t.Errorf("cycle-closing move error = %v, want ErrCycleClosed", err)
+	}
+	if !g.CycleClosed() {
+		t.Error("game not marked cycle-closed")
+	}
+	if g.Moves() != 2 {
+		t.Errorf("Moves = %d: the closing move must not count", g.Moves())
+	}
+}
+
+func TestTwoCycleRejected(t *testing.T) {
+	g := mustGame(t, 2, []int{0, 1})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move(1, 0); !errors.Is(err, agents.ErrCycleClosed) {
+		t.Errorf("2-cycle move error = %v, want ErrCycleClosed", err)
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	g := mustGame(t, 3, []int{0})
+	if err := g.Move(0, 0); !errors.Is(err, agents.ErrSelfLoop) {
+		t.Errorf("self move error = %v, want ErrSelfLoop", err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	g := mustGame(t, 3, []int{0})
+	if err := g.Move(0, 7); !errors.Is(err, agents.ErrBadNode) {
+		t.Errorf("bad node error = %v", err)
+	}
+	if err := g.Move(5, 1); !errors.Is(err, agents.ErrBadAgent) {
+		t.Errorf("bad agent error = %v", err)
+	}
+	if _, err := agents.New(3, []int{9}); !errors.Is(err, agents.ErrBadNode) {
+		t.Errorf("bad start error = %v", err)
+	}
+}
+
+func TestJumpRequiresRefresh(t *testing.T) {
+	g := mustGame(t, 3, []int{0, 2})
+	// Agent 1 has never visited node 1 and nobody moved into it: no jump.
+	if err := g.Jump(1, 1); !errors.Is(err, agents.ErrJumpIllegal) {
+		t.Errorf("unrefreshed jump error = %v, want ErrJumpIllegal", err)
+	}
+	// After agent 0 moves into node 1, agent 1 may jump there.
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.CanJump(1, 1) {
+		t.Fatal("CanJump false after a move into the target")
+	}
+	if err := g.Jump(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Jumping resets the visit clock: a second jump to the same node
+	// needs a fresh move into it.
+	if err := g.Jump(1, 0); err == nil {
+		t.Fatal("jump to node 0 should be illegal (no move into 0 ever)")
+	}
+	if err := g.Move(0, 2); err != nil { // leave 1 so agent 0 can re-enter later
+		t.Fatal(err)
+	}
+	if g.CanJump(1, 1) {
+		t.Error("agent 1 standing on node 1 can jump to it")
+	}
+}
+
+func TestJumpDoesNotPaint(t *testing.T) {
+	g := mustGame(t, 3, []int{0, 2})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Jump(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.Painted(2, 1) {
+		t.Error("jump painted an edge")
+	}
+	if g.Moves() != 1 {
+		t.Errorf("Moves = %d, want 1 (jumps don't count)", g.Moves())
+	}
+}
+
+func TestMoveBound(t *testing.T) {
+	tests := []struct{ m, k, want int }{
+		{2, 2, 4}, {2, 3, 8}, {3, 3, 27}, {3, 4, 81}, {1, 3, 8}, // m=1 uses base 2
+	}
+	for _, tt := range tests {
+		if got := agents.MoveBound(tt.m, tt.k); got != tt.want {
+			t.Errorf("MoveBound(%d,%d) = %d, want %d", tt.m, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestTopoRanksRespectEdges(t *testing.T) {
+	g := mustGame(t, 4, []int{0})
+	for _, to := range []int{1, 2, 3} {
+		if err := g.Move(0, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rank, err := g.TopoRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if g.Painted(u, v) && rank[u] <= rank[v] {
+				t.Errorf("painted edge %d→%d but rank %d <= %d", u, v, rank[u], rank[v])
+			}
+		}
+	}
+}
+
+// TestRandomRunsObeyLemma is the E5 core: every random legal run stops
+// within the m^k move bound and satisfies the potential law.
+func TestRandomRunsObeyLemma(t *testing.T) {
+	for m := 1; m <= 4; m++ {
+		for k := 2; k <= 5; k++ {
+			for seed := int64(0); seed < 10; seed++ {
+				g, start, err := agents.RandomRun(m, k, seed, 10000)
+				if err != nil {
+					t.Fatalf("m=%d k=%d seed=%d: %v", m, k, seed, err)
+				}
+				if bound := agents.MoveBound(m, k); g.Moves() > bound {
+					t.Errorf("m=%d k=%d seed=%d: %d moves exceed bound %d", m, k, seed, g.Moves(), bound)
+				}
+				if err := g.VerifyPotentialLaw(start); err != nil {
+					t.Errorf("m=%d k=%d seed=%d: %v", m, k, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestLongestRunWithinBound searches exhaustively on tiny instances:
+// the best achievable move count never exceeds m^k, and a single agent
+// on k nodes achieves exactly k−1 (a simple path).
+func TestLongestRunWithinBound(t *testing.T) {
+	tests := []struct {
+		m, k     int
+		maxDepth int
+		wantMin  int // the search must achieve at least this many moves
+	}{
+		{1, 2, 4, 1},
+		{1, 3, 6, 2},
+		{1, 4, 8, 3},
+		{2, 2, 6, 2},
+		{2, 3, 12, 4},
+	}
+	for _, tt := range tests {
+		best := agents.LongestRun(tt.m, tt.k, tt.maxDepth)
+		bound := agents.MoveBound(tt.m, tt.k)
+		if best > bound {
+			t.Errorf("m=%d k=%d: best %d exceeds bound %d", tt.m, tt.k, best, bound)
+		}
+		if best < tt.wantMin {
+			t.Errorf("m=%d k=%d: best %d below known-achievable %d", tt.m, tt.k, best, tt.wantMin)
+		}
+	}
+}
+
+func TestActionsAfterCycleRejected(t *testing.T) {
+	g := mustGame(t, 2, []int{0, 1})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Move(1, 0); !errors.Is(err, agents.ErrCycleClosed) {
+		t.Fatal("expected cycle")
+	}
+	if err := g.Move(0, 0); !errors.Is(err, agents.ErrCycleClosed) {
+		t.Error("move after cycle not rejected")
+	}
+	if err := g.Jump(0, 0); !errors.Is(err, agents.ErrCycleClosed) {
+		t.Error("jump after cycle not rejected")
+	}
+}
+
+func TestLogIsCopied(t *testing.T) {
+	g := mustGame(t, 3, []int{0})
+	if err := g.Move(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	log := g.Log()
+	log[0].To = 99
+	if g.Log()[0].To == 99 {
+		t.Error("Log() aliases internal state")
+	}
+}
+
+// TestExactLongestRun pins the exact adversarial maxima of the Lemma
+// 1.1 game (memoized full search). Two calibration facts fall out:
+// a single agent achieves exactly the k−1 simple path, and for k=3 the
+// exact maximum is (m+1)(m+2)/2 − 1 — quadratic in m, far below the
+// lemma's m^k. The bound is safe, not tight; the paper only needs
+// finiteness.
+func TestExactLongestRun(t *testing.T) {
+	tests := []struct{ m, k, want int }{
+		{1, 2, 1}, {1, 3, 2}, {1, 4, 3}, // single agent: simple path
+		{2, 2, 2}, {3, 2, 3},
+		{2, 3, 5}, {3, 3, 9}, {4, 3, 14}, // (m+1)(m+2)/2 − 1
+		{2, 4, 10},
+	}
+	for _, tt := range tests {
+		if got := agents.ExactLongestRun(tt.m, tt.k); got != tt.want {
+			t.Errorf("ExactLongestRun(%d,%d) = %d, want %d", tt.m, tt.k, got, tt.want)
+		}
+		if bound := agents.MoveBound(tt.m, tt.k); tt.want > bound {
+			t.Errorf("exact %d exceeds lemma bound %d", tt.want, bound)
+		}
+	}
+}
+
+// TestExactTriangularPattern checks the k=3 closed form on one more
+// point than the table above.
+func TestExactTriangularPattern(t *testing.T) {
+	for m := 1; m <= 5; m++ {
+		want := (m+1)*(m+2)/2 - 1
+		if m == 1 {
+			want = 2 // single agent: path of length k−1
+		}
+		if got := agents.ExactLongestRun(m, 3); got != want {
+			t.Errorf("exact(m=%d,k=3) = %d, want %d", m, got, want)
+		}
+	}
+}

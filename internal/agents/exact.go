@@ -1,0 +1,153 @@
+package agents
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExactLongestRun computes the exact maximum number of moves achievable
+// in the Lemma 1.1 game with m agents on k nodes (all starting at node
+// 0), by memoized search over abstract states. The abstraction is
+// sound and complete for the game's future: the painted-edge matrix,
+// plus each agent's (position, jumpability bitmap) — jumpability of
+// node u for agent a ("someone moved into u since a's last visit") is
+// all the clock information the rules consume, and agents with equal
+// (position, bitmap) are interchangeable, so states canonicalize by
+// sorting agents.
+//
+// The state graph is a DAG: a move strictly grows the painted matrix; a
+// jump strictly shrinks the total jumpability mass without touching the
+// matrix. Hence plain memoization terminates.
+//
+// Feasible sizes: (m ≤ 3, k ≤ 3) instantly; (2, 4) in ~seconds. The
+// exact values calibrate how loose the lemma's m^k bound is.
+func ExactLongestRun(m, k int) int {
+	s := exactState{
+		painted: make([]bool, k*k),
+		agents:  make([]agentState, m),
+	}
+	e := &exactSearch{k: k, memo: make(map[string]int)}
+	return e.best(s)
+}
+
+// agentState is one agent's abstract state: position plus the bitmap of
+// nodes it may currently jump to.
+type agentState struct {
+	pos  int
+	jump uint32
+}
+
+type exactState struct {
+	painted []bool // k×k row-major adjacency
+	agents  []agentState
+}
+
+type exactSearch struct {
+	k    int
+	memo map[string]int
+}
+
+func (e *exactSearch) best(s exactState) int {
+	key := e.encode(s)
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	bestMoves := 0
+	k := e.k
+	for a := range s.agents {
+		from := s.agents[a].pos
+		for u := 0; u < k; u++ {
+			if u == from {
+				continue
+			}
+			// Move a → u, unless it closes a cycle.
+			if !e.closes(s.painted, from, u) {
+				next := e.clone(s)
+				next.painted[from*k+u] = true
+				next.agents[a].pos = u
+				next.agents[a].jump &^= 1 << uint(u) // fresh visit
+				// Everyone else may now jump to u.
+				for b := range next.agents {
+					if b != a {
+						next.agents[b].jump |= 1 << uint(u)
+					}
+				}
+				if v := 1 + e.best(next); v > bestMoves {
+					bestMoves = v
+				}
+			}
+			// Jump a → u.
+			if s.agents[a].jump&(1<<uint(u)) != 0 {
+				next := e.clone(s)
+				next.agents[a].pos = u
+				next.agents[a].jump &^= 1 << uint(u)
+				if v := e.best(next); v > bestMoves {
+					bestMoves = v
+				}
+			}
+		}
+	}
+	e.memo[key] = bestMoves
+	return bestMoves
+}
+
+// closes reports whether painting from→to would create a directed cycle.
+func (e *exactSearch) closes(painted []bool, from, to int) bool {
+	k := e.k
+	seen := make([]bool, k)
+	stack := []int{to}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == from {
+			return true
+		}
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		for y := 0; y < k; y++ {
+			if painted[x*k+y] && !seen[y] {
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+func (e *exactSearch) clone(s exactState) exactState {
+	out := exactState{
+		painted: append([]bool(nil), s.painted...),
+		agents:  append([]agentState(nil), s.agents...),
+	}
+	return out
+}
+
+// encode canonicalizes the state: agents are interchangeable, so their
+// (pos, jump) pairs are sorted.
+func (e *exactSearch) encode(s exactState) string {
+	var b strings.Builder
+	for _, p := range s.painted {
+		if p {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	pairs := make([]agentState, len(s.agents))
+	copy(pairs, s.agents)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].pos != pairs[j].pos {
+			return pairs[i].pos < pairs[j].pos
+		}
+		return pairs[i].jump < pairs[j].jump
+	})
+	for _, p := range pairs {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(p.pos))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(uint64(p.jump), 16))
+	}
+	return b.String()
+}

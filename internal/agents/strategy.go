@@ -1,0 +1,219 @@
+package agents
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// VerifyPotentialLaw replays the game's log under the final topological
+// ranking and checks the facts the lemma's proof rests on:
+//
+//  1. every move goes downward in rank (its painted edge is in the
+//     final acyclic graph),
+//  2. Φ₀ ≤ m·base^(k−1) and Φ_end ≥ m (every weight is ≥ 1), and
+//  3. moves ≤ Φ₀ − Φ_end — each move's decrease of ≥ base−1 pays for
+//     the at most m−1 jumps (gain ≤ weight−1 each) it enables,
+//
+// which together yield moves ≤ m·m^(k−1) = m^k for m ≥ 2 agents.
+// The painted graph must be acyclic (the run must have stopped before
+// closing a cycle).
+func (g *Game) VerifyPotentialLaw(start []int) error {
+	rank, err := g.TopoRanks()
+	if err != nil {
+		return err
+	}
+	if len(start) != g.m {
+		return fmt.Errorf("agents: start has %d positions, want %d", len(start), g.m)
+	}
+	base := g.m
+	if base < 2 {
+		base = 2
+	}
+	weight := func(node int) int {
+		w := 1
+		for i := 0; i < rank[node]; i++ {
+			w *= base
+		}
+		return w
+	}
+	pos := make([]int, g.m)
+	copy(pos, start)
+	phi0 := 0
+	for _, p := range pos {
+		phi0 += weight(p)
+	}
+	maxPhi := g.m
+	for i := 0; i < g.k-1; i++ {
+		maxPhi *= base
+	}
+	if phi0 > maxPhi {
+		return fmt.Errorf("agents: Φ₀ = %d exceeds m·base^(k−1) = %d", phi0, maxPhi)
+	}
+	phi := phi0
+	moves := 0
+	for _, ev := range g.log {
+		if pos[ev.Agent] != ev.From {
+			return fmt.Errorf("agents: log corrupt: %s but agent at %d", ev, pos[ev.Agent])
+		}
+		if ev.Kind == EventMove {
+			moves++
+			if rank[ev.From] <= rank[ev.To] {
+				return fmt.Errorf("agents: move %s goes upward under final ranking", ev)
+			}
+		}
+		phi += weight(ev.To) - weight(ev.From)
+		pos[ev.Agent] = ev.To
+	}
+	if phi < g.m {
+		return fmt.Errorf("agents: final potential %d below agent count %d", phi, g.m)
+	}
+	if moves > phi0-phi {
+		return fmt.Errorf("agents: potential law violated: %d moves, Φ only fell %d → %d", moves, phi0, phi)
+	}
+	return nil
+}
+
+// RandomRun plays random legal actions (biased toward moves) until no
+// move is possible without closing a cycle, and returns the game.
+// Deterministic in seed.
+func RandomRun(m, k int, seed int64, maxActions int) (*Game, []int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	start := make([]int, m)
+	for i := range start {
+		start[i] = rng.Intn(k)
+	}
+	g, err := New(k, start)
+	if err != nil {
+		return nil, nil, err
+	}
+	for actions := 0; actions < maxActions; actions++ {
+		type action struct {
+			a, u int
+			jump bool
+		}
+		var moves, jumps []action
+		for a := 0; a < m; a++ {
+			for u := 0; u < k; u++ {
+				if u == g.Position(a) {
+					continue
+				}
+				if !g.wouldClose(g.Position(a), u) {
+					moves = append(moves, action{a, u, false})
+				}
+				if g.CanJump(a, u) {
+					jumps = append(jumps, action{a, u, true})
+				}
+			}
+		}
+		if len(moves) == 0 {
+			return g, start, nil // no safe move remains: run over
+		}
+		pick := moves[rng.Intn(len(moves))]
+		if len(jumps) > 0 && rng.Intn(4) == 0 {
+			pick = jumps[rng.Intn(len(jumps))]
+		}
+		if pick.jump {
+			err = g.Jump(pick.a, pick.u)
+		} else {
+			err = g.Move(pick.a, pick.u)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("agents: random run: %w", err)
+		}
+	}
+	return g, start, nil
+}
+
+// LongestRun searches exhaustively (DFS over all action sequences) for
+// the maximum number of moves achievable before every further move
+// would close a cycle. Feasible only for tiny m and k. It returns the
+// best move count found.
+func LongestRun(m, k int, maxDepth int) int {
+	start := make([]int, m) // all agents start at node 0: canonical worst case
+	g, err := New(k, start)
+	if err != nil {
+		return 0
+	}
+	best := 0
+	var dfs func(depth int)
+	dfs = func(depth int) {
+		if g.Moves() > best {
+			best = g.Moves()
+		}
+		if depth >= maxDepth {
+			return
+		}
+		for a := 0; a < m; a++ {
+			from := g.Position(a)
+			for u := 0; u < k; u++ {
+				if u == from {
+					continue
+				}
+				if !g.wouldClose(from, u) {
+					snap := g.snapshot()
+					if g.Move(a, u) == nil {
+						dfs(depth + 1)
+					}
+					g.restore(snap)
+				}
+				if g.CanJump(a, u) {
+					snap := g.snapshot()
+					if g.Jump(a, u) == nil {
+						dfs(depth + 1)
+					}
+					g.restore(snap)
+				}
+			}
+		}
+	}
+	dfs(0)
+	return best
+}
+
+// snapshot/restore support backtracking search without re-simulating.
+type gameSnap struct {
+	pos          []int
+	painted      [][]bool
+	lastVisit    [][]int
+	lastMoveInto []int
+	clock, moves int
+	logLen       int
+	cycle        bool
+}
+
+func (g *Game) snapshot() gameSnap {
+	s := gameSnap{
+		pos:          append([]int(nil), g.pos...),
+		lastMoveInto: append([]int(nil), g.lastMoveInto...),
+		clock:        g.clock,
+		moves:        g.moves,
+		logLen:       len(g.log),
+		cycle:        g.cycle,
+	}
+	s.painted = make([][]bool, g.k)
+	for i := range s.painted {
+		s.painted[i] = append([]bool(nil), g.painted[i]...)
+	}
+	s.lastVisit = make([][]int, g.m)
+	for i := range s.lastVisit {
+		s.lastVisit[i] = append([]int(nil), g.lastVisit[i]...)
+	}
+	return s
+}
+
+func (g *Game) restore(s gameSnap) {
+	copy(g.pos, s.pos)
+	copy(g.lastMoveInto, s.lastMoveInto)
+	for i := range g.painted {
+		copy(g.painted[i], s.painted[i])
+	}
+	for i := range g.lastVisit {
+		copy(g.lastVisit[i], s.lastVisit[i])
+	}
+	g.clock, g.moves, g.cycle = s.clock, s.moves, s.cycle
+	g.log = g.log[:s.logLen]
+}
+
+// ErrBudget is returned by strategies when maxActions is exhausted.
+var ErrBudget = errors.New("agents: action budget exhausted")

@@ -1,0 +1,106 @@
+// Package bgsim implements the Borowsky–Gafni simulation technique
+// (reference [4] of the paper), the alternative the paper contrasts its
+// emulation with: "in their technique each simulating process tries to
+// simulate all the codes of the simulated algorithm while in our
+// technique we divide the codes among the simulators, each simulating
+// several codes."
+//
+// The BG construction lets m simulators jointly run an n-process
+// read/write protocol: every simulator executes EVERY simulated
+// process's code, and the result of each simulated step is fixed by a
+// safe-agreement object, so all simulators see one coherent run. Safe
+// agreement is wait-free except for a small "unsafe window": a
+// simulator crashing inside the window blocks that one object — hence
+// one crash blocks at most one simulated process, the essence of BG's
+// t-resilience transfer. Comparing this with the paper's emulation
+// (package core) makes the difference concrete: BG simulates read/write
+// protocols by total replication; the paper's emulation divides the
+// codes among emulators precisely because compare&swap steps cannot be
+// replayed by everyone.
+package bgsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// SafeAgreement is the BG building block: an n-process one-shot
+// agreement object built from a snapshot, wait-free outside the
+// proposal's two-step unsafe window.
+//
+// Protocol (classic): a proposer raises its value to level 1, snapshots,
+// and either backs off to level 0 (someone already reached level 2) or
+// commits to level 2. A reader resolves once no proposer is pinned at
+// level 1; the decision is the value of the smallest-id level-2
+// proposer. If a proposer crashes at level 1 the object may stay
+// unresolved forever — the unsafe window.
+type SafeAgreement struct {
+	name string
+	snap *registers.Snapshot
+}
+
+// saCell is one proposer's published state.
+type saCell struct {
+	Level int // 0 backed off, 1 proposing (unsafe), 2 committed
+	Value sim.Value
+}
+
+// NewSafeAgreement builds a safe-agreement object for n proposers
+// (process IDs 0..n−1 of the hosting system).
+func NewSafeAgreement(sys *sim.System, name string, n int) *SafeAgreement {
+	return &SafeAgreement{
+		name: name,
+		snap: registers.NewSnapshot(sys, name, n, saCell{}),
+	}
+}
+
+// Propose submits v. After Propose returns, the caller is outside the
+// unsafe window.
+func (sa *SafeAgreement) Propose(e *sim.Env, v sim.Value) {
+	sa.snap.Update(e, saCell{Level: 1, Value: v})
+	view := sa.snap.Scan(e)
+	for _, c := range view {
+		if c.(saCell).Level == 2 {
+			sa.snap.Update(e, saCell{Level: 0, Value: v})
+			return
+		}
+	}
+	sa.snap.Update(e, saCell{Level: 2, Value: v})
+}
+
+// Resolve attempts to read the agreed value without blocking: ok is
+// false while some proposer is pinned in its unsafe window or nobody
+// committed yet.
+func (sa *SafeAgreement) Resolve(e *sim.Env) (sim.Value, bool) {
+	view := sa.snap.Scan(e)
+	committed := -1
+	for i, c := range view {
+		cell := c.(saCell)
+		if cell.Level == 1 {
+			return nil, false // unsafe window open
+		}
+		if cell.Level == 2 && committed < 0 {
+			committed = i
+		}
+	}
+	if committed < 0 {
+		return nil, false
+	}
+	return view[committed].(saCell).Value, true
+}
+
+// ErrBlocked is returned by a bounded Await that never resolved.
+var ErrBlocked = errors.New("bgsim: safe agreement blocked (a proposer crashed in its unsafe window)")
+
+// Await polls Resolve up to maxPolls times.
+func (sa *SafeAgreement) Await(e *sim.Env, maxPolls int) (sim.Value, error) {
+	for i := 0; i < maxPolls; i++ {
+		if v, ok := sa.Resolve(e); ok {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrBlocked, sa.name)
+}

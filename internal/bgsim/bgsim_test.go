@@ -1,0 +1,214 @@
+package bgsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bgsim"
+	"repro/internal/sim"
+)
+
+// saSystem builds m proposers over one safe-agreement object; each
+// proposes its id and awaits the resolution.
+func saSystem(m, maxPolls int) *sim.System {
+	sys := sim.NewSystem()
+	sa := bgsim.NewSafeAgreement(sys, "sa", m)
+	for i := 0; i < m; i++ {
+		i := i
+		sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+			sa.Propose(e, i)
+			return sa.Await(e, maxPolls)
+		})
+	}
+	return sys
+}
+
+func TestSafeAgreementAgreesUnderRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		res, err := saSystem(3, 200).Run(sim.Config{Scheduler: sim.Random(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := res.DistinctDecisions()
+		if len(d) != 1 {
+			t.Errorf("seed %d: decisions %v, want agreement", seed, d)
+		}
+		if v := d[0].(int); v < 0 || v > 2 {
+			t.Errorf("seed %d: decided %v, not a proposal", seed, d[0])
+		}
+	}
+}
+
+func TestSafeAgreementAgreesOutsideUnsafeWindow(t *testing.T) {
+	// Crash a proposer AFTER Propose returned (outside the window):
+	// the survivors must still resolve and agree. Run proposer 0 solo
+	// through its whole Propose (two snapshot updates + one scan = 22
+	// steps with m = 3) and crash it afterwards.
+	for seed := int64(0); seed < 30; seed++ {
+		sys := saSystem(3, 400)
+		warmup := make([]sim.ProcID, 25)
+		res, err := sys.Run(sim.Config{
+			Scheduler: sim.ReplayThen(warmup, sim.Random(seed)),
+			Faults:    sim.CrashAt(map[int][]sim.ProcID{25: {0}}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decided := 0
+		var val sim.Value
+		for i := 1; i < 3; i++ {
+			if res.Errors[i] != nil {
+				t.Fatalf("seed %d: survivor %d: %v", seed, i, res.Errors[i])
+			}
+			if decided == 0 {
+				val = res.Values[i]
+			} else if res.Values[i] != val {
+				t.Errorf("seed %d: survivors disagree: %v vs %v", seed, res.Values[i], val)
+			}
+			decided++
+		}
+	}
+}
+
+func TestSafeAgreementUnsafeWindowBlocks(t *testing.T) {
+	// Crash proposer 0 right after its level-1 update (Propose's first
+	// shared operation is a multi-step snapshot update; crash after it
+	// completes but before the back-off/commit write). The object must
+	// stay unresolved for everyone.
+	sys := sim.NewSystem()
+	sa := bgsim.NewSafeAgreement(sys, "sa", 2)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		sa.Propose(e, 0)
+		return sa.Await(e, 50)
+	})
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		sa.Propose(e, 1)
+		return sa.Await(e, 50)
+	})
+	// Proposer 0's first snapshot Update = scan (4 reads) + read + write
+	// = 6 steps when running solo. Crash it at step 6, pinned at level 1.
+	var warmup []sim.ProcID
+	for i := 0; i < 6; i++ {
+		warmup = append(warmup, 0)
+	}
+	res, err := sys.Run(sim.Config{
+		Scheduler: sim.ReplayThen(warmup, sim.RoundRobin()),
+		Faults:    sim.CrashAt(map[int][]sim.ProcID{6: {0}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(res.Errors[1], bgsim.ErrBlocked) {
+		t.Errorf("survivor error = %v, want ErrBlocked (level-1 crash must pin the object)", res.Errors[1])
+	}
+}
+
+func TestSafeAgreementValiditySolo(t *testing.T) {
+	sys := sim.NewSystem()
+	sa := bgsim.NewSafeAgreement(sys, "sa", 1)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		sa.Propose(e, "only")
+		return sa.Await(e, 10)
+	})
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != "only" {
+		t.Errorf("solo agreement = %v", res.Values[0])
+	}
+}
+
+// TestBGSimulationConsistent: m=3 simulators each run ALL n=4 simulated
+// flood-min codes; per simulated process, every simulator must extract
+// the same decision, and decisions must be valid inputs.
+func TestBGSimulationConsistent(t *testing.T) {
+	inputs := []int{42, 7, 19, 7}
+	for seed := int64(0); seed < 15; seed++ {
+		sys := sim.NewSystem()
+		s := bgsim.NewSimulation(sys, bgsim.FloodMin(4, 2, inputs), 3)
+		for i := 0; i < 3; i++ {
+			sys.Spawn(s.Simulator())
+		}
+		res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed), MaxTotalSteps: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreed := make(map[int]sim.Value)
+		for i := 0; i < 3; i++ {
+			if res.Errors[i] != nil {
+				t.Fatalf("seed %d: simulator %d: %v", seed, i, res.Errors[i])
+			}
+			out := res.Values[i].(bgsim.Outcome)
+			if len(out.Blocked) != 0 {
+				t.Errorf("seed %d: simulator %d blocked on %v with no crashes", seed, i, out.Blocked)
+			}
+			for j, d := range out.Decisions {
+				if v, ok := agreed[j]; ok && v != d {
+					t.Errorf("seed %d: simulated p%d decided %v by one simulator, %v by another", seed, j, v, d)
+				}
+				agreed[j] = d
+				valid := false
+				for _, in := range inputs {
+					if d == in {
+						valid = true
+					}
+				}
+				if !valid {
+					t.Errorf("seed %d: simulated p%d decided %v, not an input", seed, j, d)
+				}
+			}
+		}
+		if len(agreed) != 4 {
+			t.Errorf("seed %d: only %d simulated processes decided", seed, len(agreed))
+		}
+	}
+}
+
+// TestBGSimulationOneCrashBlocksAtMostOneCode: crash one simulator at a
+// random point; the survivors must carry all but at most one simulated
+// process to consistent decisions — BG's resilience transfer.
+func TestBGSimulationOneCrashBlocksAtMostOneCode(t *testing.T) {
+	inputs := []int{5, 9, 3, 8}
+	sawBlock := false
+	for seed := int64(0); seed < 25; seed++ {
+		sys := sim.NewSystem()
+		s := bgsim.NewSimulation(sys, bgsim.FloodMin(4, 2, inputs), 3)
+		s.MaxPolls = 60
+		for i := 0; i < 3; i++ {
+			sys.Spawn(s.Simulator())
+		}
+		res, err := sys.Run(sim.Config{
+			Scheduler:     sim.Random(seed),
+			Faults:        sim.CrashAfterSteps(0, int(seed)*7%120+5),
+			MaxTotalSteps: 1 << 22,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		agreed := make(map[int]sim.Value)
+		for i := 1; i < 3; i++ {
+			if res.Errors[i] != nil {
+				t.Fatalf("seed %d: survivor %d: %v", seed, i, res.Errors[i])
+			}
+			out := res.Values[i].(bgsim.Outcome)
+			if len(out.Blocked) > 1 {
+				t.Errorf("seed %d: simulator %d blocked on %d codes %v, one crash must block at most one",
+					seed, i, len(out.Blocked), out.Blocked)
+			}
+			if len(out.Blocked) > 0 {
+				sawBlock = true
+			}
+			for j, d := range out.Decisions {
+				if v, ok := agreed[j]; ok && v != d {
+					t.Errorf("seed %d: simulated p%d: %v vs %v", seed, j, v, d)
+				}
+				agreed[j] = d
+			}
+		}
+		if len(agreed) < 3 {
+			t.Errorf("seed %d: only %d simulated processes decided across survivors", seed, len(agreed))
+		}
+	}
+	_ = sawBlock // blocking is schedule-dependent; consistency is the invariant
+}

@@ -1,0 +1,155 @@
+package bgsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RoundProtocol is a simulated n-process read/write protocol in
+// full-information round form: in each round every process writes a
+// value (computed deterministically from its agreed view history) and
+// snapshots the memory; after Rounds rounds it decides. This normal
+// form covers the flood-min style protocols BG is classically applied
+// to.
+type RoundProtocol struct {
+	// Name labels the protocol.
+	Name string
+	// N is the number of simulated processes; Rounds the round count.
+	N, Rounds int
+	// Input is process j's initial value.
+	Input func(j int) sim.Value
+	// Write computes the value process j writes in round r from its
+	// input and its agreed snapshot views of earlier rounds.
+	Write func(j, r int, input sim.Value, views [][]sim.Value) sim.Value
+	// Decide computes process j's decision from all its views.
+	Decide func(j int, input sim.Value, views [][]sim.Value) sim.Value
+}
+
+// FloodMin returns the classic flood-min protocol: write the smallest
+// value seen so far, decide the smallest value ever seen. With enough
+// rounds it is a correct consensus against ≤ rounds−1 crashes in
+// synchronous models; here it simply gives the simulation something
+// meaningful to agree about.
+func FloodMin(n, rounds int, inputs []int) RoundProtocol {
+	min := func(views [][]sim.Value, own int) int {
+		best := own
+		for _, view := range views {
+			for _, v := range view {
+				if v == nil {
+					continue
+				}
+				if x := v.(int); x < best {
+					best = x
+				}
+			}
+		}
+		return best
+	}
+	return RoundProtocol{
+		Name:   fmt.Sprintf("flood-min(n=%d,r=%d)", n, rounds),
+		N:      n,
+		Rounds: rounds,
+		Input:  func(j int) sim.Value { return inputs[j] },
+		Write: func(_, _ int, input sim.Value, views [][]sim.Value) sim.Value {
+			return min(views, input.(int))
+		},
+		Decide: func(_ int, input sim.Value, views [][]sim.Value) sim.Value {
+			return min(views, input.(int))
+		},
+	}
+}
+
+// Outcome is one simulator's result: the simulated processes it carried
+// to a decision (a blocked safe agreement abandons that one process —
+// BG's "one crash blocks at most one code").
+type Outcome struct {
+	// Decisions maps simulated process id to its decision.
+	Decisions map[int]sim.Value
+	// Blocked lists simulated processes abandoned at a blocked
+	// safe-agreement object.
+	Blocked []int
+}
+
+// Simulation wires m simulators to jointly run a RoundProtocol: one
+// safe-agreement object per (simulated process, round) fixes that
+// step's snapshot result for everyone.
+type Simulation struct {
+	proto RoundProtocol
+	m     int
+	sas   [][]*SafeAgreement
+	// MaxPolls bounds the wait on each safe agreement.
+	MaxPolls int
+}
+
+// DefaultMaxPolls bounds safe-agreement waits per step.
+const DefaultMaxPolls = 200
+
+// NewSimulation registers the shared objects for m simulators on sys.
+func NewSimulation(sys *sim.System, proto RoundProtocol, m int) *Simulation {
+	s := &Simulation{proto: proto, m: m, MaxPolls: DefaultMaxPolls}
+	s.sas = make([][]*SafeAgreement, proto.N)
+	for j := range s.sas {
+		s.sas[j] = make([]*SafeAgreement, proto.Rounds)
+		for r := range s.sas[j] {
+			s.sas[j][r] = NewSafeAgreement(sys, fmt.Sprintf("sa[%d][%d]", j, r), m)
+		}
+	}
+	return s
+}
+
+// Simulator returns the program of one simulator. Every simulator runs
+// every simulated process's code (the total-replication discipline the
+// paper contrasts with its own code-partitioning emulation); the
+// returned value is an Outcome.
+func (s *Simulation) Simulator() sim.Program {
+	return func(e *sim.Env) (sim.Value, error) {
+		n := s.proto.N
+		mem := make([]sim.Value, n)
+		views := make([][][]sim.Value, n)
+		blocked := make(map[int]bool, n)
+
+		for r := 0; r < s.proto.Rounds; r++ {
+			for j := 0; j < n; j++ {
+				if blocked[j] {
+					continue
+				}
+				input := s.proto.Input(j)
+				mem[j] = s.proto.Write(j, r, input, views[j])
+				// Propose this simulator's current memory estimate as
+				// the snapshot process j takes at round r; the safe
+				// agreement picks one estimate for everyone.
+				prop := make([]sim.Value, n)
+				copy(prop, mem)
+				sa := s.sas[j][r]
+				sa.Propose(e, prop)
+				agreed, err := sa.Await(e, s.MaxPolls)
+				if err != nil {
+					// A simulator died inside this object's unsafe
+					// window: abandon code j, keep simulating the rest.
+					blocked[j] = true
+					continue
+				}
+				view := agreed.([]sim.Value)
+				views[j] = append(views[j], view)
+				// Adopt the agreed view as the authoritative memory
+				// estimate: later steps build on the chosen run.
+				for i, v := range view {
+					if v != nil {
+						mem[i] = v
+					}
+				}
+			}
+		}
+
+		out := Outcome{Decisions: make(map[int]sim.Value, n)}
+		for j := 0; j < n; j++ {
+			if blocked[j] {
+				out.Blocked = append(out.Blocked, j)
+				continue
+			}
+			out.Decisions[j] = s.proto.Decide(j, s.proto.Input(j), views[j])
+		}
+		return out, nil
+	}
+}

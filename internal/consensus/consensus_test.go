@@ -1,0 +1,307 @@
+package consensus_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func casBuilder(k, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = 100 + i
+		}
+		for _, p := range consensus.CASProtocol(sys, cas, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func proposalsOf(n int) []sim.Value {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	return props
+}
+
+func TestCASConsensusExhaustive(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{3, 2}, {4, 3}} {
+		props := proposalsOf(tc.n)
+		c := explore.Run(casBuilder(tc.k, tc.n), explore.Options{}, func(res *sim.Result) error {
+			return consensus.CheckAll(res, props, 4)
+		})
+		if !c.Exhaustive {
+			t.Fatalf("k=%d n=%d: not exhaustive", tc.k, tc.n)
+		}
+		if len(c.Violations) != 0 {
+			t.Errorf("k=%d n=%d: violation on %s", tc.k, tc.n,
+				explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+	}
+}
+
+func TestCASConsensusExhaustiveWithCrash(t *testing.T) {
+	props := proposalsOf(2)
+	c := explore.Run(casBuilder(3, 2), explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		if err := consensus.CheckAgreement(res); err != nil {
+			return err
+		}
+		return consensus.CheckValidity(res, props)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation under crash: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+func TestCASConsensusCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CASProtocol beyond alphabet did not panic")
+		}
+	}()
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("cas", 3)
+	sys.Add(cas)
+	consensus.CASProtocol(sys, cas, proposalsOf(3)) // needs k >= 4
+}
+
+func TestTASConsensusExhaustive(t *testing.T) {
+	props := [2]sim.Value{"x", "y"}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		ts := objects.NewTestAndSet("t")
+		sys.Add(ts)
+		for _, p := range consensus.TASProtocol(sys, ts, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		return consensus.CheckAll(res, props[:], 4)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+	if c.Outcomes[`[x x]`] == 0 || c.Outcomes[`[y y]`] == 0 {
+		t.Errorf("outcomes %v: both values must be electable", c.Outcomes)
+	}
+}
+
+func TestFetchAddConsensusExhaustive(t *testing.T) {
+	props := [2]sim.Value{1, 2}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		fa := objects.NewFetchAdd("f", 0)
+		sys.Add(fa)
+		for _, p := range consensus.FetchAddProtocol(sys, fa, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		return consensus.CheckAll(res, props[:], 4)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+func TestQueueConsensusExhaustive(t *testing.T) {
+	props := [2]sim.Value{7, 8}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		q := objects.NewQueue("q", "winner")
+		sys.Add(q)
+		for _, p := range consensus.QueueProtocol(sys, q, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		return consensus.CheckAll(res, props[:], 4)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+// TestRWAttemptDisagrees is the level-1 baseline: the read/write-only
+// "consensus" must disagree on some schedule — the FLP/Loui–Abu-Amara
+// shape (E6).
+func TestRWAttemptDisagrees(t *testing.T) {
+	props := []sim.Value{1, 2}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		for _, p := range consensus.RWAttempt(sys, "rw", props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, consensus.CheckAgreement)
+	if len(c.Violations) == 0 {
+		t.Fatalf("no disagreement found; census:\n%s", explore.DescribeCensus(c))
+	}
+}
+
+// TestRWAttemptValidButInconsistent: even the doomed protocol keeps
+// validity — only agreement is lost. The distinction matters because
+// the paper's LE definition separates the two.
+func TestRWAttemptValidButInconsistent(t *testing.T) {
+	props := []sim.Value{1, 2}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		for _, p := range consensus.RWAttempt(sys, "rw", props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{}, func(res *sim.Result) error {
+		return consensus.CheckValidity(res, props)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("validity violated: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+func TestCheckWaitFreeFlagsSlowProcess(t *testing.T) {
+	res := &sim.Result{
+		Values:  []sim.Value{1},
+		Errors:  []error{nil},
+		Crashed: []bool{false},
+		Steps:   []int{99},
+	}
+	if err := consensus.CheckWaitFree(res, 10); err == nil {
+		t.Error("step bound 10 not enforced against 99 steps")
+	}
+	if err := consensus.CheckWaitFree(res, 100); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+}
+
+func TestCheckAgreementAndValidity(t *testing.T) {
+	res := &sim.Result{
+		Values:  []sim.Value{1, 2},
+		Errors:  []error{nil, nil},
+		Crashed: []bool{false, false},
+		Steps:   []int{1, 1},
+	}
+	if err := consensus.CheckAgreement(res); err == nil {
+		t.Error("disagreement not flagged")
+	}
+	if err := consensus.CheckValidity(res, []sim.Value{1, 2}); err != nil {
+		t.Errorf("valid decisions flagged: %v", err)
+	}
+	if err := consensus.CheckValidity(res, []sim.Value{3}); err == nil {
+		t.Error("invalid decision not flagged")
+	}
+}
+
+// TestRWCarefulSafeButNotLive is the other FLP horn: the careful
+// read/write protocol never disagrees on any complete schedule, but
+// crashing one process leaves the rest spinning forever — safety
+// without liveness. With RWAttempt (fast but inconsistent) this pins
+// the full dichotomy that makes level 1 of the hierarchy powerless.
+func TestRWCarefulSafeButNotLive(t *testing.T) {
+	props := []sim.Value{1, 2}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		for _, p := range consensus.RWCareful(sys, "rw", props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1, MaxDepth: 40, MaxRuns: 100000}, func(res *sim.Result) error {
+		return consensus.CheckAgreement(res)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("careful protocol disagreed: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+	if c.Incomplete == 0 {
+		t.Error("no non-terminating schedule found: liveness loss not demonstrated")
+	}
+	if c.Complete == 0 {
+		t.Error("no complete runs at all")
+	}
+}
+
+// TestTournamentAttemptDisagrees: two test&set objects in a tournament
+// cannot give 3-consensus — level-2 objects do not compose upward. The
+// explorer exhibits the schedule.
+func TestTournamentAttemptDisagrees(t *testing.T) {
+	props := [3]sim.Value{1, 2, 3}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		semi := objects.NewTestAndSet("semi")
+		final := objects.NewTestAndSet("final")
+		sys.Add(semi)
+		sys.Add(final)
+		for _, p := range consensus.TournamentAttempt(sys, semi, final, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxRuns: 400000}, consensus.CheckAgreement)
+	if len(c.Violations) == 0 {
+		t.Fatalf("no disagreement found; census:\n%s", explore.DescribeCensus(c))
+	}
+	// Validity still holds: guesses are always announced proposals.
+	c = explore.Run(b, explore.Options{MaxRuns: 100000}, func(res *sim.Result) error {
+		return consensus.CheckValidity(res, props[:])
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("validity violated: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+// TestLLSCConsensusExhaustive: the paper's other universal primitive,
+// load-link/store-conditional-(k), solves n ≤ k−1 consensus on every
+// schedule with crashes — and is size-limited exactly like compare&swap
+// (the constructor refuses n > k−1).
+func TestLLSCConsensusExhaustive(t *testing.T) {
+	props := proposalsOf(2)
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		reg := objects.NewLLSC("llsc", 3)
+		sys.Add(reg)
+		for _, p := range consensus.LLSCProtocol(sys, reg, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		if err := consensus.CheckAgreement(res); err != nil {
+			return err
+		}
+		if err := consensus.CheckValidity(res, props); err != nil {
+			return err
+		}
+		return consensus.CheckWaitFree(res, 8)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+	if !c.Exhaustive {
+		t.Error("walk not exhaustive")
+	}
+}
+
+func TestLLSCConsensusCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LLSCProtocol beyond alphabet did not panic")
+		}
+	}()
+	sys := sim.NewSystem()
+	reg := objects.NewLLSC("llsc", 3)
+	sys.Add(reg)
+	consensus.LLSCProtocol(sys, reg, proposalsOf(3))
+}

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// BenchmarkEmulatorIteration measures one full emulation of first-value
+// consensus per (k, Π), isolating the Figure 3 loop cost: snapshot +
+// history render + action per iteration.
+func BenchmarkEmulatorIteration(b *testing.B) {
+	for _, tc := range []struct{ k, n int }{{3, 56}, {3, 112}, {4, 168}} {
+		b.Run(fmt.Sprintf("k=%d,n=%d", tc.k, tc.n), func(b *testing.B) {
+			var iters, steps int
+			for i := 0; i < b.N; i++ {
+				r := core.NewReduction(core.Config{K: tc.k, Quota: 3, A: core.FirstValueA(tc.k, tc.n)})
+				res, err := r.System().Run(sim.Config{
+					Scheduler: sim.RoundRobin(), MaxTotalSteps: 1 << 23, DisableTrace: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := r.Analyze(res)
+				iters += rep.TotalStats().Iterations
+				steps += res.TotalSteps
+			}
+			b.ReportMetric(float64(iters)/float64(b.N), "fig3-iterations")
+			b.ReportMetric(float64(steps)/float64(b.N), "shared-steps")
+		})
+	}
+}
+
+// BenchmarkComputeHistory measures Figure 4 rendering on synthetic deep
+// chains.
+func BenchmarkComputeHistory(b *testing.B) {
+	for _, depth := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			l := core.RootLabel().Extend(1)
+			page := core.Page{ActiveTrees: []core.Label{l}}
+			parent := core.TreeRoot
+			for i := 0; i < depth; i++ {
+				n := core.TreeNode{
+					ID:     core.NodeID{Em: 0, Seq: i},
+					Tree:   l,
+					Parent: parent,
+					Symbol: objects.Symbol(i % 2), // ⊥/0 ping-pong chain
+				}
+				page.Nodes = append(page.Nodes, n)
+				parent = n.ID
+			}
+			cells := []sim.Value{page}
+			v := core.NewView(cells, 3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ComputeHistory(v, l)
+			}
+		})
+	}
+}
+
+// BenchmarkExcessCycleWidth measures the Figure 6 cycle search on a
+// dense excess graph.
+func BenchmarkExcessCycleWidth(b *testing.B) {
+	for _, k := range []int{3, 5, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			w := make(map[core.Edge]int)
+			for a := 0; a < k; a++ {
+				for c := 0; c < k; c++ {
+					if a != c {
+						w[core.Edge{From: objects.Symbol(a), To: objects.Symbol(c)}] = (a*k + c) % 7
+					}
+				}
+			}
+			g := &core.ExcessGraph{K: k, W: w}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.CycleWidth(0, objects.Symbol(k-1))
+			}
+		})
+	}
+}
+
+// BenchmarkAudit measures the post-run legality audit.
+func BenchmarkAudit(b *testing.B) {
+	r := core.NewReduction(core.Config{K: 3, Quota: 6, A: core.CyclingA(3, 90, 4)})
+	if _, err := r.System().Run(sim.Config{Scheduler: sim.RoundRobin(), MaxTotalSteps: 1 << 23, DisableTrace: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Audit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/objects"
+)
+
+// DescribeTree renders the history tree T of a view: every active small
+// tree with its in-tree nodes, indented by depth, with FromParent /
+// ToParent paths — the shape of the paper's Figure 1, as data.
+func DescribeTree(v *View) string {
+	var b strings.Builder
+	active := v.ActiveTrees()
+	labels := make([]Label, 0, len(active))
+	for l := range active {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, l := range labels {
+		indent := strings.Repeat("  ", len(l)-1)
+		fmt.Fprintf(&b, "%st_%s (root symbol %s)\n", indent, l, l.Last())
+		nodes := v.TreeNodes(l)
+		children := make(map[NodeID][]TreeNode, len(nodes))
+		for _, n := range nodes {
+			children[n.Parent] = append(children[n.Parent], n)
+		}
+		var walk func(id NodeID, depth int)
+		walk = func(id NodeID, depth int) {
+			for _, n := range children[id] {
+				fmt.Fprintf(&b, "%s%s└ %s", indent, strings.Repeat("  ", depth+1), n.Symbol)
+				if len(n.FromParent) > 0 || len(n.ToParent) > 0 {
+					fmt.Fprintf(&b, "  (from %s, to %s)", symbolsString(n.FromParent), symbolsString(n.ToParent))
+				}
+				fmt.Fprintf(&b, "  [e%d.%d]\n", n.ID.Em, n.ID.Seq)
+				walk(n.ID, depth+1)
+			}
+		}
+		walk(TreeRoot, 0)
+	}
+	return b.String()
+}
+
+func symbolsString(syms []objects.Symbol) string {
+	if len(syms) == 0 {
+		return "·"
+	}
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Errors reported by emulators.
+// ErrIterationBudget means the emulator ran out of iterations without
+// any of its v-processes deciding — either the budget is genuinely too
+// small, or the emulation starved: no simple operation, no rebalance,
+// and UpdateC&S never became affordable. Under the paper's quotas
+// (m·k² per edge) starvation cannot happen; with ablated quotas it can
+// (DESIGN.md §5.4), and the audit still passes — the guards refuse to
+// fabricate unpayable transitions rather than construct an illegal run.
+var ErrIterationBudget = errors.New("core: emulator iteration budget exhausted")
+
+// emulator is one of the m processes of algorithm B. It owns a subset
+// of A's v-processes and drives the Figure 3 loop.
+type emulator struct {
+	id    int
+	red   *Reduction
+	label Label
+
+	vprocs map[int]VProcess // owned v-processes by vid
+	active map[int]bool     // active (not suspended, not decided)
+
+	mine          Page
+	nodeSeq       int
+	suspendedOnce map[Edge]bool // Figure 3 line 5 executes once per pair
+	stats         ActionStats
+}
+
+// ActionStats counts which Figure 3 branches an emulator took — the
+// emulation's observable anatomy, reported per emulator in Report.
+type ActionStats struct {
+	// Iterations is the number of Figure 3 loop iterations.
+	Iterations int
+	// Suspends counts suspension batches (lines 4–5).
+	Suspends int
+	// SimpleOps counts emulated reads/writes/failing-c&s (lines 6–7).
+	SimpleOps int
+	// Rebalances counts successful CanRebalance releases (line 8).
+	Rebalances int
+	// Attaches counts in-tree history extensions (Figure 6 line 9).
+	Attaches int
+	// Activations counts new-tree activations / group splits (line 12).
+	Activations int
+	// Idles counts iterations where nothing was affordable yet.
+	Idles int
+}
+
+// run is the emulation main routine (Figure 3).
+func (em *emulator) run(e *sim.Env) (sim.Value, error) {
+	for iter := 0; iter < em.red.cfg.MaxIterations; iter++ {
+		em.stats.Iterations++
+		// Adopt a decision as soon as any owned v-process reaches one
+		// (Figure 3 lines 1, 10).
+		if d, ok := em.decidedVProc(); ok {
+			em.mine.Decided = d
+			em.writePage(e)
+			return d, nil
+		}
+
+		// Line 2: atomically read all shared data structures.
+		v := NewView(em.red.snap.Scan(e), em.red.cfg.K)
+		// Line 3: compute the history; the label may extend as a side
+		// effect when t_label is no longer a leaf of T.
+		em.label = ExtendLabel(v, em.label)
+		em.mine.Label = em.label
+		h := ComputeHistory(v, em.label)
+		cs := h.CS()
+
+		// Lines 4–5: suspension quotas. For each edge with enough
+		// active v-processes and no prior suspension by this emulator,
+		// freeze quota of them.
+		if em.suspendStep(h) {
+			em.stats.Suspends++
+			em.writePage(e)
+			continue
+		}
+
+		// Lines 6–7: emulate one simple operation — a read, a write, or
+		// a c&s that fails against the current value.
+		if em.emulateSimpleOp(e, h, cs) {
+			em.stats.SimpleOps++
+			continue
+		}
+
+		// Line 8: try to release a suspended v-process against surplus
+		// history transitions.
+		if em.canRebalance(e, v, h) {
+			em.stats.Rebalances++
+			continue
+		}
+
+		// Line 9: update the compare&swap history (which keeps its own
+		// attach/activate/idle statistics). A non-progressing update is
+		// an idle wait: the next snapshot may carry more suspensions
+		// from other emulators.
+		if _, err := em.updateCAS(e, v, h); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w (emulator %d, label %s)", ErrIterationBudget, em.id, em.label)
+}
+
+// decidedVProc returns the decision of an owned v-process that has
+// reached its decide state, if any.
+func (em *emulator) decidedVProc() (sim.Value, bool) {
+	for _, vid := range em.sortedOwned() {
+		if op := em.vprocs[vid].Next(); op.Kind == VDecide {
+			return op.Decision, true
+		}
+	}
+	return nil, false
+}
+
+// sortedOwned lists owned vids ascending for determinism.
+func (em *emulator) sortedOwned() []int {
+	out := make([]int, 0, len(em.vprocs))
+	for vid := range em.vprocs {
+		out = append(out, vid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// activeByEdge groups the emulator's active v-processes by the c&s edge
+// of their next operation.
+func (em *emulator) activeByEdge() map[Edge][]int {
+	out := make(map[Edge][]int)
+	for _, vid := range em.sortedOwned() {
+		if !em.active[vid] {
+			continue
+		}
+		op := em.vprocs[vid].Next()
+		if op.Kind != VCAS {
+			continue
+		}
+		ed := Edge{From: op.From, To: op.To}
+		out[ed] = append(out[ed], vid)
+	}
+	return out
+}
+
+// suspendStep implements Figure 3 lines 4–5; returns true if any
+// suspension happened (the page must then be republished).
+func (em *emulator) suspendStep(h *History) bool {
+	quota := em.red.cfg.Quota
+	changed := false
+	edges := em.activeByEdge()
+	keys := make([]Edge, 0, len(edges))
+	for ed := range edges {
+		keys = append(keys, ed)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].From != keys[j].From {
+			return keys[i].From < keys[j].From
+		}
+		return keys[i].To < keys[j].To
+	})
+	for _, ed := range keys {
+		vids := edges[ed]
+		if len(vids) < quota || em.suspendedOnce[ed] {
+			continue
+		}
+		for _, vid := range vids[:quota] {
+			em.active[vid] = false
+			em.mine.Suspensions = append(em.mine.Suspensions, Suspension{
+				VProc:   vid,
+				Edge:    ed,
+				Label:   em.label,
+				HistLen: len(h.Seq),
+			})
+		}
+		em.suspendedOnce[ed] = true
+		changed = true
+	}
+	return changed
+}
+
+// emulateSimpleOp implements Figure 3 lines 6–7: find an active
+// v-process whose next operation needs no history update — a read, a
+// write, or a c&s(a→b) with a ≠ cs (it fails against the current
+// value) — and emulate exactly one step of it.
+func (em *emulator) emulateSimpleOp(e *sim.Env, h *History, cs sim.Value) bool {
+	for _, vid := range em.sortedOwned() {
+		if !em.active[vid] {
+			continue
+		}
+		vp := em.vprocs[vid]
+		op := vp.Next()
+		switch op.Kind {
+		case VRead:
+			val, _ := em.red.regs[op.Reg].ReadLabeled(e, string(em.label))
+			vp.Feed(val)
+			return true
+		case VWrite:
+			em.red.regs[vid].Append(e, string(em.label), op.Value)
+			vp.Feed(nil)
+			return true
+		case VCAS:
+			if op.From != cs || op.From == op.To {
+				// The operation needs no history update: it either
+				// fails against the current value, or is a no-op
+				// c&s(a→a). Either way the response is the current
+				// value (a history response, EmulateSimpleOp in the
+				// paper).
+				vp.Feed(cs)
+				return true
+			}
+		case VDecide:
+			// Handled at the top of the loop.
+		}
+	}
+	return false
+}
+
+// writePage publishes the emulator's single-writer page (one atomic
+// update of its snapshot component).
+func (em *emulator) writePage(e *sim.Env) {
+	em.red.snap.Update(e, em.mine.clone())
+}
+
+// ownedTagged returns the tagged register of a v-process (for reads any
+// register; writes go only to owned v-processes' registers, enforced by
+// the registers' single-writer check since the register owner is the
+// owning emulator).
+func (em *emulator) ownedTagged(vid int) *registers.Tagged {
+	return em.red.regs[vid]
+}

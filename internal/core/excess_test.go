@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// graphOf builds an ExcessGraph over k symbols with explicit weights.
+func graphOf(k int, weights map[core.Edge]int) *core.ExcessGraph {
+	return &core.ExcessGraph{K: k, W: weights}
+}
+
+func TestExcessGraphFromViewAndHistory(t *testing.T) {
+	root := core.RootLabel()
+	v := viewOf(3, core.Page{Suspensions: []core.Suspension{
+		{VProc: 0, Edge: core.Edge{From: 0, To: 1}, Label: root},
+		{VProc: 1, Edge: core.Edge{From: 0, To: 1}, Label: root},
+		{VProc: 2, Edge: core.Edge{From: 1, To: 0}, Label: root},
+	}})
+	h := &core.History{Label: root, Seq: syms(0, 1, 0)}
+	g := core.NewExcessGraph(v, root, h)
+	if got := g.Weight(0, 1); got != 1 { // 2 suspended − 1 transition
+		t.Errorf("w(⊥→0) = %d, want 1", got)
+	}
+	if got := g.Weight(1, 0); got != 0 { // 1 suspended − 1 transition
+		t.Errorf("w(0→⊥) = %d, want 0", got)
+	}
+}
+
+func TestCycleWidth(t *testing.T) {
+	g := graphOf(4, map[core.Edge]int{
+		{From: 0, To: 1}: 5,
+		{From: 1, To: 0}: 3,
+		{From: 1, To: 2}: 7,
+		{From: 2, To: 0}: 7,
+	})
+	// Cycle through 0 and 1 directly: min(5,3) = 3. Via 2: 0→1→2→0 has
+	// min(5,7,7) = 5. The best cycle through both 0 and 1 is width 5.
+	w, ok := g.CycleWidth(0, 1)
+	if !ok || w != 5 {
+		t.Errorf("CycleWidth(0,1) = %d,%v, want 5,true", w, ok)
+	}
+	// No cycle through 3 at all.
+	if _, ok := g.CycleWidth(0, 3); ok {
+		t.Error("CycleWidth found a cycle through an isolated node")
+	}
+}
+
+func TestCycleWidthSelfCycle(t *testing.T) {
+	g := graphOf(3, map[core.Edge]int{
+		{From: 0, To: 1}: 2,
+		{From: 1, To: 0}: 4,
+	})
+	w, ok := g.CycleWidth(0, 0)
+	if !ok || w != 2 {
+		t.Errorf("CycleWidth(0,0) = %d,%v, want 2,true", w, ok)
+	}
+	lonely := graphOf(3, map[core.Edge]int{{From: 0, To: 1}: 2})
+	if _, ok := lonely.CycleWidth(0, 0); ok {
+		t.Error("self cycle found with no return edge")
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := graphOf(4, map[core.Edge]int{
+		{From: 0, To: 1}: 1,
+		{From: 1, To: 2}: 2,
+		{From: 0, To: 2}: 5,
+		{From: 2, To: 3}: 5,
+	})
+	// At min weight 5 the only route 0→3 is via 2.
+	path, ok := g.Path(0, 3, 5)
+	if !ok || !reflect.DeepEqual(path, syms(2)) {
+		t.Errorf("Path(0,3,5) = %v,%v, want [2],true", path, ok)
+	}
+	// Direct edge yields an empty intermediate list.
+	path, ok = g.Path(0, 2, 5)
+	if !ok || len(path) != 0 {
+		t.Errorf("Path(0,2,5) = %v,%v, want [],true", path, ok)
+	}
+	if _, ok := g.Path(3, 0, 1); ok {
+		t.Error("Path found a route against edge directions")
+	}
+	if _, ok := g.Path(0, 3, 6); ok {
+		t.Error("Path ignored the weight threshold")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	// Σ_{g=1..D} g·m^g for m=3: D=0→0, D=1→3, D=2→3+2·9=21, D=3→21+3·27=102.
+	tests := []struct{ m, d, want int }{
+		{3, 0, 0}, {3, 1, 3}, {3, 2, 21}, {3, 3, 102}, {2, 2, 10},
+	}
+	for _, tt := range tests {
+		if got := core.Threshold(tt.m, tt.d); got != tt.want {
+			t.Errorf("Threshold(%d,%d) = %d, want %d", tt.m, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	// α_x = Σ_{i=2..x} m^i for m=2: α_1=0, α_2=4, α_3=12, α_4=28.
+	tests := []struct{ m, x, want int }{
+		{2, 1, 0}, {2, 2, 4}, {2, 3, 12}, {2, 4, 28}, {3, 3, 36},
+	}
+	for _, tt := range tests {
+		if got := core.Alpha(tt.m, tt.x); got != tt.want {
+			t.Errorf("Alpha(%d,%d) = %d, want %d", tt.m, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := graphOf(4, map[core.Edge]int{
+		{From: 0, To: 1}: 5,
+		{From: 1, To: 0}: 5,
+		{From: 2, To: 3}: 1,
+		{From: 3, To: 2}: 1,
+		{From: 1, To: 2}: 9,
+	})
+	all := []objects.Symbol{0, 1, 2, 3}
+	comps := g.SCCs(all, 1)
+	if len(comps) != 2 {
+		t.Fatalf("SCCs at ≥1: %v, want 2 components", comps)
+	}
+	// At threshold 5 the {2,3} pair dissolves into singletons.
+	comps = g.SCCs(all, 5)
+	if len(comps) != 3 {
+		t.Errorf("SCCs at ≥5: %v, want 3 components", comps)
+	}
+}
+
+func TestStableComponents(t *testing.T) {
+	k, m := 4, 2
+	// A strongly connected pair at huge weight: stable and (being a
+	// 2-node component) super stable by definition.
+	g := graphOf(k, map[core.Edge]int{
+		{From: 0, To: 1}: 1000,
+		{From: 1, To: 0}: 1000,
+	})
+	comp := []objects.Symbol{0, 1}
+	if !g.IsStable(comp, k, m) {
+		t.Error("high-weight 2-cycle not stable")
+	}
+	if !g.IsSuperStable(comp, k, m) {
+		t.Error("2-node component not super stable")
+	}
+	// Singletons are always stable.
+	if !g.IsStable([]objects.Symbol{2}, k, m) {
+		t.Error("singleton not stable")
+	}
+	// A barely-connected 3-node ring fails stability at the higher
+	// thresholds: it splits into 3 singletons where at most 2 parts are
+	// allowed.
+	weak := graphOf(k, map[core.Edge]int{
+		{From: 0, To: 1}: 1,
+		{From: 1, To: 2}: 1,
+		{From: 2, To: 0}: 1,
+	})
+	if weak.IsStable([]objects.Symbol{0, 1, 2}, k, m) {
+		t.Error("weight-1 3-ring reported stable")
+	}
+}
+
+func TestEmulationStateIsStableUnderFirstValue(t *testing.T) {
+	// E7: after a FirstValueA emulation, in every group's excess graph
+	// the component containing the used symbols keeps enough spare
+	// suspensions to be declared stable per Definition 2 — the shape of
+	// Lemma 1.2's point 3.
+	r := core.NewReduction(core.Config{K: 3, Quota: 6, A: core.FirstValueA(3, 120)})
+	rep := runReduction(t, r, sim.RoundRobin())
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors:\n%s", core.DescribeReport(rep))
+	}
+	v := r.FinalView()
+	for _, l := range v.MaximalLabels() {
+		h := core.ComputeHistory(v, l)
+		g := core.NewExcessGraph(v, l, h)
+		for _, comp := range g.SCCs(syms(0, 1, 2), 1) {
+			if !g.IsStable(comp, 3, r.Config().M) {
+				t.Errorf("label %s: component %v not stable", l, comp)
+			}
+		}
+	}
+}

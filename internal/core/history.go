@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/objects"
+)
+
+// ExtendLabel implements the side effect of ComputeHistory's lines 1–2
+// (Figure 4): if the emulator's current tree t_l is no longer a leaf of
+// T (other emulators activated child trees), the label is pushed down
+// the longest active path extending it. Ties — several children active
+// — break toward the smallest symbol, a deterministic choice the paper
+// leaves free. Moving down corresponds to the emulator's processes
+// fail-stopping in the abandoned sibling runs, which is legal.
+func ExtendLabel(v *View, l Label) Label {
+	active := v.ActiveTrees()
+	for {
+		extended := false
+		// Children of l in T, smallest symbol first.
+		var childSyms []objects.Symbol
+		for cand := range active {
+			if len(cand) == len(l)+1 && cand.HasPrefix(l) {
+				childSyms = append(childSyms, cand.Last())
+			}
+		}
+		if len(childSyms) > 0 {
+			sort.Slice(childSyms, func(i, j int) bool { return childSyms[i] < childSyms[j] })
+			l = l.Extend(childSyms[0])
+			extended = true
+		}
+		if !extended {
+			return l
+		}
+	}
+}
+
+// treeIndex organizes a small tree's nodes for rendering.
+type treeIndex struct {
+	children map[NodeID][]TreeNode
+}
+
+func indexTree(nodes []TreeNode) *treeIndex {
+	ti := &treeIndex{children: make(map[NodeID][]TreeNode, len(nodes))}
+	for _, n := range nodes {
+		ti.children[n.Parent] = append(ti.children[n.Parent], n)
+	}
+	// Input order (emulator, seq) is already deterministic; preserve it.
+	return ti
+}
+
+// renderFull emits the complete DFS traversal of the subtree rooted at
+// (sym, id): FromParent ++ sym ++ for each child (child-render ++ sym)
+// ++ ToParent — exactly Figure 4's three emission rules.
+func (ti *treeIndex) renderFull(sym objects.Symbol, id NodeID, from, to []objects.Symbol, out []objects.Symbol) []objects.Symbol {
+	out = append(out, from...)
+	out = append(out, sym)
+	for _, c := range ti.children[id] {
+		out = ti.renderFull(c.Symbol, c.ID, c.FromParent, c.ToParent, out)
+		out = append(out, sym)
+	}
+	out = append(out, to...)
+	return out
+}
+
+// renderToRightmost emits the DFS traversal cut at the rightmost leaf
+// (Figure 4, lines 9–10): descend, fully rendering all children but the
+// last, and stop after emitting the rightmost leaf's symbol.
+func (ti *treeIndex) renderToRightmost(sym objects.Symbol, id NodeID, from []objects.Symbol, out []objects.Symbol) ([]objects.Symbol, NodeID, int) {
+	out = append(out, from...)
+	out = append(out, sym)
+	kids := ti.children[id]
+	if len(kids) == 0 {
+		return out, id, 0
+	}
+	for _, c := range kids[:len(kids)-1] {
+		out = ti.renderFull(c.Symbol, c.ID, c.FromParent, c.ToParent, out)
+		out = append(out, sym)
+	}
+	last := kids[len(kids)-1]
+	res, leaf, depth := ti.renderToRightmost(last.Symbol, last.ID, last.FromParent, out)
+	return res, leaf, depth + 1
+}
+
+// History is the result of ComputeHistory: the symbol sequence the
+// compare&swap register went through in the run labeled by Label, plus
+// the identity and depth of the rightmost leaf (the node "containing
+// cs", Figure 6 line 5).
+type History struct {
+	Label Label
+	Seq   []objects.Symbol
+	// Rightmost is the rightmost leaf of the last tree: the node whose
+	// visit ends the history. For an empty tree it is TreeRoot with
+	// depth 0 (cs is the tree's root symbol).
+	Rightmost      NodeID
+	RightmostDepth int
+}
+
+// CS returns the current compare&swap value: the last history symbol.
+func (h *History) CS() objects.Symbol { return h.Seq[len(h.Seq)-1] }
+
+// ComputeHistory renders the history of the run labeled l (Figure 4):
+// the concatenation of the full DFS traversals of every small tree on
+// the path from t_⊥ to t_l, with the last tree cut at its rightmost
+// leaf. Each tree's implicit root node carries the tree's last label
+// symbol; the jump from one tree's root to the next tree's root symbol
+// is the first-use transition that created the child tree.
+func ComputeHistory(v *View, l Label) *History {
+	syms := l.Symbols()
+	var seq []objects.Symbol
+	var rm NodeID = TreeRoot
+	rmDepth := 0
+	for i := 1; i <= len(syms); i++ {
+		tree := l[:i]
+		rootSym := syms[i-1]
+		ti := indexTree(v.TreeNodes(tree))
+		if i < len(syms) {
+			seq = ti.renderFull(rootSym, TreeRoot, nil, nil, seq)
+		} else {
+			seq, rm, rmDepth = ti.renderToRightmost(rootSym, TreeRoot, nil, seq)
+		}
+	}
+	return &History{Label: l, Seq: seq, Rightmost: rm, RightmostDepth: rmDepth}
+}
+
+// NodePath returns the chain of nodes from the given node up to (and
+// excluding) TreeRoot within tree l, starting at the node itself.
+func NodePath(v *View, tree Label, id NodeID) []TreeNode {
+	byID := make(map[NodeID]TreeNode)
+	for _, n := range v.TreeNodes(tree) {
+		byID[n.ID] = n
+	}
+	var out []TreeNode
+	for id != TreeRoot {
+		n, ok := byID[id]
+		if !ok {
+			return out
+		}
+		out = append(out, n)
+		id = n.Parent
+	}
+	return out
+}
+
+// UsedSymbols returns the set of symbols occurring in the history.
+func UsedSymbols(h *History) map[objects.Symbol]bool {
+	out := make(map[objects.Symbol]bool, len(h.Seq))
+	for _, s := range h.Seq {
+		out[s] = true
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// viewOf builds a View from explicit pages.
+func viewOf(k int, pages ...core.Page) *core.View {
+	cells := make([]sim.Value, len(pages))
+	for i, p := range pages {
+		p.Em = i
+		cells[i] = p
+	}
+	return core.NewView(cells, k)
+}
+
+func syms(xs ...int) []objects.Symbol {
+	out := make([]objects.Symbol, len(xs))
+	for i, x := range xs {
+		out[i] = objects.Symbol(x)
+	}
+	return out
+}
+
+func TestComputeHistoryEmptyTree(t *testing.T) {
+	v := viewOf(3, core.Page{})
+	h := core.ComputeHistory(v, core.RootLabel())
+	if !reflect.DeepEqual(h.Seq, syms(0)) {
+		t.Errorf("history = %v, want [⊥]", h.Seq)
+	}
+	if h.CS() != objects.Bottom {
+		t.Errorf("cs = %v", h.CS())
+	}
+	if h.Rightmost != core.TreeRoot || h.RightmostDepth != 0 {
+		t.Errorf("rightmost = %v depth %d", h.Rightmost, h.RightmostDepth)
+	}
+}
+
+func TestComputeHistoryChain(t *testing.T) {
+	// Tree t_⊥1 with a chain root(1) → ⊥ → 1 (the ping-pong shape the
+	// cycling algorithm produces).
+	root := core.RootLabel()
+	l := root.Extend(1)
+	n1 := core.TreeNode{ID: core.NodeID{Em: 0, Seq: 0}, Tree: l, Parent: core.TreeRoot, Symbol: 0}
+	n2 := core.TreeNode{ID: core.NodeID{Em: 0, Seq: 1}, Tree: l, Parent: n1.ID, Symbol: 1}
+	v := viewOf(3, core.Page{Nodes: []core.TreeNode{n1, n2}, ActiveTrees: []core.Label{l}})
+	h := core.ComputeHistory(v, l)
+	want := syms(0, 1, 0, 1) // t_⊥ renders ⊥; t_⊥1 renders 1, ⊥, 1 cut at leaf
+	if !reflect.DeepEqual(h.Seq, want) {
+		t.Errorf("history = %v, want %v", h.Seq, want)
+	}
+	if h.Rightmost != n2.ID || h.RightmostDepth != 2 {
+		t.Errorf("rightmost = %v depth %d, want %v depth 2", h.Rightmost, h.RightmostDepth, n2.ID)
+	}
+}
+
+func TestComputeHistorySiblingsAndPaths(t *testing.T) {
+	// Root(1) with two children: 2 (fully traversed, with ToParent path
+	// [0]) and ⊥ (rightmost, with FromParent [2]).
+	l := core.RootLabel().Extend(1)
+	c1 := core.TreeNode{
+		ID: core.NodeID{Em: 0, Seq: 0}, Tree: l, Parent: core.TreeRoot,
+		Symbol: 2, ToParent: syms(0),
+	}
+	c2 := core.TreeNode{
+		ID: core.NodeID{Em: 1, Seq: 0}, Tree: l, Parent: core.TreeRoot,
+		Symbol: 0, FromParent: syms(2),
+	}
+	v := viewOf(4, core.Page{Nodes: []core.TreeNode{c1}, ActiveTrees: []core.Label{l}}, core.Page{Nodes: []core.TreeNode{c2}})
+	h := core.ComputeHistory(v, l)
+	// t_⊥: ⊥. t_⊥1: enter root 1; child c1: 2, leave via ToParent 0,
+	// return to root 1; child c2 (rightmost): FromParent 2, then ⊥. Cut.
+	want := syms(0, 1, 2, 0, 1, 2, 0)
+	if !reflect.DeepEqual(h.Seq, want) {
+		t.Errorf("history = %v, want %v", h.Seq, want)
+	}
+	if h.Rightmost != c2.ID {
+		t.Errorf("rightmost = %v, want %v", h.Rightmost, c2.ID)
+	}
+}
+
+func TestComputeHistoryMultiTreePath(t *testing.T) {
+	// Path t_⊥ → t_⊥2 → t_⊥21; middle tree has one in-tree node.
+	l1 := core.RootLabel().Extend(2)
+	l2 := l1.Extend(1)
+	mid := core.TreeNode{ID: core.NodeID{Em: 0, Seq: 0}, Tree: l1, Parent: core.TreeRoot, Symbol: 0}
+	v := viewOf(4, core.Page{
+		Nodes:       []core.TreeNode{mid},
+		ActiveTrees: []core.Label{l1, l2},
+	})
+	h := core.ComputeHistory(v, l2)
+	// t_⊥: ⊥ | t_⊥2 full: 2, ⊥(child), 2(return) | t_⊥21: 1 (root, cut).
+	want := syms(0, 2, 0, 2, 1)
+	if !reflect.DeepEqual(h.Seq, want) {
+		t.Errorf("history = %v, want %v", h.Seq, want)
+	}
+}
+
+func TestExtendLabelFollowsActivePath(t *testing.T) {
+	root := core.RootLabel()
+	l1 := root.Extend(2)
+	l11 := l1.Extend(1)
+	l2 := root.Extend(1)
+	v := viewOf(4, core.Page{ActiveTrees: []core.Label{l1, l11, l2}})
+	// From the root, the smallest child symbol wins: 1 (l2), a leaf.
+	if got := core.ExtendLabel(v, root); got != l2 {
+		t.Errorf("ExtendLabel(root) = %s, want %s", got, l2)
+	}
+	// From l1, the only extension is l11.
+	if got := core.ExtendLabel(v, l1); got != l11 {
+		t.Errorf("ExtendLabel(%s) = %s, want %s", l1, got, l11)
+	}
+	// A leaf stays put.
+	if got := core.ExtendLabel(v, l11); got != l11 {
+		t.Errorf("ExtendLabel(%s) = %s, want unchanged", l11, got)
+	}
+}
+
+func TestMaximalLabels(t *testing.T) {
+	root := core.RootLabel()
+	l1 := root.Extend(1)
+	l12 := l1.Extend(2)
+	l2 := root.Extend(2)
+	v := viewOf(4, core.Page{ActiveTrees: []core.Label{l1, l12, l2}})
+	got := v.MaximalLabels()
+	if len(got) != 2 {
+		t.Fatalf("maximal labels = %v, want 2", got)
+	}
+	if got[0] != l12 && got[1] != l12 {
+		t.Errorf("l12 missing from %v", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	trans := core.Transitions(syms(0, 1, 0, 2))
+	want := []core.Edge{{From: 0, To: 1}, {From: 1, To: 0}, {From: 0, To: 2}}
+	if !reflect.DeepEqual(trans, want) {
+		t.Errorf("Transitions = %v, want %v", trans, want)
+	}
+	if core.Transitions(syms(0)) != nil {
+		t.Error("single-symbol history has transitions")
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	l := core.RootLabel().Extend(1)
+	a := core.TreeNode{ID: core.NodeID{Em: 0, Seq: 0}, Tree: l, Parent: core.TreeRoot, Symbol: 0}
+	b := core.TreeNode{ID: core.NodeID{Em: 0, Seq: 1}, Tree: l, Parent: a.ID, Symbol: 2}
+	v := viewOf(4, core.Page{Nodes: []core.TreeNode{a, b}, ActiveTrees: []core.Label{l}})
+	path := core.NodePath(v, l, b.ID)
+	if len(path) != 2 || path[0].ID != b.ID || path[1].ID != a.ID {
+		t.Errorf("NodePath = %v", path)
+	}
+}
+
+func TestSuspendedEverFiltersLabels(t *testing.T) {
+	root := core.RootLabel()
+	l1 := root.Extend(1)
+	l2 := root.Extend(2)
+	v := viewOf(3, core.Page{Suspensions: []core.Suspension{
+		{VProc: 0, Edge: core.Edge{From: 0, To: 1}, Label: root},
+		{VProc: 1, Edge: core.Edge{From: 0, To: 1}, Label: l1},
+		{VProc: 2, Edge: core.Edge{From: 0, To: 1}, Label: l2},
+	}})
+	ever := v.SuspendedEver(l1)
+	if ever[core.Edge{From: 0, To: 1}] != 2 {
+		t.Errorf("SuspendedEver(l1) = %v, want 2 on ⊥→0 (root and l1, not l2)", ever)
+	}
+}

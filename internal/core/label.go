@@ -1,0 +1,108 @@
+// Package core implements the paper's central contribution: the
+// reduction by emulation of Section 3. Assume a leader election
+// algorithm A among Π processes that uses one compare&swap-(k) register
+// plus single-writer registers. Then m = (k−1)!+1 emulators — processes
+// that communicate through read/write registers only — can
+// cooperatively construct legal runs of A: they simulate A's processes
+// ("v-processes"), record the compare&swap's value changes in a shared
+// history tree T (Figure 1), suspend v-processes on compare&swap edges
+// to pay for history transitions (the vp-graph of Figure 2 and the
+// excess graph), and split into at most (k−1)! groups labeled by the
+// permutation of first-used values. Each emulator adopts the decision
+// of one of its v-processes, so the emulation solves (k−1)!-set
+// consensus among (k−1)!+1 processes from read/write registers — which
+// is impossible, bounding the number of processes A can serve.
+//
+// The package renders Figures 3–6 executable: Emulator.run is Figure 3,
+// ComputeHistory is Figure 4, CanRebalance is Figure 5 and UpdateC&S is
+// Figure 6. Tests verify the observable contracts (group count, legal
+// payment of every history transition, decision census) rather than the
+// paper's full induction, which is a proof, not a program.
+package core
+
+import (
+	"strings"
+
+	"repro/internal/objects"
+)
+
+// Label identifies the run an emulator is constructing: the sequence of
+// "first values" of its history (§3.1) — ⊥ followed by the order in
+// which fresh symbols were first written to the compare&swap. Labels
+// form the tree T; sibling groups of emulators have labels diverging at
+// one position. The empty-extension root label is "⊥".
+//
+// The underlying string holds one byte per symbol (Bottom = 0), so
+// label prefix relations are string prefix relations, matching the
+// registers.Tagged convention.
+type Label string
+
+// RootLabel is the label every emulator starts with: just ⊥.
+func RootLabel() Label { return Label([]byte{byte(objects.Bottom)}) }
+
+// Extend returns the label with one more first-use symbol appended.
+func (l Label) Extend(s objects.Symbol) Label {
+	return l + Label([]byte{byte(s)})
+}
+
+// Symbols decodes the label into its symbol sequence.
+func (l Label) Symbols() []objects.Symbol {
+	out := make([]objects.Symbol, len(l))
+	for i := 0; i < len(l); i++ {
+		out[i] = objects.Symbol(l[i])
+	}
+	return out
+}
+
+// Last returns the label's final symbol (the root label yields ⊥).
+func (l Label) Last() objects.Symbol {
+	if len(l) == 0 {
+		return objects.Bottom
+	}
+	return objects.Symbol(l[len(l)-1])
+}
+
+// HasPrefix reports whether p is a prefix of l.
+func (l Label) HasPrefix(p Label) bool {
+	return strings.HasPrefix(string(l), string(p))
+}
+
+// Compatible reports whether one label is a prefix of the other — the
+// "same run" relation of the emulation.
+func (l Label) Compatible(other Label) bool {
+	return l.HasPrefix(other) || other.HasPrefix(l)
+}
+
+// Contains reports whether the label already uses symbol s.
+func (l Label) Contains(s objects.Symbol) bool {
+	return strings.IndexByte(string(l), byte(s)) >= 0
+}
+
+// Parent returns the label with its last symbol removed; the root label
+// returns itself.
+func (l Label) Parent() Label {
+	if len(l) <= 1 {
+		return l
+	}
+	return l[:len(l)-1]
+}
+
+// String renders the label, e.g. "⊥·0·2".
+func (l Label) String() string {
+	parts := make([]string, 0, len(l))
+	for _, s := range l.Symbols() {
+		parts = append(parts, s.String())
+	}
+	return strings.Join(parts, "·")
+}
+
+// MaxLabels returns (k−1)!, the number of leaves of T over
+// compare&swap-(k) — the bound on the number of emulator groups and
+// hence on distinct set-consensus decisions.
+func MaxLabels(k int) int {
+	f := 1
+	for i := 2; i <= k-1; i++ {
+		f *= i
+	}
+	return f
+}

@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+)
+
+func TestLabelBasics(t *testing.T) {
+	root := core.RootLabel()
+	if root.String() != "⊥" {
+		t.Errorf("root label = %q", root.String())
+	}
+	if root.Last() != objects.Bottom {
+		t.Errorf("root.Last() = %v", root.Last())
+	}
+	l := root.Extend(2).Extend(1)
+	if l.String() != "⊥·1·0" {
+		t.Errorf("label = %q", l.String())
+	}
+	if l.Last() != 1 {
+		t.Errorf("Last = %v, want 1", l.Last())
+	}
+	if got := l.Symbols(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("Symbols = %v", got)
+	}
+	if l.Parent() != root.Extend(2) {
+		t.Errorf("Parent = %v", l.Parent())
+	}
+	if root.Parent() != root {
+		t.Error("root.Parent() is not root")
+	}
+}
+
+func TestLabelPrefixAndCompatibility(t *testing.T) {
+	root := core.RootLabel()
+	a := root.Extend(1)
+	ab := a.Extend(2)
+	b := root.Extend(2)
+	tests := []struct {
+		x, y       core.Label
+		compatible bool
+	}{
+		{root, root, true},
+		{root, ab, true},
+		{a, ab, true},
+		{ab, a, true},
+		{a, b, false},
+		{ab, b, false},
+	}
+	for _, tt := range tests {
+		if got := tt.x.Compatible(tt.y); got != tt.compatible {
+			t.Errorf("Compatible(%s,%s) = %v, want %v", tt.x, tt.y, got, tt.compatible)
+		}
+	}
+	if !ab.HasPrefix(a) || a.HasPrefix(ab) {
+		t.Error("HasPrefix misbehaves")
+	}
+	if !ab.Contains(2) || ab.Contains(3) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestLabelProperties(t *testing.T) {
+	// Extend then Parent is the identity.
+	extendParent := func(symsRaw []uint8) bool {
+		l := core.RootLabel()
+		for _, s := range symsRaw {
+			l = l.Extend(objects.Symbol(s%6 + 1))
+		}
+		ext := l.Extend(7)
+		return ext.Parent() == l
+	}
+	if err := quick.Check(extendParent, nil); err != nil {
+		t.Errorf("extend/parent: %v", err)
+	}
+	// Compatibility is symmetric and prefix-closed.
+	symmetric := func(aRaw, bRaw []uint8) bool {
+		a, b := core.RootLabel(), core.RootLabel()
+		for _, s := range aRaw {
+			a = a.Extend(objects.Symbol(s%6 + 1))
+		}
+		for _, s := range bRaw {
+			b = b.Extend(objects.Symbol(s%6 + 1))
+		}
+		return a.Compatible(b) == b.Compatible(a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// TestAuditHoldsForArbitraryAlgorithms is the emulation's central
+// property test: for ANY deterministic algorithm A — here, randomly
+// generated scripts of reads, writes and arbitrary c&s attempts — and
+// any schedule, the reduction constructs only legal runs: every history
+// transition is paid by a suspended v-process, every release matches a
+// later transition, labels stay within the permutation tree. Emulators
+// are allowed to starve (random A gives no liveness), but they must
+// never cheat.
+func TestAuditHoldsForArbitraryAlgorithms(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		for algoSeed := int64(0); algoSeed < 6; algoSeed++ {
+			for schedSeed := int64(0); schedSeed < 3; schedSeed++ {
+				a := core.RandomA(k, 30*(k-1), 6, algoSeed)
+				r := core.NewReduction(core.Config{
+					K: k, Quota: 3, A: a, MaxIterations: 1500,
+				})
+				res, err := r.System().Run(sim.Config{
+					Scheduler:     sim.Random(schedSeed),
+					MaxTotalSteps: 1 << 22,
+					DisableTrace:  true,
+				})
+				if err != nil {
+					t.Fatalf("k=%d algo=%d sched=%d: %v", k, algoSeed, schedSeed, err)
+				}
+				if res.Halted {
+					t.Fatalf("k=%d algo=%d sched=%d: hit total step bound", k, algoSeed, schedSeed)
+				}
+				if err := r.Audit(); err != nil {
+					t.Errorf("k=%d algo=%d sched=%d: audit: %v", k, algoSeed, schedSeed, err)
+				}
+				rep := r.Analyze(res)
+				if rep.Groups > rep.MaxLabels {
+					t.Errorf("k=%d algo=%d sched=%d: %d groups exceed (k−1)! = %d",
+						k, algoSeed, schedSeed, rep.Groups, rep.MaxLabels)
+				}
+			}
+		}
+	}
+}
+
+// TestAuditHoldsUnderEmulatorCrashes: same property with emulator
+// crash injection — a dead emulator must not corrupt the shared
+// structures it leaves behind.
+func TestAuditHoldsUnderEmulatorCrashes(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := core.RandomA(3, 60, 5, seed)
+		r := core.NewReduction(core.Config{K: 3, Quota: 3, A: a, MaxIterations: 1500})
+		res, err := r.System().Run(sim.Config{
+			Scheduler:     sim.Random(seed),
+			Faults:        sim.RandomCrashes(seed, 0.02, 1),
+			MaxTotalSteps: 1 << 22,
+			DisableTrace:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Halted {
+			t.Fatalf("seed %d: hit step bound", seed)
+		}
+		if err := r.Audit(); err != nil {
+			t.Errorf("seed %d: audit: %v", seed, err)
+		}
+	}
+}
+
+// TestRandomAIsDeterministic: clones from the same seed produce the
+// same scripts — a prerequisite for replay-based exploration of
+// emulations.
+func TestRandomAIsDeterministic(t *testing.T) {
+	a1 := core.RandomA(3, 10, 6, 42)
+	a2 := core.RandomA(3, 10, 6, 42)
+	for vid := 0; vid < 10; vid++ {
+		p1, p2 := a1.New(vid), a2.New(vid)
+		for step := 0; step < 20; step++ {
+			op1, op2 := p1.Next(), p2.Next()
+			if op1.String() != op2.String() {
+				t.Fatalf("vid %d step %d: %v vs %v", vid, step, op1, op2)
+			}
+			if op1.Kind == core.VDecide {
+				break
+			}
+			p1.Feed(nil)
+			p2.Feed(nil)
+		}
+	}
+}
+
+// TestAuditUnderScheduleExploration drives a tiny two-emulator
+// reduction through hundreds of systematically-enumerated schedule
+// prefixes (bounded DFS, not just random seeds) and audits every
+// terminal state. The emulation's legality must not depend on
+// scheduling luck.
+func TestAuditUnderScheduleExploration(t *testing.T) {
+	var last *core.Reduction
+	builder := func() *sim.System {
+		// Margin -1 (none): with two emulators and single-transition
+		// activations, two suspensions per edge already cover the worst
+		// concurrent consumption, and solo schedule corners can finish.
+		last = core.NewReduction(core.Config{
+			K: 3, M: 2, Quota: 2, Margin: -1, A: core.FirstValueA(3, 16), MaxIterations: 400,
+		})
+		return last.System()
+	}
+	audited := 0
+	explore.Visit(builder, explore.Options{MaxDepth: 400, MaxRuns: 250}, func(o explore.Outcome) bool {
+		if o.Result.Halted {
+			return true
+		}
+		if err := last.Audit(); err != nil {
+			t.Errorf("schedule %s: audit: %v", explore.FormatSchedule(o.Schedule), err)
+			return false
+		}
+		rep := last.Analyze(o.Result)
+		if rep.Groups > rep.MaxLabels {
+			t.Errorf("schedule %s: %d groups", explore.FormatSchedule(o.Schedule), rep.Groups)
+			return false
+		}
+		audited++
+		return true
+	})
+	if audited == 0 {
+		t.Fatal("no complete runs audited (deepen MaxDepth)")
+	}
+}

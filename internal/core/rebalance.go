@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// matchReleases computes the matching of Figure 5 lines 2–3: every
+// released suspension (a successful c&s() of the constructed run) with
+// a label compatible with l is matched to a distinct history transition
+// of its edge occurring at or after its suspension point. It returns,
+// per edge, the indices of history transitions left unmatched, and
+// whether every release found a match (the audit of Lemma 1.2's
+// "correct matching").
+//
+// Greedy earliest-fit per edge is exact here: releases sorted by
+// suspension point matched to the earliest available transition is the
+// classic interval-matching argument.
+func matchReleases(v *View, l Label, h *History) (unmatched map[Edge][]int, ok bool) {
+	trans := Transitions(h.Seq)
+	byEdge := make(map[Edge][]int)
+	for i, t := range trans {
+		byEdge[t] = append(byEdge[t], i)
+	}
+	var releases []Suspension
+	for _, s := range v.Suspensions(l) {
+		if s.Released {
+			releases = append(releases, s)
+		}
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].HistLen < releases[j].HistLen })
+
+	used := make(map[Edge][]bool)
+	for ed, idxs := range byEdge {
+		used[ed] = make([]bool, len(idxs))
+	}
+	ok = true
+	for _, r := range releases {
+		idxs := byEdge[r.Edge]
+		matched := false
+		for pos, ti := range idxs {
+			// A transition at index ti is "after" the suspension if the
+			// suspension happened at or before the history position
+			// where the transition starts (HistLen symbols seen means
+			// transitions with index ≥ HistLen−1 are still to come).
+			if used[r.Edge][pos] || ti < r.HistLen-1 {
+				continue
+			}
+			used[r.Edge][pos] = true
+			matched = true
+			break
+		}
+		if !matched {
+			ok = false
+		}
+	}
+	unmatched = make(map[Edge][]int)
+	for ed, idxs := range byEdge {
+		for pos, ti := range idxs {
+			if !used[ed][pos] {
+				unmatched[ed] = append(unmatched[ed], ti)
+			}
+		}
+	}
+	return unmatched, ok
+}
+
+// canRebalance implements Figure 5: release one of this emulator's
+// suspended v-processes if its c&s can be safely charged to the history
+// — at least m unmatched transitions of its edge occurred after its
+// suspension — and an active replacement v-process on the same edge can
+// be suspended in exchange. The released v-process's c&s succeeds: its
+// response is its edge's source value.
+func (em *emulator) canRebalance(e *sim.Env, v *View, h *History) bool {
+	unmatched, _ := matchReleases(v, em.label, h)
+	m := em.red.cfg.M
+
+	// My suspended v-processes, sorted ascending by suspension point
+	// (Figure 5 line 1).
+	type cand struct {
+		pageIdx int
+		s       Suspension
+	}
+	var mine []cand
+	for i, s := range em.mine.Suspensions {
+		if !s.Released && s.Label.Compatible(em.label) {
+			mine = append(mine, cand{pageIdx: i, s: s})
+		}
+	}
+	sort.SliceStable(mine, func(i, j int) bool { return mine[i].s.HistLen < mine[j].s.HistLen })
+
+	edges := em.activeByEdge()
+	for _, c := range mine {
+		ed := c.s.Edge
+		// (1) at least m unmatched transitions of this edge, (2) all
+		// occurring at or after the candidate's suspension point.
+		later := 0
+		for _, ti := range unmatched[ed] {
+			if ti >= c.s.HistLen-1 {
+				later++
+			}
+		}
+		if later < m {
+			continue
+		}
+		// (3) an active replacement v-process on the same edge.
+		repl := edges[ed]
+		if len(repl) == 0 {
+			continue
+		}
+		vq := repl[0]
+
+		// Lines 7–9: suspend the replacement, release the candidate,
+		// and emulate its successful c&s (response = edge source).
+		em.active[vq] = false
+		em.mine.Suspensions = append(em.mine.Suspensions, Suspension{
+			VProc:   vq,
+			Edge:    ed,
+			Label:   em.label,
+			HistLen: len(h.Seq),
+		})
+		em.mine.Suspensions[c.pageIdx].Released = true
+		em.writePage(e)
+
+		vp := em.vprocs[c.s.VProc]
+		vp.Feed(ed.From) // successful c&s(a→b) returns a
+		em.active[c.s.VProc] = true
+		return true
+	}
+	return false
+}
+
+// ReleasedCount counts released suspensions compatible with l, per edge
+// (exported for experiments).
+func ReleasedCount(v *View, l Label) map[Edge]int {
+	out := make(map[Edge]int)
+	for _, s := range v.Suspensions(l) {
+		if s.Released {
+			out[s.Edge]++
+		}
+	}
+	return out
+}
+
+// AuditMatching re-runs the release/transition matching for a label and
+// reports whether every release is explained by the history — the
+// executable core of Lemma 1.2's correctness argument.
+func AuditMatching(v *View, l Label) bool {
+	h := ComputeHistory(v, l)
+	_, ok := matchReleases(v, l, h)
+	return ok
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a reduction instance.
+type Config struct {
+	// K is the compare&swap alphabet size of algorithm A.
+	K int
+	// M is the number of emulators; the paper's Claim 1 uses
+	// (k−1)!+1. Zero selects that default.
+	M int
+	// Quota is the number of v-processes suspended per fresh edge
+	// (Figure 3 line 5); the paper uses m·k². Zero selects that
+	// default; the quota ablation (DESIGN.md §5.4) sets it lower.
+	Quota int
+	// Margin is the concurrency headroom UpdateC&S demands on every
+	// edge a history update consumes: up to m−1 other emulators may
+	// concurrently update from the same snapshot, so an update may
+	// proceed only if each consumed edge retains Margin spare
+	// suspensions beyond its own consumption. The paper buries this
+	// margin inside the m·k² quotas and the Σ g·m^g thresholds; making
+	// it explicit keeps small-quota experiments honest. Zero selects
+	// the default (m−1)·k; negative means no margin (ablation only —
+	// the audit then catches over-consumption).
+	Margin int
+	// A is the emulated algorithm.
+	A *Algorithm
+	// MaxIterations bounds each emulator's Figure 3 loop; zero selects
+	// DefaultMaxIterations.
+	MaxIterations int
+}
+
+// DefaultMaxIterations bounds the emulator loop when unset.
+const DefaultMaxIterations = 20000
+
+// Reduction is an instance of algorithm B: m emulators over read/write
+// registers cooperatively emulating runs of A (Claim 1). Build it, run
+// the returned system, then inspect the Report.
+type Reduction struct {
+	cfg  Config
+	sys  *sim.System
+	snap *registers.Snapshot
+	regs []*registers.Tagged // v-process announce registers, by vid
+	ems  []*emulator
+}
+
+// NewReduction assembles the shared read/write structures and the m
+// emulator processes. The v-processes of A are dealt round-robin:
+// emulator j owns v-processes {j, j+m, j+2m, …}.
+func NewReduction(cfg Config) *Reduction {
+	if cfg.A == nil {
+		panic("core: Config.A is required")
+	}
+	if cfg.K < 2 {
+		panic(fmt.Sprintf("core: K=%d, need >= 2", cfg.K))
+	}
+	if cfg.M == 0 {
+		cfg.M = MaxLabels(cfg.K) + 1
+	}
+	if cfg.Quota == 0 {
+		cfg.Quota = cfg.M * cfg.K * cfg.K
+	}
+	if cfg.Margin == 0 {
+		// Up to m−1 emulators may update concurrently from one snapshot,
+		// each consuming an edge at most twice (forward and back path of
+		// one cycle) in the common case; deeper consumption is caught by
+		// the audit across the test matrix.
+		cfg.Margin = 2 * (cfg.M - 1)
+	} else if cfg.Margin < 0 {
+		cfg.Margin = 0
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = DefaultMaxIterations
+	}
+	r := &Reduction{cfg: cfg, sys: sim.NewSystem()}
+	r.snap = registers.NewSnapshot(r.sys, "pages", cfg.M, nil)
+
+	vprocs := cfg.A.Clones()
+	r.regs = make([]*registers.Tagged, len(vprocs))
+	for vid := range vprocs {
+		owner := sim.ProcID(vid % cfg.M)
+		r.regs[vid] = registers.NewTagged(fmt.Sprintf("A.r[%d]", vid), owner)
+		r.sys.Add(r.regs[vid])
+	}
+
+	r.ems = make([]*emulator, cfg.M)
+	for j := 0; j < cfg.M; j++ {
+		em := &emulator{
+			id:            j,
+			red:           r,
+			label:         RootLabel(),
+			vprocs:        make(map[int]VProcess),
+			active:        make(map[int]bool),
+			mine:          Page{Em: j, Label: RootLabel()},
+			suspendedOnce: make(map[Edge]bool),
+		}
+		for vid := j; vid < len(vprocs); vid += cfg.M {
+			em.vprocs[vid] = vprocs[vid]
+			em.active[vid] = true
+		}
+		r.ems[j] = em
+		r.sys.Spawn(em.run)
+	}
+	return r
+}
+
+// System returns the underlying simulated system (run it once).
+func (r *Reduction) System() *sim.System { return r.sys }
+
+// Config returns the effective configuration (defaults resolved).
+func (r *Reduction) Config() Config { return r.cfg }
+
+// Report summarizes an emulation run for the E1/E2 experiments.
+type Report struct {
+	// Decisions maps emulator id to its set-consensus output.
+	Decisions map[int]sim.Value
+	// Distinct is the number of distinct decisions — Claim 1 requires
+	// Distinct ≤ (k−1)!.
+	Distinct int
+	// Labels maps emulator id to its final label.
+	Labels map[int]Label
+	// Groups is the number of distinct final labels.
+	Groups int
+	// MaxLabels is the (k−1)! bound.
+	MaxLabels int
+	// Errors carries per-emulator failures (stalls, budget).
+	Errors map[int]error
+	// Stats maps emulator id to its Figure 3 branch counts.
+	Stats map[int]ActionStats
+}
+
+// TotalStats sums the per-emulator action counts.
+func (r *Report) TotalStats() ActionStats {
+	var total ActionStats
+	for _, s := range r.Stats {
+		total.Iterations += s.Iterations
+		total.Suspends += s.Suspends
+		total.SimpleOps += s.SimpleOps
+		total.Rebalances += s.Rebalances
+		total.Attaches += s.Attaches
+		total.Activations += s.Activations
+		total.Idles += s.Idles
+	}
+	return total
+}
+
+// Analyze builds the report from a completed run.
+func (r *Reduction) Analyze(res *sim.Result) *Report {
+	rep := &Report{
+		Decisions: make(map[int]sim.Value),
+		Labels:    make(map[int]Label),
+		Errors:    make(map[int]error),
+		Stats:     make(map[int]ActionStats),
+		MaxLabels: MaxLabels(r.cfg.K),
+	}
+	seenD := make(map[string]bool)
+	seenL := make(map[Label]bool)
+	for j := 0; j < r.cfg.M; j++ {
+		if res.Errors[j] != nil {
+			rep.Errors[j] = res.Errors[j]
+		} else {
+			rep.Decisions[j] = res.Values[j]
+			seenD[fmt.Sprint(res.Values[j])] = true
+		}
+		rep.Labels[j] = r.ems[j].label
+		rep.Stats[j] = r.ems[j].stats
+		seenL[r.ems[j].label] = true
+	}
+	rep.Distinct = len(seenD)
+	rep.Groups = len(seenL)
+	return rep
+}
+
+// FinalView assembles the shared state from the emulators' last
+// published pages, for post-run audits. (The emulators run strictly
+// serialized by the simulator, so reading their working pages after the
+// run is race-free bookkeeping, not a shared-memory access.)
+func (r *Reduction) FinalView() *View {
+	cells := make([]sim.Value, r.cfg.M)
+	for j, em := range r.ems {
+		cells[j] = em.mine.clone()
+	}
+	return NewView(cells, r.cfg.K)
+}
+
+// Audit verifies the structural contracts of the emulation on the final
+// state — the executable rendering of Lemma 1.2's conclusions:
+//
+//  1. every active tree label is a permutation prefix: starts with ⊥,
+//     no repeated symbols, all within the alphabet;
+//  2. at most (k−1)! maximal labels (group bound);
+//  3. for every maximal label, every history transition is paid: the
+//     number of a→b transitions never exceeds the suspensions ever
+//     frozen on (a,b) in compatible runs;
+//  4. every released suspension (successful c&s of the constructed
+//     run) matches a distinct later transition of its edge.
+func (r *Reduction) Audit() error {
+	v := r.FinalView()
+	k := r.cfg.K
+	for l := range v.ActiveTrees() {
+		syms := l.Symbols()
+		if syms[0] != 0 {
+			return fmt.Errorf("core: label %s does not start with ⊥", l)
+		}
+		seen := make(map[byte]bool)
+		for i := 0; i < len(l); i++ {
+			if seen[l[i]] {
+				return fmt.Errorf("core: label %s repeats a symbol", l)
+			}
+			if int(l[i]) >= k {
+				return fmt.Errorf("core: label %s leaves the alphabet", l)
+			}
+			seen[l[i]] = true
+		}
+	}
+	maximal := v.MaximalLabels()
+	if len(maximal) > MaxLabels(k) {
+		return fmt.Errorf("core: %d maximal labels exceed (k−1)! = %d", len(maximal), MaxLabels(k))
+	}
+	for _, l := range maximal {
+		h := ComputeHistory(v, l)
+		counts := make(map[Edge]int)
+		for _, t := range Transitions(h.Seq) {
+			counts[t]++
+		}
+		ever := v.SuspendedEver(l)
+		for ed, c := range counts {
+			if c > ever[ed] {
+				return fmt.Errorf("core: label %s: %d %s transitions but only %d suspensions ever",
+					l, c, ed, ever[ed])
+			}
+		}
+		if !AuditMatching(v, l) {
+			return fmt.Errorf("core: label %s: some released c&s has no matching transition", l)
+		}
+	}
+	return nil
+}
+
+// DescribeReport renders a report for logs.
+func DescribeReport(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distinct=%d/%d groups=%d errors=%d\n",
+		rep.Distinct, rep.MaxLabels, rep.Groups, len(rep.Errors))
+	ids := make([]int, 0, len(rep.Labels))
+	for j := range rep.Labels {
+		ids = append(ids, j)
+	}
+	sort.Ints(ids)
+	for _, j := range ids {
+		if err, bad := rep.Errors[j]; bad {
+			fmt.Fprintf(&b, "  e%d label=%s ERROR %v\n", j, rep.Labels[j], err)
+		} else {
+			fmt.Fprintf(&b, "  e%d label=%s decided %v\n", j, rep.Labels[j], rep.Decisions[j])
+		}
+	}
+	t := rep.TotalStats()
+	fmt.Fprintf(&b, "  actions: %d iterations = %d suspends + %d simple + %d rebalances + %d attaches + %d activations + %d idles\n",
+		t.Iterations, t.Suspends, t.SimpleOps, t.Rebalances, t.Attaches, t.Activations, t.Idles)
+	return b.String()
+}

@@ -1,0 +1,331 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// contenders builds a ContendersLE reduction: n v-processes, quota per
+// edge, k-valued compare&swap, m = (k−1)!+1 emulators.
+func contenders(k, n, quota int) *core.Reduction {
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%d", i)
+	}
+	return core.NewReduction(core.Config{
+		K:     k,
+		Quota: quota,
+		A:     core.ContendersLE(k, ids),
+	})
+}
+
+// runReduction executes a reduction under the given scheduler and
+// returns the report.
+func runReduction(t *testing.T, r *core.Reduction, sched sim.Scheduler) *core.Report {
+	t.Helper()
+	res, err := r.System().Run(sim.Config{Scheduler: sched, MaxTotalSteps: 1 << 23})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Halted {
+		t.Fatalf("reduction halted with live emulators %v", res.ReadyAtHalt)
+	}
+	return r.Analyze(res)
+}
+
+// TestReductionFirstValueCensus is E1's core assertion: emulating the
+// (correct, unboundedly-many-process) first-value consensus over
+// compare&swap-(k), every emulator decides, the audit passes, at most
+// (k−1)! distinct values are decided, and every emulator's decision
+// matches the first symbol of its group's label — one decision per
+// constructed run, exactly Claim 1's census.
+func TestReductionFirstValueCensus(t *testing.T) {
+	cases := []struct {
+		k, n, seeds int
+	}{
+		{k: 3, n: 112, seeds: 6},
+		{k: 4, n: 168, seeds: 6},
+		// k=5 runs m = 4!+1 = 25 emulators; Π sized so every emulator
+		// holds quota+extras per edge.
+		{k: 5, n: 500, seeds: 2},
+	}
+	for _, tc := range cases {
+		k, n := tc.k, tc.n
+		for seed := int64(0); seed < int64(tc.seeds); seed++ {
+			r := core.NewReduction(core.Config{K: k, Quota: 3, A: core.FirstValueA(k, n)})
+			rep := runReduction(t, r, sim.Random(seed))
+			if len(rep.Errors) != 0 {
+				t.Fatalf("k=%d seed=%d: emulator errors:\n%s", k, seed, core.DescribeReport(rep))
+			}
+			if rep.Distinct > rep.MaxLabels {
+				t.Errorf("k=%d seed=%d: %d distinct decisions exceed (k−1)! = %d",
+					k, seed, rep.Distinct, rep.MaxLabels)
+			}
+			for j, d := range rep.Decisions {
+				label := rep.Labels[j]
+				if len(label) < 2 {
+					t.Errorf("k=%d seed=%d: emulator %d decided with root label", k, seed, j)
+					continue
+				}
+				want := label.Symbols()[1]
+				if d != sim.Value(want) {
+					t.Errorf("k=%d seed=%d: emulator %d decided %v, label %s implies %v",
+						k, seed, j, d, label, want)
+				}
+			}
+			if err := r.Audit(); err != nil {
+				t.Errorf("k=%d seed=%d: audit: %v", k, seed, err)
+			}
+		}
+	}
+}
+
+// TestReductionSplitsGroups is E2: with emulator-biased contention the
+// emulators split into multiple groups (labels diverge on first-used
+// values), never exceeding (k−1)! of them.
+func TestReductionSplitsGroups(t *testing.T) {
+	k := 3
+	m := core.MaxLabels(k) + 1 // 3 emulators, biased to symbols 1,2,1
+	split := 0
+	for seed := int64(0); seed < 8; seed++ {
+		r := core.NewReduction(core.Config{K: k, Quota: 5, A: core.BiasedA(k, m, 60)})
+		rep := runReduction(t, r, sim.Random(seed))
+		if len(rep.Errors) != 0 {
+			t.Fatalf("seed %d: errors:\n%s", seed, core.DescribeReport(rep))
+		}
+		if rep.Groups > rep.MaxLabels {
+			t.Errorf("seed %d: %d groups exceed (k−1)! = %d", seed, rep.Groups, rep.MaxLabels)
+		}
+		if rep.Groups > 1 {
+			split++
+		}
+		if err := r.Audit(); err != nil {
+			t.Errorf("seed %d: audit: %v", seed, err)
+		}
+	}
+	if split == 0 {
+		t.Error("biased contention never split the emulators into groups")
+	}
+}
+
+func TestReductionContendersRoundRobin(t *testing.T) {
+	r := contenders(3, 36, 3)
+	rep := runReduction(t, r, sim.RoundRobin())
+	if len(rep.Errors) != 0 {
+		t.Fatalf("emulator errors:\n%s", core.DescribeReport(rep))
+	}
+	if err := r.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+}
+
+func TestReductionContendersRandomSchedules(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := contenders(3, 36, 3)
+		rep := runReduction(t, r, sim.Random(seed))
+		if len(rep.Errors) != 0 {
+			t.Fatalf("seed %d: emulator errors:\n%s", seed, core.DescribeReport(rep))
+		}
+		if err := r.Audit(); err != nil {
+			t.Errorf("seed %d: audit: %v", seed, err)
+		}
+	}
+}
+
+// TestReductionCyclingAuditsAndRebalances is E8: the cycling algorithm
+// drives returning transitions, in-tree attachment and — once m
+// unmatched transitions accumulate on an edge — the CanRebalance
+// release path of Figure 5. The audit must still explain every release.
+func TestReductionCyclingAuditsAndRebalances(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 3, Quota: 6, A: core.CyclingA(3, 90, 4)})
+	rep := runReduction(t, r, sim.RoundRobin())
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors:\n%s", core.DescribeReport(rep))
+	}
+	if err := r.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	v := r.FinalView()
+	released := 0
+	deepHistory := false
+	for _, l := range v.MaximalLabels() {
+		for _, c := range core.ReleasedCount(v, l) {
+			released += c
+		}
+		if len(core.ComputeHistory(v, l).Seq) >= 6 {
+			deepHistory = true
+		}
+	}
+	if released == 0 {
+		t.Error("no suspension was ever released: Figure 5 path not exercised")
+	}
+	if !deepHistory {
+		t.Error("histories stayed trivial: in-tree attachment not exercised")
+	}
+}
+
+// TestReductionCyclingK4 runs the richer alphabet (m = 3!+1 = 7
+// emulators). The paper's quota at this scale is m·k² = 112 per edge —
+// far beyond what a simulation-sized Π can supply — so some emulators
+// may starve (idle to their budget). The contract that must hold
+// anyway: the audit is clean (no fabricated transitions), a majority of
+// emulators decide, and decisions stay within the (k−1)! census.
+func TestReductionCyclingK4(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 4, Quota: 5, A: core.CyclingA(4, 210, 3)})
+	rep := runReduction(t, r, sim.Random(2))
+	if err := r.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if decided := r.Config().M - len(rep.Errors); decided < r.Config().M/2+1 {
+		t.Errorf("only %d of %d emulators decided:\n%s", decided, r.Config().M, core.DescribeReport(rep))
+	}
+	if rep.Distinct > rep.MaxLabels {
+		t.Errorf("%d distinct decisions exceed %d", rep.Distinct, rep.MaxLabels)
+	}
+}
+
+// TestReductionSurvivesEmulatorCrash: algorithm B must be wait-free —
+// surviving emulators decide even when one crashes mid-emulation.
+func TestReductionSurvivesEmulatorCrash(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 3, Quota: 3, A: core.FirstValueA(3, 80)})
+	res, err := r.System().Run(sim.Config{
+		Scheduler:     sim.Random(5),
+		Faults:        sim.CrashAfterSteps(1, 40),
+		MaxTotalSteps: 1 << 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("halted")
+	}
+	rep := r.Analyze(res)
+	decided := 0
+	for j := 0; j < r.Config().M; j++ {
+		if _, ok := rep.Decisions[j]; ok {
+			decided++
+		} else if !res.Crashed[j] {
+			t.Errorf("surviving emulator %d did not decide: %v", j, rep.Errors[j])
+		}
+	}
+	if decided < r.Config().M-1 {
+		t.Errorf("only %d of %d emulators decided", decided, r.Config().M)
+	}
+	if rep.Distinct > rep.MaxLabels {
+		t.Errorf("%d distinct decisions exceed %d", rep.Distinct, rep.MaxLabels)
+	}
+}
+
+// TestReductionStallsWithoutSuspensions is the quota ablation
+// (DESIGN.md §5.4): with too few v-processes to ever meet the
+// suspension quota, no history transition can be paid and the update
+// path must refuse to fabricate one — emulators stall instead of
+// constructing an illegal run.
+func TestReductionStallsWithoutSuspensions(t *testing.T) {
+	// 4 v-processes, quota 100: no edge ever reaches the quota.
+	r := core.NewReduction(core.Config{
+		K: 3, Quota: 100, A: core.FirstValueA(3, 4), MaxIterations: 200,
+	})
+	res, err := r.System().Run(sim.Config{Scheduler: sim.RoundRobin(), MaxTotalSteps: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Analyze(res)
+	stalls := 0
+	for _, err := range rep.Errors {
+		if errors.Is(err, core.ErrIterationBudget) {
+			stalls++
+		}
+	}
+	if stalls == 0 {
+		t.Errorf("no emulator stalled; report:\n%s", core.DescribeReport(rep))
+	}
+	// Crucially, whatever partial state exists must still audit clean:
+	// the stall guard refused the unpayable transition.
+	if err := r.Audit(); err != nil {
+		t.Errorf("audit after stall: %v", err)
+	}
+}
+
+// TestReductionUsesOnlyReadWriteRegisters pins the reduction's whole
+// point: algorithm B must not touch any compare&swap object. The
+// system's objects are the snapshot's SWMR cells and the v-processes'
+// tagged (single-writer) registers only.
+func TestReductionUsesOnlyReadWriteRegisters(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 3, Quota: 2, A: core.FirstValueA(3, 8)})
+	sys := r.System()
+	if obj := sys.Object("pages.cell[0]"); obj == nil {
+		t.Error("snapshot cells missing")
+	}
+	if obj := sys.Object("A.r[0]"); obj == nil {
+		t.Error("tagged registers missing")
+	}
+	// No object in the reduction is a CAS register.
+	for i := 0; i < 100; i++ {
+		for _, name := range []string{fmt.Sprintf("cas[%d]", i), "cas"} {
+			if obj := sys.Object(name); obj != nil {
+				if _, isCAS := obj.(*objects.CAS); isCAS {
+					t.Fatalf("reduction system contains a compare&swap object %q", name)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLabels(t *testing.T) {
+	want := map[int]int{2: 1, 3: 2, 4: 6, 5: 24, 6: 120}
+	for k, n := range want {
+		if got := core.MaxLabels(k); got != n {
+			t.Errorf("MaxLabels(%d) = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 4, A: core.FirstValueA(4, 7)})
+	cfg := r.Config()
+	if cfg.M != core.MaxLabels(4)+1 {
+		t.Errorf("default M = %d, want %d", cfg.M, core.MaxLabels(4)+1)
+	}
+	if cfg.Quota != cfg.M*4*4 {
+		t.Errorf("default Quota = %d, want m·k² = %d", cfg.Quota, cfg.M*16)
+	}
+	if cfg.MaxIterations != core.DefaultMaxIterations {
+		t.Errorf("default MaxIterations = %d", cfg.MaxIterations)
+	}
+}
+
+// TestActionStatsAnatomy: the emulation's branch counters expose its
+// anatomy — the cycling workload must exercise every Figure 3 branch
+// (suspensions, simple ops, rebalances, attaches, activations).
+func TestActionStatsAnatomy(t *testing.T) {
+	r := core.NewReduction(core.Config{K: 3, Quota: 6, A: core.CyclingA(3, 90, 4)})
+	rep := runReduction(t, r, sim.RoundRobin())
+	if len(rep.Errors) != 0 {
+		t.Fatalf("errors:\n%s", core.DescribeReport(rep))
+	}
+	total := rep.TotalStats()
+	if total.Suspends == 0 {
+		t.Error("no suspension batches")
+	}
+	if total.SimpleOps == 0 {
+		t.Error("no simple ops")
+	}
+	if total.Rebalances == 0 {
+		t.Error("no rebalances")
+	}
+	if total.Attaches == 0 {
+		t.Error("no in-tree attaches")
+	}
+	if total.Activations == 0 {
+		t.Error("no tree activations")
+	}
+	if total.Iterations < total.Suspends+total.SimpleOps+total.Rebalances {
+		t.Errorf("iteration count %d below branch sum", total.Iterations)
+	}
+}

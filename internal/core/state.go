@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// NodeID identifies a history-tree node by its writer and a per-writer
+// sequence number. The paper places an m-tuple record at each tree
+// position so that emulators never write the same word (Figure 1);
+// writer-qualified IDs are the same discipline.
+type NodeID struct {
+	Em  int
+	Seq int
+}
+
+// TreeRoot is the parent of a small tree's implicit root node.
+var TreeRoot = NodeID{Em: -1, Seq: -1}
+
+// TreeNode is one vertex of a small tree t_l (Figure 1): a symbol plus
+// the FromParent/ToParent value paths the compare&swap walks between
+// this node and its parent during the depth-first-search rendering of
+// the history (Figure 4).
+type TreeNode struct {
+	ID     NodeID
+	Tree   Label // which small tree t_l the node belongs to
+	Parent NodeID
+	Symbol objects.Symbol
+	// FromParent and ToParent hold the intermediate symbols (exclusive
+	// of both endpoints) the register passes through between the parent
+	// symbol and this node's symbol, and back.
+	FromParent []objects.Symbol
+	ToParent   []objects.Symbol
+}
+
+// Edge is a directed transition of the compare&swap register.
+type Edge struct {
+	From, To objects.Symbol
+}
+
+// String renders "⊥→1".
+func (ed Edge) String() string { return ed.From.String() + "→" + ed.To.String() }
+
+// Suspension is one entry of the vp-graph lists (Figure 2): a
+// v-process frozen just before a c&s(From→To), together with the label
+// and the history length its emulator observed at suspension time.
+// A released suspension corresponds to a successful c&s() operation in
+// the constructed run.
+type Suspension struct {
+	VProc    int
+	Edge     Edge
+	Label    Label
+	HistLen  int // length of the history observed at suspension time
+	Released bool
+}
+
+// Page is one emulator's single-writer contribution to the shared
+// state: its suspension lists, the tree nodes it has attached, and the
+// small trees it has activated. An emulator updates its page with one
+// atomic single-writer write; reading the whole shared state is one
+// atomic snapshot over the m pages (Figure 3, line 2) — implemented by
+// registers.Snapshot, which is itself built from single-writer
+// registers, so the emulation stays inside the read/write model.
+type Page struct {
+	Em          int
+	Label       Label
+	Suspensions []Suspension
+	Nodes       []TreeNode
+	ActiveTrees []Label
+	// Decided mirrors the emulator's final decision for post-run
+	// analysis (nil while undecided).
+	Decided sim.Value
+}
+
+// clone deep-copies the page so a published snapshot cell never aliases
+// the emulator's working state.
+func (p *Page) clone() Page {
+	out := Page{Em: p.Em, Label: p.Label, Decided: p.Decided}
+	out.Suspensions = append([]Suspension(nil), p.Suspensions...)
+	out.Nodes = make([]TreeNode, len(p.Nodes))
+	for i, n := range p.Nodes {
+		n.FromParent = append([]objects.Symbol(nil), n.FromParent...)
+		n.ToParent = append([]objects.Symbol(nil), n.ToParent...)
+		out.Nodes[i] = n
+	}
+	out.ActiveTrees = append([]Label(nil), p.ActiveTrees...)
+	return out
+}
+
+// View is a consistent snapshot of all emulator pages.
+type View struct {
+	Pages []Page
+	K     int
+}
+
+// NewView assembles a view from snapshot cell values.
+func NewView(cells []sim.Value, k int) *View {
+	v := &View{Pages: make([]Page, len(cells)), K: k}
+	for i, c := range cells {
+		if c == nil {
+			v.Pages[i] = Page{Em: i}
+			continue
+		}
+		v.Pages[i] = c.(Page)
+	}
+	return v
+}
+
+// ActiveTrees returns the set of active small-tree labels, always
+// including the root label t_⊥.
+func (v *View) ActiveTrees() map[Label]bool {
+	set := map[Label]bool{RootLabel(): true}
+	for _, p := range v.Pages {
+		for _, l := range p.ActiveTrees {
+			set[l] = true
+		}
+	}
+	return set
+}
+
+// TreeNodes returns the nodes of the small tree t_l from every page,
+// in the deterministic sibling order (emulator id, then sequence).
+func (v *View) TreeNodes(tree Label) []TreeNode {
+	var out []TreeNode
+	for _, p := range v.Pages {
+		for _, n := range p.Nodes {
+			if n.Tree == tree {
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Em != out[j].ID.Em {
+			return out[i].ID.Em < out[j].ID.Em
+		}
+		return out[i].ID.Seq < out[j].ID.Seq
+	})
+	return out
+}
+
+// Suspensions returns every suspension whose label is compatible with l
+// (the suspensions that belong to the run l identifies).
+func (v *View) Suspensions(l Label) []Suspension {
+	var out []Suspension
+	for _, p := range v.Pages {
+		for _, s := range p.Suspensions {
+			if s.Label.Compatible(l) {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// SuspendedEver counts, per edge, all suspensions compatible with l
+// (released or not).
+func (v *View) SuspendedEver(l Label) map[Edge]int {
+	out := make(map[Edge]int)
+	for _, s := range v.Suspensions(l) {
+		out[s.Edge]++
+	}
+	return out
+}
+
+// MaximalLabels returns the active tree labels that have no active
+// extension — the groups' final runs.
+func (v *View) MaximalLabels() []Label {
+	active := v.ActiveTrees()
+	var out []Label
+	for l := range active {
+		maximal := true
+		for other := range active {
+			if other != l && other.HasPrefix(l) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Transitions lists the consecutive pairs of a history.
+func Transitions(hist []objects.Symbol) []Edge {
+	if len(hist) < 2 {
+		return nil
+	}
+	out := make([]Edge, 0, len(hist)-1)
+	for i := 0; i+1 < len(hist); i++ {
+		out = append(out, Edge{From: hist[i], To: hist[i+1]})
+	}
+	return out
+}

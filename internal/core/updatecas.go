@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// updateCAS implements Figure 6: append a new value to the history of
+// the run. The emulator picks x, the most popular next target among its
+// active v-processes' pending c&s(cs→x) operations, then walks up from
+// the node containing cs looking for the first ancestor where x can be
+// attached while a wide-enough excess cycle pays for the detour
+// (threshold Σ g·m^g by depth). If it climbs past the root, x must be a
+// value never used in this run, and a new small tree t_{l·x} is
+// activated — the group split on first uses (§3.1). Either way, every
+// remaining active v-process's c&s fails with response x (line 15).
+//
+// It returns progressed=false when neither attachment nor activation is
+// possible, which the paper's invariant rules out under full quotas.
+func (em *emulator) updateCAS(e *sim.Env, v *View, h *History) (progressed bool, err error) {
+	cs := h.CS()
+	x, ok := em.popularTarget(cs)
+	if !ok {
+		// No active v-process at all (anything non-suspended would have
+		// been a simple op or a pending c&s from cs). The emulator
+		// idles, waiting for other emulators' transitions to ripen a
+		// rebalance; a true deadlock surfaces as ErrIterationBudget.
+		em.stats.Idles++
+		return true, nil
+	}
+
+	g := NewExcessGraph(v, em.label, h)
+	used := UsedSymbols(h)
+
+	// Walk ancestors of the node containing cs (Figure 6 lines 5–13).
+	path := NodePath(v, em.label, h.Rightmost)
+	// Candidate attachment points, nearest first: the rightmost leaf,
+	// its ancestors, then the tree root (symbol = label's last), then ∅.
+	type anchor struct {
+		node  NodeID
+		sym   objects.Symbol
+		depth int
+	}
+	var anchors []anchor
+	for i, n := range path {
+		anchors = append(anchors, anchor{node: n.ID, sym: n.Symbol, depth: h.RightmostDepth - i})
+	}
+	anchors = append(anchors, anchor{node: TreeRoot, sym: em.label.Last(), depth: 0})
+
+	for _, a := range anchors {
+		if a.sym == x {
+			// Attaching x under a node holding the same symbol would
+			// render a no-op x→x "transition"; the history only records
+			// value changes.
+			continue
+		}
+		w, hasCycle := g.CycleWidth(a.sym, x)
+		if !hasCycle || w < Threshold(em.red.cfg.M, a.depth) {
+			continue
+		}
+		// Attach x as a child of this anchor: FromParent is the cycle's
+		// forward path anchor→x, ToParent the way back.
+		from, ok1 := g.Path(a.sym, x, w)
+		to, ok2 := g.Path(x, a.sym, w)
+		if !ok1 || !ok2 {
+			continue
+		}
+		node := TreeNode{
+			ID:         NodeID{Em: em.id, Seq: em.nodeSeq},
+			Tree:       em.label,
+			Parent:     a.node,
+			Symbol:     x,
+			FromParent: from,
+			ToParent:   to,
+		}
+		// Concurrency guard: render the hypothetical history with the
+		// node attached and demand Margin spare suspensions beyond this
+		// attach's exact per-edge consumption (including the climb from
+		// the old rightmost leaf). Up to m−1 other emulators may update
+		// from the same snapshot; the margin pays for them. The paper
+		// hides this inside its m·k² quotas.
+		if !em.affordable(v, h, g, em.label, func(p *Page) {
+			p.Nodes = append(p.Nodes, node)
+		}) {
+			continue
+		}
+		em.mine.Nodes = append(em.mine.Nodes, node)
+		em.nodeSeq++
+		em.stats.Attaches++
+		em.writePage(e)
+		em.failActives(x)
+		return true, nil
+	}
+
+	// Past the root (line 12): activate a new small tree for a fresh x.
+	// Activation changes the rendering of the current tree from "cut at
+	// the rightmost leaf" to a full DFS (the run climbs back to the tree
+	// root before first-using x), so the exact consumption — climb
+	// transitions plus the root→x first use — is computed on the
+	// hypothetical child-label history, with the concurrency margin.
+	child := em.label.Extend(x)
+	if !used[x] && em.affordable(v, h, g, child, func(p *Page) {
+		p.ActiveTrees = append(p.ActiveTrees, child)
+	}) {
+		em.label = child
+		em.mine.Label = em.label
+		em.mine.ActiveTrees = append(em.mine.ActiveTrees, em.label)
+		em.stats.Activations++
+		em.writePage(e)
+		em.failActives(x)
+		return true, nil
+	}
+	// Nothing affordable yet: idle. Other emulators' suspensions may
+	// ripen an update or a rebalance on a later iteration; a permanent
+	// starvation (quota genuinely too small) surfaces as
+	// ErrIterationBudget, audited clean — the guard never fabricates an
+	// unpayable transition.
+	em.stats.Idles++
+	return false, nil
+}
+
+// affordable renders the history of label as it would look after
+// applying mutate to this emulator's page, and checks that every edge
+// whose transition count grows beyond the current history keeps Margin
+// spare suspensions beyond the growth.
+func (em *emulator) affordable(v *View, h *History, g *ExcessGraph, label Label, mutate func(*Page)) bool {
+	hypo := &View{Pages: make([]Page, len(v.Pages)), K: v.K}
+	copy(hypo.Pages, v.Pages)
+	mine := em.mine.clone()
+	mutate(&mine)
+	hypo.Pages[em.id] = mine
+	h2 := ComputeHistory(hypo, label)
+
+	before := make(map[Edge]int)
+	for _, t := range Transitions(h.Seq) {
+		before[t]++
+	}
+	after := make(map[Edge]int)
+	for _, t := range Transitions(h2.Seq) {
+		after[t]++
+	}
+	for ed, c := range after {
+		delta := c - before[ed]
+		if delta <= 0 {
+			continue
+		}
+		// Weight already discounts the current history's transitions,
+		// so the spare pool for ed is Weight(ed).
+		if g.Weight(ed.From, ed.To) < delta+em.red.cfg.Margin {
+			return false
+		}
+	}
+	return true
+}
+
+// popularTarget picks x maximizing the number of active v-processes
+// whose next operation is c&s(cs→x) (Figure 6 line 6), smallest symbol
+// on ties. ok=false if no active v-process has a pending c&s from cs.
+func (em *emulator) popularTarget(cs objects.Symbol) (objects.Symbol, bool) {
+	counts := make(map[objects.Symbol]int)
+	for _, vid := range em.sortedOwned() {
+		if !em.active[vid] {
+			continue
+		}
+		op := em.vprocs[vid].Next()
+		if op.Kind == VCAS && op.From == cs {
+			counts[op.To]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0, false
+	}
+	syms := make([]objects.Symbol, 0, len(counts))
+	for s := range counts {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	best := syms[0]
+	for _, s := range syms[1:] {
+		if counts[s] > counts[best] {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// failActives implements Figure 6 line 15: every active v-process's
+// pending c&s operation fails, returning x. (When updateCAS runs, every
+// active v-process's next operation is a c&s from cs — otherwise
+// EmulateSimpleOp would have fired — and after the history moved to x
+// a response of x is the legal failed result.)
+func (em *emulator) failActives(x objects.Symbol) {
+	for _, vid := range em.sortedOwned() {
+		if !em.active[vid] {
+			continue
+		}
+		vp := em.vprocs[vid]
+		if op := vp.Next(); op.Kind == VCAS {
+			vp.Feed(sim.Value(x))
+		}
+	}
+}

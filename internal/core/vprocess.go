@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// VOpKind classifies the operations of algorithm A's front ends.
+type VOpKind int
+
+// V-process operation kinds.
+const (
+	// VRead reads another v-process's single-writer register.
+	VRead VOpKind = iota + 1
+	// VWrite writes the v-process's own single-writer register.
+	VWrite
+	// VCAS performs c&s(From→To) on the shared compare&swap-(k).
+	VCAS
+	// VDecide ends the v-process with a decision value.
+	VDecide
+)
+
+// String names the kind.
+func (k VOpKind) String() string {
+	switch k {
+	case VRead:
+		return "read"
+	case VWrite:
+		return "write"
+	case VCAS:
+		return "cas"
+	case VDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("VOpKind(%d)", int(k))
+	}
+}
+
+// VOp is one pending operation of a v-process. W.l.o.g. (as the paper
+// assumes) A's read/write registers are single-writer multi-reader; we
+// give each v-process one register, indexed by v-process id.
+type VOp struct {
+	Kind VOpKind
+	// Reg is the register (v-process id) to read, for VRead.
+	Reg int
+	// Value is the value to write, for VWrite.
+	Value sim.Value
+	// From, To are the compare&swap arguments, for VCAS.
+	From, To objects.Symbol
+	// Decision is the final output, for VDecide.
+	Decision sim.Value
+}
+
+// String renders the op, e.g. "cas(⊥→1)".
+func (op VOp) String() string {
+	switch op.Kind {
+	case VRead:
+		return fmt.Sprintf("read(r%d)", op.Reg)
+	case VWrite:
+		return fmt.Sprintf("write(%v)", op.Value)
+	case VCAS:
+		return fmt.Sprintf("cas(%s→%s)", op.From, op.To)
+	case VDecide:
+		return fmt.Sprintf("decide(%v)", op.Decision)
+	default:
+		return op.Kind.String()
+	}
+}
+
+// VProcess is the front end of one process of algorithm A, driven by
+// its owning emulator: Next peeks the pending operation (idempotent),
+// Feed delivers the operation's response and advances the state.
+// A VProcess must be deterministic. A v-process whose Next is VDecide
+// has terminated; Feed must not be called on it.
+type VProcess interface {
+	Next() VOp
+	Feed(resp sim.Value)
+}
+
+// Algorithm describes an instance of A: how many v-processes it has and
+// how to construct each one's front end. Each v-process owns one
+// single-writer register (its announce register).
+type Algorithm struct {
+	// Name labels the algorithm in reports.
+	Name string
+	// NumProcs is Π, the number of v-processes.
+	NumProcs int
+	// New constructs the front end of v-process vid.
+	New func(vid int) VProcess
+}
+
+// Clones returns Π fresh v-processes of the algorithm.
+func (a *Algorithm) Clones() []VProcess {
+	out := make([]VProcess, a.NumProcs)
+	for i := range out {
+		out[i] = a.New(i)
+	}
+	return out
+}
+
+// funcProcess drives a v-process from a pure step function over the
+// response history: next(resps) yields the operation after the given
+// responses. Determinism is inherited from the function.
+type funcProcess struct {
+	next    func(resps []sim.Value) VOp
+	resps   []sim.Value
+	pending *VOp
+}
+
+// NewFunc returns a VProcess computed by next, which must be a pure
+// function of the responses received so far.
+func NewFunc(next func(resps []sim.Value) VOp) VProcess {
+	return &funcProcess{next: next}
+}
+
+var _ VProcess = (*funcProcess)(nil)
+
+// Next implements VProcess.
+func (p *funcProcess) Next() VOp {
+	if p.pending == nil {
+		op := p.next(p.resps)
+		p.pending = &op
+	}
+	return *p.pending
+}
+
+// Feed implements VProcess.
+func (p *funcProcess) Feed(resp sim.Value) {
+	if p.Next().Kind == VDecide {
+		panic("core: Feed on a decided v-process")
+	}
+	p.resps = append(p.resps, resp)
+	p.pending = nil
+}
+
+// NewScript returns a VProcess that performs the fixed operations in
+// order, ignoring responses, then decides the given value. Useful for
+// synthetic algorithms that exercise specific emulation paths.
+func NewScript(decision sim.Value, ops []VOp) VProcess {
+	return NewFunc(func(resps []sim.Value) VOp {
+		if len(resps) < len(ops) {
+			return ops[len(resps)]
+		}
+		return VOp{Kind: VDecide, Decision: decision}
+	})
+}
+
+// AnnouncedLE is a correct wait-free leader election A for n ≤ k−1
+// v-processes over compare&swap-(k) (the AnnouncedCAS protocol of the
+// election package rendered as an Algorithm): v-process i announces its
+// identity, tries c&s(⊥ → i+1), reads the winning symbol owner's
+// announce register, and decides what it read. Feeding it to the
+// emulation exercises the fresh-value splitting path of UpdateC&S
+// (§3.1: groups split on first uses).
+func AnnouncedLE(k int, identities []sim.Value) *Algorithm {
+	n := len(identities)
+	if n > k-1 {
+		panic(fmt.Sprintf("core: AnnouncedLE: %d processes exceed compare&swap-(%d) capacity %d", n, k, k-1))
+	}
+	return &Algorithm{
+		Name:     fmt.Sprintf("announced-le(k=%d,n=%d)", k, n),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			return NewFunc(func(resps []sim.Value) VOp {
+				switch len(resps) {
+				case 0:
+					return VOp{Kind: VWrite, Value: identities[vid]}
+				case 1:
+					return VOp{Kind: VCAS, From: objects.Bottom, To: objects.Symbol(vid + 1)}
+				case 2:
+					prev := resps[1].(objects.Symbol)
+					target := vid
+					if prev != objects.Bottom {
+						target = int(prev) - 1
+					}
+					return VOp{Kind: VRead, Reg: target}
+				default:
+					return VOp{Kind: VDecide, Decision: resps[2]}
+				}
+			})
+		},
+	}
+}
+
+// ContendersLE is a leader election A in which every v-process contends
+// for the same first symbol before falling back to announcements:
+// v-process i announces, tries c&s(⊥ → s) where s cycles over the
+// alphabet by group, reads the first-winner's announce register and
+// decides it. With many v-processes per symbol it floods the emulation
+// with identical pending c&s operations — the regime in which
+// suspension quotas, the excess graph and UpdateC&S's popularity choice
+// (Figure 6, line 6) matter.
+func ContendersLE(k int, identities []sim.Value) *Algorithm {
+	n := len(identities)
+	return &Algorithm{
+		Name:     fmt.Sprintf("contenders-le(k=%d,n=%d)", k, n),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			sym := objects.Symbol(vid%(k-1) + 1)
+			return NewFunc(func(resps []sim.Value) VOp {
+				switch len(resps) {
+				case 0:
+					return VOp{Kind: VWrite, Value: identities[vid]}
+				case 1:
+					return VOp{Kind: VCAS, From: objects.Bottom, To: sym}
+				case 2:
+					prev := resps[1].(objects.Symbol)
+					target := vid
+					if prev != objects.Bottom {
+						// Decide with the owner group of the observed
+						// symbol: read the announce of its lowest id.
+						target = int(prev) - 1
+					}
+					return VOp{Kind: VRead, Reg: target}
+				default:
+					return VOp{Kind: VDecide, Decision: resps[2]}
+				}
+			})
+		},
+	}
+}
+
+// FirstValueA is the first-value consensus algorithm: v-process vid
+// performs c&s(⊥ → s) with s = vid mod (k−1) + 1 and decides the first
+// value ever written into the register (its own s on success, the
+// response on failure). It is a correct wait-free multi-valued
+// consensus for ANY number of processes — compare&swap's consensus
+// number is ∞ — so every run the emulation constructs decides exactly
+// one symbol, making it the cleanest witness for Claim 1's census: the
+// emulators' decisions per group collapse to one value, and groups are
+// bounded by (k−1)!.
+func FirstValueA(k int, n int) *Algorithm {
+	return &Algorithm{
+		Name:     fmt.Sprintf("first-value(k=%d,n=%d)", k, n),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			s := objects.Symbol(vid%(k-1) + 1)
+			return NewFunc(func(resps []sim.Value) VOp {
+				if len(resps) == 0 {
+					return VOp{Kind: VCAS, From: objects.Bottom, To: s}
+				}
+				prev := resps[0].(objects.Symbol)
+				if prev == objects.Bottom {
+					return VOp{Kind: VDecide, Decision: s}
+				}
+				return VOp{Kind: VDecide, Decision: prev}
+			})
+		},
+	}
+}
+
+// BiasedA is FirstValueA with the symbol choice biased by the OWNING
+// emulator (v-processes are dealt round-robin, vid mod m): emulator j's
+// v-processes all contend for symbol (j mod (k−1)) + 1. Different
+// emulators then have different most-popular targets in UpdateC&S,
+// which forces group splitting — the multi-label regime of E2.
+func BiasedA(k, m, n int) *Algorithm {
+	return &Algorithm{
+		Name:     fmt.Sprintf("biased(k=%d,m=%d,n=%d)", k, m, n),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			s := objects.Symbol((vid%m)%(k-1) + 1)
+			return NewFunc(func(resps []sim.Value) VOp {
+				if len(resps) == 0 {
+					return VOp{Kind: VCAS, From: objects.Bottom, To: s}
+				}
+				prev := resps[0].(objects.Symbol)
+				if prev == objects.Bottom {
+					return VOp{Kind: VDecide, Decision: s}
+				}
+				return VOp{Kind: VDecide, Decision: prev}
+			})
+		},
+	}
+}
+
+// RandomA generates an arbitrary algorithm from a seed: each v-process
+// runs a random script of announce writes, reads, and c&s attempts over
+// random edges, then decides its identity. It is not a meaningful task
+// — it exists to property-test the emulation: for ANY deterministic A,
+// the reduction must produce only legal runs (audit clean), whatever
+// else happens.
+func RandomA(k, n, maxOps int, seed int64) *Algorithm {
+	return &Algorithm{
+		Name:     fmt.Sprintf("random(k=%d,n=%d,seed=%d)", k, n, seed),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			// Derive the script deterministically from (seed, vid) with
+			// a splitmix-style hash, so clones are reproducible.
+			state := uint64(seed)*0x9e3779b97f4a7c15 + uint64(vid)*0xbf58476d1ce4e5b9
+			next := func(bound int) int {
+				state ^= state >> 30
+				state *= 0xbf58476d1ce4e5b9
+				state ^= state >> 27
+				state *= 0x94d049bb133111eb
+				state ^= state >> 31
+				return int(state % uint64(bound))
+			}
+			nops := 1 + next(maxOps)
+			ops := make([]VOp, 0, nops+1)
+			ops = append(ops, VOp{Kind: VWrite, Value: vid})
+			for i := 0; i < nops; i++ {
+				switch next(3) {
+				case 0:
+					ops = append(ops, VOp{Kind: VRead, Reg: next(n)})
+				case 1:
+					ops = append(ops, VOp{Kind: VWrite, Value: vid*1000 + i})
+				default:
+					from := objects.Symbol(next(k))
+					to := objects.Symbol(next(k))
+					ops = append(ops, VOp{Kind: VCAS, From: from, To: to})
+				}
+			}
+			return NewScript(vid, ops)
+		},
+	}
+}
+
+// CyclingA is a synthetic algorithm whose v-processes walk the
+// compare&swap around a fixed cycle of symbols and back to ⊥ before
+// deciding their own identity. It is not a correct leader election —
+// the emulation does not require one — but its returning transitions
+// (x→⊥) populate the excess graph with cycles, driving the in-tree
+// attachment path of UpdateC&S (Figure 6, lines 6–9) and the
+// rebalancing of Figure 5.
+func CyclingA(k int, n int, hops int) *Algorithm {
+	return &Algorithm{
+		Name:     fmt.Sprintf("cycling(k=%d,n=%d,hops=%d)", k, n, hops),
+		NumProcs: n,
+		New: func(vid int) VProcess {
+			ops := []VOp{{Kind: VWrite, Value: vid}}
+			cur := objects.Bottom
+			for h := 0; h < hops; h++ {
+				next := objects.Symbol((vid+h)%(k-1) + 1)
+				if next == cur {
+					next = objects.Symbol(int(next)%(k-1) + 1)
+				}
+				ops = append(ops, VOp{Kind: VCAS, From: cur, To: next})
+				ops = append(ops, VOp{Kind: VCAS, From: next, To: objects.Bottom})
+				cur = objects.Bottom
+			}
+			return NewScript(vid, ops)
+		},
+	}
+}

@@ -1,0 +1,157 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func TestScriptProcessRunsOpsThenDecides(t *testing.T) {
+	ops := []core.VOp{
+		{Kind: core.VWrite, Value: "x"},
+		{Kind: core.VCAS, From: 0, To: 1},
+	}
+	vp := core.NewScript(42, ops)
+	if op := vp.Next(); op.Kind != core.VWrite || op.Value != "x" {
+		t.Fatalf("step 0 = %v", op)
+	}
+	// Next is an idempotent peek.
+	if op := vp.Next(); op.Kind != core.VWrite {
+		t.Fatalf("peek changed state: %v", op)
+	}
+	vp.Feed(nil)
+	if op := vp.Next(); op.Kind != core.VCAS || op.To != 1 {
+		t.Fatalf("step 1 = %v", op)
+	}
+	vp.Feed(objects.Symbol(0))
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != 42 {
+		t.Fatalf("final = %v", op)
+	}
+}
+
+func TestFeedAfterDecidePanics(t *testing.T) {
+	vp := core.NewScript(1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Feed on decided v-process did not panic")
+		}
+	}()
+	vp.Feed(nil)
+}
+
+func TestAnnouncedLEWinnerPath(t *testing.T) {
+	a := core.AnnouncedLE(3, []sim.Value{"A", "B"})
+	vp := a.New(0)
+	if op := vp.Next(); op.Kind != core.VWrite || op.Value != "A" {
+		t.Fatalf("step 0 = %v", op)
+	}
+	vp.Feed(nil)
+	if op := vp.Next(); op.Kind != core.VCAS || op.From != objects.Bottom || op.To != 1 {
+		t.Fatalf("step 1 = %v", op)
+	}
+	vp.Feed(objects.Bottom) // success: register was ⊥
+	if op := vp.Next(); op.Kind != core.VRead || op.Reg != 0 {
+		t.Fatalf("winner should read its own register, got %v", op)
+	}
+	vp.Feed("A")
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != "A" {
+		t.Fatalf("final = %v", op)
+	}
+}
+
+func TestAnnouncedLELoserPath(t *testing.T) {
+	a := core.AnnouncedLE(3, []sim.Value{"A", "B"})
+	vp := a.New(1)
+	vp.Feed(nil)               // announce
+	vp.Feed(objects.Symbol(1)) // cas failed: symbol 1 (owner vid 0) is in
+	if op := vp.Next(); op.Kind != core.VRead || op.Reg != 0 {
+		t.Fatalf("loser should read the winner's register, got %v", op)
+	}
+	vp.Feed("A")
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != "A" {
+		t.Fatalf("final = %v", op)
+	}
+}
+
+func TestAnnouncedLECapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AnnouncedLE beyond k−1 did not panic")
+		}
+	}()
+	core.AnnouncedLE(3, []sim.Value{"A", "B", "C"})
+}
+
+func TestFirstValueADecidesFirstSymbol(t *testing.T) {
+	a := core.FirstValueA(4, 6)
+	// Winner path.
+	vp := a.New(2) // symbol 2%3+1 = 3
+	if op := vp.Next(); op.Kind != core.VCAS || op.To != 3 {
+		t.Fatalf("step 0 = %v", op)
+	}
+	vp.Feed(objects.Bottom)
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != sim.Value(objects.Symbol(3)) {
+		t.Fatalf("winner decision = %v", op)
+	}
+	// Loser path adopts the observed value.
+	vp = a.New(0)
+	vp.Feed(objects.Symbol(2))
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != sim.Value(objects.Symbol(2)) {
+		t.Fatalf("loser decision = %v", op)
+	}
+}
+
+func TestCyclingAScriptShape(t *testing.T) {
+	a := core.CyclingA(3, 4, 2)
+	vp := a.New(0)
+	vp.Feed(nil) // write
+	// Two hop pairs: cas(⊥→s), cas(s→⊥) twice.
+	for h := 0; h < 2; h++ {
+		op := vp.Next()
+		if op.Kind != core.VCAS || op.From != objects.Bottom {
+			t.Fatalf("hop %d out = %v", h, op)
+		}
+		s := op.To
+		vp.Feed(objects.Symbol(0))
+		op = vp.Next()
+		if op.Kind != core.VCAS || op.From != s || op.To != objects.Bottom {
+			t.Fatalf("hop %d back = %v", h, op)
+		}
+		vp.Feed(s)
+	}
+	if op := vp.Next(); op.Kind != core.VDecide || op.Decision != 0 {
+		t.Fatalf("final = %v", op)
+	}
+}
+
+func TestVOpStrings(t *testing.T) {
+	tests := []struct {
+		op   core.VOp
+		want string
+	}{
+		{core.VOp{Kind: core.VRead, Reg: 3}, "read(r3)"},
+		{core.VOp{Kind: core.VWrite, Value: 7}, "write(7)"},
+		{core.VOp{Kind: core.VCAS, From: 0, To: 2}, "cas(⊥→1)"},
+		{core.VOp{Kind: core.VDecide, Decision: "x"}, "decide(x)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestAlgorithmClones(t *testing.T) {
+	a := core.FirstValueA(3, 5)
+	vps := a.Clones()
+	if len(vps) != 5 {
+		t.Fatalf("Clones() gave %d, want 5", len(vps))
+	}
+	// Clones are independent state machines.
+	vps[0].Feed(objects.Symbol(1))
+	if vps[1].Next().Kind != core.VCAS {
+		t.Error("feeding one clone advanced another")
+	}
+}

@@ -1,0 +1,141 @@
+// Package election implements wait-free leader election protocols over
+// one compare&swap-(k) register, the task the paper's bounds are about.
+//
+// In the Leader Election (LE) problem each process proposes its own
+// identity; all processes must elect one proposed identity (§2 of the
+// paper: consistent, wait-free, valid). Three protocols chart the
+// capacity landscape that the paper delimits:
+//
+//   - DirectCAS: the register alone, identities drawn from the
+//     register's alphabet — capacity k−1, the Burns–Cruz–Loui regime.
+//   - AnnouncedCAS: the register plus read/write registers, arbitrary
+//     identities — wait-free capacity k−1 ports, and provably fragile
+//     at n = k (the explorer finds disagreement).
+//   - Permutation (see permutation.go): the register plus read/write
+//     registers, capacity Θ((k−1)!) — the shape of the O(k!) algorithm
+//     of Afek–Stupp [FOCS '93] — at the price of crash-freedom, which
+//     is exactly the wait-freedom difficulty the paper's emulation
+//     machinery exists to overcome.
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// DirectCAS returns n programs electing a leader among processes whose
+// identities are 0..n−1, using ONE compare&swap-(k) register and
+// nothing else. Process i claims symbol i+1; the register's final value
+// names the leader. This is the register-alone regime of Burns, Cruz
+// and Loui (reference [5]): a k-valued register elects at most k−1
+// processes, and this protocol achieves exactly that bound.
+// The constructor panics if n > k−1.
+func DirectCAS(cas *objects.CAS, n int) []sim.Program {
+	if n > cas.K()-1 {
+		panic(fmt.Sprintf("election: DirectCAS: %d processes exceed compare&swap-(%d) capacity %d",
+			n, cas.K(), cas.K()-1))
+	}
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			// The whole protocol is one "elect" operation of the paper's
+			// sequentially-specified LE object (§2): record it as a span
+			// so runs can be checked against spec.ElectionSpec.
+			sp := e.BeginOp(cas.Name()+".le", "elect", i)
+			cas.CompareAndSwap(e, objects.Bottom, objects.Symbol(i+1))
+			winner := int(cas.Read(e)) - 1
+			e.EndOp(sp, winner)
+			return winner, nil
+		}
+	}
+	return progs
+}
+
+// AnnouncedCAS returns n programs electing a leader among processes
+// with arbitrary identities (identities[i] is process i's input),
+// using one compare&swap-(k) register plus an announce array. Process i
+// occupies port i mod (k−1): it announces its identity in read/write
+// memory, claims its port's symbol, and decides the announced identity
+// of the first announcer on the winning port.
+//
+// With n ≤ k−1 every port has one owner and the protocol is a correct
+// wait-free LE for arbitrary identities — this is how read/write
+// registers add power over the register-alone regime (arbitrary
+// identity universe instead of alphabet-sized). With n > k−1 two
+// processes share a port and the explorer finds disagreeing schedules;
+// the constructor permits n up to k so experiments can exhibit exactly
+// that failure.
+func AnnouncedCAS(sys *sim.System, cas *objects.CAS, identities []sim.Value) []sim.Program {
+	n := len(identities)
+	k := cas.K()
+	if n > k {
+		panic(fmt.Sprintf("election: AnnouncedCAS: n=%d > k=%d not supported (one shared port suffices to show the failure)", n, k))
+	}
+	ann := registers.NewArray(sys, cas.Name()+".ann", n, nil)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		port := i % (k - 1)
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			sp := e.BeginOp(cas.Name()+".le", "elect", identities[i])
+			ann.Write(e, identities[i])
+			cas.CompareAndSwap(e, objects.Bottom, objects.Symbol(port+1))
+			winPort := int(cas.Read(e)) - 1
+			// Decide the first visible announcement among the port's
+			// possible owners (deterministic rule: lowest process index).
+			// With one owner per port this is exact; with a shared port
+			// it is the ambiguity that breaks n = k.
+			for j := winPort; j < n; j += k - 1 {
+				if v := ann.Read(e, j); v != nil {
+					e.EndOp(sp, v)
+					return v, nil
+				}
+			}
+			return nil, fmt.Errorf("election: winning port %d has no announcement", winPort)
+		}
+	}
+	return progs
+}
+
+// CheckElection verifies an election run: agreement among decided
+// processes, and validity — the elected identity is the input of one
+// of the n processes.
+func CheckElection(res *sim.Result, identities []sim.Value) error {
+	d := res.DistinctDecisions()
+	if len(d) > 1 {
+		return fmt.Errorf("election: consistency violated: elected %v", d)
+	}
+	if len(d) == 0 {
+		return nil // nobody decided (all crashed): vacuously fine
+	}
+	for _, id := range identities {
+		if id == d[0] {
+			return nil
+		}
+	}
+	return fmt.Errorf("election: validity violated: elected %v, proposals %v", d[0], identities)
+}
+
+// CheckWaitFree fails if a surviving process did not decide within
+// bound steps.
+func CheckWaitFree(res *sim.Result, bound int) error {
+	if res.Halted {
+		return fmt.Errorf("election: run halted with live processes %v", res.ReadyAtHalt)
+	}
+	for i, err := range res.Errors {
+		if res.Crashed[i] {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("election: process %d failed: %w", i, err)
+		}
+		if res.Steps[i] > bound {
+			return fmt.Errorf("election: process %d took %d steps, bound %d", i, res.Steps[i], bound)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package election_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func directBuilder(k, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.DirectCAS(cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func identityList(n int) []sim.Value {
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%d", i)
+	}
+	return ids
+}
+
+func announcedBuilder(k, n int) explore.Builder {
+	ids := identityList(n)
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.AnnouncedCAS(sys, cas, ids) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+// TestDirectCASExhaustive verifies the Burns–Cruz–Loui positive side on
+// every schedule: one compare&swap-(k) register alone elects k−1
+// processes (E3).
+func TestDirectCASExhaustive(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		n := k - 1
+		ids := make([]sim.Value, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		c := explore.Run(directBuilder(k, n), explore.Options{}, func(res *sim.Result) error {
+			if err := election.CheckElection(res, ids); err != nil {
+				return err
+			}
+			return election.CheckWaitFree(res, 2)
+		})
+		if !c.Exhaustive {
+			t.Fatalf("k=%d: walk not exhaustive", k)
+		}
+		if len(c.Violations) != 0 {
+			t.Errorf("k=%d: violation on schedule %s", k, explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+		if c.Complete == 0 {
+			t.Errorf("k=%d: no complete runs", k)
+		}
+	}
+}
+
+func TestDirectCASExhaustiveWithCrashes(t *testing.T) {
+	k := 4
+	ids := []sim.Value{0, 1, 2}
+	c := explore.Run(directBuilder(k, 3), explore.Options{MaxCrashes: 2}, func(res *sim.Result) error {
+		return election.CheckElection(res, ids)
+	})
+	if !c.Exhaustive {
+		t.Fatal("walk not exhaustive")
+	}
+	if len(c.Violations) != 0 {
+		t.Errorf("violation under crashes: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+func TestDirectCASCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DirectCAS beyond capacity did not panic")
+		}
+	}()
+	election.DirectCAS(objects.NewCAS("cas", 3), 3) // capacity is 2
+}
+
+// TestAnnouncedCASExhaustive verifies that adding read/write registers
+// keeps k−1 capacity wait-free with arbitrary identities (E4 positive
+// side), on every schedule including one crash.
+func TestAnnouncedCASExhaustive(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		n := k - 1
+		ids := identityList(n)
+		crashes := 1
+		if k == 4 {
+			crashes = 0 // crash branching at n=3 is ~20x the schedule count
+		}
+		c := explore.Run(announcedBuilder(k, n), explore.Options{MaxCrashes: crashes}, func(res *sim.Result) error {
+			if err := election.CheckElection(res, ids); err != nil {
+				return err
+			}
+			return election.CheckWaitFree(res, 6)
+		})
+		if !c.Exhaustive {
+			t.Fatalf("k=%d: walk not exhaustive", k)
+		}
+		if len(c.Violations) != 0 {
+			t.Errorf("k=%d: violation on schedule %s", k, explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+	}
+}
+
+// TestAnnouncedCASSharedPortDisagrees drives the schedule that breaks
+// n = k (two processes on one port): the late winner's announcement
+// changes what later deciders see. This is the negative side of E4 —
+// naive porting beyond k−1 loses consistency.
+func TestAnnouncedCASSharedPortDisagrees(t *testing.T) {
+	k := 3
+	ids := []sim.Value{"A", "B", "C"}
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("cas", k)
+	sys.Add(cas)
+	for _, p := range election.AnnouncedCAS(sys, cas, ids) {
+		sys.Spawn(p)
+	}
+	// Processes 0 and 2 share port 0. Let p2 announce, win the port and
+	// decide before p0 announces; then p0 announces and decides.
+	schedule := []sim.ProcID{2, 2, 2, 2, 2, 0, 0, 0, 0}
+	res, err := sys.Run(sim.Config{Scheduler: sim.ReplayThen(schedule, sim.RoundRobin())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := election.CheckElection(res, ids); err == nil {
+		t.Errorf("expected a consistency violation at n=k; decisions: %v", res.DistinctDecisions())
+	}
+}
+
+// TestAnnouncedCASOverCapacityFound lets the explorer hunt the same
+// violation without being told the schedule.
+func TestAnnouncedCASOverCapacityFound(t *testing.T) {
+	ids := identityList(3)
+	found := false
+	explore.Visit(announcedBuilder(3, 3), explore.Options{}, func(o explore.Outcome) bool {
+		if o.Result.Halted {
+			return true
+		}
+		if err := election.CheckElection(o.Result, ids); err != nil {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("explorer found no violation for n=k")
+	}
+}
+
+func TestSlotsCapacity(t *testing.T) {
+	// Capacity(k) = Σ_{j=1..k−1} P(k−1, j): 1, 4, 15, 64, 325, …
+	want := map[int]int{2: 1, 3: 4, 4: 15, 5: 64, 6: 325}
+	for k, n := range want {
+		if got := election.Capacity(k); got != n {
+			t.Errorf("Capacity(%d) = %d, want %d", k, got, n)
+		}
+		if got := len(election.Slots(k)); got != n {
+			t.Errorf("len(Slots(%d)) = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestSlotsWellFormed(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		seen := make(map[string]bool)
+		for _, s := range election.Slots(k) {
+			key := s.String()
+			if seen[key] {
+				t.Errorf("k=%d: duplicate slot %s", k, s)
+			}
+			seen[key] = true
+			inPrefix := make(map[objects.Symbol]bool)
+			for _, sym := range s.Prefix {
+				if sym == objects.Bottom || int(sym) >= k {
+					t.Errorf("k=%d: slot %s has out-of-range prefix symbol", k, s)
+				}
+				if inPrefix[sym] {
+					t.Errorf("k=%d: slot %s repeats a prefix symbol", k, s)
+				}
+				inPrefix[sym] = true
+			}
+			if inPrefix[s.Next] || s.Next == objects.Bottom || int(s.Next) >= k {
+				t.Errorf("k=%d: slot %s has bad next symbol", k, s)
+			}
+		}
+	}
+}
+
+func permutationSystem(k int, ids []sim.Value) (*sim.System, *objects.CAS) {
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("cas", k)
+	sys.Add(cas)
+	for _, p := range election.Permutation(sys, cas, ids) {
+		sys.Spawn(p)
+	}
+	return sys, cas
+}
+
+// TestPermutationElectsUnderManySchedules exercises the Θ((k−1)!)
+// capacity protocol (E4): all Capacity(k) processes must agree on a
+// valid leader under round-robin and many random schedules.
+func TestPermutationElectsUnderManySchedules(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		n := election.Capacity(k)
+		ids := identityList(n)
+		scheds := []sim.Scheduler{sim.RoundRobin()}
+		for seed := int64(0); seed < 15; seed++ {
+			scheds = append(scheds, sim.Random(seed))
+		}
+		for si, sched := range scheds {
+			sys, cas := permutationSystem(k, ids)
+			res, err := sys.Run(sim.Config{Scheduler: sched, MaxTotalSteps: 1 << 22})
+			if err != nil {
+				t.Fatalf("k=%d sched %d: %v", k, si, err)
+			}
+			if res.Halted {
+				t.Fatalf("k=%d sched %d: did not terminate", k, si)
+			}
+			if err := election.CheckElection(res, ids); err != nil {
+				t.Errorf("k=%d sched %d: %v", k, si, err)
+			}
+			for i, perr := range res.Errors {
+				if perr != nil {
+					t.Errorf("k=%d sched %d: proc %d failed: %v", k, si, i, perr)
+				}
+			}
+			// The leader must be the owner of the last first-use
+			// transition of the register.
+			first := cas.FirstUses()
+			chain := first[1:] // drop ⊥
+			if len(chain) != k-1 {
+				t.Fatalf("k=%d sched %d: first-use chain %v incomplete", k, si, first)
+			}
+			slots := election.Slots(k)
+			leaderIdx := -1
+			for i, s := range slots {
+				if s.Next == chain[len(chain)-1] && len(s.Prefix) == len(chain)-1 {
+					match := true
+					for j := range s.Prefix {
+						if s.Prefix[j] != chain[j] {
+							match = false
+							break
+						}
+					}
+					if match {
+						leaderIdx = i
+						break
+					}
+				}
+			}
+			if leaderIdx < 0 {
+				t.Fatalf("k=%d sched %d: no slot matches chain %v", k, si, chain)
+			}
+			if d := res.DistinctDecisions(); len(d) != 1 || d[0] != ids[leaderIdx] {
+				t.Errorf("k=%d sched %d: decided %v, want leader %v (chain %v)", k, si, d, ids[leaderIdx], chain)
+			}
+		}
+	}
+}
+
+// TestPermutationBeatsAnnouncedCapacity pins the headline shape of E4:
+// with read/write registers the permutation protocol elects far more
+// than the k−1 register-alone bound.
+func TestPermutationBeatsAnnouncedCapacity(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		if election.Capacity(k) <= k-1 {
+			t.Errorf("k=%d: Capacity %d does not exceed register-alone bound %d",
+				k, election.Capacity(k), k-1)
+		}
+	}
+}
+
+// TestPermutationStallsOnCrash demonstrates that the permutation
+// protocol is not wait-free: crashing the unique owner of the enabled
+// frontier slot stalls every survivor. This is the gap the paper's
+// suspension machinery addresses.
+func TestPermutationStallsOnCrash(t *testing.T) {
+	k := 3
+	n := election.Capacity(k) // 4: slots ( →0),( 0→1),( →1),( 1→0) in order
+	ids := identityList(n)
+	sys, _ := permutationSystem(k, ids)
+	// Let process 0 (slot ⊥→0) announce, collect, win and mark:
+	// 1 + 4 + 1 + 1 = 7 steps. Then crash process 1, the only owner of
+	// the now-enabled slot (0→1).
+	var schedule []sim.ProcID
+	for i := 0; i < 7; i++ {
+		schedule = append(schedule, 0)
+	}
+	res, err := sys.Run(sim.Config{
+		Scheduler:       sim.ReplayThen(schedule, sim.RoundRobin()),
+		Faults:          sim.CrashAt(map[int][]sim.ProcID{7: {1}}),
+		MaxStepsPerProc: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decided()) != 0 {
+		t.Errorf("processes decided despite stalled chain: %v", res.Decisions())
+	}
+	stalled := 0
+	for i, perr := range res.Errors {
+		if errors.Is(perr, sim.ErrStepLimit) {
+			stalled++
+			_ = i
+		}
+	}
+	if stalled == 0 {
+		t.Error("no survivor hit the step limit; stall not demonstrated")
+	}
+	if err := election.CheckWaitFree(res, 300); err == nil {
+		t.Error("CheckWaitFree passed on a stalled run")
+	}
+}
+
+// TestPermutationWrongProcessCount pins the constructor contract.
+func TestPermutationWrongProcessCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Permutation with wrong process count did not panic")
+		}
+	}()
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("cas", 3)
+	sys.Add(cas)
+	election.Permutation(sys, cas, identityList(3)) // needs 4
+}

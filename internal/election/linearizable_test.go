@@ -1,0 +1,127 @@
+package election_test
+
+import (
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/linearize"
+	"repro/internal/objects"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// The paper (§2) defines a leader-election protocol as a wait-free
+// LINEARIZABLE implementation of the LE object whose sequential
+// specification is "all elect operations return the identity of the
+// processor that applied the first operation". These tests check our
+// election protocols against that exact specification with the
+// Wing–Gong checker.
+
+// TestDirectCASLinearizableExhaustive checks every schedule (with one
+// crash) of the register-alone election against spec.ElectionSpec.
+func TestDirectCASLinearizableExhaustive(t *testing.T) {
+	k := 4
+	builder := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.DirectCAS(cas, k-1) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	// The explorer disables traces for speed, so replay each terminal
+	// schedule with traces on and check the spans.
+	checked := 0
+	explore.Visit(builder, explore.Options{MaxCrashes: 1}, func(o explore.Outcome) bool {
+		if o.Result.Halted {
+			return true
+		}
+		res := replayWithTrace(t, builder, o.Schedule)
+		rep := linearize.Check(spec.ElectionSpec{}, res.Trace.SpansOf("cas.le"), linearize.Options{AllowPending: true})
+		if !rep.Ok {
+			t.Errorf("schedule %s: election history not linearizable", explore.FormatSchedule(o.Schedule))
+			return false
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no schedules checked")
+	}
+}
+
+// replayWithTrace re-runs a builder under an explicit choice schedule
+// with tracing enabled.
+func replayWithTrace(t *testing.T, b explore.Builder, schedule []explore.Choice) *sim.Result {
+	t.Helper()
+	var picks []sim.ProcID
+	crashAt := make(map[int][]sim.ProcID)
+	for _, c := range schedule {
+		if c.Crash {
+			crashAt[len(picks)] = append(crashAt[len(picks)], c.Pick)
+		} else {
+			picks = append(picks, c.Pick)
+		}
+	}
+	sys := b()
+	res, err := sys.Run(sim.Config{
+		Scheduler: sim.Replay(picks),
+		Faults:    sim.CrashAt(crashAt),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAnnouncedCASLinearizableRandom samples random schedules of the
+// announced election at n = k−1 and checks linearizability.
+func TestAnnouncedCASLinearizableRandom(t *testing.T) {
+	k := 4
+	ids := []sim.Value{"A", "B", "C"}
+	for seed := int64(0); seed < 40; seed++ {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.AnnouncedCAS(sys, cas, ids) {
+			sys.Spawn(p)
+		}
+		cfg := sim.Config{Scheduler: sim.Random(seed)}
+		if seed%4 == 0 {
+			cfg.Faults = sim.RandomCrashes(seed, 0.1, 1)
+		}
+		res, err := sys.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := linearize.Check(spec.ElectionSpec{}, res.Trace.SpansOf("cas.le"), linearize.Options{AllowPending: true})
+		if !rep.Ok {
+			t.Errorf("seed %d: announced election not linearizable", seed)
+		}
+	}
+}
+
+// TestSharedPortNotLinearizable: at n = k the disagreeing schedule is
+// also a linearizability violation of the LE object — the two views of
+// "who went first" cannot be reconciled.
+func TestSharedPortNotLinearizable(t *testing.T) {
+	k := 3
+	ids := []sim.Value{"A", "B", "C"}
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("cas", k)
+	sys.Add(cas)
+	for _, p := range election.AnnouncedCAS(sys, cas, ids) {
+		sys.Spawn(p)
+	}
+	schedule := []sim.ProcID{2, 2, 2, 2, 2, 0, 0, 0, 0}
+	res, err := sys.Run(sim.Config{Scheduler: sim.ReplayThen(schedule, sim.RoundRobin())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := linearize.Check(spec.ElectionSpec{}, res.Trace.SpansOf("cas.le"), linearize.Options{AllowPending: true})
+	if rep.Ok {
+		t.Error("split election accepted as linearizable LE object")
+	}
+}

@@ -1,0 +1,159 @@
+package election_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func multiBuilder(k1, k2 int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		group := objects.NewCAS("group", k1)
+		rank := objects.NewCAS("rank", k2)
+		sys.Add(group)
+		sys.Add(rank)
+		for _, p := range election.MultiRegister(group, rank) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+// TestMultiRegisterCapacityProduct: two registers elect the PRODUCT of
+// their single-register capacities — (k₁−1)·(k₂−1) processes agree on a
+// valid leader under many schedules (Burns–Cruz–Loui's multi-register
+// claim, crash-free).
+func TestMultiRegisterCapacityProduct(t *testing.T) {
+	for _, tc := range []struct{ k1, k2 int }{{3, 3}, {3, 4}, {4, 4}, {5, 3}} {
+		n := election.MultiRegisterCapacity(tc.k1, tc.k2)
+		if n != (tc.k1-1)*(tc.k2-1) {
+			t.Fatalf("capacity formula broken")
+		}
+		ids := make([]sim.Value, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			sys := multiBuilder(tc.k1, tc.k2)()
+			res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed), MaxStepsPerProc: 5000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := election.CheckElection(res, ids); err != nil {
+				t.Errorf("k1=%d k2=%d seed=%d: %v", tc.k1, tc.k2, seed, err)
+			}
+			for i, perr := range res.Errors {
+				if perr != nil {
+					t.Errorf("k1=%d k2=%d seed=%d: proc %d: %v", tc.k1, tc.k2, seed, i, perr)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiRegisterBoundedSweep: a bounded DFS sweep over schedules of
+// the 2×2 = 4-process instance elects consistently in every complete
+// run reached (the losers' spin loops make the full schedule tree far
+// too deep for exhaustion).
+func TestMultiRegisterBoundedSweep(t *testing.T) {
+	ids := []sim.Value{0, 1, 2, 3}
+	c := explore.Run(multiBuilder(3, 3), explore.Options{MaxDepth: 120, MaxRuns: 15000}, func(res *sim.Result) error {
+		return election.CheckElection(res, ids)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+	if c.Complete == 0 {
+		t.Error("no complete runs")
+	}
+}
+
+// TestMultiRegisterStallsOnCrash: the product construction is not
+// wait-free — crash the whole winning group before it claims the rank
+// register and every loser spins forever. This is exactly the
+// wait-freedom gap separating Burns et al.'s model from the paper's.
+func TestMultiRegisterStallsOnCrash(t *testing.T) {
+	sys := multiBuilder(3, 3)()
+	// Process 0 (group 0, rank 0) claims the group register (1 step),
+	// reads it (1 step), then crashes before touching the rank register.
+	// Process 1 is the other member of group 0: crash it too.
+	res, err := sys.Run(sim.Config{
+		Scheduler:       sim.ReplayThen([]sim.ProcID{0, 0}, sim.RoundRobin()),
+		Faults:          sim.CrashAt(map[int][]sim.ProcID{2: {0, 1}}),
+		MaxStepsPerProc: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decided()) != 0 {
+		t.Errorf("losers decided despite an empty rank register: %v", res.Decisions())
+	}
+	stalled := 0
+	for _, perr := range res.Errors {
+		if errors.Is(perr, sim.ErrStepLimit) {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Error("no process hit the step limit; stall not demonstrated")
+	}
+}
+
+// TestDirectRMWElection: the paper's conjecture exercised — an
+// arbitrary k-valued read-modify-write register with a claim-if-empty
+// transition elects k−1 processes on every schedule.
+func TestDirectRMWElection(t *testing.T) {
+	for k := 3; k <= 5; k++ {
+		n := k - 1
+		ids := make([]sim.Value, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		b := func() *sim.System {
+			sys := sim.NewSystem()
+			progs, _ := election.DirectRMW(sys, "rmw", k, n)
+			for _, p := range progs {
+				sys.Spawn(p)
+			}
+			return sys
+		}
+		c := explore.Run(b, explore.Options{MaxCrashes: 1, MaxRuns: 150000}, func(res *sim.Result) error {
+			if err := election.CheckElection(res, ids); err != nil {
+				return err
+			}
+			return election.CheckWaitFree(res, 1)
+		})
+		if len(c.Violations) != 0 {
+			t.Errorf("k=%d: violation on %s", k, explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+	}
+}
+
+// TestDirectRMWHistoryMatchesWinner: the register's value history under
+// the claim function is ⊥ followed by the winner's symbol, nothing else.
+func TestDirectRMWHistoryMatchesWinner(t *testing.T) {
+	sys := sim.NewSystem()
+	progs, reg := election.DirectRMW(sys, "rmw", 4, 3)
+	for _, p := range progs {
+		sys.Spawn(p)
+	}
+	res, err := sys.Run(sim.Config{Scheduler: sim.Random(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.History()
+	if len(h) != 2 || h[0] != objects.Bottom {
+		t.Fatalf("history = %v, want [⊥ winner]", h)
+	}
+	want := int(h[1]) - 1
+	for i, v := range res.Values {
+		if v != want {
+			t.Errorf("proc %d decided %v, register says %d", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Slot is one transition of the first-use permutation tree: the right
+// to perform the successful c&s(last(Prefix) → Next) that extends the
+// register's first-use sequence from Prefix by the fresh value Next.
+// Slots are the static unit of contention ownership in the Permutation
+// protocol; the same tree of "first values" labels groups of emulators
+// in the paper's emulation (§3.1).
+type Slot struct {
+	// Prefix is the ordered sequence of distinct non-⊥ symbols already
+	// first-used when this slot becomes enabled (possibly empty).
+	Prefix []objects.Symbol
+	// Next is the fresh symbol this slot introduces; Next ∉ Prefix.
+	Next objects.Symbol
+}
+
+// String renders the slot as "(⊥ 1 0 → 2)".
+func (s Slot) String() string {
+	out := "(⊥"
+	for _, sym := range s.Prefix {
+		out += " " + sym.String()
+	}
+	return out + " → " + s.Next.String() + ")"
+}
+
+// key canonically encodes a (prefix, next) pair for lookup.
+func (s Slot) key() string { return chainKey(s.Prefix) + ">" + s.Next.String() }
+
+func chainKey(chain []objects.Symbol) string {
+	out := ""
+	for _, sym := range chain {
+		out += fmt.Sprintf("%d.", int(sym))
+	}
+	return out
+}
+
+// Slots enumerates every slot of the permutation tree over
+// compare&swap-(k), in deterministic order (by prefix, depth-first,
+// symbols ascending). The count is Σ_{j=1..k−1} (k−1)!/(k−1−j)! ≈
+// e·(k−1)! — the capacity shape of the O(k!) election algorithm the
+// paper cites from [1].
+func Slots(k int) []Slot {
+	var out []Slot
+	symbols := make([]objects.Symbol, k-1)
+	for i := range symbols {
+		symbols[i] = objects.Symbol(i + 1)
+	}
+	var rec func(prefix []objects.Symbol)
+	rec = func(prefix []objects.Symbol) {
+		used := make(map[objects.Symbol]bool, len(prefix))
+		for _, s := range prefix {
+			used[s] = true
+		}
+		for _, s := range symbols {
+			if used[s] {
+				continue
+			}
+			p := make([]objects.Symbol, len(prefix))
+			copy(p, prefix)
+			out = append(out, Slot{Prefix: p, Next: s})
+			rec(append(prefix, s))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// Capacity returns the number of processes the Permutation protocol
+// supports with compare&swap-(k): one per slot.
+func Capacity(k int) int {
+	// Σ_{j=1..k−1} P(k−1, j), computed directly.
+	total := 0
+	perm := 1
+	for j := 1; j <= k-1; j++ {
+		perm *= k - j // P(k−1, j) built incrementally
+		total += perm
+	}
+	return total
+}
+
+// Permutation returns Capacity(k) programs electing a leader among
+// processes with arbitrary identities, using one compare&swap-(k)
+// register plus read/write registers. identities must have exactly
+// Capacity(k) entries; process i owns slot Slots(k)[i].
+//
+// Protocol: the register only ever moves to fresh symbols, so its value
+// sequence is a growing prefix of a permutation of Σ∖{⊥}. Each slot
+// (p, b) has a unique statically-assigned owner, the only process
+// allowed to attempt c&s(last(p) → b); since last(p) never recurs, at
+// most one such c&s ever succeeds and the successful owner records a
+// breadcrumb in its single-writer register. Every process repeatedly
+// rebuilds the realized chain from the breadcrumbs; when the chain
+// reaches length k−1 the permutation is complete and everyone decides
+// the announced identity of the final slot's owner.
+//
+// Liveness: the protocol is live when all processes participate and
+// none crashes (every enabled frontier has all its owners present) —
+// it is NOT wait-free: crashing the unique owner of a frontier slot
+// stalls everyone, which is precisely the difficulty the paper's
+// suspension machinery (§3.1.1) exists to overcome, and why wait-free
+// capacity is nonetheless bounded by O(k^(k²+3)).
+func Permutation(sys *sim.System, cas *objects.CAS, identities []sim.Value) []sim.Program {
+	k := cas.K()
+	slots := Slots(k)
+	if len(identities) != len(slots) {
+		panic(fmt.Sprintf("election: Permutation over compare&swap-(%d) needs exactly %d processes, got %d",
+			k, len(slots), len(identities)))
+	}
+	n := len(slots)
+	slotIndex := make(map[string]int, n)
+	for i, s := range slots {
+		slotIndex[s.key()] = i
+	}
+	ann := registers.NewArray(sys, cas.Name()+".ann", n, nil)
+	done := registers.NewArray(sys, cas.Name()+".done", n, false)
+
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		slot := slots[i]
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			ann.Write(e, identities[i])
+			marked := false
+			for {
+				crumbs := done.Collect(e)
+				chain := buildChain(slots, slotIndex, crumbs)
+				if len(chain) == k-1 {
+					last := slotIndex[Slot{Prefix: chain[:k-2], Next: chain[k-2]}.key()]
+					leader := ann.Read(e, last)
+					return leader, nil
+				}
+				if !marked && prefixEqual(chain, slot.Prefix) {
+					from := objects.Bottom
+					if len(chain) > 0 {
+						from = chain[len(chain)-1]
+					}
+					if cas.CompareAndSwap(e, from, slot.Next) == from {
+						done.Write(e, true)
+						marked = true
+					}
+				}
+			}
+		}
+	}
+	return progs
+}
+
+// buildChain reconstructs the realized first-use chain from the
+// breadcrumb bits: starting empty, repeatedly extend by the unique
+// marked slot whose prefix equals the chain so far. Breadcrumbs may lag
+// the register (a success not yet marked), so the result is a prefix of
+// the true chain — always safe to act on.
+func buildChain(slots []Slot, slotIndex map[string]int, crumbs []sim.Value) []objects.Symbol {
+	var chain []objects.Symbol
+	for {
+		extended := false
+		for i, s := range slots {
+			if crumbs[i] != true {
+				continue
+			}
+			if prefixEqual(chain, s.Prefix) {
+				chain = append(chain, s.Next)
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			return chain
+		}
+	}
+}
+
+func prefixEqual(a, b []objects.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+// Package explore enumerates schedules of small simulated systems
+// exhaustively: every interleaving of process steps and, optionally,
+// every placement of a bounded number of crash failures.
+//
+// The paper leans on impossibility results (FLP for two-process
+// read/write consensus, the set-consensus impossibility of Borowsky–
+// Gafni/Herlihy–Shavit/Saks–Zaharoglou) that cannot be re-proved
+// mechanically here; what can be reproduced is their observable shape
+// on concrete protocols: for a given protocol the explorer either finds
+// a schedule violating agreement/validity, or exhibits unboundedly long
+// bivalent schedules. The election and hierarchy experiments are built
+// on this census.
+//
+// Exploration is replay-based: a system is rebuilt from scratch by its
+// Builder and re-run for every schedule prefix, using sim's Replay/Halt
+// mechanism to discover the ready set at each frontier. This trades CPU
+// for simplicity and avoids any state cloning (DESIGN.md §5.2 ablates
+// the cost).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Builder deterministically constructs a fresh instance of the system
+// under exploration. It must produce identical systems on every call.
+type Builder func() *sim.System
+
+// Choice is one branch decision: either schedule Pick for a step, or
+// crash Pick (fail-stop) at this decision point.
+type Choice struct {
+	Pick  sim.ProcID
+	Crash bool
+}
+
+// String renders the choice compactly ("3" or "3†").
+func (c Choice) String() string {
+	if c.Crash {
+		return fmt.Sprintf("%d†", c.Pick)
+	}
+	return fmt.Sprint(c.Pick)
+}
+
+// FormatSchedule renders a schedule as "0 1 2† 0 …".
+func FormatSchedule(cs []Choice) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Options tunes an exploration.
+type Options struct {
+	// MaxDepth bounds schedule length; prefixes reaching it are counted
+	// as incomplete runs (evidence of non-termination under adversarial
+	// scheduling when the protocol is supposed to be wait-free).
+	// Zero means DefaultMaxDepth.
+	MaxDepth int
+	// MaxCrashes bounds the number of crash choices per schedule.
+	MaxCrashes int
+	// MaxRuns caps the number of enumerated terminal runs (complete or
+	// incomplete) as a safety net. Zero means DefaultMaxRuns.
+	MaxRuns int
+	// MaxStepsPerProc is forwarded to sim.Config.
+	MaxStepsPerProc int
+}
+
+// DefaultMaxDepth bounds schedule length when Options.MaxDepth is 0.
+const DefaultMaxDepth = 400
+
+// DefaultMaxRuns bounds run count when Options.MaxRuns is 0.
+const DefaultMaxRuns = 1 << 20
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = DefaultMaxDepth
+	}
+	if o.MaxRuns == 0 {
+		o.MaxRuns = DefaultMaxRuns
+	}
+	return o
+}
+
+// Outcome is one terminal run discovered by the explorer.
+type Outcome struct {
+	// Schedule is the full choice sequence of the run.
+	Schedule []Choice
+	// Result is the run's result. Result.Halted marks an incomplete run
+	// (MaxDepth reached with live processes).
+	Result *sim.Result
+}
+
+// Visit walks every terminal run reachable under opts in depth-first
+// order, calling visit for each; visit returning false stops the walk.
+// It returns the number of terminal runs visited and whether the walk
+// was exhaustive (false if stopped early or MaxRuns was hit).
+func Visit(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
+	opts = opts.withDefaults()
+	w := &walker{b: b, opts: opts, visit: visit}
+	ok := w.expand(nil, 0)
+	return w.runs, ok && !w.capped
+}
+
+type walker struct {
+	b      Builder
+	opts   Options
+	visit  func(Outcome) bool
+	runs   int
+	capped bool
+}
+
+// expand replays prefix, then branches on the ready set at its end.
+// It returns false to abort the whole walk.
+func (w *walker) expand(prefix []Choice, crashes int) bool {
+	if w.runs >= w.opts.MaxRuns {
+		w.capped = true
+		return false
+	}
+	res, ready := w.replay(prefix)
+	if !res.Halted || len(prefix) >= w.opts.MaxDepth {
+		// Terminal: either the run completed within the prefix, or we
+		// are at the depth bound with live processes.
+		w.runs++
+		sched := make([]Choice, len(prefix))
+		copy(sched, prefix)
+		return w.visit(Outcome{Schedule: sched, Result: res})
+	}
+	for _, id := range ready {
+		if !w.expand(append(prefix, Choice{Pick: id}), crashes) {
+			return false
+		}
+	}
+	if crashes < w.opts.MaxCrashes {
+		for _, id := range ready {
+			if !w.expand(append(prefix, Choice{Pick: id, Crash: true}), crashes+1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// replay runs a fresh system under the given choice prefix and returns
+// the result plus the ready set at the halt frontier (nil if complete).
+func (w *walker) replay(prefix []Choice) (*sim.Result, []sim.ProcID) {
+	plan := newChoicePlan(prefix)
+	sys := w.b()
+	res, err := sys.Run(sim.Config{
+		Scheduler:       plan,
+		Faults:          plan,
+		MaxStepsPerProc: w.opts.MaxStepsPerProc,
+		MaxTotalSteps:   w.opts.MaxDepth + 1,
+		DisableTrace:    true,
+	})
+	if err != nil {
+		// A Builder that yields scheduler misuse is a programming error.
+		panic(fmt.Sprintf("explore: replay failed: %v", err))
+	}
+	return res, res.ReadyAtHalt
+}
+
+// choicePlan feeds a choice sequence to the runner, acting as both
+// Scheduler and FaultPlan. Crash choices are consumed by CrashNow (the
+// runner consults faults first at each decision point), pick choices by
+// Next; when the sequence is exhausted Next halts the run.
+type choicePlan struct {
+	choices []Choice
+	i       int
+}
+
+func newChoicePlan(cs []Choice) *choicePlan { return &choicePlan{choices: cs} }
+
+// CrashNow implements sim.FaultPlan: it consumes all consecutive crash
+// choices at the current position.
+func (p *choicePlan) CrashNow(_ []sim.ProcID, _ int) []sim.ProcID {
+	var out []sim.ProcID
+	for p.i < len(p.choices) && p.choices[p.i].Crash {
+		out = append(out, p.choices[p.i].Pick)
+		p.i++
+	}
+	return out
+}
+
+// Next implements sim.Scheduler: it consumes one pick choice.
+func (p *choicePlan) Next(ready []sim.ProcID, _ int) sim.ProcID {
+	if p.i >= len(p.choices) {
+		return sim.Halt
+	}
+	c := p.choices[p.i]
+	p.i++
+	for _, r := range ready {
+		if r == c.Pick {
+			return c.Pick
+		}
+	}
+	return sim.Halt
+}
+
+// DecisionFingerprint canonically renders the decided values of a run,
+// sorted, e.g. "[1 1 2]". Two runs with the same fingerprint decided
+// the same multiset of values.
+func DecisionFingerprint(res *sim.Result) string {
+	var vals []string
+	for _, id := range res.Decided() {
+		vals = append(vals, fmt.Sprint(res.Values[id]))
+	}
+	sort.Strings(vals)
+	return "[" + strings.Join(vals, " ") + "]"
+}
+
+// Census summarizes an exhaustive exploration.
+type Census struct {
+	// Complete and Incomplete count terminal runs.
+	Complete   int
+	Incomplete int
+	// Outcomes histograms complete runs by decision fingerprint.
+	Outcomes map[string]int
+	// Violations holds the first few outcomes failing the check.
+	Violations []Outcome
+	// Exhaustive is false if the walk was truncated by MaxRuns.
+	Exhaustive bool
+}
+
+// MaxRecordedViolations bounds Census.Violations.
+const MaxRecordedViolations = 5
+
+// Run explores all schedules and classifies every terminal run.
+// check, if non-nil, is evaluated on complete runs; a non-nil error
+// records the outcome as a violation.
+func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
+	c := &Census{Outcomes: make(map[string]int)}
+	_, exhaustive := Visit(b, opts, func(o Outcome) bool {
+		if o.Result.Halted {
+			c.Incomplete++
+			return true
+		}
+		c.Complete++
+		c.Outcomes[DecisionFingerprint(o.Result)]++
+		if check != nil {
+			if err := check(o.Result); err != nil && len(c.Violations) < MaxRecordedViolations {
+				c.Violations = append(c.Violations, o)
+			}
+		}
+		return true
+	})
+	c.Exhaustive = exhaustive
+	return c
+}

@@ -1,0 +1,91 @@
+package explore
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Hunt searches for a schedule violating check on systems too large to
+// exhaust: it runs trials random schedules, biased by a small portfolio
+// of adversarial strategies (uniform random, solo-first runs, long
+// head starts for one process, random crash placements). It returns the
+// first violating outcome found, if any, plus the number of runs tried.
+//
+// Hunting complements Run/Visit: exhaustion proves a small instance
+// correct; hunting falsifies larger ones cheaply. The election and
+// hierarchy experiments use both.
+func Hunt(b Builder, opts Options, trials int, seed int64, check func(*sim.Result) error) (*Outcome, int) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	tried := 0
+	for trial := 0; trial < trials; trial++ {
+		sys := b()
+		n := sys.NumProcs()
+		var recorded []sim.ProcID
+		sched := huntScheduler(rng, n, &recorded)
+		cfg := sim.Config{
+			Scheduler:     sched,
+			MaxTotalSteps: opts.MaxDepth,
+			DisableTrace:  true,
+		}
+		var crashes []Choice
+		if opts.MaxCrashes > 0 && rng.Intn(2) == 0 {
+			plan, cs := randomCrashPlan(rng, n, opts.MaxCrashes, opts.MaxDepth)
+			cfg.Faults = plan
+			crashes = cs
+		}
+		res, err := sys.Run(cfg)
+		if err != nil {
+			panic("explore: hunt replay failed: " + err.Error())
+		}
+		tried++
+		if res.Halted {
+			continue
+		}
+		if err := check(res); err != nil {
+			schedule := make([]Choice, 0, len(recorded)+len(crashes))
+			for _, id := range recorded {
+				schedule = append(schedule, Choice{Pick: id})
+			}
+			schedule = append(schedule, crashes...)
+			return &Outcome{Schedule: schedule, Result: res}, tried
+		}
+	}
+	return nil, tried
+}
+
+// huntScheduler picks one adversarial strategy per trial.
+func huntScheduler(rng *rand.Rand, n int, recorded *[]sim.ProcID) sim.Scheduler {
+	var inner sim.Scheduler
+	switch rng.Intn(3) {
+	case 0:
+		inner = sim.Random(rng.Int63())
+	case 1:
+		inner = sim.Solo(sim.ProcID(rng.Intn(n)))
+	default:
+		// Head start: one process runs h steps first, then random.
+		target := sim.ProcID(rng.Intn(n))
+		h := 1 + rng.Intn(8)
+		head := make([]sim.ProcID, h)
+		for i := range head {
+			head[i] = target
+		}
+		inner = sim.ReplayThen(head, sim.Random(rng.Int63()))
+	}
+	return sim.Recording(inner, recorded)
+}
+
+// randomCrashPlan crashes up to max processes at random global steps.
+func randomCrashPlan(rng *rand.Rand, n, max, depth int) (sim.FaultPlan, []Choice) {
+	plan := make(map[int][]sim.ProcID)
+	var choices []Choice
+	count := 1 + rng.Intn(max)
+	for i := 0; i < count; i++ {
+		id := sim.ProcID(rng.Intn(n))
+		at := rng.Intn(depth/4 + 1)
+		plan[at] = append(plan[at], id)
+		choices = append(choices, Choice{Pick: id, Crash: true})
+	}
+	return sim.CrashAt(plan), choices
+}

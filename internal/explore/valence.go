@@ -1,0 +1,112 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Valence computes the set of decision fingerprints reachable from the
+// given schedule prefix — the "valence" of the corresponding protocol
+// state in the Fischer–Lynch–Paterson sense (reference [9] of the
+// paper). A prefix with two or more reachable fingerprints is bivalent:
+// the outcome is still undetermined.
+//
+// Incomplete runs (depth bound hit) contribute the pseudo-fingerprint
+// "∞" so that non-terminating branches are visible in the valence.
+func Valence(b Builder, opts Options, prefix []Choice) []string {
+	opts = opts.withDefaults()
+	set := make(map[string]bool)
+	w := &walker{b: b, opts: opts, visit: func(o Outcome) bool {
+		if o.Result.Halted {
+			set["∞"] = true
+		} else {
+			set[DecisionFingerprint(o.Result)] = true
+		}
+		return true
+	}}
+	w.expand(prefix, countCrashes(prefix))
+	out := make([]string, 0, len(set))
+	for fp := range set {
+		out = append(out, fp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func countCrashes(cs []Choice) int {
+	n := 0
+	for _, c := range cs {
+		if c.Crash {
+			n++
+		}
+	}
+	return n
+}
+
+// Bivalent reports whether at least two distinct decision fingerprints
+// are reachable from prefix.
+func Bivalent(b Builder, opts Options, prefix []Choice) bool {
+	return len(Valence(b, opts, prefix)) >= 2
+}
+
+// BivalencePath greedily extends a schedule, at every frontier choosing
+// a child that is still bivalent, up to pathLen decision points. It
+// returns the path found and whether every prefix along it (including
+// the last) was bivalent.
+//
+// For a correct consensus protocol over a strong object the path ends
+// quickly — some step decides. For an attempted read/write consensus
+// protocol the path keeps extending, which is exactly the FLP shape:
+// an adversary can keep the protocol undecided forever.
+func BivalencePath(b Builder, opts Options, pathLen int) ([]Choice, bool) {
+	opts = opts.withDefaults()
+	var path []Choice
+	for len(path) < pathLen {
+		if !Bivalent(b, opts, path) {
+			return path, false
+		}
+		w := &walker{b: b, opts: opts}
+		_, ready := w.replay(path)
+		if ready == nil {
+			return path, false
+		}
+		extended := false
+		for _, id := range ready {
+			child := append(append([]Choice(nil), path...), Choice{Pick: id})
+			if Bivalent(b, opts, child) {
+				path = child
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			// Every child is univalent: the next step decides.
+			return path, false
+		}
+	}
+	return path, true
+}
+
+// ValenceString renders a valence set compactly, e.g. "{[0 0], [1 1]}".
+func ValenceString(v []string) string {
+	return "{" + strings.Join(v, ", ") + "}"
+}
+
+// DescribeCensus renders a census as a short multi-line report.
+func DescribeCensus(c *Census) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "complete=%d incomplete=%d exhaustive=%v\n", c.Complete, c.Incomplete, c.Exhaustive)
+	fps := make([]string, 0, len(c.Outcomes))
+	for fp := range c.Outcomes {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		fmt.Fprintf(&b, "  %s × %d\n", fp, c.Outcomes[fp])
+	}
+	for _, v := range c.Violations {
+		fmt.Fprintf(&b, "  violation: schedule %s\n", FormatSchedule(v.Schedule))
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package hardware re-implements the paper's central objects and
+// election protocols on real Go concurrency primitives (goroutines +
+// sync/atomic) instead of the deterministic simulator. It exists to
+// cross-validate the simulator's semantics: the same algorithms must
+// agree under the Go scheduler and the race detector as they do under
+// every simulated schedule. The gate-vs-atomic ablation
+// (BenchmarkAblationGateVsAtomic) measures the cost difference.
+//
+// The compare&swap register keeps the paper's interface — c&s(a→b)
+// returns the previous value, the alphabet Σ = {⊥, 0, …, k−2} is hard
+// enforced — on an int32 with a standard read-validate CAS loop.
+package hardware
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/objects"
+)
+
+// CAS is a compare&swap-(k) register on a machine word.
+type CAS struct {
+	k int
+	v int32
+
+	// history of values, for post-run inspection only (mutex-guarded;
+	// not part of the synchronization semantics).
+	mu      sync.Mutex
+	history []objects.Symbol
+}
+
+// NewCAS returns a hardware-backed compare&swap-(k) register at ⊥.
+func NewCAS(k int) *CAS {
+	if k < 2 {
+		panic(fmt.Sprintf("hardware: compare&swap-(%d): k must be >= 2", k))
+	}
+	return &CAS{k: k, history: []objects.Symbol{objects.Bottom}}
+}
+
+// K returns the alphabet size.
+func (c *CAS) K() int { return c.k }
+
+// CompareAndSwap performs c&s(from→to), returning the previous value.
+// It panics on out-of-alphabet symbols — the hard size limit.
+func (c *CAS) CompareAndSwap(from, to objects.Symbol) objects.Symbol {
+	c.check(from)
+	c.check(to)
+	for {
+		cur := atomic.LoadInt32(&c.v)
+		if objects.Symbol(cur) != from {
+			return objects.Symbol(cur)
+		}
+		if atomic.CompareAndSwapInt32(&c.v, cur, int32(to)) {
+			if from != to {
+				c.mu.Lock()
+				c.history = append(c.history, to)
+				c.mu.Unlock()
+			}
+			return from
+		}
+	}
+}
+
+// Read returns the current value.
+func (c *CAS) Read() objects.Symbol {
+	return objects.Symbol(atomic.LoadInt32(&c.v))
+}
+
+// History returns the sequence of values held (inspection only).
+func (c *CAS) History() []objects.Symbol {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]objects.Symbol, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+func (c *CAS) check(s objects.Symbol) {
+	if s < 0 || int(s) >= c.k {
+		panic(fmt.Sprintf("hardware: symbol %d outside compare&swap-(%d) alphabet", int(s), c.k))
+	}
+}
+
+// DirectElection elects a leader among n ≤ k−1 goroutines with the
+// register alone: each claims its symbol, everyone decides the
+// register's value. Returns each participant's decision.
+func DirectElection(cas *CAS, n int) []int {
+	if n > cas.K()-1 {
+		panic(fmt.Sprintf("hardware: %d processes exceed compare&swap-(%d) capacity %d", n, cas.K(), cas.K()-1))
+	}
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cas.CompareAndSwap(objects.Bottom, objects.Symbol(i+1))
+			out[i] = int(cas.Read()) - 1
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// AnnouncedElection elects among n ≤ k−1 goroutines with arbitrary
+// identities: announce, claim your port, decide the winning port's
+// announcement.
+func AnnouncedElection(cas *CAS, identities []any) []any {
+	n := len(identities)
+	if n > cas.K()-1 {
+		panic(fmt.Sprintf("hardware: %d processes exceed compare&swap-(%d) capacity %d", n, cas.K(), cas.K()-1))
+	}
+	ann := make([]atomic.Pointer[any], n)
+	out := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := identities[i]
+			ann[i].Store(&id)
+			cas.CompareAndSwap(objects.Bottom, objects.Symbol(i+1))
+			win := int(cas.Read()) - 1
+			out[i] = *ann[win].Load() // the winner announced before its c&s
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// PermutationElection runs the first-use permutation-tree election on
+// hardware primitives: election.Capacity(k) goroutines, one per slot,
+// spinning on real atomics. Crash-free (goroutines don't crash), so the
+// protocol's liveness condition holds; returns every participant's
+// decision (a slot-owner index).
+func PermutationElection(k int) []int32 {
+	slots := permSlots(k)
+	n := len(slots)
+	cas := NewCAS(k)
+	done := make([]atomic.Bool, n)
+	out := make([]int32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slot := slots[i]
+			marked := false
+			for {
+				chain := buildChain(slots, &done)
+				if len(chain) == k-1 {
+					leader := slotIndex(slots, chain)
+					out[i] = int32(leader)
+					return
+				}
+				if !marked && prefixEq(chain, slot.prefix) {
+					from := objects.Bottom
+					if len(chain) > 0 {
+						from = chain[len(chain)-1]
+					}
+					if cas.CompareAndSwap(from, slot.next) == from {
+						done[i].Store(true)
+						marked = true
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// permSlot mirrors election.Slot for the hardware build (kept local to
+// avoid importing simulator types into the hardware path).
+type permSlot struct {
+	prefix []objects.Symbol
+	next   objects.Symbol
+}
+
+func permSlots(k int) []permSlot {
+	var out []permSlot
+	var rec func(prefix []objects.Symbol)
+	rec = func(prefix []objects.Symbol) {
+		used := make(map[objects.Symbol]bool, len(prefix))
+		for _, s := range prefix {
+			used[s] = true
+		}
+		for s := objects.Symbol(1); int(s) < k; s++ {
+			if used[s] {
+				continue
+			}
+			p := make([]objects.Symbol, len(prefix))
+			copy(p, prefix)
+			out = append(out, permSlot{prefix: p, next: s})
+			rec(append(prefix, s))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+func buildChain(slots []permSlot, done *[]atomic.Bool) []objects.Symbol {
+	var chain []objects.Symbol
+	for {
+		extended := false
+		for i := range slots {
+			if !(*done)[i].Load() {
+				continue
+			}
+			if prefixEq(chain, slots[i].prefix) {
+				chain = append(chain, slots[i].next)
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			return chain
+		}
+	}
+}
+
+func slotIndex(slots []permSlot, chain []objects.Symbol) int {
+	for i, s := range slots {
+		if s.next == chain[len(chain)-1] && prefixEq(chain[:len(chain)-1], s.prefix) {
+			return i
+		}
+	}
+	return -1
+}
+
+func prefixEq(a, b []objects.Symbol) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

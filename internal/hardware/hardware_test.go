@@ -1,0 +1,109 @@
+package hardware_test
+
+import (
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/hardware"
+	"repro/internal/objects"
+)
+
+// These tests run the protocols on real goroutines and sync/atomic;
+// `go test -race ./internal/hardware/` is the cross-validation the
+// package exists for.
+
+func TestCASSemantics(t *testing.T) {
+	c := hardware.NewCAS(4)
+	if prev := c.CompareAndSwap(objects.Bottom, 2); prev != objects.Bottom {
+		t.Fatalf("first cas prev = %v", prev)
+	}
+	if prev := c.CompareAndSwap(objects.Bottom, 1); prev != 2 {
+		t.Fatalf("failed cas prev = %v", prev)
+	}
+	if got := c.Read(); got != 2 {
+		t.Fatalf("Read = %v", got)
+	}
+	h := c.History()
+	if len(h) != 2 || h[1] != 2 {
+		t.Fatalf("history = %v", h)
+	}
+}
+
+func TestCASAlphabetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-alphabet cas did not panic")
+		}
+	}()
+	hardware.NewCAS(3).CompareAndSwap(0, 5)
+}
+
+func TestDirectElectionAgreesUnderRealConcurrency(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		k := 5
+		cas := hardware.NewCAS(k)
+		out := hardware.DirectElection(cas, k-1)
+		for i := 1; i < len(out); i++ {
+			if out[i] != out[0] {
+				t.Fatalf("trial %d: decisions %v disagree", trial, out)
+			}
+		}
+		if out[0] < 0 || out[0] >= k-1 {
+			t.Fatalf("trial %d: invalid leader %d", trial, out[0])
+		}
+		if h := cas.History(); len(h) != 2 || int(h[1])-1 != out[0] {
+			t.Fatalf("trial %d: history %v does not match leader %d", trial, h, out[0])
+		}
+	}
+}
+
+func TestAnnouncedElectionAgreesUnderRealConcurrency(t *testing.T) {
+	ids := []any{"alpha", "beta", "gamma"}
+	for trial := 0; trial < 200; trial++ {
+		cas := hardware.NewCAS(4)
+		out := hardware.AnnouncedElection(cas, ids)
+		for i := 1; i < len(out); i++ {
+			if out[i] != out[0] {
+				t.Fatalf("trial %d: decisions %v disagree", trial, out)
+			}
+		}
+		valid := false
+		for _, id := range ids {
+			if out[0] == id {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("trial %d: leader %v not a proposed identity", trial, out[0])
+		}
+	}
+}
+
+func TestPermutationElectionUnderRealConcurrency(t *testing.T) {
+	for _, k := range []int{3, 4} {
+		n := election.Capacity(k)
+		for trial := 0; trial < 30; trial++ {
+			out := hardware.PermutationElection(k)
+			if len(out) != n {
+				t.Fatalf("k=%d: %d decisions, want %d", k, len(out), n)
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i] != out[0] {
+					t.Fatalf("k=%d trial %d: decisions disagree: %v", k, trial, out)
+				}
+			}
+			if out[0] < 0 || int(out[0]) >= n {
+				t.Fatalf("k=%d trial %d: invalid leader %d", k, trial, out[0])
+			}
+		}
+	}
+}
+
+func TestCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("over-capacity did not panic")
+		}
+	}()
+	hardware.DirectElection(hardware.NewCAS(3), 3)
+}

@@ -1,0 +1,114 @@
+package hierarchy_test
+
+import (
+	"testing"
+
+	"repro/internal/hierarchy"
+)
+
+// TestLevelTwoObjectsSolveTwo is E6's positive rows: test&set,
+// fetch&add and queue each solve 2-consensus on every schedule with up
+// to one crash.
+func TestLevelTwoObjectsSolveTwo(t *testing.T) {
+	checks := []func(n, maxRuns int) hierarchy.Witness{
+		hierarchy.CheckTAS,
+		hierarchy.CheckFetchAdd,
+		hierarchy.CheckQueue,
+	}
+	for _, check := range checks {
+		w := check(2, 100000)
+		if !w.Solves {
+			t.Errorf("%s should solve 2-consensus; violation at %s", w.Object, w.Violation)
+		}
+		if w.Runs == 0 {
+			t.Errorf("%s: no runs explored", w.Object)
+		}
+	}
+}
+
+// TestLevelTwoObjectsFailThree is E6's negative rows: the natural
+// 3-process generalizations of the level-2 protocols disagree on some
+// schedule — the objects' consensus number is exactly 2.
+func TestLevelTwoObjectsFailThree(t *testing.T) {
+	checks := []func(n, maxRuns int) hierarchy.Witness{
+		hierarchy.CheckTAS,
+		hierarchy.CheckFetchAdd,
+		hierarchy.CheckQueue,
+	}
+	for _, check := range checks {
+		w := check(3, 400000)
+		if w.Solves {
+			t.Errorf("%s: 3-process protocol survived exploration (consensus number should be 2)", w.Object)
+		}
+	}
+}
+
+// TestRWFailsTwo: read/write registers cannot solve even 2-consensus.
+func TestRWFailsTwo(t *testing.T) {
+	w := hierarchy.CheckRW(2, 100000)
+	if w.Solves {
+		t.Error("read/write attempt survived exploration (FLP says it must not)")
+	}
+	if w.Violation == "" {
+		t.Error("no violating schedule recorded")
+	}
+}
+
+// TestCASSolvesUpToAlphabet: compare&swap-(k) solves n-consensus for
+// every n ≤ k−1 — and the size limit k−1 is structural (the protocol
+// cannot even be instantiated beyond it).
+func TestCASSolvesUpToAlphabet(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{3, 2}, {4, 2}, {4, 3}} {
+		maxRuns := 400000
+		if tc.n >= 3 {
+			maxRuns = 120000 // crash branching at n=3 explodes; bounded sweep
+		}
+		w := hierarchy.CheckCAS(tc.k, tc.n, maxRuns)
+		if !w.Solves {
+			t.Errorf("compare&swap-(%d) failed %d-consensus: %s", tc.k, tc.n, w.Violation)
+		}
+	}
+}
+
+// TestStickyBitSolvesMany: the sticky bit is universal — its one-shot
+// protocol agrees for any explored n.
+func TestStickyBitSolvesMany(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		w := hierarchy.CheckStickyBit(n, 400000)
+		if !w.Solves {
+			t.Errorf("sticky bit failed %d-consensus: %s", n, w.Violation)
+		}
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	rows := hierarchy.Table(5)
+	if len(rows) != 7 {
+		t.Fatalf("table has %d rows", len(rows))
+	}
+	byObject := make(map[string]int)
+	for _, r := range rows {
+		byObject[r.Object] = r.ConsensusNumber
+	}
+	if byObject["read/write register"] != 1 {
+		t.Error("read/write consensus number wrong")
+	}
+	if byObject["test&set"] != 2 {
+		t.Error("test&set consensus number wrong")
+	}
+	if byObject["compare&swap-(5)"] != hierarchy.Infinity {
+		t.Error("compare&swap consensus number wrong")
+	}
+}
+
+// TestSwapLevelTwo: swap solves 2-consensus exhaustively and fails at 3.
+func TestSwapLevelTwo(t *testing.T) {
+	w := hierarchy.CheckSwap(2, 200000)
+	if !w.Solves {
+		t.Errorf("swap should solve 2-consensus; violation at %s", w.Violation)
+	}
+	w = hierarchy.CheckSwap(3, 400000)
+	if w.Solves {
+		t.Error("swap 3-process generalization survived exploration (consensus number should be 2)")
+	}
+}

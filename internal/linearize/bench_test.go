@@ -1,0 +1,66 @@
+package linearize_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linearize"
+	"repro/internal/registers"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// BenchmarkCheckerRegister measures the memoized Wing–Gong search on
+// random concurrent register histories of growing size.
+func BenchmarkCheckerRegister(b *testing.B) {
+	for _, nOps := range []int{6, 10, 14} {
+		b.Run(fmt.Sprintf("ops=%d", nOps), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			histories := make([][]*sim.Span, 64)
+			for h := range histories {
+				spans := make([]*sim.Span, 0, nOps)
+				for i := 0; i < nOps; i++ {
+					start := rng.Intn(10)
+					end := start + rng.Intn(5)
+					if rng.Intn(2) == 0 {
+						spans = append(spans, &sim.Span{Proc: sim.ProcID(i % 4), Kind: sim.OpWrite,
+							Args: []sim.Value{rng.Intn(3)}, Start: start, End: end})
+					} else {
+						spans = append(spans, &sim.Span{Proc: sim.ProcID(i % 4), Kind: sim.OpRead,
+							Result: rng.Intn(3), Start: start, End: end})
+					}
+				}
+				histories[h] = spans
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				linearize.Check(spec.Register{Initial: 0}, histories[i%len(histories)], linearize.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkCheckerSnapshotHistory measures checking a real snapshot
+// protocol trace end to end (simulation + check).
+func BenchmarkCheckerSnapshotHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := sim.NewSystem()
+		snap := registers.NewSnapshot(sys, "snap", 3, 0)
+		for p := 0; p < 3; p++ {
+			sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+				snap.Update(e, int(e.ID())+1)
+				snap.Scan(e)
+				return nil, nil
+			})
+		}
+		res, err := sys.Run(sim.Config{Scheduler: sim.Random(int64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := linearize.Check(spec.SnapshotSpec{N: 3, Initial: 0}, res.Trace.SpansOf("snap"), linearize.Options{})
+		if !rep.Ok {
+			b.Fatal("snapshot history rejected")
+		}
+	}
+}

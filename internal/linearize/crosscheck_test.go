@@ -1,0 +1,138 @@
+package linearize_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/linearize"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// bruteForce decides linearizability of complete spans by trying every
+// permutation respecting real-time order — the reference oracle for the
+// memoized checker.
+func bruteForce(sp spec.Spec, spans []*sim.Span) bool {
+	n := len(spans)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(depth int, state spec.State) bool
+	rec = func(depth int, state spec.State) bool {
+		if depth == n {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time: i may come next only if no unused j ends
+			// before i starts.
+			ok := true
+			for j := 0; j < n; j++ {
+				if j != i && !used[j] && spans[j].End < spans[i].Start {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			next, res := sp.Apply(state, spans[i].Proc, spans[i].Kind, spans[i].Args)
+			if !valuesRender(res, spans[i].Result) {
+				continue
+			}
+			used[i] = true
+			perm[depth] = i
+			if rec(depth+1, next) {
+				used[i] = false
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0, sp.Init())
+}
+
+func valuesRender(a, b sim.Value) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	return renderValue(a) == renderValue(b)
+}
+
+func renderValue(v sim.Value) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return sprint(v)
+}
+
+func sprint(v sim.Value) string { return fmt.Sprint(v) }
+
+// TestCheckerMatchesBruteForce cross-validates the memoized checker
+// against the brute-force oracle on thousands of random small register
+// histories.
+func TestCheckerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		nOps := 2 + rng.Intn(4)
+		spans := make([]*sim.Span, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			start := rng.Intn(8)
+			end := start + rng.Intn(4)
+			proc := sim.ProcID(rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				spans = append(spans, &sim.Span{
+					Proc: proc, Object: "r", Kind: sim.OpWrite,
+					Args: []sim.Value{rng.Intn(3)}, Start: start, End: end,
+				})
+			} else {
+				spans = append(spans, &sim.Span{
+					Proc: proc, Object: "r", Kind: sim.OpRead,
+					Result: rng.Intn(3), Start: start, End: end,
+				})
+			}
+		}
+		want := bruteForce(spec.Register{Initial: 0}, spans)
+		got := linearize.Check(spec.Register{Initial: 0}, spans, linearize.Options{}).Ok
+		if got != want {
+			t.Fatalf("trial %d: checker=%v oracle=%v for %v", trial, got, want, spans)
+		}
+	}
+}
+
+// TestCheckerMatchesBruteForceQueue does the same over queue histories.
+func TestCheckerMatchesBruteForceQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1500; trial++ {
+		nOps := 2 + rng.Intn(4)
+		spans := make([]*sim.Span, 0, nOps)
+		for i := 0; i < nOps; i++ {
+			start := rng.Intn(8)
+			end := start + rng.Intn(4)
+			proc := sim.ProcID(rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				spans = append(spans, &sim.Span{
+					Proc: proc, Object: "q", Kind: "enq",
+					Args: []sim.Value{rng.Intn(2)}, Start: start, End: end,
+				})
+			} else {
+				var res sim.Value
+				if rng.Intn(3) > 0 {
+					res = rng.Intn(2)
+				}
+				spans = append(spans, &sim.Span{
+					Proc: proc, Object: "q", Kind: "deq",
+					Result: res, Start: start, End: end,
+				})
+			}
+		}
+		want := bruteForce(spec.QueueSpec{}, spans)
+		got := linearize.Check(spec.QueueSpec{}, spans, linearize.Options{}).Ok
+		if got != want {
+			t.Fatalf("trial %d: checker=%v oracle=%v for %v", trial, got, want, spans)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package linearize_test
+
+import (
+	"testing"
+
+	"repro/internal/linearize"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// FuzzCheckerAgainstOracle fuzzes the memoized checker against the
+// brute-force oracle: each byte triple encodes one register operation
+// (kind+value, start, duration). Run with `go test -fuzz
+// FuzzCheckerAgainstOracle ./internal/linearize/` for a deep campaign;
+// the seed corpus runs as an ordinary test.
+func FuzzCheckerAgainstOracle(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 129, 2, 1})
+	f.Add([]byte{1, 0, 0, 130, 1, 1, 0, 3, 2})
+	f.Add([]byte{128, 0, 4, 128, 1, 1, 1, 2, 2, 2, 5, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 || len(data) > 18 {
+			return // 1..6 operations
+		}
+		var spans []*sim.Span
+		for i := 0; i+2 < len(data); i += 3 {
+			kindVal, start, dur := data[i], int(data[i+1]%8), int(data[i+2]%4)
+			sp := &sim.Span{
+				Proc:  sim.ProcID(i / 3 % 3),
+				Start: start,
+				End:   start + dur,
+			}
+			if kindVal&0x80 != 0 {
+				sp.Kind = sim.OpWrite
+				sp.Args = []sim.Value{int(kindVal % 3)}
+			} else {
+				sp.Kind = sim.OpRead
+				sp.Result = int(kindVal % 3)
+			}
+			spans = append(spans, sp)
+		}
+		want := bruteForce(spec.Register{Initial: 0}, spans)
+		got := linearize.Check(spec.Register{Initial: 0}, spans, linearize.Options{}).Ok
+		if got != want {
+			t.Fatalf("checker=%v oracle=%v for %v", got, want, spans)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package linearize decides whether a concurrent history of operation
+// spans is linearizable with respect to a sequential specification
+// (Herlihy & Wing, "Linearizability: A Correctness Condition for
+// Concurrent Objects", TOPLAS 1990 — reference [12] of the paper).
+//
+// The checker is the Wing–Gong search with memoization: it explores
+// orders of the spans consistent with their real-time precedence,
+// replaying the sequential spec and pruning configurations
+// (linearized-set, spec-state) that have already failed.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Options tunes a check.
+type Options struct {
+	// AllowPending controls spans with End < 0 (their process crashed
+	// mid-operation). When true, a pending span may linearize anywhere
+	// after its start or not at all, with its result unconstrained —
+	// the standard completion semantics. When false, pending spans are
+	// rejected outright.
+	AllowPending bool
+	// MaxConfigs caps the number of explored configurations as a safety
+	// net; 0 means DefaultMaxConfigs.
+	MaxConfigs int
+}
+
+// DefaultMaxConfigs bounds checker work when Options.MaxConfigs is 0.
+const DefaultMaxConfigs = 1 << 22
+
+// Report is the outcome of a linearizability check.
+type Report struct {
+	// Ok reports whether a valid linearization exists.
+	Ok bool
+	// Order, when Ok, lists indices into the checked span slice in
+	// linearization order (pending spans that did not take effect are
+	// omitted).
+	Order []int
+	// Explored is the number of configurations visited.
+	Explored int
+	// Truncated reports that the search hit MaxConfigs before deciding;
+	// when set, Ok=false means "not found within budget".
+	Truncated bool
+}
+
+// Check decides whether spans form a linearizable history of sp.
+func Check(sp spec.Spec, spans []*sim.Span, opts Options) Report {
+	if opts.MaxConfigs == 0 {
+		opts.MaxConfigs = DefaultMaxConfigs
+	}
+	if !opts.AllowPending {
+		for _, s := range spans {
+			if !s.Complete() {
+				return Report{Ok: false}
+			}
+		}
+	}
+	c := &checker{
+		spec:   sp,
+		spans:  spans,
+		opts:   opts,
+		failed: make(map[string]bool),
+	}
+	order, ok := c.search(newBitset(len(spans)), sp.Init(), nil)
+	return Report{Ok: ok, Order: order, Explored: c.explored, Truncated: c.truncated}
+}
+
+type checker struct {
+	spec      spec.Spec
+	spans     []*sim.Span
+	opts      Options
+	failed    map[string]bool
+	explored  int
+	truncated bool
+}
+
+// search tries to extend the linearization `prefix` given the set of
+// already-linearized (or dropped) spans and the current spec state.
+func (c *checker) search(done bitset, state spec.State, prefix []int) ([]int, bool) {
+	if done.count() == len(c.spans) {
+		out := make([]int, len(prefix))
+		copy(out, prefix)
+		return out, true
+	}
+	c.explored++
+	if c.explored > c.opts.MaxConfigs {
+		c.truncated = true
+		return nil, false
+	}
+	key := done.key() + "|" + c.spec.Fingerprint(state)
+	if c.failed[key] {
+		return nil, false
+	}
+
+	for i, s := range c.spans {
+		if done.has(i) || !c.minimal(done, i) {
+			continue
+		}
+		if s.Complete() {
+			next, res := c.spec.Apply(state, s.Proc, s.Kind, s.Args)
+			if resultsEqual(res, s.Result) {
+				if order, ok := c.search(done.with(i), next, append(prefix, i)); ok {
+					return order, true
+				}
+			}
+			continue
+		}
+		// Pending span: branch on taking effect (result unconstrained)
+		// or never taking effect.
+		next, _ := c.spec.Apply(state, s.Proc, s.Kind, s.Args)
+		if order, ok := c.search(done.with(i), next, append(prefix, i)); ok {
+			return order, true
+		}
+		if order, ok := c.search(done.with(i), state, prefix); ok {
+			return order, true
+		}
+	}
+	c.failed[key] = true
+	return nil, false
+}
+
+// minimal reports whether span i may be linearized next: no other
+// unlinearized complete span ends strictly before span i starts.
+func (c *checker) minimal(done bitset, i int) bool {
+	si := c.spans[i]
+	for j, sj := range c.spans {
+		if j == i || done.has(j) {
+			continue
+		}
+		if sj.Complete() && sj.End < si.Start {
+			return false
+		}
+	}
+	return true
+}
+
+// resultsEqual compares a spec-expected result with an observed one.
+// Both sides are simple values or fmt-rendered strings.
+func resultsEqual(expected, observed sim.Value) bool {
+	if expected == nil && observed == nil {
+		return true
+	}
+	return fmt.Sprint(expected) == fmt.Sprint(observed)
+}
+
+// bitset tracks linearized spans; sized at construction.
+type bitset struct {
+	bits []uint64
+	n    int
+}
+
+func newBitset(n int) bitset {
+	return bitset{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b bitset) has(i int) bool { return b.bits[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) with(i int) bitset {
+	nb := bitset{bits: make([]uint64, len(b.bits)), n: b.n}
+	copy(nb.bits, b.bits)
+	nb.bits[i/64] |= 1 << uint(i%64)
+	return nb
+}
+
+func (b bitset) count() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.has(i) {
+			c++
+		}
+	}
+	return c
+}
+
+func (b bitset) key() string {
+	parts := make([]string, len(b.bits))
+	for i, w := range b.bits {
+		parts[i] = fmt.Sprintf("%x", w)
+	}
+	return strings.Join(parts, ",")
+}
+
+// SortByStart orders spans by start time (stable), the conventional
+// presentation order for reports.
+func SortByStart(spans []*sim.Span) []*sim.Span {
+	out := make([]*sim.Span, len(spans))
+	copy(out, spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,161 @@
+// Package objects provides the strong shared synchronization objects of
+// Herlihy's hierarchy, with explicitly bounded value alphabets where
+// the paper requires it. The central type is CAS, the
+// compare&swap-(k) register of Afek & Stupp: a compare&swap register
+// that can hold only k distinct values, Σ = {⊥, 0, 1, …, k−2}.
+package objects
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Symbol is a value of a bounded object's alphabet Σ = {⊥, 0, …, k−2}.
+// Bottom (⊥) is Symbol 0; the paper's value v ∈ {0..k−2} is Symbol v+1.
+type Symbol int
+
+// Bottom is ⊥, the initial value of every compare&swap-(k) register.
+const Bottom Symbol = 0
+
+// String renders ⊥ for Bottom and the paper's value otherwise.
+func (s Symbol) String() string {
+	if s == Bottom {
+		return "⊥"
+	}
+	return fmt.Sprint(int(s) - 1)
+}
+
+// Operation kinds accepted by the objects in this package.
+const (
+	// OpCAS is compare&swap: args = [old, new Symbol]; returns the
+	// previous value (the operation succeeded iff it returned old).
+	OpCAS sim.OpKind = "cas"
+	// OpTAS is test&set: no args; returns true iff the caller set the bit.
+	OpTAS sim.OpKind = "tas"
+	// OpFetchAdd is fetch&add: args = [delta int]; returns the previous value.
+	OpFetchAdd sim.OpKind = "fetchadd"
+	// OpSwap is swap: args = [new]; returns the previous value.
+	OpSwap sim.OpKind = "swap"
+	// OpEnq and OpDeq are FIFO queue operations. OpDeq returns nil on empty.
+	OpEnq sim.OpKind = "enq"
+	OpDeq sim.OpKind = "deq"
+	// OpRMW is a generic read-modify-write: args = [arg]; returns the
+	// previous value after applying the object's transition function.
+	OpRMW sim.OpKind = "rmw"
+	// OpPropose is the operation of a consensus object: args = [v];
+	// returns the decided value (the first proposal).
+	OpPropose sim.OpKind = "propose"
+)
+
+// ErrAlphabet is returned when an operation would take a bounded object
+// outside its k-value alphabet. This is the hard size limit the paper
+// studies: it is an error, never silently widened.
+var ErrAlphabet = errors.New("objects: value outside bounded alphabet")
+
+// CAS is a compare&swap-(k) register: it holds one of k symbols from
+// Σ = {⊥, 0, …, k−2} and supports the operation
+//
+//	c&s(a→b)(r): prev := r; if prev = a then r := b; return prev
+//
+// exactly as defined in the paper's introduction. The register also
+// supports an atomic read (c&s(x→x) for the current x is equivalent;
+// a direct read is provided for convenience and is standard on
+// commercial compare&swap words).
+//
+// The register records the sequence of values it has held — its
+// history, the "backbone of the constructed run" in the paper's
+// emulation — for test and experiment inspection; the history is not
+// part of the shared interface.
+type CAS struct {
+	name    string
+	k       int
+	value   Symbol
+	history []Symbol
+}
+
+var _ sim.Object = (*CAS)(nil)
+
+// NewCAS returns a compare&swap-(k) register initialized to ⊥.
+// k must be at least 2 (⊥ plus one value).
+func NewCAS(name string, k int) *CAS {
+	if k < 2 {
+		panic(fmt.Sprintf("objects: compare&swap-(%d): k must be >= 2", k))
+	}
+	return &CAS{name: name, k: k, value: Bottom, history: []Symbol{Bottom}}
+}
+
+// Name implements sim.Object.
+func (c *CAS) Name() string { return c.name }
+
+// K returns the alphabet size (number of distinct holdable values).
+func (c *CAS) K() int { return c.k }
+
+// Apply implements sim.Object.
+func (c *CAS) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case sim.OpRead:
+		return c.value, nil
+	case OpCAS:
+		from, to := args[0].(Symbol), args[1].(Symbol)
+		if err := c.check(from); err != nil {
+			return nil, err
+		}
+		if err := c.check(to); err != nil {
+			return nil, err
+		}
+		prev := c.value
+		if prev == from {
+			c.value = to
+			if to != prev {
+				c.history = append(c.history, to)
+			}
+		}
+		return prev, nil
+	default:
+		return nil, fmt.Errorf("objects: cas register: unsupported op %q", op)
+	}
+}
+
+func (c *CAS) check(s Symbol) error {
+	if s < 0 || int(s) >= c.k {
+		return fmt.Errorf("%w: symbol %d, alphabet size %d", ErrAlphabet, int(s), c.k)
+	}
+	return nil
+}
+
+// CompareAndSwap performs c&s(from→to) as one atomic step and returns
+// the previous value. The operation succeeded iff prev == from.
+func (c *CAS) CompareAndSwap(e *sim.Env, from, to Symbol) Symbol {
+	return e.Apply(c, OpCAS, from, to).(Symbol)
+}
+
+// Read returns the register's current value as one atomic step.
+func (c *CAS) Read(e *sim.Env) Symbol {
+	return e.Apply(c, sim.OpRead).(Symbol)
+}
+
+// History returns the sequence of values the register has held,
+// starting with ⊥. It is inspection-only: protocol code must not call
+// it (it is not a shared-memory step).
+func (c *CAS) History() []Symbol {
+	out := make([]Symbol, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// FirstUses returns the order in which distinct values first appeared
+// in the register's history — the "label" of the realized run in the
+// paper's emulation terminology.
+func (c *CAS) FirstUses() []Symbol {
+	seen := make(map[Symbol]bool, c.k)
+	var out []Symbol
+	for _, s := range c.history {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

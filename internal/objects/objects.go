@@ -1,0 +1,195 @@
+package objects
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TestAndSet is a single-bit test&set object (the hardware primitive of
+// the old IBM machines, Encore Multimax, Sequent Symmetry, etc. cited
+// in the paper's introduction). Its consensus number is 2.
+type TestAndSet struct {
+	name string
+	set  bool
+}
+
+var _ sim.Object = (*TestAndSet)(nil)
+
+// NewTestAndSet returns an unset test&set bit.
+func NewTestAndSet(name string) *TestAndSet { return &TestAndSet{name: name} }
+
+// Name implements sim.Object.
+func (t *TestAndSet) Name() string { return t.name }
+
+// Apply implements sim.Object.
+func (t *TestAndSet) Apply(_ sim.ProcID, op sim.OpKind, _ []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpTAS:
+		won := !t.set
+		t.set = true
+		return won, nil
+	case sim.OpRead:
+		return t.set, nil
+	default:
+		return nil, fmt.Errorf("objects: test&set: unsupported op %q", op)
+	}
+}
+
+// TestAndSet atomically sets the bit, returning true iff the caller was
+// first (the bit was clear).
+func (t *TestAndSet) TestAndSet(e *sim.Env) bool {
+	return e.Apply(t, OpTAS).(bool)
+}
+
+// Read returns the bit without setting it.
+func (t *TestAndSet) Read(e *sim.Env) bool {
+	return e.Apply(t, sim.OpRead).(bool)
+}
+
+// FetchAdd is an unbounded fetch&add register (consensus number 2).
+type FetchAdd struct {
+	name  string
+	value int
+}
+
+var _ sim.Object = (*FetchAdd)(nil)
+
+// NewFetchAdd returns a fetch&add register with the given initial value.
+func NewFetchAdd(name string, initial int) *FetchAdd {
+	return &FetchAdd{name: name, value: initial}
+}
+
+// Name implements sim.Object.
+func (f *FetchAdd) Name() string { return f.name }
+
+// Apply implements sim.Object.
+func (f *FetchAdd) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpFetchAdd:
+		prev := f.value
+		f.value += args[0].(int)
+		return prev, nil
+	case sim.OpRead:
+		return f.value, nil
+	default:
+		return nil, fmt.Errorf("objects: fetch&add: unsupported op %q", op)
+	}
+}
+
+// FetchAdd atomically adds delta and returns the previous value.
+func (f *FetchAdd) FetchAdd(e *sim.Env, delta int) int {
+	return e.Apply(f, OpFetchAdd, delta).(int)
+}
+
+// Swap is an atomic swap register (consensus number 2).
+type Swap struct {
+	name  string
+	value sim.Value
+}
+
+var _ sim.Object = (*Swap)(nil)
+
+// NewSwap returns a swap register with the given initial value.
+func NewSwap(name string, initial sim.Value) *Swap {
+	return &Swap{name: name, value: initial}
+}
+
+// Name implements sim.Object.
+func (s *Swap) Name() string { return s.name }
+
+// Apply implements sim.Object.
+func (s *Swap) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpSwap:
+		prev := s.value
+		s.value = args[0]
+		return prev, nil
+	case sim.OpRead:
+		return s.value, nil
+	default:
+		return nil, fmt.Errorf("objects: swap: unsupported op %q", op)
+	}
+}
+
+// Swap atomically replaces the value, returning the previous one.
+func (s *Swap) Swap(e *sim.Env, v sim.Value) sim.Value {
+	return e.Apply(s, OpSwap, v)
+}
+
+// StickyBit is Plotkin's sticky bit: the first write sticks, later
+// writes have no effect; every write returns the stuck value. Sticky
+// bits are universal (consensus number ∞) but, like compare&swap,
+// bounded-size instances are size-limited — the motivation of the paper.
+type StickyBit struct {
+	name  string
+	value sim.Value // nil until stuck
+}
+
+var _ sim.Object = (*StickyBit)(nil)
+
+// NewStickyBit returns an unwritten sticky bit.
+func NewStickyBit(name string) *StickyBit { return &StickyBit{name: name} }
+
+// Name implements sim.Object.
+func (s *StickyBit) Name() string { return s.name }
+
+// Apply implements sim.Object.
+func (s *StickyBit) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case sim.OpWrite:
+		if s.value == nil {
+			s.value = args[0]
+		}
+		return s.value, nil
+	case sim.OpRead:
+		return s.value, nil
+	default:
+		return nil, fmt.Errorf("objects: sticky bit: unsupported op %q", op)
+	}
+}
+
+// WriteSticky writes v if the bit is unwritten and returns the stuck value.
+func (s *StickyBit) WriteSticky(e *sim.Env, v sim.Value) sim.Value {
+	return e.Apply(s, sim.OpWrite, v)
+}
+
+// Queue is a FIFO queue object (consensus number 2).
+type Queue struct {
+	name  string
+	items []sim.Value
+}
+
+var _ sim.Object = (*Queue)(nil)
+
+// NewQueue returns a queue holding the given initial items front-first.
+func NewQueue(name string, initial ...sim.Value) *Queue {
+	return &Queue{name: name, items: initial}
+}
+
+// Name implements sim.Object.
+func (q *Queue) Name() string { return q.name }
+
+// Apply implements sim.Object.
+func (q *Queue) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpEnq:
+		q.items = append(q.items, args[0])
+		return nil, nil
+	case OpDeq:
+		if len(q.items) == 0 {
+			return nil, nil
+		}
+		head := q.items[0]
+		q.items = q.items[1:]
+		return head, nil
+	default:
+		return nil, fmt.Errorf("objects: queue: unsupported op %q", op)
+	}
+}
+
+// Enq atomically appends v.
+func (q *Queue) Enq(e *sim.Env, v sim.Value) { e.Apply(q, OpEnq, v) }
+
+// Deq atomically removes and returns the head, or nil if empty.
+func (q *Queue) Deq(e *sim.Env) sim.Value { return e.Apply(q, OpDeq) }

@@ -1,0 +1,479 @@
+package objects_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// solo runs a single program in a fresh system and returns its result.
+func solo(t *testing.T, setup func(sys *sim.System) sim.Program) *sim.Result {
+	t.Helper()
+	sys := sim.NewSystem()
+	sys.Spawn(setup(sys))
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSymbolString(t *testing.T) {
+	tests := []struct {
+		s    objects.Symbol
+		want string
+	}{
+		{objects.Bottom, "⊥"},
+		{1, "0"},
+		{3, "2"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Symbol(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	c := objects.NewCAS("c", 4)
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(c)
+		return func(e *sim.Env) (sim.Value, error) {
+			var out []objects.Symbol
+			out = append(out, c.CompareAndSwap(e, objects.Bottom, 1)) // succeeds: ⊥
+			out = append(out, c.CompareAndSwap(e, objects.Bottom, 2)) // fails: 1
+			out = append(out, c.CompareAndSwap(e, 1, 2))              // succeeds: 1
+			out = append(out, c.Read(e))                              // 2
+			out = append(out, c.CompareAndSwap(e, 2, 2))              // no-op success: 2
+			return out, nil
+		}
+	})
+	want := []objects.Symbol{objects.Bottom, 1, 1, 2, 2}
+	if !reflect.DeepEqual(res.Values[0], want) {
+		t.Errorf("cas sequence = %v, want %v", res.Values[0], want)
+	}
+	if got := c.History(); !reflect.DeepEqual(got, []objects.Symbol{0, 1, 2}) {
+		t.Errorf("History = %v, want [⊥ 1 2]", got)
+	}
+}
+
+func TestCASAlphabetEnforced(t *testing.T) {
+	c := objects.NewCAS("c", 3) // symbols 0..2 only
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(c)
+		return func(e *sim.Env) (sim.Value, error) {
+			c.CompareAndSwap(e, objects.Bottom, 3) // out of alphabet
+			return nil, nil
+		}
+	})
+	if !errors.Is(res.Errors[0], objects.ErrAlphabet) {
+		t.Errorf("error = %v, want ErrAlphabet", res.Errors[0])
+	}
+}
+
+func TestCASRejectsNegativeSymbol(t *testing.T) {
+	c := objects.NewCAS("c", 3)
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(c)
+		return func(e *sim.Env) (sim.Value, error) {
+			c.CompareAndSwap(e, -1, 1)
+			return nil, nil
+		}
+	})
+	if !errors.Is(res.Errors[0], objects.ErrAlphabet) {
+		t.Errorf("error = %v, want ErrAlphabet", res.Errors[0])
+	}
+}
+
+func TestCASTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCAS(1) did not panic")
+		}
+	}()
+	objects.NewCAS("c", 1)
+}
+
+func TestCASFirstUses(t *testing.T) {
+	c := objects.NewCAS("c", 4)
+	solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(c)
+		return func(e *sim.Env) (sim.Value, error) {
+			c.CompareAndSwap(e, 0, 2)
+			c.CompareAndSwap(e, 2, 0)
+			c.CompareAndSwap(e, 0, 2) // 2 again: not a first use
+			c.CompareAndSwap(e, 2, 3)
+			return nil, nil
+		}
+	})
+	want := []objects.Symbol{0, 2, 3}
+	if got := c.FirstUses(); !reflect.DeepEqual(got, want) {
+		t.Errorf("FirstUses = %v, want %v", got, want)
+	}
+}
+
+func TestCASHistoryIsolation(t *testing.T) {
+	c := objects.NewCAS("c", 3)
+	solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(c)
+		return func(e *sim.Env) (sim.Value, error) {
+			c.CompareAndSwap(e, 0, 1)
+			return nil, nil
+		}
+	})
+	h := c.History()
+	h[0] = 99
+	if c.History()[0] == 99 {
+		t.Error("History() aliases internal state")
+	}
+}
+
+func TestCASValueEqualsLastHistoryEntry(t *testing.T) {
+	// Property: after any sequence of cas operations, the register value
+	// equals the last history entry.
+	f := func(ops []uint8) bool {
+		c := objects.NewCAS("c", 4)
+		sys := sim.NewSystem()
+		sys.Add(c)
+		var final objects.Symbol
+		sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+			for _, op := range ops {
+				c.CompareAndSwap(e, objects.Symbol(op%4), objects.Symbol((op/4)%4))
+			}
+			final = c.Read(e)
+			return nil, nil
+		})
+		if _, err := sys.Run(sim.Config{}); err != nil {
+			return false
+		}
+		h := c.History()
+		return h[len(h)-1] == final
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	ts := objects.NewTestAndSet("t")
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(ts)
+		return func(e *sim.Env) (sim.Value, error) {
+			first := ts.TestAndSet(e)
+			second := ts.TestAndSet(e)
+			readable := ts.Read(e)
+			return []bool{first, second, readable}, nil
+		}
+	})
+	want := []bool{true, false, true}
+	if !reflect.DeepEqual(res.Values[0], want) {
+		t.Errorf("t&s sequence = %v, want %v", res.Values[0], want)
+	}
+}
+
+func TestTestAndSetOnlyOneWinner(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := sim.NewSystem()
+		ts := objects.NewTestAndSet("t")
+		sys.Add(ts)
+		sys.SpawnN(4, func(sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				return ts.TestAndSet(e), nil
+			}
+		})
+		res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winners := 0
+		for _, v := range res.Values {
+			if v.(bool) {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Errorf("seed %d: %d winners, want exactly 1", seed, winners)
+		}
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	f := objects.NewFetchAdd("f", 10)
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(f)
+		return func(e *sim.Env) (sim.Value, error) {
+			a := f.FetchAdd(e, 5)
+			b := f.FetchAdd(e, -2)
+			c := e.Apply(f, sim.OpRead)
+			return []int{a, b, c.(int)}, nil
+		}
+	})
+	want := []int{10, 15, 13}
+	if !reflect.DeepEqual(res.Values[0], want) {
+		t.Errorf("fetch&add sequence = %v, want %v", res.Values[0], want)
+	}
+}
+
+func TestFetchAddDistinctTickets(t *testing.T) {
+	// Concurrent fetch&add(1) hands out distinct tickets — the classic
+	// use that gives it consensus number 2.
+	sys := sim.NewSystem()
+	f := objects.NewFetchAdd("f", 0)
+	sys.Add(f)
+	sys.SpawnN(5, func(sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) { return f.FetchAdd(e, 1), nil }
+	})
+	res, err := sys.Run(sim.Config{Scheduler: sim.Random(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, v := range res.Values {
+		if seen[v.(int)] {
+			t.Errorf("duplicate ticket %d", v)
+		}
+		seen[v.(int)] = true
+	}
+}
+
+func TestSwap(t *testing.T) {
+	s := objects.NewSwap("s", "a")
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(s)
+		return func(e *sim.Env) (sim.Value, error) {
+			x := s.Swap(e, "b")
+			y := s.Swap(e, "c")
+			return []sim.Value{x, y}, nil
+		}
+	})
+	if !reflect.DeepEqual(res.Values[0], []sim.Value{"a", "b"}) {
+		t.Errorf("swap sequence = %v, want [a b]", res.Values[0])
+	}
+}
+
+func TestStickyBitSticks(t *testing.T) {
+	s := objects.NewStickyBit("s")
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(s)
+		return func(e *sim.Env) (sim.Value, error) {
+			a := s.WriteSticky(e, 7)
+			b := s.WriteSticky(e, 8) // must not overwrite
+			return []sim.Value{a, b}, nil
+		}
+	})
+	if !reflect.DeepEqual(res.Values[0], []sim.Value{7, 7}) {
+		t.Errorf("sticky sequence = %v, want [7 7]", res.Values[0])
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := objects.NewQueue("q", "x")
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(q)
+		return func(e *sim.Env) (sim.Value, error) {
+			q.Enq(e, "y")
+			a := q.Deq(e)
+			b := q.Deq(e)
+			c := q.Deq(e) // empty
+			return []sim.Value{a, b, c}, nil
+		}
+	})
+	if !reflect.DeepEqual(res.Values[0], []sim.Value{"x", "y", nil}) {
+		t.Errorf("queue sequence = %v, want [x y <nil>]", res.Values[0])
+	}
+}
+
+func TestRMWAsCompareAndSwap(t *testing.T) {
+	// A compare&swap expressed as a generic RMW transition function.
+	type casArg struct{ from, to objects.Symbol }
+	r := objects.NewRMW("r", 3, func(cur objects.Symbol, arg sim.Value) objects.Symbol {
+		a := arg.(casArg)
+		if cur == a.from {
+			return a.to
+		}
+		return cur
+	})
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(r)
+		return func(e *sim.Env) (sim.Value, error) {
+			a := r.RMW(e, casArg{objects.Bottom, 2})
+			b := r.RMW(e, casArg{objects.Bottom, 1}) // fails, returns 2
+			return []objects.Symbol{a, b}, nil
+		}
+	})
+	if !reflect.DeepEqual(res.Values[0], []objects.Symbol{0, 2}) {
+		t.Errorf("rmw sequence = %v, want [⊥ 2]", res.Values[0])
+	}
+	if !reflect.DeepEqual(r.History(), []objects.Symbol{0, 2}) {
+		t.Errorf("rmw history = %v, want [⊥ 2]", r.History())
+	}
+}
+
+func TestRMWAlphabetEnforced(t *testing.T) {
+	r := objects.NewRMW("r", 2, func(objects.Symbol, sim.Value) objects.Symbol {
+		return 5 // transition out of the alphabet
+	})
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(r)
+		return func(e *sim.Env) (sim.Value, error) {
+			r.RMW(e, nil)
+			return nil, nil
+		}
+	})
+	if !errors.Is(res.Errors[0], objects.ErrAlphabet) {
+		t.Errorf("error = %v, want ErrAlphabet", res.Errors[0])
+	}
+}
+
+func TestConsensusFirstProposalWins(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := sim.NewSystem()
+		c := objects.NewConsensus("c")
+		sys.Add(c)
+		sys.SpawnN(3, func(id sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				return c.Propose(e, int(id)), nil
+			}
+		})
+		res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := res.DistinctDecisions(); len(d) != 1 {
+			t.Errorf("seed %d: decisions %v, want agreement", seed, d)
+		}
+	}
+}
+
+func TestLLSCSemantics(t *testing.T) {
+	l := objects.NewLLSC("l", 4)
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(l)
+		return func(e *sim.Env) (sim.Value, error) {
+			var out []sim.Value
+			out = append(out, l.LoadLink(e))            // ⊥
+			out = append(out, l.StoreConditional(e, 2)) // true
+			out = append(out, l.StoreConditional(e, 1)) // false: link consumed
+			out = append(out, l.LoadLink(e))            // 2
+			out = append(out, l.StoreConditional(e, 3)) // true
+			return out, nil
+		}
+	})
+	want := []sim.Value{objects.Bottom, true, false, objects.Symbol(2), true}
+	if !reflect.DeepEqual(res.Values[0], want) {
+		t.Errorf("ll/sc sequence = %v, want %v", res.Values[0], want)
+	}
+	if h := l.History(); !reflect.DeepEqual(h, []objects.Symbol{0, 2, 3}) {
+		t.Errorf("history = %v", h)
+	}
+}
+
+func TestLLSCInterferenceBreaksLink(t *testing.T) {
+	// p0 links, p1 links+stores, p0's store must fail.
+	sys := sim.NewSystem()
+	l := objects.NewLLSC("l", 3)
+	sys.Add(l)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		l.LoadLink(e)
+		return l.StoreConditional(e, 1), nil
+	})
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		l.LoadLink(e)
+		return l.StoreConditional(e, 2), nil
+	})
+	// Schedule: p0 LL, p1 LL, p1 SC (wins), p0 SC (fails).
+	res, err := sys.Run(sim.Config{Scheduler: sim.Replay([]sim.ProcID{0, 1, 1, 0})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[1] != true {
+		t.Error("p1's store failed")
+	}
+	if res.Values[0] != false {
+		t.Error("p0's store succeeded despite interference")
+	}
+}
+
+func TestLLSCAlphabetEnforced(t *testing.T) {
+	l := objects.NewLLSC("l", 3)
+	res := solo(t, func(sys *sim.System) sim.Program {
+		sys.Add(l)
+		return func(e *sim.Env) (sim.Value, error) {
+			l.LoadLink(e)
+			l.StoreConditional(e, 7)
+			return nil, nil
+		}
+	})
+	if !errors.Is(res.Errors[0], objects.ErrAlphabet) {
+		t.Errorf("error = %v, want ErrAlphabet", res.Errors[0])
+	}
+}
+
+func TestLLSCOneWinnerWhenLinksPrecedeStores(t *testing.T) {
+	// All four processes load-link before any store-conditional: exactly
+	// one store succeeds, whatever the store order.
+	for _, order := range [][]sim.ProcID{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}} {
+		sys := sim.NewSystem()
+		l := objects.NewLLSC("l", 5)
+		sys.Add(l)
+		sys.SpawnN(4, func(id sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				l.LoadLink(e)
+				return l.StoreConditional(e, objects.Symbol(int(id)+1)), nil
+			}
+		})
+		schedule := append([]sim.ProcID{0, 1, 2, 3}, order...)
+		res, err := sys.Run(sim.Config{Scheduler: sim.Replay(schedule)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winners := 0
+		for _, v := range res.Values {
+			if v.(bool) {
+				winners++
+			}
+		}
+		if winners != 1 {
+			t.Errorf("order %v: %d successful stores, want 1", order, winners)
+		}
+	}
+}
+
+func TestLLSCWinnersMatchHistory(t *testing.T) {
+	// Under arbitrary schedules, a store succeeds iff nobody stored
+	// since its link — so successful stores and value changes line up
+	// with the register's recorded history.
+	for seed := int64(0); seed < 25; seed++ {
+		sys := sim.NewSystem()
+		l := objects.NewLLSC("l", 5)
+		sys.Add(l)
+		sys.SpawnN(4, func(id sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				l.LoadLink(e)
+				return l.StoreConditional(e, objects.Symbol(int(id)+1)), nil
+			}
+		})
+		res, err := sys.Run(sim.Config{Scheduler: sim.Random(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		winners := 0
+		for _, v := range res.Values {
+			if v.(bool) {
+				winners++
+			}
+		}
+		if winners < 1 {
+			t.Errorf("seed %d: no store succeeded", seed)
+		}
+		// Each winner stored a distinct symbol (distinct ids), so the
+		// history grew by exactly the number of winners.
+		if h := l.History(); len(h)-1 != winners {
+			t.Errorf("seed %d: %d winners but history %v", seed, winners, h)
+		}
+	}
+}

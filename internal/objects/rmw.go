@@ -1,0 +1,209 @@
+package objects
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RMWFunc is the transition function of a generic read-modify-write
+// register: given the current value and the operation argument it
+// returns the new value. The operation returns the previous value.
+type RMWFunc func(current Symbol, arg sim.Value) Symbol
+
+// RMW is an arbitrary read-modify-write register over a bounded
+// alphabet of k symbols. The paper conjectures its results extend from
+// compare&swap-(k) to arbitrary size-k read-modify-write registers;
+// this type lets experiments probe that generalization.
+type RMW struct {
+	name    string
+	k       int
+	value   Symbol
+	f       RMWFunc
+	history []Symbol
+}
+
+var _ sim.Object = (*RMW)(nil)
+
+// NewRMW returns a k-valued read-modify-write register initialized to ⊥
+// whose transition function is f.
+func NewRMW(name string, k int, f RMWFunc) *RMW {
+	if k < 2 {
+		panic(fmt.Sprintf("objects: rmw-(%d): k must be >= 2", k))
+	}
+	return &RMW{name: name, k: k, value: Bottom, f: f, history: []Symbol{Bottom}}
+}
+
+// Name implements sim.Object.
+func (r *RMW) Name() string { return r.name }
+
+// K returns the alphabet size.
+func (r *RMW) K() int { return r.k }
+
+// Apply implements sim.Object.
+func (r *RMW) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpRMW:
+		prev := r.value
+		next := r.f(prev, args[0])
+		if next < 0 || int(next) >= r.k {
+			return nil, fmt.Errorf("%w: transition to symbol %d, alphabet size %d", ErrAlphabet, int(next), r.k)
+		}
+		if next != prev {
+			r.history = append(r.history, next)
+		}
+		r.value = next
+		return prev, nil
+	case sim.OpRead:
+		return r.value, nil
+	default:
+		return nil, fmt.Errorf("objects: rmw: unsupported op %q", op)
+	}
+}
+
+// RMW atomically applies the transition function with arg and returns
+// the previous value.
+func (r *RMW) RMW(e *sim.Env, arg sim.Value) Symbol {
+	return e.Apply(r, OpRMW, arg).(Symbol)
+}
+
+// History returns the sequence of values the register has held
+// (inspection only, not a shared step).
+func (r *RMW) History() []Symbol {
+	out := make([]Symbol, len(r.history))
+	copy(out, r.history)
+	return out
+}
+
+// LLSC is a load-link/store-conditional register over a bounded
+// alphabet of k symbols — the other top-of-hierarchy machine primitive
+// the paper's introduction names next to compare&swap. LoadLink reads
+// the value and links the caller; StoreConditional succeeds only if no
+// successful store happened since the caller's last link. Like
+// compare&swap-(k), its power is value-bounded: a store outside the
+// alphabet is an error.
+type LLSC struct {
+	name    string
+	k       int
+	value   Symbol
+	version int
+	links   map[sim.ProcID]int
+	history []Symbol
+}
+
+var _ sim.Object = (*LLSC)(nil)
+
+// Operation kinds of LLSC.
+const (
+	// OpLL loads the value and links the caller.
+	OpLL sim.OpKind = "ll"
+	// OpSC conditionally stores args[0]; returns true on success.
+	OpSC sim.OpKind = "sc"
+)
+
+// NewLLSC returns a k-valued load-link/store-conditional register at ⊥.
+func NewLLSC(name string, k int) *LLSC {
+	if k < 2 {
+		panic(fmt.Sprintf("objects: ll/sc-(%d): k must be >= 2", k))
+	}
+	return &LLSC{
+		name: name, k: k, value: Bottom,
+		links:   make(map[sim.ProcID]int),
+		history: []Symbol{Bottom},
+	}
+}
+
+// Name implements sim.Object.
+func (l *LLSC) Name() string { return l.name }
+
+// K returns the alphabet size.
+func (l *LLSC) K() int { return l.k }
+
+// Apply implements sim.Object.
+func (l *LLSC) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpLL:
+		l.links[caller] = l.version
+		return l.value, nil
+	case OpSC:
+		to := args[0].(Symbol)
+		if to < 0 || int(to) >= l.k {
+			return nil, fmt.Errorf("%w: symbol %d, alphabet size %d", ErrAlphabet, int(to), l.k)
+		}
+		linked, ok := l.links[caller]
+		if !ok || linked != l.version {
+			return false, nil
+		}
+		l.version++
+		if to != l.value {
+			l.history = append(l.history, to)
+		}
+		l.value = to
+		delete(l.links, caller)
+		return true, nil
+	case sim.OpRead:
+		return l.value, nil
+	default:
+		return nil, fmt.Errorf("objects: ll/sc: unsupported op %q", op)
+	}
+}
+
+// LoadLink performs LL as one atomic step.
+func (l *LLSC) LoadLink(e *sim.Env) Symbol {
+	return e.Apply(l, OpLL).(Symbol)
+}
+
+// StoreConditional performs SC as one atomic step; true iff it took.
+func (l *LLSC) StoreConditional(e *sim.Env, to Symbol) bool {
+	return e.Apply(l, OpSC, to).(bool)
+}
+
+// History returns the value sequence (inspection only).
+func (l *LLSC) History() []Symbol {
+	out := make([]Symbol, len(l.history))
+	copy(out, l.history)
+	return out
+}
+
+// Consensus is a one-shot consensus object: the first proposal wins and
+// every propose returns it. It is the abstract building block of
+// Herlihy's universal construction; the universal package realizes it
+// from compare&swap-(k) registers and shows where the bounded alphabet
+// breaks.
+type Consensus struct {
+	name    string
+	decided bool
+	value   sim.Value
+}
+
+var _ sim.Object = (*Consensus)(nil)
+
+// NewConsensus returns an undecided consensus object.
+func NewConsensus(name string) *Consensus { return &Consensus{name: name} }
+
+// Name implements sim.Object.
+func (c *Consensus) Name() string { return c.name }
+
+// Apply implements sim.Object.
+func (c *Consensus) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case OpPropose:
+		if !c.decided {
+			c.decided = true
+			c.value = args[0]
+		}
+		return c.value, nil
+	case sim.OpRead:
+		if !c.decided {
+			return nil, nil
+		}
+		return c.value, nil
+	default:
+		return nil, fmt.Errorf("objects: consensus: unsupported op %q", op)
+	}
+}
+
+// Propose submits v and returns the decided value.
+func (c *Consensus) Propose(e *sim.Env, v sim.Value) sim.Value {
+	return e.Apply(c, OpPropose, v)
+}

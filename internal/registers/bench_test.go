@@ -1,0 +1,80 @@
+package registers_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// BenchmarkSnapshotScan measures the double-collect scan cost as the
+// component count grows (quiescent case: two collects).
+func BenchmarkSnapshotScan(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem()
+				snap := registers.NewSnapshot(sys, "s", n, 0)
+				sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+					for j := 0; j < 8; j++ {
+						snap.Scan(e)
+					}
+					return nil, nil
+				})
+				for p := 1; p < n; p++ {
+					sys.Spawn(func(*sim.Env) (sim.Value, error) { return nil, nil })
+				}
+				if _, err := sys.Run(sim.Config{DisableTrace: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTaggedAppendRead measures the emulation's register
+// representation: appends plus label-filtered reads over growing lists.
+func BenchmarkTaggedAppendRead(b *testing.B) {
+	for _, writes := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("writes=%d", writes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem()
+				tr := registers.NewTagged("t", 0)
+				sys.Add(tr)
+				sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+					for j := 0; j < writes; j++ {
+						tr.Append(e, "a", j)
+					}
+					v, _ := tr.ReadLabeled(e, "ab")
+					return v, nil
+				})
+				if _, err := sys.Run(sim.Config{DisableTrace: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkImmediateSnapshot measures the level-descent write-read for
+// n concurrent participants.
+func BenchmarkImmediateSnapshot(b *testing.B) {
+	for _, n := range []int{3, 6, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := sim.NewSystem()
+				is := registers.NewImmediateSnapshot(sys, "is", n)
+				for p := 0; p < n; p++ {
+					p := p
+					sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+						return is.WriteRead(e, p), nil
+					})
+				}
+				if _, err := sys.Run(sim.Config{Scheduler: sim.Random(int64(i)), DisableTrace: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

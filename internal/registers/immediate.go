@@ -1,0 +1,124 @@
+package registers
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ImmediateSnapshot is a one-shot immediate snapshot object (Borowsky &
+// Gafni), the combinatorial primitive behind the topology-based
+// set-consensus impossibility the paper's reduction targets. Each of n
+// processes calls WriteRead once with a value and receives a view — a
+// set of (process, value) pairs — satisfying the three immediate
+// snapshot laws:
+//
+//	self-inclusion: a process's view contains its own pair;
+//	containment:    any two views are ordered by inclusion;
+//	immediacy:      if p's view contains q's pair, then q's view is a
+//	                subset of p's view.
+//
+// Implementation: the classic level-descent algorithm. A process starts
+// at level n and repeatedly writes (value, level) and collects; if the
+// number of processes at levels ≤ its own equals its level, it returns
+// exactly those; otherwise it descends one level.
+type ImmediateSnapshot struct {
+	name  string
+	cells []*SWMR
+	n     int
+}
+
+// isCell is one participant's published (value, level) pair.
+type isCell struct {
+	value   sim.Value
+	level   int
+	present bool
+}
+
+// NewImmediateSnapshot builds the object for n processes (IDs 0..n−1)
+// and registers its cells with sys.
+func NewImmediateSnapshot(sys *sim.System, name string, n int) *ImmediateSnapshot {
+	is := &ImmediateSnapshot{name: name, n: n, cells: make([]*SWMR, n)}
+	for i := 0; i < n; i++ {
+		is.cells[i] = NewSWMR(fmt.Sprintf("%s.cell[%d]", name, i), sim.ProcID(i), isCell{})
+		sys.Add(is.cells[i])
+	}
+	return is
+}
+
+// Pair is one entry of an immediate-snapshot view.
+type Pair struct {
+	Proc  sim.ProcID
+	Value sim.Value
+}
+
+// WriteRead submits the caller's value and returns its view, sorted by
+// process id. Each process must call it exactly once.
+func (is *ImmediateSnapshot) WriteRead(e *sim.Env, v sim.Value) []Pair {
+	me := int(e.ID())
+	for level := is.n; level >= 1; level-- {
+		is.cells[me].Write(e, isCell{value: v, level: level, present: true})
+		var at []Pair
+		for i, c := range is.cells {
+			cell := c.Read(e).(isCell)
+			if cell.present && cell.level <= level {
+				at = append(at, Pair{Proc: sim.ProcID(i), Value: cell.value})
+			}
+		}
+		if len(at) == level {
+			sort.Slice(at, func(i, j int) bool { return at[i].Proc < at[j].Proc })
+			return at
+		}
+	}
+	// Unreachable: at level 1 the caller alone satisfies the condition.
+	panic("registers: immediate snapshot descended below level 1")
+}
+
+// CheckImmediacy verifies the three immediate-snapshot laws over a set
+// of returned views (indexed by process). Views of processes that did
+// not finish are nil and skipped. It returns an error naming the first
+// violated law.
+func CheckImmediacy(views [][]Pair) error {
+	has := func(view []Pair, p sim.ProcID) bool {
+		for _, pr := range view {
+			if pr.Proc == p {
+				return true
+			}
+		}
+		return false
+	}
+	subset := func(a, b []Pair) bool {
+		for _, pr := range a {
+			if !has(b, pr.Proc) {
+				return false
+			}
+		}
+		return true
+	}
+	for p, view := range views {
+		if view == nil {
+			continue
+		}
+		if !has(view, sim.ProcID(p)) {
+			return fmt.Errorf("registers: immediacy: view of p%d misses itself", p)
+		}
+	}
+	for p, vp := range views {
+		if vp == nil {
+			continue
+		}
+		for q, vq := range views {
+			if vq == nil || p == q {
+				continue
+			}
+			if !subset(vp, vq) && !subset(vq, vp) {
+				return fmt.Errorf("registers: containment violated between p%d and p%d", p, q)
+			}
+			if has(vp, sim.ProcID(q)) && !subset(vq, vp) {
+				return fmt.Errorf("registers: immediacy violated: p%d sees p%d but p%d's view is not contained", p, q, q)
+			}
+		}
+	}
+	return nil
+}

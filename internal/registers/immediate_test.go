@@ -1,0 +1,127 @@
+package registers_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+func immediateBuilder(n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		is := registers.NewImmediateSnapshot(sys, "is", n)
+		for i := 0; i < n; i++ {
+			i := i
+			sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+				return is.WriteRead(e, 100+i), nil
+			})
+		}
+		return sys
+	}
+}
+
+func viewsOf(res *sim.Result, n int) [][]registers.Pair {
+	views := make([][]registers.Pair, n)
+	for _, id := range res.Decided() {
+		views[id] = res.Values[id].([]registers.Pair)
+	}
+	return views
+}
+
+// TestImmediateSnapshotLawsExhaustive verifies self-inclusion,
+// containment and immediacy on EVERY schedule (with one crash) for 2
+// and 3 processes.
+func TestImmediateSnapshotLawsExhaustive(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		crashes := 1
+		maxRuns := 300000
+		if n == 3 {
+			crashes = 0 // crash branching at n=3 multiplies an already-large tree
+			maxRuns = 50000
+		}
+		c := explore.Run(immediateBuilder(n), explore.Options{MaxCrashes: crashes, MaxRuns: maxRuns}, func(res *sim.Result) error {
+			return registers.CheckImmediacy(viewsOf(res, n))
+		})
+		if len(c.Violations) != 0 {
+			t.Errorf("n=%d: law violated on %s", n, explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+		if c.Complete == 0 {
+			t.Errorf("n=%d: no complete runs", n)
+		}
+	}
+}
+
+// TestImmediateSnapshotLawsRandom covers larger n under random
+// schedules and crashes.
+func TestImmediateSnapshotLawsRandom(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		for seed := int64(0); seed < 30; seed++ {
+			sys := immediateBuilder(n)()
+			cfg := sim.Config{Scheduler: sim.Random(seed)}
+			if seed%2 == 0 {
+				cfg.Faults = sim.RandomCrashes(seed, 0.1, 2)
+			}
+			res, err := sys.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := registers.CheckImmediacy(viewsOf(res, n)); err != nil {
+				t.Errorf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+// TestImmediateSnapshotSolo: a solo process sees exactly itself.
+func TestImmediateSnapshotSolo(t *testing.T) {
+	sys := sim.NewSystem()
+	is := registers.NewImmediateSnapshot(sys, "is", 3)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		return is.WriteRead(e, "me"), nil
+	})
+	sys.Spawn(func(*sim.Env) (sim.Value, error) { return nil, nil })
+	sys.Spawn(func(*sim.Env) (sim.Value, error) { return nil, nil })
+	res, err := sys.Run(sim.Config{Scheduler: sim.Solo(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := res.Values[0].([]registers.Pair)
+	if len(view) != 1 || view[0].Proc != 0 || view[0].Value != "me" {
+		t.Errorf("solo view = %v", view)
+	}
+}
+
+// TestImmediateSnapshotSequentialNesting: run one at a time; views must
+// strictly grow.
+func TestImmediateSnapshotSequentialNesting(t *testing.T) {
+	sys := immediateBuilder(3)()
+	res, err := sys.Run(sim.Config{Scheduler: sim.RoundRobin()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := registers.CheckImmediacy(viewsOf(res, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckImmediacyRejectsBadViews: the checker itself must catch
+// fabricated violations of each law.
+func TestCheckImmediacyRejectsBadViews(t *testing.T) {
+	p := func(i int) registers.Pair { return registers.Pair{Proc: sim.ProcID(i), Value: i} }
+	// Missing self.
+	if err := registers.CheckImmediacy([][]registers.Pair{{p(1)}, nil}); err == nil {
+		t.Error("missing-self accepted")
+	}
+	// Incomparable views.
+	bad := [][]registers.Pair{{p(0), p(2)}, {p(1), p(2)}, {p(2)}}
+	if err := registers.CheckImmediacy(bad); err == nil {
+		t.Error("incomparable views accepted")
+	}
+	// Valid chain accepted.
+	good := [][]registers.Pair{{p(0)}, {p(0), p(1)}, {p(0), p(1), p(2)}}
+	if err := registers.CheckImmediacy(good); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package registers provides the read/write register substrate assumed
+// by the paper: atomic single-writer multi-reader (SWMR) and
+// multi-writer multi-reader (MWMR) registers, register arrays, the
+// label-tagged append registers used by the emulation (§3.1.2 of the
+// paper), and a wait-free atomic snapshot built from SWMR registers
+// (needed by Figure 3, line 2 of the emulation).
+package registers
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ErrNotOwner is returned when a process writes a single-writer
+// register it does not own.
+var ErrNotOwner = errors.New("registers: write by non-owner")
+
+// ErrBadOp is returned for operation kinds a register does not support.
+var ErrBadOp = errors.New("registers: unsupported operation")
+
+// SWMR is an atomic single-writer multi-reader register. Any process
+// may read; only the owner may write. This is the register type the
+// paper assumes w.l.o.g. for algorithm A.
+type SWMR struct {
+	name  string
+	owner sim.ProcID
+	value sim.Value
+}
+
+var _ sim.Object = (*SWMR)(nil)
+
+// NewSWMR returns a SWMR register owned by owner with the given initial
+// value.
+func NewSWMR(name string, owner sim.ProcID, initial sim.Value) *SWMR {
+	return &SWMR{name: name, owner: owner, value: initial}
+}
+
+// Name implements sim.Object.
+func (r *SWMR) Name() string { return r.name }
+
+// Owner returns the register's unique writer.
+func (r *SWMR) Owner() sim.ProcID { return r.owner }
+
+// Apply implements sim.Object.
+func (r *SWMR) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case sim.OpRead:
+		return r.value, nil
+	case sim.OpWrite:
+		if caller != r.owner {
+			return nil, fmt.Errorf("%w: proc %d writes %q owned by %d", ErrNotOwner, caller, r.name, r.owner)
+		}
+		r.value = args[0]
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadOp, op)
+	}
+}
+
+// Read performs an atomic read as a scheduler-gated step.
+func (r *SWMR) Read(e *sim.Env) sim.Value { return e.Apply(r, sim.OpRead) }
+
+// Write performs an atomic write as a scheduler-gated step.
+func (r *SWMR) Write(e *sim.Env, v sim.Value) { e.Apply(r, sim.OpWrite, v) }
+
+// MWMR is an atomic multi-writer multi-reader register.
+type MWMR struct {
+	name  string
+	value sim.Value
+}
+
+var _ sim.Object = (*MWMR)(nil)
+
+// NewMWMR returns a MWMR register with the given initial value.
+func NewMWMR(name string, initial sim.Value) *MWMR {
+	return &MWMR{name: name, value: initial}
+}
+
+// Name implements sim.Object.
+func (r *MWMR) Name() string { return r.name }
+
+// Apply implements sim.Object.
+func (r *MWMR) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case sim.OpRead:
+		return r.value, nil
+	case sim.OpWrite:
+		r.value = args[0]
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadOp, op)
+	}
+}
+
+// Read performs an atomic read as a scheduler-gated step.
+func (r *MWMR) Read(e *sim.Env) sim.Value { return e.Apply(r, sim.OpRead) }
+
+// Write performs an atomic write as a scheduler-gated step.
+func (r *MWMR) Write(e *sim.Env, v sim.Value) { e.Apply(r, sim.OpWrite, v) }
+
+// Array is a bank of SWMR registers, one per process, the standard
+// "announce array" shape. Register i is owned by process i.
+type Array struct {
+	regs []*SWMR
+}
+
+// NewArray creates and registers n SWMR registers named
+// "name[0]".."name[n-1]", register i owned by process i, all holding
+// initial.
+func NewArray(sys *sim.System, name string, n int, initial sim.Value) *Array {
+	a := &Array{regs: make([]*SWMR, n)}
+	for i := 0; i < n; i++ {
+		a.regs[i] = NewSWMR(fmt.Sprintf("%s[%d]", name, i), sim.ProcID(i), initial)
+		sys.Add(a.regs[i])
+	}
+	return a
+}
+
+// Len returns the number of registers in the array.
+func (a *Array) Len() int { return len(a.regs) }
+
+// Reg returns the i-th register.
+func (a *Array) Reg(i int) *SWMR { return a.regs[i] }
+
+// Read reads register i.
+func (a *Array) Read(e *sim.Env, i int) sim.Value { return a.regs[i].Read(e) }
+
+// Write writes the caller's own register. It is the common case, so the
+// index is implicit in the caller's identity.
+func (a *Array) Write(e *sim.Env, v sim.Value) { a.regs[e.ID()].Write(e, v) }
+
+// Collect reads all registers one by one (not atomic; use Snapshot for
+// an atomic view).
+func (a *Array) Collect(e *sim.Env) []sim.Value {
+	out := make([]sim.Value, len(a.regs))
+	for i, r := range a.regs {
+		out[i] = r.Read(e)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package registers
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Snapshot is a wait-free atomic snapshot object built from SWMR
+// registers, after Afek, Attiya, Dolev, Gafni, Merritt and Shavit
+// ("Atomic Snapshots of Shared Memory", JACM 1993, unbounded-sequence
+// variant). Component i is updated only by process i; Scan returns a
+// vector of all components that is linearizable with all updates.
+//
+// The emulation (paper Figure 3, line 2) begins every iteration with an
+// atomic snapshot of the shared state; this object is that primitive,
+// built honestly from the read/write substrate rather than assumed.
+type Snapshot struct {
+	name  string
+	cells []*SWMR
+}
+
+// snapCell is the content of one component's SWMR register.
+type snapCell struct {
+	data sim.Value
+	seq  int
+	view []sim.Value // embedded scan, used by interfered scanners
+}
+
+// NewSnapshot creates a snapshot object with n components, all holding
+// initial, and registers its n underlying SWMR registers with sys.
+// Component i is owned (updatable) by process i.
+func NewSnapshot(sys *sim.System, name string, n int, initial sim.Value) *Snapshot {
+	s := &Snapshot{name: name, cells: make([]*SWMR, n)}
+	initView := make([]sim.Value, n)
+	for i := range initView {
+		initView[i] = initial
+	}
+	for i := 0; i < n; i++ {
+		cell := snapCell{data: initial, seq: 0, view: initView}
+		s.cells[i] = NewSWMR(fmt.Sprintf("%s.cell[%d]", name, i), sim.ProcID(i), cell)
+		sys.Add(s.cells[i])
+	}
+	return s
+}
+
+// Len returns the number of components.
+func (s *Snapshot) Len() int { return len(s.cells) }
+
+// Update atomically (in the linearizability sense) sets the caller's
+// component to v. It embeds a fresh scan so that concurrent scanners
+// interfered with twice can borrow a consistent view.
+func (s *Snapshot) Update(e *sim.Env, v sim.Value) {
+	sp := e.BeginOp(s.name, "update", v)
+	view := s.scan(e)
+	old := s.cells[e.ID()].Read(e).(snapCell)
+	s.cells[e.ID()].Write(e, snapCell{data: v, seq: old.seq + 1, view: view})
+	e.EndOp(sp, nil)
+}
+
+// Scan returns an atomic view of all components.
+func (s *Snapshot) Scan(e *sim.Env) []sim.Value {
+	sp := e.BeginOp(s.name, "scan")
+	view := s.scan(e)
+	e.EndOp(sp, fmt.Sprint(view))
+	return view
+}
+
+// scan is the double-collect core, shared by Scan and Update.
+func (s *Snapshot) scan(e *sim.Env) []sim.Value {
+	n := len(s.cells)
+	moved := make([]bool, n)
+	for {
+		c1 := s.collect(e)
+		c2 := s.collect(e)
+		same := true
+		for i := 0; i < n; i++ {
+			if c1[i].seq != c2[i].seq {
+				same = false
+				break
+			}
+		}
+		if same {
+			view := make([]sim.Value, n)
+			for i := 0; i < n; i++ {
+				view[i] = c2[i].data
+			}
+			return view
+		}
+		for i := 0; i < n; i++ {
+			if c1[i].seq == c2[i].seq {
+				continue
+			}
+			if moved[i] {
+				// Component i moved twice during our scan: its embedded
+				// view is a snapshot taken entirely within our interval.
+				view := make([]sim.Value, n)
+				copy(view, c2[i].view)
+				return view
+			}
+			moved[i] = true
+		}
+	}
+}
+
+// collect reads all component registers one by one.
+func (s *Snapshot) collect(e *sim.Env) []snapCell {
+	out := make([]snapCell, len(s.cells))
+	for i, c := range s.cells {
+		out[i] = c.Read(e).(snapCell)
+	}
+	return out
+}
+
+// UnsafeSingleCollect reads all components once, without the
+// double-collect protocol. It is NOT linearizable; it exists for the
+// snapshot ablation experiment (DESIGN.md §5.3), where the
+// linearizability checker demonstrates the difference.
+func (s *Snapshot) UnsafeSingleCollect(e *sim.Env) []sim.Value {
+	sp := e.BeginOp(s.name, "scan")
+	cells := s.collect(e)
+	view := make([]sim.Value, len(cells))
+	for i, c := range cells {
+		view[i] = c.data
+	}
+	e.EndOp(sp, fmt.Sprint(view))
+	return view
+}

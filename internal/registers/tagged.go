@@ -1,0 +1,112 @@
+package registers
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// OpAppend appends a (label, value) entry to a Tagged register.
+const OpAppend sim.OpKind = "append"
+
+// Entry is one tagged write in a Tagged register's history.
+type Entry struct {
+	// Label is the label of the writing emulator at write time, encoded
+	// as a string (each symbol one byte offset; see the core package).
+	Label string
+	// Value is the written value.
+	Value sim.Value
+}
+
+// Tagged is the emulation's representation of one SWMR register of the
+// emulated algorithm A (paper §3.1.2, "R/W registers"): a single-writer
+// append-only list of values, each tagged with the label of the writer
+// at the time of the write. A write appends; a read returns the whole
+// list, and the reader locally selects the latest entry whose label is
+// a prefix or an extension of its own label.
+//
+// Both operations are single atomic steps: the owner's append is one
+// SWMR write of the extended list, and a read is one SWMR read of the
+// list, exactly as in the paper's construction.
+type Tagged struct {
+	name    string
+	owner   sim.ProcID
+	entries []Entry
+}
+
+var _ sim.Object = (*Tagged)(nil)
+
+// NewTagged returns an empty tagged register owned by owner.
+func NewTagged(name string, owner sim.ProcID) *Tagged {
+	return &Tagged{name: name, owner: owner}
+}
+
+// Name implements sim.Object.
+func (t *Tagged) Name() string { return t.name }
+
+// Apply implements sim.Object.
+func (t *Tagged) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	switch op {
+	case sim.OpRead:
+		// Copy at the boundary: readers must not observe later appends.
+		out := make([]Entry, len(t.entries))
+		copy(out, t.entries)
+		return out, nil
+	case OpAppend:
+		if caller != t.owner {
+			return nil, fmt.Errorf("%w: proc %d appends to %q owned by %d", ErrNotOwner, caller, t.name, t.owner)
+		}
+		t.entries = append(t.entries, Entry{Label: args[0].(string), Value: args[1]})
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrBadOp, op)
+	}
+}
+
+// Append performs an atomic tagged write.
+func (t *Tagged) Append(e *sim.Env, label string, v sim.Value) {
+	e.Apply(t, OpAppend, label, v)
+}
+
+// ReadAll atomically reads the full entry list.
+func (t *Tagged) ReadAll(e *sim.Env) []Entry {
+	return e.Apply(t, sim.OpRead).([]Entry)
+}
+
+// ReadLabeled atomically reads the register and returns the latest
+// entry compatible with the reader's label (its label is a prefix or an
+// extension of label), preferring — as the paper specifies — the entry
+// with the longest such label. ok is false if no compatible entry
+// exists.
+func (t *Tagged) ReadLabeled(e *sim.Env, label string) (v sim.Value, ok bool) {
+	entries := t.ReadAll(e)
+	return SelectLabeled(entries, label)
+}
+
+// SelectLabeled picks from entries the latest entry among those with
+// the longest label that is a prefix or an extension of label. It is
+// the local selection rule of the paper's emulated read.
+func SelectLabeled(entries []Entry, label string) (v sim.Value, ok bool) {
+	best := -1
+	bestLen := -1
+	for i, en := range entries {
+		if !LabelCompatible(en.Label, label) {
+			continue
+		}
+		if len(en.Label) >= bestLen {
+			// ">=" keeps the latest among equally long labels.
+			best, bestLen = i, len(en.Label)
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	return entries[best].Value, true
+}
+
+// LabelCompatible reports whether a is a prefix of b or b is a prefix
+// of a (the emulation's "same run" relation between labels).
+func LabelCompatible(a, b string) bool {
+	return strings.HasPrefix(a, b) || strings.HasPrefix(b, a)
+}

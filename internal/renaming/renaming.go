@@ -1,0 +1,148 @@
+// Package renaming implements wait-free one-shot renaming from
+// read/write registers: Moir–Anderson splitter grids. n processes with
+// arbitrary identities acquire distinct names from a space of
+// n(n+1)/2 — entirely wait-free, entirely read/write.
+//
+// Why it lives in this repository: the election experiments show that
+// one compare&swap-(k) plus read/write registers elects only boundedly
+// many processes. Renaming delimits the boundary from the other side —
+// read/write registers alone can shrink an unbounded identity space to
+// O(n²) names wait-free, so identities are never the obstacle; what the
+// paper's bounds measure is the price of symmetry-breaking down to ONE
+// name, which read/write memory cannot do at all (consensus number 1)
+// and a bounded compare&swap can do only for boundedly many processes.
+package renaming
+
+import (
+	"fmt"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Direction is a splitter outcome.
+type Direction int
+
+// Splitter outcomes.
+const (
+	Stop Direction = iota + 1
+	Right
+	Down
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Stop:
+		return "stop"
+	case Right:
+		return "right"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Splitter is the Lamport/Moir–Anderson wait-free splitter: of the
+// processes that enter, at most one stops, not all go right, and not
+// all go down. Built from two multi-writer registers; three or four
+// shared steps per call.
+type Splitter struct {
+	x *registers.MWMR
+	y *registers.MWMR
+}
+
+// NewSplitter registers a splitter's two cells on sys.
+func NewSplitter(sys *sim.System, name string) *Splitter {
+	s := &Splitter{
+		x: registers.NewMWMR(name+".x", nil),
+		y: registers.NewMWMR(name+".y", false),
+	}
+	sys.Add(s.x)
+	sys.Add(s.y)
+	return s
+}
+
+// Enter runs the splitter for the calling process with its identity.
+func (s *Splitter) Enter(e *sim.Env, id sim.Value) Direction {
+	s.x.Write(e, id)
+	if s.y.Read(e).(bool) {
+		return Right
+	}
+	s.y.Write(e, true)
+	if s.x.Read(e) == id {
+		return Stop
+	}
+	return Down
+}
+
+// Grid is a triangular Moir–Anderson splitter grid assigning names from
+// {0, …, n(n+1)/2 − 1} to at most n processes.
+type Grid struct {
+	n         int
+	splitters map[[2]int]*Splitter
+}
+
+// NameSpace returns the grid's name-space size, n(n+1)/2.
+func NameSpace(n int) int { return n * (n + 1) / 2 }
+
+// NewGrid registers the splitters of an n-process grid on sys.
+func NewGrid(sys *sim.System, name string, n int) *Grid {
+	g := &Grid{n: n, splitters: make(map[[2]int]*Splitter, NameSpace(n))}
+	for r := 0; r < n; r++ {
+		for d := 0; d+r < n; d++ {
+			g.splitters[[2]int{r, d}] = NewSplitter(sys, fmt.Sprintf("%s[%d,%d]", name, r, d))
+		}
+	}
+	return g
+}
+
+// nameOf maps grid coordinates to a name in {0..n(n+1)/2−1}.
+func (g *Grid) nameOf(r, d int) int {
+	// Diagonal layout: cell (r,d) sits on diagonal r+d.
+	diag := r + d
+	return diag*(diag+1)/2 + r
+}
+
+// Acquire walks the grid from (0,0) — right on Right, down on Down —
+// and returns the name of the splitter where the caller stopped.
+// At most n−1 processes ever leave a splitter in each direction, so a
+// walk ends within the grid: a process reaching a boundary cell stops
+// there by the splitter properties; if the walk somehow escapes, an
+// error reports the broken invariant.
+func (g *Grid) Acquire(e *sim.Env, id sim.Value) (int, error) {
+	r, d := 0, 0
+	for {
+		sp, ok := g.splitters[[2]int{r, d}]
+		if !ok {
+			return 0, fmt.Errorf("renaming: walk escaped the grid at (%d,%d) — splitter invariant broken", r, d)
+		}
+		switch sp.Enter(e, id) {
+		case Stop:
+			return g.nameOf(r, d), nil
+		case Right:
+			r++
+		case Down:
+			d++
+		}
+	}
+}
+
+// Protocol returns n programs in which process i acquires a name for
+// identity ids[i] and decides it.
+func Protocol(sys *sim.System, name string, ids []sim.Value) []sim.Program {
+	g := NewGrid(sys, name, len(ids))
+	progs := make([]sim.Program, len(ids))
+	for i := range progs {
+		i := i
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			nm, err := g.Acquire(e, ids[i])
+			if err != nil {
+				return nil, err
+			}
+			return nm, nil
+		}
+	}
+	return progs
+}

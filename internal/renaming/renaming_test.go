@@ -1,0 +1,167 @@
+package renaming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/renaming"
+	"repro/internal/sim"
+)
+
+func splitterBuilder(n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		sp := renaming.NewSplitter(sys, "s")
+		for i := 0; i < n; i++ {
+			i := i
+			sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+				return sp.Enter(e, fmt.Sprintf("id%d", i)), nil
+			})
+		}
+		return sys
+	}
+}
+
+// TestSplitterPropertiesExhaustive checks the three splitter laws on
+// every schedule (with one crash) for 2 and 3 entrants: at most one
+// stop; not all right; not all down.
+func TestSplitterPropertiesExhaustive(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		c := explore.Run(splitterBuilder(n), explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+			stops, rights, downs, decided := 0, 0, 0, 0
+			for _, id := range res.Decided() {
+				decided++
+				switch res.Values[id].(renaming.Direction) {
+				case renaming.Stop:
+					stops++
+				case renaming.Right:
+					rights++
+				case renaming.Down:
+					downs++
+				}
+			}
+			if stops > 1 {
+				return fmt.Errorf("%d stops", stops)
+			}
+			// The laws quantify over entrants; with crashes, decided
+			// processes are a subset, so compare against n.
+			if rights == n {
+				return fmt.Errorf("all %d went right", n)
+			}
+			if downs == n {
+				return fmt.Errorf("all %d went down", n)
+			}
+			return nil
+		})
+		if !c.Exhaustive {
+			t.Fatalf("n=%d: not exhaustive", n)
+		}
+		if len(c.Violations) != 0 {
+			t.Errorf("n=%d: splitter law violated on %s", n,
+				explore.FormatSchedule(c.Violations[0].Schedule))
+		}
+	}
+}
+
+func TestSplitterSoloStops(t *testing.T) {
+	sys := sim.NewSystem()
+	sp := renaming.NewSplitter(sys, "s")
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		return sp.Enter(e, "me"), nil
+	})
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != renaming.Stop {
+		t.Errorf("solo entrant got %v, want stop", res.Values[0])
+	}
+}
+
+func ids(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("id%d", i)
+	}
+	return out
+}
+
+// TestGridNamesUniqueExhaustive: every schedule of 2-process renaming
+// hands out distinct names within the n(n+1)/2 space.
+func TestGridNamesUniqueExhaustive(t *testing.T) {
+	n := 2
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		for _, p := range renaming.Protocol(sys, "g", ids(n)) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	c := explore.Run(b, explore.Options{MaxCrashes: 1}, func(res *sim.Result) error {
+		return checkNames(res, n)
+	})
+	if !c.Exhaustive {
+		t.Fatal("not exhaustive")
+	}
+	if len(c.Violations) != 0 {
+		t.Errorf("violation on %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+}
+
+func checkNames(res *sim.Result, n int) error {
+	seen := make(map[int]bool)
+	for _, id := range res.Decided() {
+		name := res.Values[id].(int)
+		if name < 0 || name >= renaming.NameSpace(n) {
+			return fmt.Errorf("name %d outside 0..%d", name, renaming.NameSpace(n)-1)
+		}
+		if seen[name] {
+			return fmt.Errorf("name %d acquired twice", name)
+		}
+		seen[name] = true
+	}
+	return nil
+}
+
+// TestGridNamesUniqueRandom covers larger grids under random schedules
+// and crashes; renaming must stay wait-free (bounded steps) throughout.
+func TestGridNamesUniqueRandom(t *testing.T) {
+	for _, n := range []int{3, 4, 6} {
+		for seed := int64(0); seed < 25; seed++ {
+			sys := sim.NewSystem()
+			for _, p := range renaming.Protocol(sys, "g", ids(n)) {
+				sys.Spawn(p)
+			}
+			cfg := sim.Config{
+				Scheduler: sim.Random(seed),
+				// A walk visits at most 2(n−1)+1 splitters, 4 steps each.
+				MaxStepsPerProc: 8*n + 8,
+			}
+			if seed%3 == 0 {
+				cfg.Faults = sim.RandomCrashes(seed, 0.1, 2)
+			}
+			res, err := sys.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, perr := range res.Errors {
+				if perr != nil && !res.Crashed[i] {
+					t.Errorf("n=%d seed=%d: proc %d failed: %v", n, seed, i, perr)
+				}
+			}
+			if err := checkNames(res, n); err != nil {
+				t.Errorf("n=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}
+
+func TestNameSpace(t *testing.T) {
+	want := map[int]int{1: 1, 2: 3, 3: 6, 4: 10, 8: 36}
+	for n, ns := range want {
+		if got := renaming.NameSpace(n); got != ns {
+			t.Errorf("NameSpace(%d) = %d, want %d", n, got, ns)
+		}
+	}
+}

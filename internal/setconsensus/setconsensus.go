@@ -1,0 +1,86 @@
+// Package setconsensus provides k-set consensus protocols and verdicts
+// (Chaudhuri, reference [6] of the paper). The l-set consensus task is
+// the target of the paper's reduction: an emulation of a leader
+// election algorithm with a compare&swap-(k) register yields a
+// (k−1)!-set consensus algorithm among (k−1)!+1 processes using only
+// read/write registers, which is impossible.
+package setconsensus
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Grouped returns n programs solving g-set consensus for arbitrary n
+// using g compare&swap-(k) registers: processes are partitioned into g
+// groups round-robin, each group runs CAS-based consensus on its own
+// register, and at most one value survives per group. Group sizes must
+// fit the alphabet: ceil(n/g) ≤ k−1.
+func Grouped(sys *sim.System, name string, k, g int, proposals []sim.Value) []sim.Program {
+	n := len(proposals)
+	groupSize := (n + g - 1) / g
+	if groupSize > k-1 {
+		panic(fmt.Sprintf("setconsensus: group size %d exceeds compare&swap-(%d) capacity %d",
+			groupSize, k, k-1))
+	}
+	cass := make([]*objects.CAS, g)
+	anns := make([]*registers.Array, g)
+	for j := 0; j < g; j++ {
+		cass[j] = objects.NewCAS(fmt.Sprintf("%s.cas[%d]", name, j), k)
+		sys.Add(cass[j])
+		anns[j] = registers.NewArray(sys, fmt.Sprintf("%s.ann[%d]", name, j), n, nil)
+	}
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		group := i % g
+		rank := i / g // position within the group: symbol rank+1
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			ann := anns[group]
+			cas := cass[group]
+			ann.Reg(i).Write(e, proposals[i])
+			cas.CompareAndSwap(e, objects.Bottom, objects.Symbol(rank+1))
+			winnerRank := int(cas.Read(e)) - 1
+			winnerProc := winnerRank*g + group
+			return ann.Read(e, winnerProc), nil
+		}
+	}
+	return progs
+}
+
+// Trivial returns n programs solving n-set consensus with no
+// communication at all: everyone decides its own proposal. It is the
+// degenerate upper edge of the task family, used as a baseline.
+func Trivial(proposals []sim.Value) []sim.Program {
+	progs := make([]sim.Program, len(proposals))
+	for i := range progs {
+		i := i
+		progs[i] = func(*sim.Env) (sim.Value, error) { return proposals[i], nil }
+	}
+	return progs
+}
+
+// CheckKSet fails if more than kk distinct values were decided.
+func CheckKSet(res *sim.Result, kk int) error {
+	if d := res.DistinctDecisions(); len(d) > kk {
+		return fmt.Errorf("setconsensus: %d distinct decisions %v, bound %d", len(d), d, kk)
+	}
+	return nil
+}
+
+// CheckValidity fails if a decided value is not among the proposals.
+func CheckValidity(res *sim.Result, proposals []sim.Value) error {
+	allowed := make(map[sim.Value]bool, len(proposals))
+	for _, p := range proposals {
+		allowed[p] = true
+	}
+	for _, id := range res.Decided() {
+		if !allowed[res.Values[id]] {
+			return fmt.Errorf("setconsensus: validity violated: process %d decided %v", id, res.Values[id])
+		}
+	}
+	return nil
+}

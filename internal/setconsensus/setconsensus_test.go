@@ -1,0 +1,122 @@
+package setconsensus_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/setconsensus"
+	"repro/internal/sim"
+)
+
+func proposals(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = 100 + i
+	}
+	return out
+}
+
+func groupedBuilder(k, g, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		for _, p := range setconsensus.Grouped(sys, "sc", k, g, proposals(n)) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func TestGroupedExhaustive(t *testing.T) {
+	// 2-set consensus among 4 processes with two compare&swap-(3)
+	// registers: never more than 2 distinct decisions, always valid.
+	k, g, n := 3, 2, 4
+	props := proposals(n)
+	c := explore.Run(groupedBuilder(k, g, n), explore.Options{MaxRuns: 30000}, func(res *sim.Result) error {
+		if err := setconsensus.CheckKSet(res, g); err != nil {
+			return err
+		}
+		return setconsensus.CheckValidity(res, props)
+	})
+	if len(c.Violations) != 0 {
+		t.Errorf("violation: %s", explore.FormatSchedule(c.Violations[0].Schedule))
+	}
+	if c.Complete == 0 {
+		t.Error("no complete runs enumerated")
+	}
+}
+
+func TestGroupedReachesFullSpread(t *testing.T) {
+	// Some schedule must produce g distinct decisions (the bound is
+	// tight): look for an outcome with 2 distinct values.
+	found := false
+	explore.Visit(groupedBuilder(3, 2, 4), explore.Options{}, func(o explore.Outcome) bool {
+		if o.Result.Halted {
+			return true
+		}
+		if len(o.Result.DistinctDecisions()) == 2 {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("no schedule produced 2 distinct decisions; the 2-set bound should be tight")
+	}
+}
+
+func TestGroupedManyRandomSchedules(t *testing.T) {
+	// Larger instance: 3-set consensus among 9 processes with
+	// compare&swap-(4) registers, random schedules and crashes.
+	k, g, n := 4, 3, 9
+	props := proposals(n)
+	for seed := int64(0); seed < 25; seed++ {
+		sys := sim.NewSystem()
+		for _, p := range setconsensus.Grouped(sys, "sc", k, g, props) {
+			sys.Spawn(p)
+		}
+		res, err := sys.Run(sim.Config{
+			Scheduler: sim.Random(seed),
+			Faults:    sim.RandomCrashes(seed, 0.1, 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := setconsensus.CheckKSet(res, g); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if err := setconsensus.CheckValidity(res, props); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGroupedCapacityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Grouped with oversize groups did not panic")
+		}
+	}()
+	sys := sim.NewSystem()
+	setconsensus.Grouped(sys, "sc", 3, 1, proposals(3)) // group of 3 > k−1=2
+}
+
+func TestTrivial(t *testing.T) {
+	props := proposals(3)
+	sys := sim.NewSystem()
+	for _, p := range setconsensus.Trivial(props) {
+		sys.Spawn(p)
+	}
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setconsensus.CheckKSet(res, 3); err != nil {
+		t.Error(err)
+	}
+	if err := setconsensus.CheckKSet(res, 2); err == nil {
+		t.Error("3 distinct decisions passed a 2-set check")
+	}
+	if err := setconsensus.CheckValidity(res, props); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import "fmt"
+
+// Env is a process's handle to the shared-memory machine. All shared
+// operations block at the scheduler gate: calling any operation yields
+// control until the scheduler grants this process its next step.
+type Env struct {
+	sys  *System
+	proc *proc
+}
+
+// ID returns the calling process's identifier.
+func (e *Env) ID() ProcID { return e.proc.id }
+
+// NumProcs returns the number of processes in the system.
+func (e *Env) NumProcs() int { return len(e.sys.procs) }
+
+// Steps returns the number of shared steps this process has taken.
+func (e *Env) Steps() int { return e.proc.steps }
+
+// Apply performs one atomic operation on obj. The calling goroutine
+// blocks until the scheduler grants the step. If the object rejects the
+// operation the process is stopped and the error is recorded in the
+// run's Result.
+func (e *Env) Apply(obj Object, op OpKind, args ...Value) Value {
+	e.gate()
+	idx := e.sys.steps
+	for _, sp := range e.proc.pending {
+		sp.Start = idx
+	}
+	e.proc.pending = e.proc.pending[:0]
+	e.proc.lastStep = idx
+	v, err := obj.Apply(e.proc.id, op, args)
+	if err != nil {
+		err = fmt.Errorf("proc %d: %s.%s: %w", e.proc.id, obj.Name(), op, err)
+		if e.sys.trace != nil {
+			e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, args, err)
+		}
+		panic(opError{err: err})
+	}
+	if e.sys.trace != nil {
+		e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, args, v)
+	}
+	return v
+}
+
+// ApplyNamed is Apply on the object registered under name. It panics if
+// no such object exists (static protocol structure, so a missing name
+// is a programming error).
+func (e *Env) ApplyNamed(name string, op OpKind, args ...Value) Value {
+	obj := e.sys.objects[name]
+	if obj == nil {
+		panic(fmt.Sprintf("sim: no object %q", name))
+	}
+	return e.Apply(obj, op, args...)
+}
+
+// BeginOp opens a high-level operation span for linearizability
+// checking of derived objects (objects implemented by a protocol over
+// several primitive steps). The span's interval is the window from the
+// operation's first shared step to its last one — local computation is
+// instantaneous in the model, so that window is the operation's
+// execution. Spans are buffered per process and merged into the trace
+// when the run ends.
+func (e *Env) BeginOp(object string, kind OpKind, args ...Value) *Span {
+	sp := &Span{
+		Proc:   e.proc.id,
+		Object: object,
+		Kind:   kind,
+		Args:   args,
+		Start:  -1,
+		End:    -1,
+	}
+	e.proc.spans = append(e.proc.spans, sp)
+	e.proc.pending = append(e.proc.pending, sp)
+	return sp
+}
+
+// EndOp closes a high-level operation span with its result. The span
+// ends at the operation's last shared step; a span with no steps
+// degenerates to the point of the process's previous step.
+func (e *Env) EndOp(sp *Span, result Value) {
+	if sp.Start < 0 {
+		sp.Start = e.proc.lastStep
+	}
+	sp.End = e.proc.lastStep
+	sp.Result = result
+}
+
+// gate blocks until the scheduler grants this process a step. It
+// signals the runner that the process has completed its previous step
+// and is ready again.
+func (e *Env) gate() {
+	e.sys.events <- procEvent{id: e.proc.id}
+	if _, ok := <-e.proc.grant; !ok {
+		panic(errCrashSignal{})
+	}
+	// Count the step here so Env.Steps() is current during the granted
+	// operation. The runner is blocked until this process yields again,
+	// so the write is race-free.
+	e.proc.steps++
+}

@@ -1,0 +1,26 @@
+package sim
+
+// OpKind names an operation on a shared object. Kinds are open-ended:
+// each object package defines the kinds its objects accept.
+type OpKind string
+
+// Common operation kinds shared by several object types.
+const (
+	OpRead  OpKind = "read"
+	OpWrite OpKind = "write"
+)
+
+// Object is a shared synchronization object. Apply executes one
+// operation atomically: the runner guarantees that no two Apply calls
+// (on any object) overlap, so implementations need no locking.
+//
+// Apply returns an error only for operations that are illegal in the
+// model — a non-owner writing a single-writer register, a value outside
+// a bounded object's alphabet. Such an error is a protocol bug and
+// stops the calling process.
+type Object interface {
+	// Name uniquely identifies the object within its System.
+	Name() string
+	// Apply atomically executes op with args on behalf of caller.
+	Apply(caller ProcID, op OpKind, args []Value) (Value, error)
+}

@@ -1,0 +1,174 @@
+package sim
+
+import "math/rand"
+
+// Halt is the sentinel a Scheduler returns from Next to stop the run:
+// remaining processes are recorded as halted (ErrHalted) and the Result
+// carries the ready set at the halt point. The schedule explorer uses
+// this to expand run prefixes.
+const Halt ProcID = -1
+
+// Scheduler chooses which ready process takes the next step. ready is
+// non-empty and sorted ascending; step is the global step count so far.
+// Implementations must be deterministic to keep runs reproducible.
+type Scheduler interface {
+	Next(ready []ProcID, step int) ProcID
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc func(ready []ProcID, step int) ProcID
+
+// Next implements Scheduler.
+func (f SchedulerFunc) Next(ready []ProcID, step int) ProcID { return f(ready, step) }
+
+// RoundRobin cycles through ready processes in ID order, resuming after
+// the last process it scheduled.
+func RoundRobin() Scheduler {
+	last := ProcID(-1)
+	return SchedulerFunc(func(ready []ProcID, _ int) ProcID {
+		for _, id := range ready {
+			if id > last {
+				last = id
+				return id
+			}
+		}
+		last = ready[0]
+		return ready[0]
+	})
+}
+
+// Random schedules uniformly at random with a fixed seed, giving
+// reproducible "chaotic" interleavings.
+func Random(seed int64) Scheduler {
+	rng := rand.New(rand.NewSource(seed))
+	return SchedulerFunc(func(ready []ProcID, _ int) ProcID {
+		return ready[rng.Intn(len(ready))]
+	})
+}
+
+// Replay plays a fixed schedule, then halts. A scheduled process that
+// is not ready (it finished or crashed) halts the run too: the prefix
+// no longer matches the system, which replay-based exploration treats
+// as a dead branch.
+func Replay(schedule []ProcID) Scheduler {
+	i := 0
+	return SchedulerFunc(func(ready []ProcID, _ int) ProcID {
+		if i >= len(schedule) {
+			return Halt
+		}
+		id := schedule[i]
+		i++
+		for _, r := range ready {
+			if r == id {
+				return id
+			}
+		}
+		return Halt
+	})
+}
+
+// ReplayThen plays a fixed schedule prefix and then delegates to next
+// for the rest of the run.
+func ReplayThen(schedule []ProcID, next Scheduler) Scheduler {
+	i := 0
+	return SchedulerFunc(func(ready []ProcID, step int) ProcID {
+		if i < len(schedule) {
+			id := schedule[i]
+			i++
+			for _, r := range ready {
+				if r == id {
+					return id
+				}
+			}
+			return Halt
+		}
+		return next.Next(ready, step)
+	})
+}
+
+// Solo runs a single process to completion first, then falls back to
+// round-robin for the rest — the classic "run alone" adversary used in
+// wait-freedom arguments.
+func Solo(id ProcID) Scheduler {
+	rr := RoundRobin()
+	return SchedulerFunc(func(ready []ProcID, step int) ProcID {
+		for _, r := range ready {
+			if r == id {
+				return id
+			}
+		}
+		return rr.Next(ready, step)
+	})
+}
+
+// Recording wraps a scheduler and appends every choice to dst, so a run
+// can later be replayed exactly.
+func Recording(inner Scheduler, dst *[]ProcID) Scheduler {
+	return SchedulerFunc(func(ready []ProcID, step int) ProcID {
+		id := inner.Next(ready, step)
+		if id != Halt {
+			*dst = append(*dst, id)
+		}
+		return id
+	})
+}
+
+// FaultPlan injects crash failures. Before every scheduling decision
+// the runner asks the plan which ready processes to crash now; crashed
+// processes take no further steps (fail-stop).
+type FaultPlan interface {
+	CrashNow(ready []ProcID, step int) []ProcID
+}
+
+// FaultPlanFunc adapts a function to the FaultPlan interface.
+type FaultPlanFunc func(ready []ProcID, step int) []ProcID
+
+// CrashNow implements FaultPlan.
+func (f FaultPlanFunc) CrashNow(ready []ProcID, step int) []ProcID { return f(ready, step) }
+
+// CrashAt crashes given processes at given global step counts.
+// The map is from step count to the processes to crash at that step.
+func CrashAt(plan map[int][]ProcID) FaultPlan {
+	return FaultPlanFunc(func(_ []ProcID, step int) []ProcID {
+		return plan[step]
+	})
+}
+
+// CrashAfterSteps crashes a process once it has taken n steps. It needs
+// per-process step counts, which the runner does not pass, so it tracks
+// grants itself via a wrapping scheduler; use NewStepBudget instead for
+// that pattern. CrashAfterSteps crashes id at the first decision point
+// at or after global step n.
+func CrashAfterSteps(id ProcID, n int) FaultPlan {
+	done := false
+	return FaultPlanFunc(func(ready []ProcID, step int) []ProcID {
+		if done || step < n {
+			return nil
+		}
+		for _, r := range ready {
+			if r == id {
+				done = true
+				return []ProcID{id}
+			}
+		}
+		return nil
+	})
+}
+
+// RandomCrashes crashes up to maxCrashes distinct processes at random
+// decision points with probability p per decision, seeded for
+// reproducibility.
+func RandomCrashes(seed int64, p float64, maxCrashes int) FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	crashed := 0
+	return FaultPlanFunc(func(ready []ProcID, _ int) []ProcID {
+		if crashed >= maxCrashes || len(ready) == 0 {
+			return nil
+		}
+		if rng.Float64() >= p {
+			return nil
+		}
+		crashed++
+		return []ProcID{ready[rng.Intn(len(ready))]}
+	})
+}

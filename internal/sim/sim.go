@@ -1,0 +1,394 @@
+// Package sim provides a deterministic simulator for asynchronous
+// shared-memory systems, the computation model of Afek & Stupp,
+// "Delimiting the Power of Bounded Size Synchronization Objects"
+// (PODC 1994).
+//
+// A System hosts a set of shared objects (registers, compare&swap
+// registers, and any other type implementing Object) and a set of
+// processes. Each process is an ordinary Go function running in its own
+// goroutine, but every shared-memory operation is funneled through a
+// scheduler gate: the process blocks until the scheduler grants it a
+// step, performs exactly one atomic operation, then runs its local code
+// until the next shared operation. The runner and the processes
+// alternate in strict lockstep, so a run is fully determined by the
+// Scheduler's choices — the same seed always yields the same trace.
+//
+// The model is the standard asynchronous one: processes may be
+// arbitrarily slow (the scheduler may starve them) and may fail by
+// crashing (fail-stop); a crashed process takes no further steps.
+// Wait-freedom of a protocol is checked by bounding the number of steps
+// any process may take.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ProcID identifies a process within a System. IDs are dense and start
+// at zero in spawn order.
+type ProcID int
+
+// Value is the type of data held by shared objects and returned by
+// operations. Protocols use small ints and immutable composites.
+type Value = any
+
+// Program is the code of one process. It runs in its own goroutine and
+// must perform all shared-memory interaction through the Env. The
+// returned Value is the process's decision (its output in a decision
+// task); returning an error marks the process as failed.
+//
+// Programs must be deterministic and must not communicate with each
+// other except through shared objects.
+type Program func(e *Env) (Value, error)
+
+// ErrCrashed is the error recorded for a process that was crashed by
+// the fault plan before it decided.
+var ErrCrashed = errors.New("sim: process crashed")
+
+// ErrStepLimit is the error recorded for a process that exceeded the
+// per-process step bound (a wait-freedom violation under the bound).
+var ErrStepLimit = errors.New("sim: per-process step limit exceeded")
+
+// ErrHalted is the error recorded for processes still live when the
+// scheduler halted the run.
+var ErrHalted = errors.New("sim: run halted by scheduler")
+
+// errCrashSignal is the panic payload used to unwind a crashed process.
+type errCrashSignal struct{}
+
+// opError unwinds a process whose operation was rejected by an object
+// (for example a non-owner writing a single-writer register).
+type opError struct{ err error }
+
+// System is a single-use simulated shared-memory machine. Configure it
+// with objects and processes, then call Run exactly once.
+type System struct {
+	objects map[string]Object
+	procs   []*proc
+	events  chan procEvent
+	trace   *Trace
+	steps   int
+	ran     bool
+}
+
+type proc struct {
+	id      ProcID
+	program Program
+	grant   chan struct{}
+	steps   int
+	value   Value
+	err     error
+	crashed bool
+	done    bool
+	// lastStep is the global index of this process's most recent shared
+	// step; -1 before its first step. Used to close operation spans.
+	lastStep int
+	// spans are the high-level operation spans this process opened;
+	// pending are those whose start index is not yet known (no shared
+	// step since BeginOp).
+	spans   []*Span
+	pending []*Span
+}
+
+type procEvent struct {
+	id       ProcID
+	finished bool
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{
+		objects: make(map[string]Object),
+		trace:   &Trace{},
+	}
+}
+
+// Add registers a shared object. It panics if the name is already
+// taken: object sets are static protocol structure, and a duplicate is
+// a programming error, not a runtime condition.
+func (s *System) Add(o Object) {
+	name := o.Name()
+	if _, ok := s.objects[name]; ok {
+		panic(fmt.Sprintf("sim: duplicate object %q", name))
+	}
+	s.objects[name] = o
+}
+
+// Object returns the registered object with the given name, or nil.
+func (s *System) Object(name string) Object {
+	return s.objects[name]
+}
+
+// Spawn adds a process running the given program and returns its ID.
+func (s *System) Spawn(p Program) ProcID {
+	id := ProcID(len(s.procs))
+	s.procs = append(s.procs, &proc{
+		id:       id,
+		program:  p,
+		grant:    make(chan struct{}),
+		lastStep: -1,
+	})
+	return id
+}
+
+// SpawnN adds n processes whose programs are produced by f(id).
+func (s *System) SpawnN(n int, f func(id ProcID) Program) {
+	for i := 0; i < n; i++ {
+		s.Spawn(f(ProcID(len(s.procs))))
+	}
+}
+
+// NumProcs reports the number of spawned processes.
+func (s *System) NumProcs() int { return len(s.procs) }
+
+// Config controls a run.
+type Config struct {
+	// Scheduler picks the next process to step. Defaults to RoundRobin.
+	Scheduler Scheduler
+	// Faults optionally crashes processes during the run.
+	Faults FaultPlan
+	// MaxStepsPerProc bounds the steps of any single process; a process
+	// exceeding it is stopped with ErrStepLimit. Zero means no bound.
+	MaxStepsPerProc int
+	// MaxTotalSteps bounds the whole run as a safety net against
+	// non-terminating protocols. Zero means DefaultMaxTotalSteps.
+	MaxTotalSteps int
+	// DisableTrace turns off event recording (useful in benchmarks).
+	DisableTrace bool
+}
+
+// DefaultMaxTotalSteps is the total step safety bound used when
+// Config.MaxTotalSteps is zero.
+const DefaultMaxTotalSteps = 1 << 20
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Values[i] is the decision of process i (nil if it failed).
+	Values []Value
+	// Errors[i] is non-nil if process i crashed, was halted, exceeded
+	// its step bound, returned an error, or performed an illegal
+	// operation.
+	Errors []error
+	// Crashed[i] reports whether process i was crashed by the fault plan.
+	Crashed []bool
+	// Steps[i] is the number of shared-memory steps process i took.
+	Steps []int
+	// TotalSteps is the number of shared-memory steps in the run.
+	TotalSteps int
+	// Halted reports that the scheduler stopped the run early (see
+	// Scheduler); ReadyAtHalt lists the processes that were still live.
+	Halted      bool
+	ReadyAtHalt []ProcID
+	// Trace is the recorded event history (nil if disabled).
+	Trace *Trace
+}
+
+// Decided returns the IDs of processes that produced a decision.
+func (r *Result) Decided() []ProcID {
+	var ids []ProcID
+	for i, err := range r.Errors {
+		if err == nil {
+			ids = append(ids, ProcID(i))
+		}
+	}
+	return ids
+}
+
+// Decisions returns the multiset of decision values of all processes
+// that decided, indexed by process.
+func (r *Result) Decisions() map[ProcID]Value {
+	m := make(map[ProcID]Value, len(r.Values))
+	for _, id := range r.Decided() {
+		m[id] = r.Values[id]
+	}
+	return m
+}
+
+// DistinctDecisions returns the set of distinct decision values among
+// processes that decided. Values must be comparable.
+func (r *Result) DistinctDecisions() []Value {
+	seen := make(map[Value]bool)
+	var out []Value
+	for _, id := range r.Decided() {
+		v := r.Values[id]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Run executes the system to completion under cfg and returns the
+// result. A System can be run only once; rebuild it (deterministically)
+// to replay. Run returns an error only on misuse (no processes, second
+// run, or an invalid scheduler choice); protocol-level failures are
+// reported per process inside the Result.
+func (s *System) Run(cfg Config) (*Result, error) {
+	if s.ran {
+		return nil, errors.New("sim: system already ran")
+	}
+	s.ran = true
+	if len(s.procs) == 0 {
+		return nil, errors.New("sim: no processes")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = RoundRobin()
+	}
+	if cfg.MaxTotalSteps == 0 {
+		cfg.MaxTotalSteps = DefaultMaxTotalSteps
+	}
+	if cfg.DisableTrace {
+		s.trace = nil
+	}
+
+	s.events = make(chan procEvent)
+	for _, p := range s.procs {
+		go s.runProc(p)
+	}
+	// Wait for every process to arrive at its first gate (or finish
+	// without taking any shared step).
+	ready := make(map[ProcID]bool)
+	pending := len(s.procs)
+	for pending > 0 {
+		ev := <-s.events
+		pending--
+		if !ev.finished {
+			ready[ev.id] = true
+		}
+	}
+
+	halted := false
+	for len(ready) > 0 {
+		if s.steps >= cfg.MaxTotalSteps {
+			halted = true
+			break
+		}
+		readyList := sortedIDs(ready)
+		if cfg.Faults != nil {
+			crashNow := cfg.Faults.CrashNow(readyList, s.steps)
+			for _, id := range crashNow {
+				if !ready[id] {
+					continue
+				}
+				s.crash(id)
+				delete(ready, id)
+			}
+			if len(ready) == 0 {
+				break
+			}
+			readyList = sortedIDs(ready)
+		}
+		next := cfg.Scheduler.Next(readyList, s.steps)
+		if next == Halt {
+			halted = true
+			break
+		}
+		if !ready[next] {
+			s.abort(ready)
+			return nil, fmt.Errorf("sim: scheduler chose process %d, not in ready set %v", next, readyList)
+		}
+		p := s.procs[next]
+		if cfg.MaxStepsPerProc > 0 && p.steps >= cfg.MaxStepsPerProc {
+			s.crashWith(next, ErrStepLimit)
+			delete(ready, next)
+			continue
+		}
+		delete(ready, next)
+		p.grant <- struct{}{}
+		ev := <-s.events
+		s.steps++
+		if !ev.finished {
+			ready[ev.id] = true
+		}
+	}
+
+	res := &Result{
+		Values:     make([]Value, len(s.procs)),
+		Errors:     make([]error, len(s.procs)),
+		Crashed:    make([]bool, len(s.procs)),
+		Steps:      make([]int, len(s.procs)),
+		TotalSteps: s.steps,
+		Halted:     halted,
+		Trace:      s.trace,
+	}
+	if halted {
+		res.ReadyAtHalt = sortedIDs(ready)
+		for id := range ready {
+			s.crashWith(id, ErrHalted)
+		}
+	}
+	for i, p := range s.procs {
+		res.Values[i] = p.value
+		res.Errors[i] = p.err
+		res.Crashed[i] = p.crashed
+		res.Steps[i] = p.steps
+		if s.trace != nil {
+			// Drop spans that never took a shared step: they have no
+			// footprint in the run.
+			for _, sp := range p.spans {
+				if sp.Start >= 0 {
+					s.trace.addSpan(sp)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// runProc is the goroutine wrapper for one process.
+func (s *System) runProc(p *proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case errCrashSignal:
+				p.crashed = true
+				p.err = ErrCrashed
+			case opError:
+				p.err = e.err
+			default:
+				panic(r) // real bug in protocol code: do not mask it
+			}
+		}
+		p.done = true
+		s.events <- procEvent{id: p.id, finished: true}
+	}()
+	env := &Env{sys: s, proc: p}
+	v, err := p.program(env)
+	p.value, p.err = v, err
+}
+
+// crash tears down a process parked at its gate and waits for its
+// finish event so the runner stays in lockstep.
+func (s *System) crash(id ProcID) {
+	p := s.procs[id]
+	close(p.grant)
+	<-s.events // the finish event of p
+}
+
+// crashWith is crash with a specific recorded error.
+func (s *System) crashWith(id ProcID, err error) {
+	s.crash(id)
+	p := s.procs[id]
+	p.err = err
+	p.crashed = err == ErrCrashed
+}
+
+// abort crashes every remaining ready process (used on misuse errors so
+// goroutines do not leak).
+func (s *System) abort(ready map[ProcID]bool) {
+	for id := range ready {
+		s.crash(id)
+	}
+}
+
+func sortedIDs(set map[ProcID]bool) []ProcID {
+	ids := make([]ProcID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

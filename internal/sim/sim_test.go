@@ -1,0 +1,415 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// buildCounter makes a system of n processes that each read a shared
+// register and write back the value plus one, repeat times, then decide
+// their last-read value.
+func buildCounter(n, repeat int) *sim.System {
+	sys := sim.NewSystem()
+	reg := registers.NewMWMR("c", 0)
+	sys.Add(reg)
+	sys.SpawnN(n, func(sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) {
+			last := 0
+			for i := 0; i < repeat; i++ {
+				last = reg.Read(e).(int)
+				reg.Write(e, last+1)
+			}
+			return last, nil
+		}
+	})
+	return sys
+}
+
+func TestRoundRobinDeterministic(t *testing.T) {
+	run := func() *sim.Result {
+		res, err := buildCounter(3, 4).Run(sim.Config{Scheduler: sim.RoundRobin()})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Values, b.Values) {
+		t.Errorf("round-robin runs disagree: %v vs %v", a.Values, b.Values)
+	}
+	if a.TotalSteps != b.TotalSteps {
+		t.Errorf("step counts differ: %d vs %d", a.TotalSteps, b.TotalSteps)
+	}
+	if len(a.Trace.Events) != a.TotalSteps {
+		t.Errorf("trace has %d events, want %d", len(a.Trace.Events), a.TotalSteps)
+	}
+}
+
+func TestRandomSeedDeterministic(t *testing.T) {
+	run := func(seed int64) string {
+		res, err := buildCounter(4, 5).Run(sim.Config{Scheduler: sim.Random(seed)})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.Trace.String()
+	}
+	if run(7) != run(7) {
+		t.Error("same seed produced different traces")
+	}
+	if run(7) == run(8) {
+		t.Error("different seeds produced identical traces (suspicious for 4x5 steps)")
+	}
+}
+
+func TestRunOnceOnly(t *testing.T) {
+	sys := buildCounter(1, 1)
+	if _, err := sys.Run(sim.Config{}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := sys.Run(sim.Config{}); err == nil {
+		t.Error("second Run succeeded, want error")
+	}
+}
+
+func TestNoProcs(t *testing.T) {
+	if _, err := sim.NewSystem().Run(sim.Config{}); err == nil {
+		t.Error("Run with no processes succeeded, want error")
+	}
+}
+
+func TestDuplicateObjectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add did not panic")
+		}
+	}()
+	sys := sim.NewSystem()
+	sys.Add(registers.NewMWMR("x", 0))
+	sys.Add(registers.NewMWMR("x", 0))
+}
+
+func TestCrashFaultPlan(t *testing.T) {
+	sys := buildCounter(2, 10)
+	res, err := sys.Run(sim.Config{
+		Scheduler: sim.RoundRobin(),
+		Faults:    sim.CrashAt(map[int][]sim.ProcID{3: {0}}),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed[0] {
+		t.Error("process 0 not marked crashed")
+	}
+	if !errors.Is(res.Errors[0], sim.ErrCrashed) {
+		t.Errorf("process 0 error = %v, want ErrCrashed", res.Errors[0])
+	}
+	if res.Errors[1] != nil {
+		t.Errorf("process 1 error = %v, want nil", res.Errors[1])
+	}
+	if got := res.Decided(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Decided() = %v, want [1]", got)
+	}
+}
+
+func TestSWMROwnerViolationStopsProcess(t *testing.T) {
+	sys := sim.NewSystem()
+	reg := registers.NewSWMR("r", 0, nil)
+	sys.Add(reg)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		reg.Write(e, 1) // owned by proc 0: fine
+		return "ok", nil
+	})
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		reg.Write(e, 2) // not the owner: must stop this process
+		return "unreachable", nil
+	})
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors[0] != nil {
+		t.Errorf("owner write failed: %v", res.Errors[0])
+	}
+	if !errors.Is(res.Errors[1], registers.ErrNotOwner) {
+		t.Errorf("non-owner write error = %v, want ErrNotOwner", res.Errors[1])
+	}
+}
+
+func TestStepLimitStopsSpinner(t *testing.T) {
+	sys := sim.NewSystem()
+	reg := registers.NewMWMR("r", 0)
+	sys.Add(reg)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		for { // not wait-free: spins forever
+			reg.Read(e)
+		}
+	})
+	res, err := sys.Run(sim.Config{MaxStepsPerProc: 50})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(res.Errors[0], sim.ErrStepLimit) {
+		t.Errorf("error = %v, want ErrStepLimit", res.Errors[0])
+	}
+	if res.Steps[0] > 50 {
+		t.Errorf("spinner took %d steps, bound 50", res.Steps[0])
+	}
+}
+
+func TestMaxTotalStepsHalts(t *testing.T) {
+	sys := sim.NewSystem()
+	reg := registers.NewMWMR("r", 0)
+	sys.Add(reg)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		for {
+			reg.Read(e)
+		}
+	})
+	res, err := sys.Run(sim.Config{MaxTotalSteps: 30})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Halted {
+		t.Error("run not marked halted")
+	}
+	if res.TotalSteps != 30 {
+		t.Errorf("TotalSteps = %d, want 30", res.TotalSteps)
+	}
+}
+
+func TestReplayHaltReportsReadySet(t *testing.T) {
+	sys := buildCounter(3, 5)
+	res, err := sys.Run(sim.Config{Scheduler: sim.Replay([]sim.ProcID{0, 1})})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Halted {
+		t.Fatal("run not halted at end of replay schedule")
+	}
+	want := []sim.ProcID{0, 1, 2}
+	if !reflect.DeepEqual(res.ReadyAtHalt, want) {
+		t.Errorf("ReadyAtHalt = %v, want %v", res.ReadyAtHalt, want)
+	}
+	for i := range res.Errors {
+		if !errors.Is(res.Errors[i], sim.ErrHalted) {
+			t.Errorf("proc %d error = %v, want ErrHalted", i, res.Errors[i])
+		}
+	}
+}
+
+func TestRecordingThenReplayReproduces(t *testing.T) {
+	var schedule []sim.ProcID
+	res1, err := buildCounter(3, 4).Run(sim.Config{
+		Scheduler: sim.Recording(sim.Random(42), &schedule),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	res2, err := buildCounter(3, 4).Run(sim.Config{
+		Scheduler: sim.Replay(schedule),
+	})
+	if err != nil {
+		t.Fatalf("replay Run: %v", err)
+	}
+	if res2.Halted {
+		t.Fatal("replay halted before completion")
+	}
+	if res1.Trace.String() != res2.Trace.String() {
+		t.Errorf("replay trace differs:\n%s\nvs\n%s", res1.Trace, res2.Trace)
+	}
+}
+
+func TestSoloSchedulerRunsProcessAlone(t *testing.T) {
+	res, err := buildCounter(3, 4).Run(sim.Config{Scheduler: sim.Solo(2)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, ev := range res.Trace.Events[:8] {
+		if ev.Proc != 2 {
+			t.Fatalf("event %d by proc %d, want solo proc 2", i, ev.Proc)
+		}
+	}
+}
+
+func TestProgramErrorRecorded(t *testing.T) {
+	sys := sim.NewSystem()
+	wantErr := errors.New("boom")
+	sys.Spawn(func(*sim.Env) (sim.Value, error) { return nil, wantErr })
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !errors.Is(res.Errors[0], wantErr) {
+		t.Errorf("error = %v, want %v", res.Errors[0], wantErr)
+	}
+}
+
+func TestProcessWithNoSharedSteps(t *testing.T) {
+	sys := sim.NewSystem()
+	sys.Spawn(func(*sim.Env) (sim.Value, error) { return 99, nil })
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Values[0] != 99 || res.Steps[0] != 0 {
+		t.Errorf("got value %v steps %d, want 99 and 0", res.Values[0], res.Steps[0])
+	}
+}
+
+func TestDistinctDecisions(t *testing.T) {
+	sys := sim.NewSystem()
+	for _, v := range []int{1, 2, 2, 1} {
+		v := v
+		sys.Spawn(func(*sim.Env) (sim.Value, error) { return v, nil })
+	}
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.DistinctDecisions(); len(got) != 2 {
+		t.Errorf("DistinctDecisions = %v, want 2 values", got)
+	}
+}
+
+func TestEnvMetadata(t *testing.T) {
+	sys := sim.NewSystem()
+	reg := registers.NewMWMR("r", 0)
+	sys.Add(reg)
+	sys.SpawnN(3, func(id sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) {
+			if e.ID() != id {
+				return nil, fmt.Errorf("ID() = %d, want %d", e.ID(), id)
+			}
+			if e.NumProcs() != 3 {
+				return nil, fmt.Errorf("NumProcs() = %d, want 3", e.NumProcs())
+			}
+			reg.Read(e)
+			if e.Steps() != 1 {
+				return nil, fmt.Errorf("Steps() = %d, want 1", e.Steps())
+			}
+			return nil, nil
+		}
+	})
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, perr := range res.Errors {
+		if perr != nil {
+			t.Errorf("proc %d: %v", i, perr)
+		}
+	}
+}
+
+func TestCrashAfterSteps(t *testing.T) {
+	sys := buildCounter(2, 20)
+	res, err := sys.Run(sim.Config{
+		Scheduler: sim.RoundRobin(),
+		Faults:    sim.CrashAfterSteps(1, 10),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed[1] {
+		t.Error("process 1 not crashed")
+	}
+	if res.Crashed[0] {
+		t.Error("process 0 crashed, want survivor")
+	}
+}
+
+func TestRandomCrashesBounded(t *testing.T) {
+	sys := buildCounter(5, 20)
+	res, err := sys.Run(sim.Config{
+		Scheduler: sim.Random(1),
+		Faults:    sim.RandomCrashes(2, 0.2, 2),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	crashed := 0
+	for _, c := range res.Crashed {
+		if c {
+			crashed++
+		}
+	}
+	if crashed > 2 {
+		t.Errorf("%d crashes, bound 2", crashed)
+	}
+}
+
+func TestTraceEventContent(t *testing.T) {
+	sys := sim.NewSystem()
+	reg := registers.NewMWMR("r", 5)
+	sys.Add(reg)
+	sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+		v := reg.Read(e)
+		reg.Write(e, 7)
+		return v, nil
+	})
+	res, err := sys.Run(sim.Config{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	evs := res.Trace.EventsOf("r")
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Op != sim.OpRead || evs[0].Result != 5 {
+		t.Errorf("event 0 = %v, want read=5", evs[0])
+	}
+	if evs[1].Op != sim.OpWrite || evs[1].Args[0] != 7 {
+		t.Errorf("event 1 = %v, want write(7)", evs[1])
+	}
+}
+
+func TestDisableTrace(t *testing.T) {
+	sys := buildCounter(2, 2)
+	res, err := sys.Run(sim.Config{DisableTrace: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Trace != nil {
+		t.Error("trace recorded despite DisableTrace")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	sys := buildCounter(2, 3)
+	res, err := sys.Run(sim.Config{Scheduler: sim.RoundRobin()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sim.ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(res.Trace.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(res.Trace.Events))
+	}
+	for i, ev := range back.Events {
+		orig := res.Trace.Events[i]
+		if ev.Step != orig.Step || ev.Proc != orig.Proc || ev.Object != orig.Object || ev.Op != orig.Op {
+			t.Errorf("event %d differs: %v vs %v", i, ev, orig)
+		}
+		if fmt.Sprint(ev.Result) != fmt.Sprint(orig.Result) {
+			t.Errorf("event %d result rendering differs: %v vs %v", i, ev.Result, orig.Result)
+		}
+	}
+}
+
+func TestTraceJSONBadInput(t *testing.T) {
+	if _, err := sim.ReadTraceJSON(bytes.NewReader([]byte("{not json"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event records one atomic shared-memory step: the operation and its
+// result (or the error that stopped the calling process).
+type Event struct {
+	// Step is the global step index at which the operation executed.
+	Step int
+	// Proc is the process that performed the operation.
+	Proc ProcID
+	// Object and Op identify the operation.
+	Object string
+	Op     OpKind
+	// Args are the operation's arguments.
+	Args []Value
+	// Result is the operation's return value, or an error for a
+	// rejected (illegal) operation.
+	Result Value
+}
+
+// String renders the event as "step p3 cas.cas(0,1) = 0".
+func (ev Event) String() string {
+	args := make([]string, len(ev.Args))
+	for i, a := range ev.Args {
+		args[i] = fmt.Sprint(a)
+	}
+	return fmt.Sprintf("%4d p%d %s.%s(%s) = %v",
+		ev.Step, ev.Proc, ev.Object, ev.Op, strings.Join(args, ","), ev.Result)
+}
+
+// Span is a high-level operation interval used to check derived objects
+// (implemented by multi-step protocols) for linearizability. Start and
+// End are global step counts; two spans are concurrent unless one ends
+// strictly before the other starts.
+type Span struct {
+	Proc   ProcID
+	Object string
+	Kind   OpKind
+	Args   []Value
+	Result Value
+	Start  int
+	// End is -1 while the operation is pending (its process crashed
+	// before completing it).
+	End int
+}
+
+// Complete reports whether the span's operation finished.
+func (sp *Span) Complete() bool { return sp.End >= 0 }
+
+// String renders the span as "p2 snap.scan(...)=v [3,17]".
+func (sp *Span) String() string {
+	return fmt.Sprintf("p%d %s.%s(%v)=%v [%d,%d]",
+		sp.Proc, sp.Object, sp.Kind, sp.Args, sp.Result, sp.Start, sp.End)
+}
+
+// Trace is the recorded history of a run: the linear sequence of atomic
+// events plus any high-level operation spans opened by protocols.
+type Trace struct {
+	Events []Event
+	Spans  []*Span
+}
+
+func (t *Trace) record(step int, p ProcID, object string, op OpKind, args []Value, result Value) {
+	t.Events = append(t.Events, Event{
+		Step: step, Proc: p, Object: object, Op: op, Args: args, Result: result,
+	})
+}
+
+func (t *Trace) addSpan(sp *Span) { t.Spans = append(t.Spans, sp) }
+
+// SpansOf returns the spans recorded against the named derived object.
+func (t *Trace) SpansOf(object string) []*Span {
+	var out []*Span
+	for _, sp := range t.Spans {
+		if sp.Object == object {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// EventsOf returns the atomic events on the named object.
+func (t *Trace) EventsOf(object string) []Event {
+	var out []Event
+	for _, ev := range t.Events {
+		if ev.Object == object {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders the whole event history, one event per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, ev := range t.Events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

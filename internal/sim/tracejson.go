@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON trace interchange: runs can be archived and re-checked offline
+// (see cmd/tracecheck). Values are rendered to strings on export — the
+// linearizability checker compares results by their rendering, so the
+// round trip is faithful for checking purposes.
+
+// traceJSON is the serialized form of a Trace.
+type traceJSON struct {
+	Events []eventJSON `json:"events"`
+	Spans  []spanJSON  `json:"spans"`
+}
+
+type eventJSON struct {
+	Step   int      `json:"step"`
+	Proc   int      `json:"proc"`
+	Object string   `json:"object"`
+	Op     string   `json:"op"`
+	Args   []string `json:"args,omitempty"`
+	Result string   `json:"result,omitempty"`
+}
+
+type spanJSON struct {
+	Proc   int      `json:"proc"`
+	Object string   `json:"object"`
+	Kind   string   `json:"kind"`
+	Args   []string `json:"args,omitempty"`
+	Result string   `json:"result,omitempty"`
+	Start  int      `json:"start"`
+	End    int      `json:"end"`
+}
+
+func renderValues(vs []Value) []string {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}
+
+func parseValues(ss []string) []Value {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]Value, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// WriteJSON serializes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{
+		Events: make([]eventJSON, len(t.Events)),
+		Spans:  make([]spanJSON, len(t.Spans)),
+	}
+	for i, ev := range t.Events {
+		out.Events[i] = eventJSON{
+			Step: ev.Step, Proc: int(ev.Proc), Object: ev.Object, Op: string(ev.Op),
+			Args: renderValues(ev.Args), Result: fmt.Sprint(ev.Result),
+		}
+	}
+	for i, sp := range t.Spans {
+		out.Spans[i] = spanJSON{
+			Proc: int(sp.Proc), Object: sp.Object, Kind: string(sp.Kind),
+			Args: renderValues(sp.Args), Result: fmt.Sprint(sp.Result),
+			Start: sp.Start, End: sp.End,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadTraceJSON deserializes a trace written by WriteJSON. Values come
+// back as their string renderings.
+func ReadTraceJSON(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sim: decoding trace: %w", err)
+	}
+	t := &Trace{
+		Events: make([]Event, len(in.Events)),
+		Spans:  make([]*Span, len(in.Spans)),
+	}
+	for i, ev := range in.Events {
+		t.Events[i] = Event{
+			Step: ev.Step, Proc: ProcID(ev.Proc), Object: ev.Object, Op: OpKind(ev.Op),
+			Args: parseValues(ev.Args), Result: ev.Result,
+		}
+	}
+	for i, sp := range in.Spans {
+		t.Spans[i] = &Span{
+			Proc: ProcID(sp.Proc), Object: sp.Object, Kind: OpKind(sp.Kind),
+			Args: parseValues(sp.Args), Result: sp.Result,
+			Start: sp.Start, End: sp.End,
+		}
+	}
+	return t, nil
+}

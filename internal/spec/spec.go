@@ -1,0 +1,203 @@
+// Package spec defines sequential specifications of shared objects.
+// A specification is a deterministic state machine: the linearizability
+// checker (package linearize) searches for an order of concurrent
+// operation spans that the state machine accepts, which is exactly the
+// Herlihy–Wing definition of a linearizable history cited by the paper
+// for its leader-election object semantics.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// State is an immutable sequential-object state. Implementations must
+// never mutate a State in place: Apply returns a fresh value.
+type State any
+
+// Spec is a sequential specification.
+type Spec interface {
+	// Init returns the object's initial state.
+	Init() State
+	// Apply runs one operation by proc against s, returning the
+	// successor state and the operation's expected result.
+	Apply(s State, proc sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value)
+	// Fingerprint returns a canonical string for memoizing s.
+	Fingerprint(s State) string
+}
+
+// Register is the spec of an atomic read/write register.
+type Register struct {
+	// Initial is the register's starting value.
+	Initial sim.Value
+}
+
+var _ Spec = Register{}
+
+// Init implements Spec.
+func (r Register) Init() State { return r.Initial }
+
+// Apply implements Spec.
+func (r Register) Apply(s State, _ sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	switch kind {
+	case sim.OpRead:
+		return s, s
+	case sim.OpWrite:
+		return args[0], nil
+	default:
+		panic(fmt.Sprintf("spec: register: unknown op %q", kind))
+	}
+}
+
+// Fingerprint implements Spec.
+func (r Register) Fingerprint(s State) string { return fmt.Sprint(s) }
+
+// SnapshotSpec is the spec of an n-component atomic snapshot: component
+// i is written by process i's "update"; "scan" returns the vector,
+// rendered with fmt.Sprint to match how snapshot spans record results.
+type SnapshotSpec struct {
+	N       int
+	Initial sim.Value
+}
+
+var _ Spec = SnapshotSpec{}
+
+// Init implements Spec.
+func (sp SnapshotSpec) Init() State {
+	v := make([]sim.Value, sp.N)
+	for i := range v {
+		v[i] = sp.Initial
+	}
+	return v
+}
+
+// Apply implements Spec.
+func (sp SnapshotSpec) Apply(s State, proc sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	vec := s.([]sim.Value)
+	switch kind {
+	case "update":
+		next := make([]sim.Value, len(vec))
+		copy(next, vec)
+		next[proc] = args[0]
+		return next, nil
+	case "scan":
+		return s, fmt.Sprint(vec)
+	default:
+		panic(fmt.Sprintf("spec: snapshot: unknown op %q", kind))
+	}
+}
+
+// Fingerprint implements Spec.
+func (sp SnapshotSpec) Fingerprint(s State) string { return fmt.Sprint(s) }
+
+// CASSpec is the spec of a compare&swap register over symbols.
+type CASSpec struct{}
+
+var _ Spec = CASSpec{}
+
+// Init implements Spec.
+func (CASSpec) Init() State { return objects.Bottom }
+
+// Apply implements Spec.
+func (CASSpec) Apply(s State, _ sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	cur := s.(objects.Symbol)
+	switch kind {
+	case sim.OpRead:
+		return s, cur
+	case objects.OpCAS:
+		from, to := args[0].(objects.Symbol), args[1].(objects.Symbol)
+		if cur == from {
+			return to, cur
+		}
+		return cur, cur
+	default:
+		panic(fmt.Sprintf("spec: cas: unknown op %q", kind))
+	}
+}
+
+// Fingerprint implements Spec.
+func (CASSpec) Fingerprint(s State) string { return fmt.Sprint(s) }
+
+// QueueSpec is the spec of a FIFO queue (deq on empty returns nil).
+type QueueSpec struct{}
+
+var _ Spec = QueueSpec{}
+
+// Init implements Spec.
+func (QueueSpec) Init() State { return []sim.Value(nil) }
+
+// Apply implements Spec.
+func (QueueSpec) Apply(s State, _ sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	items := s.([]sim.Value)
+	switch kind {
+	case objects.OpEnq:
+		next := make([]sim.Value, len(items)+1)
+		copy(next, items)
+		next[len(items)] = args[0]
+		return next, nil
+	case objects.OpDeq:
+		if len(items) == 0 {
+			return s, nil
+		}
+		return items[1:], items[0]
+	default:
+		panic(fmt.Sprintf("spec: queue: unknown op %q", kind))
+	}
+}
+
+// Fingerprint implements Spec.
+func (QueueSpec) Fingerprint(s State) string { return fmt.Sprint(s) }
+
+// CounterSpec is the spec of a fetch&add counter: "add" with one int
+// argument returns the previous value; "get" returns the current value.
+// Used by the universal-construction experiments as the simplest
+// stateful sequential type.
+type CounterSpec struct{}
+
+var _ Spec = CounterSpec{}
+
+// Init implements Spec.
+func (CounterSpec) Init() State { return 0 }
+
+// Apply implements Spec.
+func (CounterSpec) Apply(s State, _ sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	cur := s.(int)
+	switch kind {
+	case "add":
+		return cur + args[0].(int), cur
+	case "get":
+		return s, cur
+	default:
+		panic(fmt.Sprintf("spec: counter: unknown op %q", kind))
+	}
+}
+
+// Fingerprint implements Spec.
+func (CounterSpec) Fingerprint(s State) string { return fmt.Sprint(s) }
+
+// ElectionSpec is the sequential specification of the paper's Leader
+// Election object: "all elect operations return the identity of the
+// processor that applied the first operation" (§2). The op kind is
+// "elect" with the caller's proposed identity as the argument.
+type ElectionSpec struct{}
+
+var _ Spec = ElectionSpec{}
+
+// Init implements Spec.
+func (ElectionSpec) Init() State { return sim.Value(nil) }
+
+// Apply implements Spec.
+func (ElectionSpec) Apply(s State, _ sim.ProcID, kind sim.OpKind, args []sim.Value) (State, sim.Value) {
+	if kind != "elect" {
+		panic(fmt.Sprintf("spec: election: unknown op %q", kind))
+	}
+	if s == nil {
+		return args[0], args[0]
+	}
+	return s, s
+}
+
+// Fingerprint implements Spec.
+func (ElectionSpec) Fingerprint(s State) string { return fmt.Sprint(s) }

@@ -1,0 +1,119 @@
+package spec_test
+
+import (
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+func TestRegisterSpec(t *testing.T) {
+	r := spec.Register{Initial: 5}
+	s := r.Init()
+	s2, res := r.Apply(s, 0, sim.OpRead, nil)
+	if res != 5 || r.Fingerprint(s2) != "5" {
+		t.Errorf("read = %v state %v", res, s2)
+	}
+	s3, _ := r.Apply(s2, 0, sim.OpWrite, []sim.Value{9})
+	_, res = r.Apply(s3, 1, sim.OpRead, nil)
+	if res != 9 {
+		t.Errorf("read after write = %v", res)
+	}
+}
+
+func TestSnapshotSpec(t *testing.T) {
+	sp := spec.SnapshotSpec{N: 2, Initial: 0}
+	s := sp.Init()
+	s, _ = sp.Apply(s, 1, "update", []sim.Value{7})
+	_, res := sp.Apply(s, 0, "scan", nil)
+	if res != "[0 7]" {
+		t.Errorf("scan = %v", res)
+	}
+}
+
+func TestCASSpec(t *testing.T) {
+	c := spec.CASSpec{}
+	s := c.Init()
+	s, res := c.Apply(s, 0, objects.OpCAS, []sim.Value{objects.Bottom, objects.Symbol(2)})
+	if res != objects.Bottom {
+		t.Errorf("first cas returned %v", res)
+	}
+	s, res = c.Apply(s, 1, objects.OpCAS, []sim.Value{objects.Bottom, objects.Symbol(1)})
+	if res != objects.Symbol(2) {
+		t.Errorf("failed cas returned %v", res)
+	}
+	_, res = c.Apply(s, 1, sim.OpRead, nil)
+	if res != objects.Symbol(2) {
+		t.Errorf("read = %v", res)
+	}
+}
+
+func TestQueueSpec(t *testing.T) {
+	q := spec.QueueSpec{}
+	s := q.Init()
+	s, _ = q.Apply(s, 0, objects.OpEnq, []sim.Value{"a"})
+	s, _ = q.Apply(s, 1, objects.OpEnq, []sim.Value{"b"})
+	s, res := q.Apply(s, 0, objects.OpDeq, nil)
+	if res != "a" {
+		t.Errorf("deq = %v", res)
+	}
+	s, res = q.Apply(s, 0, objects.OpDeq, nil)
+	if res != "b" {
+		t.Errorf("deq = %v", res)
+	}
+	_, res = q.Apply(s, 0, objects.OpDeq, nil)
+	if res != nil {
+		t.Errorf("empty deq = %v", res)
+	}
+}
+
+func TestQueueSpecImmutability(t *testing.T) {
+	q := spec.QueueSpec{}
+	s := q.Init()
+	s1, _ := q.Apply(s, 0, objects.OpEnq, []sim.Value{"a"})
+	s2, _ := q.Apply(s1, 0, objects.OpEnq, []sim.Value{"b"})
+	// Applying to s1 again must not be affected by s2's existence.
+	_, res := q.Apply(s1, 0, objects.OpDeq, nil)
+	if res != "a" {
+		t.Errorf("deq on old state = %v", res)
+	}
+	if q.Fingerprint(s2) != "[a b]" {
+		t.Errorf("fingerprint = %q", q.Fingerprint(s2))
+	}
+}
+
+func TestCounterSpec(t *testing.T) {
+	c := spec.CounterSpec{}
+	s := c.Init()
+	s, res := c.Apply(s, 0, "add", []sim.Value{3})
+	if res != 0 {
+		t.Errorf("add returned %v", res)
+	}
+	_, res = c.Apply(s, 0, "get", nil)
+	if res != 3 {
+		t.Errorf("get = %v", res)
+	}
+}
+
+func TestElectionSpec(t *testing.T) {
+	el := spec.ElectionSpec{}
+	s := el.Init()
+	s, res := el.Apply(s, 0, "elect", []sim.Value{"A"})
+	if res != "A" {
+		t.Errorf("first elect = %v", res)
+	}
+	_, res = el.Apply(s, 1, "elect", []sim.Value{"B"})
+	if res != "A" {
+		t.Errorf("second elect = %v, want the first proposal", res)
+	}
+}
+
+func TestSpecPanicsOnUnknownOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown op did not panic")
+		}
+	}()
+	spec.Register{}.Apply(nil, 0, "bogus", nil)
+}

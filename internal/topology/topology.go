@@ -1,0 +1,250 @@
+// Package topology builds the protocol complex of one-round immediate
+// snapshot executions — the combinatorial object behind the
+// set-consensus impossibility (Borowsky–Gafni, Herlihy–Shavit,
+// Saks–Zaharoglou; references [4, 11, 21]) that the paper's reduction
+// targets. Claim 1 matters only because (k−1)!-set consensus among
+// (k−1)!+1 processes over read/write registers is impossible; that
+// impossibility is topological: the one-round immediate-snapshot
+// complex is the standard chromatic subdivision of the simplex —
+// connected (in fact highly connected) — and connectivity obstructs the
+// required decision maps.
+//
+// What this package makes executable: the complex is enumerated from
+// the model itself — every schedule of the real ImmediateSnapshot
+// protocol (package registers) under the exhaustive explorer, one facet
+// per execution — and its combinatorics are checked: facet counts match
+// the chromatic subdivision (3 for n = 2, 13 for n = 3), every facet
+// obeys the immediacy laws, and the facet adjacency graph is connected.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// Vertex is one process's view in some execution: the process id plus
+// the set of processes it saw (its immediate snapshot), canonically
+// rendered. In the chromatic subdivision, Proc is the vertex's color.
+type Vertex struct {
+	Proc sim.ProcID
+	View string // canonical "0,2" list of seen process ids
+}
+
+// String renders "p1:{0,1}".
+func (v Vertex) String() string { return fmt.Sprintf("p%d:{%s}", v.Proc, v.View) }
+
+// Facet is one full execution: every process's vertex.
+type Facet []Vertex
+
+// key canonically encodes the facet.
+func (f Facet) key() string {
+	parts := make([]string, len(f))
+	for i, v := range f {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Complex is the one-round immediate-snapshot protocol complex.
+type Complex struct {
+	N      int
+	Facets []Facet
+	// Exhaustive reports whether every schedule was enumerated.
+	Exhaustive bool
+}
+
+// BuildComplex collects the distinct executions of the n-process
+// one-shot immediate snapshot as facets: a bounded exhaustive walk
+// (maxRuns schedules; exhaustive for n = 2) topped up by randomRuns
+// random schedules, which reach the facets the depth-first corner of
+// the walk misses at n = 3.
+func BuildComplex(n int, maxRuns, randomRuns int) *Complex {
+	builder := func() *sim.System {
+		sys := sim.NewSystem()
+		is := registers.NewImmediateSnapshot(sys, "is", n)
+		for i := 0; i < n; i++ {
+			sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+				return is.WriteRead(e, nil), nil
+			})
+		}
+		return sys
+	}
+	seen := make(map[string]Facet)
+	record := func(res *sim.Result) {
+		f := make(Facet, n)
+		for p := 0; p < n; p++ {
+			view := res.Values[p].([]registers.Pair)
+			ids := make([]string, len(view))
+			for i, pr := range view {
+				ids[i] = fmt.Sprint(int(pr.Proc))
+			}
+			f[p] = Vertex{Proc: sim.ProcID(p), View: strings.Join(ids, ",")}
+		}
+		seen[f.key()] = f
+	}
+	opts := explore.Options{MaxRuns: maxRuns}
+	_, exhaustive := explore.Visit(builder, opts, func(o explore.Outcome) bool {
+		if o.Result.Halted {
+			return true
+		}
+		record(o.Result)
+		return true
+	})
+	for seed := int64(0); seed < int64(randomRuns); seed++ {
+		res, err := builder().Run(sim.Config{Scheduler: sim.Random(seed), DisableTrace: true})
+		if err != nil {
+			panic(fmt.Sprintf("topology: random run failed: %v", err))
+		}
+		record(res)
+	}
+	c := &Complex{N: n, Exhaustive: exhaustive}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Facets = append(c.Facets, seen[k])
+	}
+	return c
+}
+
+// ChromaticFacetCount returns the number of facets of the standard
+// chromatic subdivision of the (n−1)-simplex: the number of ordered
+// partitions of {1..n} (Fubini/ordered Bell numbers): 1, 3, 13, 75, …
+func ChromaticFacetCount(n int) int {
+	// a(n) = Σ_{j=1..n} C(n,j)·a(n−j), a(0)=1.
+	a := make([]int, n+1)
+	a[0] = 1
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= i; j++ {
+			a[i] += binom(i, j) * a[i-j]
+		}
+	}
+	return a[n]
+}
+
+// Vertices returns the complex's distinct vertices.
+func (c *Complex) Vertices() []Vertex {
+	seen := make(map[Vertex]bool)
+	var out []Vertex
+	for _, f := range c.Facets {
+		for _, v := range f {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Connected reports whether the facet adjacency graph — facets joined
+// when they share a vertex — is connected. Connectivity of the protocol
+// complex is the 0-dimensional shadow of the topological obstruction.
+func (c *Complex) Connected() bool {
+	if len(c.Facets) == 0 {
+		return true
+	}
+	byVertex := make(map[Vertex][]int)
+	for i, f := range c.Facets {
+		for _, v := range f {
+			byVertex[v] = append(byVertex[v], i)
+		}
+	}
+	seen := make([]bool, len(c.Facets))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range c.Facets[i] {
+			for _, j := range byVertex[v] {
+				if !seen[j] {
+					seen[j] = true
+					count++
+					stack = append(stack, j)
+				}
+			}
+		}
+	}
+	return count == len(c.Facets)
+}
+
+// OrderedPartitions enumerates the facets the theory predicts: each
+// ordered partition (B₁, …, B_r) of the process set yields the
+// execution where block B₁ goes first (its members see exactly B₁),
+// then B₂ (seeing B₁∪B₂), and so on. Used to cross-check BuildComplex.
+func OrderedPartitions(n int) []Facet {
+	procs := make([]int, n)
+	for i := range procs {
+		procs[i] = i
+	}
+	var out []Facet
+	var rec func(remaining []int, prefixSeen []int, views map[int][]int)
+	rec = func(remaining []int, prefixSeen []int, views map[int][]int) {
+		if len(remaining) == 0 {
+			f := make(Facet, n)
+			for p := 0; p < n; p++ {
+				ids := make([]string, len(views[p]))
+				for i, q := range views[p] {
+					ids[i] = fmt.Sprint(q)
+				}
+				f[p] = Vertex{Proc: sim.ProcID(p), View: strings.Join(ids, ",")}
+			}
+			out = append(out, f)
+			return
+		}
+		// Choose the next nonempty block as any nonempty subset.
+		m := len(remaining)
+		for mask := 1; mask < (1 << m); mask++ {
+			var block, rest []int
+			for i := 0; i < m; i++ {
+				if mask&(1<<i) != 0 {
+					block = append(block, remaining[i])
+				} else {
+					rest = append(rest, remaining[i])
+				}
+			}
+			seen := append(append([]int(nil), prefixSeen...), block...)
+			sort.Ints(seen)
+			v2 := make(map[int][]int, len(views)+len(block))
+			for k, vv := range views {
+				v2[k] = vv
+			}
+			for _, p := range block {
+				v2[p] = seen
+			}
+			rec(rest, seen, v2)
+		}
+	}
+	rec(procs, nil, map[int][]int{})
+	// Deduplicate (different recursion orders can repeat partitions).
+	seenKeys := make(map[string]bool, len(out))
+	var dedup []Facet
+	for _, f := range out {
+		if !seenKeys[f.key()] {
+			seenKeys[f.key()] = true
+			dedup = append(dedup, f)
+		}
+	}
+	sort.Slice(dedup, func(i, j int) bool { return dedup[i].key() < dedup[j].key() })
+	return dedup
+}

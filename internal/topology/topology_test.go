@@ -1,0 +1,122 @@
+package topology_test
+
+import (
+	"testing"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestChromaticFacetCount(t *testing.T) {
+	// Ordered Bell numbers: 1, 1, 3, 13, 75, 541.
+	want := map[int]int{0: 1, 1: 1, 2: 3, 3: 13, 4: 75, 5: 541}
+	for n, c := range want {
+		if got := topology.ChromaticFacetCount(n); got != c {
+			t.Errorf("ChromaticFacetCount(%d) = %d, want %d", n, got, c)
+		}
+	}
+}
+
+// TestComplexMatchesChromaticSubdivision is the headline: enumerating
+// every schedule of the REAL immediate-snapshot protocol yields exactly
+// the facets of the standard chromatic subdivision — 3 for two
+// processes, 13 for three — and the enumerated facets coincide with the
+// theory's ordered partitions.
+func TestComplexMatchesChromaticSubdivision(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		c := topology.BuildComplex(n, 20000, 800)
+		if n == 2 && !c.Exhaustive {
+			t.Fatalf("n=2: enumeration not exhaustive")
+		}
+		want := topology.ChromaticFacetCount(n)
+		if len(c.Facets) != want {
+			t.Errorf("n=%d: %d facets, want %d (chromatic subdivision)", n, len(c.Facets), want)
+		}
+		predicted := topology.OrderedPartitions(n)
+		if len(predicted) != want {
+			t.Fatalf("n=%d: ordered partitions gave %d facets, want %d", n, len(predicted), want)
+		}
+		pk := make(map[string]bool, len(predicted))
+		for _, f := range predicted {
+			pk[fkey(f)] = true
+		}
+		for _, f := range c.Facets {
+			if !pk[fkey(f)] {
+				t.Errorf("n=%d: protocol produced facet %v not predicted by ordered partitions", n, f)
+			}
+		}
+	}
+}
+
+func fkey(f topology.Facet) string {
+	s := ""
+	for _, v := range f {
+		s += v.String() + " "
+	}
+	return s
+}
+
+// TestComplexConnected: the protocol complex is connected — the
+// 0-dimensional shadow of the connectivity that obstructs set
+// consensus.
+func TestComplexConnected(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		c := topology.BuildComplex(n, 20000, 800)
+		if !c.Connected() {
+			t.Errorf("n=%d: protocol complex disconnected", n)
+		}
+	}
+}
+
+// TestComplexVertexCount: the chromatic subdivision of the edge (n=2)
+// has 6 vertices: each process solo, and each process in the full view.
+func TestComplexVertexCount(t *testing.T) {
+	c := topology.BuildComplex(2, 0, 50)
+	if got := len(c.Vertices()); got != 4 {
+		// p0:{0}, p0:{0,1}, p1:{1}, p1:{0,1}
+		t.Errorf("n=2 vertex count = %d, want 4 (%v)", got, c.Vertices())
+	}
+}
+
+// TestFacetsSatisfyImmediacy: every enumerated facet obeys the three
+// immediate-snapshot laws (re-checked through the registers checker).
+func TestFacetsSatisfyImmediacy(t *testing.T) {
+	c := topology.BuildComplex(3, 20000, 800)
+	for _, f := range c.Facets {
+		views := make([][]registers.Pair, 3)
+		for p, v := range f {
+			var pairs []registers.Pair
+			for _, idStr := range splitIDs(v.View) {
+				pairs = append(pairs, registers.Pair{Proc: sim.ProcID(idStr)})
+			}
+			views[p] = pairs
+		}
+		if err := registers.CheckImmediacy(views); err != nil {
+			t.Errorf("facet %v: %v", f, err)
+		}
+	}
+}
+
+func splitIDs(view string) []int {
+	var out []int
+	cur := -1
+	for _, r := range view {
+		switch {
+		case r >= '0' && r <= '9':
+			if cur < 0 {
+				cur = 0
+			}
+			cur = cur*10 + int(r-'0')
+		default:
+			if cur >= 0 {
+				out = append(out, cur)
+				cur = -1
+			}
+		}
+	}
+	if cur >= 0 {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package universal implements Herlihy's universal construction
+// (reference [10] of the paper; bounded by Jayanti–Toueg [15]): any
+// sequentially specified object gets a wait-free linearizable
+// implementation from consensus objects plus read/write registers.
+//
+// The consensus cells here are compare&swap-(k) registers, which is
+// where the paper's theme bites: one cell can arbitrate among at most
+// k−1 proposers, so the construction exists only for n ≤ k−1 processes
+// — "universality" of the compare&swap type silently assumes the
+// register is big enough. NewUniversal refuses larger systems
+// (ErrTooManyProcesses), and the bounded-cell variant shows what
+// happens when only finitely many bounded objects exist: the log runs
+// out (ErrLogExhausted). Both failure modes are measured by E9.
+package universal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// ErrTooManyProcesses is returned when n processes cannot share
+// compare&swap-(k) consensus cells (n > k−1).
+var ErrTooManyProcesses = errors.New("universal: more processes than a compare&swap-(k) cell can arbitrate")
+
+// ErrLogExhausted is returned by Invoke when the bounded cell budget is
+// spent.
+var ErrLogExhausted = errors.New("universal: consensus cell budget exhausted")
+
+// Op is one announced operation: Kind and Args per the object's
+// sequential specification.
+type Op struct {
+	Kind sim.OpKind
+	Args []sim.Value
+}
+
+// Universal is a wait-free linearizable object over an arbitrary
+// sequential specification, shared by n processes.
+//
+// Structure: an unbounded log of consensus cells (compare&swap-(k)
+// registers) decides, slot by slot, which process's next operation is
+// appended. Each process's operations live in its single-writer tagged
+// register (append-only), so the j-th log occurrence of process p
+// resolves unambiguously to p's j-th announced operation — no
+// overwrite races. Helping makes it wait-free: for slot s, every
+// process proposes the pending operation of process s mod n if there is
+// one, else its own, so a process's operation is decided at most n
+// slots after announcement.
+type Universal struct {
+	name  string
+	sp    spec.Spec
+	n, k  int
+	cells []*objects.CAS
+	anns  []*registers.Tagged
+	// maxCells bounds the log when positive (the bounded-objects
+	// failure-mode variant).
+	maxCells int
+}
+
+// NewUniversal builds a universal object for n processes over the
+// sequential spec sp, with compare&swap-(k) consensus cells. maxCells
+// bounds the log (0 = effectively unbounded, DefaultMaxCells).
+func NewUniversal(sys *sim.System, name string, sp spec.Spec, n, k, maxCells int) (*Universal, error) {
+	if n > k-1 {
+		return nil, fmt.Errorf("%w: n=%d, k=%d", ErrTooManyProcesses, n, k)
+	}
+	if maxCells == 0 {
+		maxCells = DefaultMaxCells
+	}
+	u := &Universal{name: name, sp: sp, n: n, k: k, maxCells: maxCells}
+	u.cells = make([]*objects.CAS, maxCells)
+	for i := range u.cells {
+		u.cells[i] = objects.NewCAS(fmt.Sprintf("%s.cell[%d]", name, i), k)
+		sys.Add(u.cells[i])
+	}
+	u.anns = make([]*registers.Tagged, n)
+	for p := range u.anns {
+		u.anns[p] = registers.NewTagged(fmt.Sprintf("%s.ann[%d]", name, p), sim.ProcID(p))
+		sys.Add(u.anns[p])
+	}
+	return u, nil
+}
+
+// DefaultMaxCells is the log budget used when maxCells is zero.
+const DefaultMaxCells = 4096
+
+// session is a process's replay cursor over the log.
+type session struct {
+	u *Universal
+	// next is the first log slot not yet replayed.
+	next int
+	// applied[p] counts p's operations already replayed.
+	applied []int
+	// state is the spec state after the replayed prefix.
+	state spec.State
+	// announced counts own announced ops (to index our tagged list).
+	announced int
+}
+
+// NewSession returns the calling process's handle to the object.
+// Each process must use its own session.
+func (u *Universal) NewSession() *Session {
+	return &Session{inner: session{u: u, applied: make([]int, u.n), state: u.sp.Init()}}
+}
+
+// Session is the per-process handle.
+type Session struct {
+	inner session
+}
+
+// Invoke announces op, drives consensus until it is appended to the
+// log, and returns its sequential result. The whole call is recorded as
+// one operation span against the object's name, so runs can be checked
+// with the linearizability checker against the object's spec.
+func (s *Session) Invoke(e *sim.Env, op Op) (sim.Value, error) {
+	u := s.inner.u
+	me := int(e.ID())
+	span := e.BeginOp(u.name, op.Kind, op.Args...)
+	// Announce: append the op to our single-writer list. Its identity
+	// is (me, index in the list).
+	u.anns[me].Append(e, "", opRecord{Kind: op.Kind, Args: op.Args})
+	s.inner.announced++
+	myIndex := s.inner.announced - 1
+
+	for {
+		if s.inner.next >= u.maxCells {
+			return nil, fmt.Errorf("%w: %d cells", ErrLogExhausted, u.maxCells)
+		}
+		slot := s.inner.next
+		cell := u.cells[slot]
+
+		// Has this slot already been decided?
+		winner := cell.Read(e)
+		if winner == objects.Bottom {
+			// Propose: help the slot's priority process if it has a
+			// pending announced op, else propose ourselves. The priority
+			// rotation bounds how long any announced op can wait.
+			prio := slot % u.n
+			proposal := me
+			if s.pending(e, prio) {
+				proposal = prio
+			}
+			cell.CompareAndSwap(e, objects.Bottom, objects.Symbol(proposal+1))
+			winner = cell.Read(e)
+		}
+		p := int(winner) - 1
+
+		// Resolve the winner's operation: its applied[p]-th announced op.
+		entries := u.anns[p].ReadAll(e)
+		j := s.inner.applied[p]
+		if j >= len(entries) {
+			// The winner's announcement must precede its proposal; a
+			// missing entry means a helper proposed without evidence.
+			return nil, fmt.Errorf("universal: slot %d decided for p%d but only %d announcements", slot, p, len(entries))
+		}
+		rec := entries[j].Value.(opRecord)
+		next, result := u.sp.Apply(s.inner.state, sim.ProcID(p), rec.Kind, rec.Args)
+		s.inner.state = next
+		s.inner.applied[p]++
+		s.inner.next++
+
+		if p == me && j == myIndex {
+			e.EndOp(span, result)
+			return result, nil
+		}
+	}
+}
+
+// pending reports whether process p has an announced op not yet
+// replayed by this session.
+func (s *Session) pending(e *sim.Env, p int) bool {
+	entries := s.inner.u.anns[p].ReadAll(e)
+	return len(entries) > s.inner.applied[p]
+}
+
+// opRecord is the announced form of an operation.
+type opRecord struct {
+	Kind sim.OpKind
+	Args []sim.Value
+}
+
+// State returns the session's replayed state fingerprint (for tests).
+func (s *Session) State() string {
+	return s.inner.u.sp.Fingerprint(s.inner.state)
+}
+
+// Replayed returns how many log slots this session has applied.
+func (s *Session) Replayed() int { return s.inner.next }
