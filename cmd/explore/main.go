@@ -13,6 +13,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/objects"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 )
 
@@ -30,14 +31,29 @@ func run() error {
 	crashes := flag.Int("crashes", 1, "crash budget per schedule")
 	maxRuns := flag.Int("maxruns", 200000, "exploration budget")
 	bivalence := flag.Bool("bivalence", true, "trace the greedy bivalence path")
+	workers := flag.Int("workers", 1, "exploration workers (0 or 1 sequential, -1 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for the census")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "explore:", perr)
+		}
+	}()
 
 	builder, props, err := pick(*protocol, *k, *n)
 	if err != nil {
 		return err
 	}
 
-	c := explore.Run(builder, explore.Options{MaxCrashes: *crashes, MaxRuns: *maxRuns}, func(res *sim.Result) error {
+	opts := explore.Options{MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers, Prune: *prune}
+	c := explore.Run(builder, opts, func(res *sim.Result) error {
 		if err := consensus.CheckAgreement(res); err != nil {
 			return err
 		}

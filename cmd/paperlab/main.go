@@ -19,12 +19,18 @@ import (
 	"repro/internal/agents"
 	"repro/internal/core"
 	"repro/internal/election"
+	"repro/internal/explore"
 	"repro/internal/hierarchy"
 	"repro/internal/objects"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/universal"
 )
+
+// tunes are the exploration options forwarded to the census-driven
+// experiments (E6); set from -prune / -workers.
+var tunes []explore.Tune
 
 func main() {
 	if err := run(); err != nil {
@@ -35,7 +41,27 @@ func main() {
 
 func run() error {
 	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9")
+	workers := flag.Int("workers", 1, "census workers for E6 (0 or 1 sequential, -1 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for E6 censuses")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *prune {
+		tunes = append(tunes, explore.WithPrune())
+	}
+	if *workers != 0 && *workers != 1 {
+		tunes = append(tunes, explore.WithWorkers(*workers))
+	}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil {
+			fmt.Fprintln(os.Stderr, "paperlab:", perr)
+		}
+	}()
 
 	experiments := []struct {
 		id, title string
@@ -151,13 +177,13 @@ func e5(w *tabwriter.Writer) error {
 func e6(w *tabwriter.Writer) error {
 	fmt.Fprintln(w, "object\tn\tverdict\tcounterexample")
 	for _, wt := range []hierarchy.Witness{
-		hierarchy.CheckRW(2, 100000),
-		hierarchy.CheckTAS(2, 100000),
-		hierarchy.CheckTAS(3, 100000),
-		hierarchy.CheckSwap(2, 100000),
-		hierarchy.CheckQueue(3, 100000),
-		hierarchy.CheckCAS(4, 3, 50000),
-		hierarchy.CheckStickyBit(3, 100000),
+		hierarchy.CheckRW(2, 100000, tunes...),
+		hierarchy.CheckTAS(2, 100000, tunes...),
+		hierarchy.CheckTAS(3, 100000, tunes...),
+		hierarchy.CheckSwap(2, 100000, tunes...),
+		hierarchy.CheckQueue(3, 100000, tunes...),
+		hierarchy.CheckCAS(4, 3, 50000, tunes...),
+		hierarchy.CheckStickyBit(3, 100000, tunes...),
 	} {
 		verdict := "solves"
 		if !wt.Solves {

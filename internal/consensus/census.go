@@ -1,0 +1,35 @@
+package consensus
+
+import (
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// CensusCAS exhaustively censuses the canonical compare&swap-(k)
+// n-consensus protocol (propose ⊥→your symbol, read the winner),
+// checking agreement and validity on every complete run with up to one
+// crash. tunes forward exploration tuning (explore.WithPrune,
+// explore.WithWorkers) to the census.
+func CensusCAS(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range CASProtocol(sys, cas, props) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		if err := CheckAgreement(res); err != nil {
+			return err
+		}
+		return CheckValidity(res, props)
+	})
+}

@@ -1,0 +1,33 @@
+package election
+
+import (
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// CensusDirect exhaustively censuses the DirectCAS election of n
+// processes over one compare&swap-(k) register, checking consistency
+// and validity on every complete run (with up to one crash — the
+// wait-freedom regime of the paper's Claim rows). tunes forward
+// exploration tuning, e.g. explore.WithPrune() or
+// explore.WithWorkers(n), without changing the experiment's shape.
+func CensusDirect(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range DirectCAS(cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		return CheckElection(res, ids)
+	})
+}

@@ -1,0 +1,112 @@
+package explore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// The benchmark instances are the paper's Claim-row shapes: leader
+// election / consensus over one compare&swap-(k) register with a crash
+// budget, exactly the censuses the election and hierarchy experiments
+// run at scale. Each instance is benchmarked as a full census — every
+// terminal run enumerated and checked — under four engines:
+//
+//	replay-walker    one system execution per tree node (VisitReplay,
+//	                 the original engine, kept as the §5.2 baseline)
+//	path-engine      one system execution per terminal run (Visit)
+//	pruned           path engine + state-fingerprint transposition
+//	                 table (Run with WithPrune)
+//	pruned-parallel  pruning + subtree fan-out to GOMAXPROCS workers
+//
+// The "runs/s" metric counts enumerated terminal runs per second of
+// wall clock; for the pruned engines, pruned subtrees still credit
+// their runs, so the metric is schedules *accounted for* per second —
+// the quantity a census consumer cares about.
+type benchInstance struct {
+	name  string
+	b     explore.Builder
+	opts  explore.Options
+	check func(*sim.Result) error
+}
+
+func electionInstance(k, n, crashes int) benchInstance {
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return benchInstance{
+		name: fmt.Sprintf("direct-cas/k=%d/n=%d/crashes=%d", k, n, crashes),
+		b: func() *sim.System {
+			sys := sim.NewSystem()
+			cas := objects.NewCAS("cas", k)
+			sys.Add(cas)
+			for _, p := range election.DirectCAS(cas, n) {
+				sys.Spawn(p)
+			}
+			return sys
+		},
+		opts:  explore.Options{MaxCrashes: crashes},
+		check: func(res *sim.Result) error { return election.CheckElection(res, ids) },
+	}
+}
+
+func benchInstances() []benchInstance {
+	return []benchInstance{
+		electionInstance(5, 3, 1),
+		electionInstance(5, 4, 0),
+		electionInstance(5, 4, 1),
+	}
+}
+
+// censusVia runs a full checked census through one of the two visit
+// engines (the non-pruning paths), mirroring what Run's legacy path
+// does so the engines are compared on identical work.
+func censusVia(visit func(explore.Builder, explore.Options, func(explore.Outcome) bool) (int, bool),
+	in benchInstance) int {
+	runs, _ := visit(in.b, in.opts, func(o explore.Outcome) bool {
+		if !o.Result.Halted {
+			_ = in.check(o.Result)
+		}
+		return true
+	})
+	return runs
+}
+
+func BenchmarkExplore(b *testing.B) {
+	engines := []struct {
+		name string
+		runs func(benchInstance) int
+	}{
+		{"replay-walker", func(in benchInstance) int { return censusVia(explore.VisitReplay, in) }},
+		{"path-engine", func(in benchInstance) int { return censusVia(explore.Visit, in) }},
+		{"pruned", func(in benchInstance) int {
+			c := explore.Run(in.b, in.opts.With(explore.WithPrune()), in.check)
+			return c.Complete + c.Incomplete
+		}},
+		{"pruned-parallel", func(in benchInstance) int {
+			c := explore.Run(in.b, in.opts.With(explore.WithPrune(), explore.WithWorkers(-1)), in.check)
+			return c.Complete + c.Incomplete
+		}},
+	}
+	for _, in := range benchInstances() {
+		for _, eng := range engines {
+			b.Run(in.name+"/"+eng.name, func(b *testing.B) {
+				total := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					total += eng.runs(in)
+				}
+				b.StopTimer()
+				if total == 0 {
+					b.Fatal("census enumerated zero runs")
+				}
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/s")
+			})
+		}
+	}
+}

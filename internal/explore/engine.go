@@ -1,0 +1,268 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file is the path-based exploration engine that replaced the
+// per-node replay walker (kept as VisitReplay for cross-checking and
+// the DESIGN.md §5.2 ablation). The old walker rebuilt and re-ran the
+// system once per tree NODE, costing O(depth) simulated steps each; the
+// path engine rebuilds once per TERMINAL run: a probe replays the
+// current path and then keeps descending — always taking the first
+// ready process, recording a frame per new decision point — until the
+// run completes, the depth bound strikes, or (in pruned census mode) a
+// transposition-table hit summarizes the rest. Backtracking rewrites
+// the deepest unexhausted frame's edge and probes again. Visit order,
+// run counts and Results are bit-identical to the replay walker's.
+type engine struct {
+	b    Builder
+	opts Options
+
+	// Exactly one of visit/acc is set. visit streams terminal runs in
+	// DFS order (Visit mode); acc accumulates a census summary (Run
+	// mode), classifying complete runs with check.
+	visit func(Outcome) bool
+	acc   *summary
+	check func(*sim.Result) error
+	// table enables transposition pruning (census mode only).
+	table *pruneTable
+
+	// root is a fixed schedule prefix under which the walk happens
+	// (empty for a whole-tree walk); path holds the edges taken below
+	// it, path[i] being the edge out of frames[i].
+	root   []Choice
+	path   []Choice
+	frames []frame
+	plan   []Choice // scratch buffer: root + path
+
+	// runs counts delivered terminal runs (visit mode) or credited runs
+	// including memoized subtrees (census mode).
+	runs    int
+	capped  bool
+	stopped bool
+}
+
+// frame is one internal node (decision point) on the current DFS path.
+type frame struct {
+	ready   []sim.ProcID // ready set here (owned copy)
+	next    int          // next child index: picks 0..n-1, then crashes
+	crashes int          // crash choices consumed on the path to here
+	acc     *summary     // census mode: subtree accumulator
+	key     tableKey     // pruning: this node's table key
+	hasKey  bool
+}
+
+func (en *engine) run() {
+	for {
+		if en.runs >= en.opts.MaxRuns {
+			en.capped = true
+			break
+		}
+		res, pruned := en.probe()
+		if pruned != nil {
+			en.parentAcc().merge(pruned)
+			en.runs += pruned.complete + pruned.incomplete
+		} else {
+			en.terminal(res)
+		}
+		if en.capped || en.stopped {
+			break
+		}
+		if !en.backtrack() {
+			return // tree exhausted; backtrack flushed every frame
+		}
+	}
+	// Early exit (cap or stopped visit): merge the still-open frames'
+	// partial summaries down into the root accumulator so a truncated
+	// census still counts every credited run, but never publish them —
+	// the table must hold only complete subtrees.
+	for len(en.frames) > 0 {
+		en.popFrame(false)
+	}
+}
+
+// probe rebuilds the system, replays root+path, and descends first-child
+// until a terminal run or a table hit. New decision points push frames
+// and extend path.
+func (en *engine) probe() (*sim.Result, *summary) {
+	en.plan = append(en.plan[:0], en.root...)
+	en.plan = append(en.plan, en.path...)
+	sys := en.b()
+	p := &prober{en: en, sys: sys, plan: en.plan}
+	res, err := sys.Run(sim.Config{
+		Scheduler:       p,
+		Faults:          p,
+		MaxStepsPerProc: en.opts.MaxStepsPerProc,
+		MaxTotalSteps:   en.opts.MaxDepth + 1,
+		DisableTrace:    true,
+		Fingerprint:     en.table != nil,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("explore: probe failed: %v", err))
+	}
+	if p.dead {
+		panic(fmt.Sprintf("explore: builder is nondeterministic: planned pick not ready (schedule %s)",
+			FormatSchedule(en.plan[:p.i])))
+	}
+	return res, p.pruned
+}
+
+// terminal delivers or accumulates one terminal run.
+func (en *engine) terminal(res *sim.Result) {
+	en.runs++
+	sched := make([]Choice, len(en.root)+len(en.path))
+	n := copy(sched, en.root)
+	copy(sched[n:], en.path)
+	o := Outcome{Schedule: sched, Result: res}
+	if en.visit != nil {
+		if !en.visit(o) {
+			en.stopped = true
+		}
+		return
+	}
+	en.parentAcc().addTerminal(o, en.check)
+}
+
+// parentAcc is the census accumulator of the current node's parent: the
+// deepest open frame, or the engine root.
+func (en *engine) parentAcc() *summary {
+	if n := len(en.frames); n > 0 {
+		return en.frames[n-1].acc
+	}
+	return en.acc
+}
+
+// backtrack rewrites the deepest frame that still has an untried child
+// and truncates the path there; exhausted frames are popped (publishing
+// their completed subtree summaries to the table in pruned mode). It
+// returns false when the whole tree below root is exhausted.
+func (en *engine) backtrack() bool {
+	for len(en.frames) > 0 {
+		f := &en.frames[len(en.frames)-1]
+		if f.next < en.childCount(f) {
+			c := en.childChoice(f, f.next)
+			f.next++
+			en.path[len(en.frames)-1] = c
+			en.path = en.path[:len(en.frames)]
+			return true
+		}
+		en.popFrame(true)
+	}
+	return false
+}
+
+// popFrame removes the deepest frame, merging its summary into its
+// parent's; publish additionally stores it in the transposition table
+// (only legal when the subtree was fully explored).
+func (en *engine) popFrame(publish bool) {
+	i := len(en.frames) - 1
+	f := &en.frames[i]
+	if f.acc != nil {
+		if publish && f.hasKey {
+			en.table.put(f.key, f.acc)
+		}
+		if i > 0 {
+			en.frames[i-1].acc.merge(f.acc)
+		} else {
+			en.acc.merge(f.acc)
+		}
+	}
+	en.frames = en.frames[:i]
+	en.path = en.path[:i]
+}
+
+// childCount: every ready process is a pick child; if crash budget
+// remains each is also a crash child. Matches the replay walker's
+// branch order exactly.
+func (en *engine) childCount(f *frame) int {
+	n := len(f.ready)
+	if f.crashes < en.opts.MaxCrashes {
+		n *= 2
+	}
+	return n
+}
+
+func (en *engine) childChoice(f *frame, idx int) Choice {
+	if idx < len(f.ready) {
+		return Choice{Pick: f.ready[idx]}
+	}
+	return Choice{Pick: f.ready[idx-len(f.ready)], Crash: true}
+}
+
+// prober drives one probe as both Scheduler and FaultPlan: it first
+// consumes the planned choices, then auto-descends first-ready,
+// registering each new decision point as a frame on the engine. All
+// engine mutation happens from inside Scheduler callbacks, where the
+// runner has every live process parked — the cheap frontier hook that
+// makes one system execution serve a whole root-to-terminal path.
+type prober struct {
+	en      *engine
+	sys     *sim.System
+	plan    []Choice
+	i       int      // next plan index
+	pos     int      // choices consumed so far (plan + auto)
+	crashes int      // crash choices consumed so far
+	pruned  *summary // set when a table hit ended the probe
+	dead    bool     // planned pick was not ready (builder bug)
+}
+
+// CrashNow implements sim.FaultPlan: it consumes all consecutive
+// planned crash choices at the current position. Beyond the plan the
+// engine branches crashes via backtracking, never here.
+func (p *prober) CrashNow(_ []sim.ProcID, _ int) []sim.ProcID {
+	var out []sim.ProcID
+	for p.i < len(p.plan) && p.plan[p.i].Crash {
+		out = append(out, p.plan[p.i].Pick)
+		p.i++
+		p.pos++
+		p.crashes++
+	}
+	return out
+}
+
+// Next implements sim.Scheduler.
+func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
+	en := p.en
+	if p.i < len(p.plan) {
+		c := p.plan[p.i]
+		p.i++
+		p.pos++
+		for _, r := range ready {
+			if r == c.Pick {
+				return c.Pick
+			}
+		}
+		p.dead = true
+		return sim.Halt
+	}
+	if p.pos >= en.opts.MaxDepth {
+		return sim.Halt // depth bound: incomplete terminal
+	}
+	f := frame{crashes: p.crashes}
+	if en.table != nil {
+		if fp, ok := p.sys.StateHash(); ok {
+			key := tableKey{
+				fp:       fp,
+				depthRem: en.opts.MaxDepth - p.pos,
+				crashRem: en.opts.MaxCrashes - p.crashes,
+			}
+			if s, hit := en.table.get(key); hit {
+				p.pruned = s
+				return sim.Halt
+			}
+			f.key, f.hasKey = key, true
+		}
+	}
+	f.ready = append([]sim.ProcID(nil), ready...)
+	f.next = 1 // child 0 is the descent we take right now
+	if en.acc != nil {
+		f.acc = newSummary()
+	}
+	en.frames = append(en.frames, f)
+	en.path = append(en.path, Choice{Pick: ready[0]})
+	p.pos++
+	return ready[0]
+}

@@ -11,15 +11,21 @@
 // bivalent schedules. The election and hierarchy experiments are built
 // on this census.
 //
-// Exploration is replay-based: a system is rebuilt from scratch by its
-// Builder and re-run for every schedule prefix, using sim's Replay/Halt
-// mechanism to discover the ready set at each frontier. This trades CPU
-// for simplicity and avoids any state cloning (DESIGN.md §5.2 ablates
-// the cost).
+// Exploration is replay-based — a system is rebuilt from scratch by its
+// Builder for every run, so no state cloning is ever needed — but
+// path-structured: one execution descends all the way to a terminal
+// run, discovering the ready set at each decision point on the way
+// down (engine.go), instead of one execution per tree node (the
+// original walker, kept as VisitReplay; DESIGN.md §5.2 ablates the
+// difference). Censuses can additionally prune reconverging schedule
+// prefixes through a state-fingerprint transposition table (prune.go,
+// Options.Prune) and fan subtrees out to parallel workers with a
+// deterministic merge (parallel.go, Options.Workers).
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -68,6 +74,53 @@ type Options struct {
 	MaxRuns int
 	// MaxStepsPerProc is forwarded to sim.Config.
 	MaxStepsPerProc int
+	// Workers fans the walk out to parallel workers over subtree roots,
+	// with results merged deterministically: visit order, run counts and
+	// census totals are identical to the sequential walk. 0 or 1 means
+	// sequential; negative means GOMAXPROCS.
+	Workers int
+	// Prune enables transposition-table pruning in Run censuses: a
+	// subtree whose root state (fingerprint + remaining budgets) was
+	// already fully explored is credited its stored summary instead of
+	// being re-walked. Requires every object in the system to implement
+	// sim.StateKeyer; nodes where the system is not fingerprintable are
+	// simply not pruned. Census counts are exact (see prune.go);
+	// recorded representative violations may come from the first
+	// encounter of a shared subtree. Ignored by Visit, which must
+	// deliver every run.
+	Prune bool
+}
+
+// Tune is a functional option for exploration entry points that take
+// fixed Options (hierarchy/election/consensus experiments).
+type Tune func(*Options)
+
+// WithWorkers tunes Options.Workers.
+func WithWorkers(n int) Tune { return func(o *Options) { o.Workers = n } }
+
+// WithPrune enables Options.Prune.
+func WithPrune() Tune { return func(o *Options) { o.Prune = true } }
+
+// With returns a copy of o with the tunes applied.
+func (o Options) With(tunes ...Tune) Options {
+	for _, t := range tunes {
+		if t != nil {
+			t(&o)
+		}
+	}
+	return o
+}
+
+// workerCount resolves Options.Workers to an actual worker count.
+func (o Options) workerCount() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
 }
 
 // DefaultMaxDepth bounds schedule length when Options.MaxDepth is 0.
@@ -99,7 +152,39 @@ type Outcome struct {
 // order, calling visit for each; visit returning false stops the walk.
 // It returns the number of terminal runs visited and whether the walk
 // was exhaustive (false if stopped early or MaxRuns was hit).
+// With Options.Workers set, subtrees are explored in parallel and
+// outcomes are re-sequenced, preserving the exact sequential order.
 func Visit(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
+	opts = opts.withDefaults()
+	if opts.workerCount() > 1 {
+		return parallelVisit(b, opts, visit)
+	}
+	return sequentialVisit(b, opts, visit)
+}
+
+func sequentialVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool) {
+	en := &engine{b: b, opts: opts, visit: visit}
+	en.run()
+	return en.runs, !en.capped && !en.stopped
+}
+
+// ParallelVisit is Visit forced onto parallel workers (GOMAXPROCS of
+// them unless Options.Workers says otherwise). Exposed for callers
+// that want parallelism regardless of the options they were handed.
+func ParallelVisit(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
+	opts = opts.withDefaults()
+	if opts.Workers == 0 || opts.Workers == 1 {
+		opts.Workers = -1
+	}
+	return parallelVisit(b, opts, visit)
+}
+
+// VisitReplay is the original exploration engine: one full replay per
+// tree node, O(depth) simulated steps each, strictly sequential. It is
+// retained as the independent reference implementation — the engine
+// cross-check tests compare Visit against it run for run — and for the
+// DESIGN.md §5.2 ablation. New code should call Visit.
+func VisitReplay(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
 	opts = opts.withDefaults()
 	w := &walker{b: b, opts: opts, visit: visit}
 	ok := w.expand(nil, 0)
@@ -131,13 +216,13 @@ func (w *walker) expand(prefix []Choice, crashes int) bool {
 		return w.visit(Outcome{Schedule: sched, Result: res})
 	}
 	for _, id := range ready {
-		if !w.expand(append(prefix, Choice{Pick: id}), crashes) {
+		if !w.expand(extend(prefix, Choice{Pick: id}), crashes) {
 			return false
 		}
 	}
 	if crashes < w.opts.MaxCrashes {
 		for _, id := range ready {
-			if !w.expand(append(prefix, Choice{Pick: id, Crash: true}), crashes+1) {
+			if !w.expand(extend(prefix, Choice{Pick: id, Crash: true}), crashes+1) {
 				return false
 			}
 		}
@@ -145,16 +230,33 @@ func (w *walker) expand(prefix []Choice, crashes int) bool {
 	return true
 }
 
+// extend returns prefix with c appended in a fresh backing array of
+// capacity exactly len+1. A plain append(prefix, c) would let sibling
+// branches share (and overwrite) one backing array whenever prefix has
+// spare capacity — latent even single-threaded, fatal the moment
+// prefixes are handed to parallel workers or retained in outcomes.
+func extend(prefix []Choice, c Choice) []Choice {
+	out := make([]Choice, len(prefix)+1)
+	copy(out, prefix)
+	out[len(prefix)] = c
+	return out
+}
+
 // replay runs a fresh system under the given choice prefix and returns
 // the result plus the ready set at the halt frontier (nil if complete).
 func (w *walker) replay(prefix []Choice) (*sim.Result, []sim.ProcID) {
+	return replayPrefix(w.b, w.opts, prefix)
+}
+
+// replayPrefix runs a fresh system under the given choice prefix.
+func replayPrefix(b Builder, opts Options, prefix []Choice) (*sim.Result, []sim.ProcID) {
 	plan := newChoicePlan(prefix)
-	sys := w.b()
+	sys := b()
 	res, err := sys.Run(sim.Config{
 		Scheduler:       plan,
 		Faults:          plan,
-		MaxStepsPerProc: w.opts.MaxStepsPerProc,
-		MaxTotalSteps:   w.opts.MaxDepth + 1,
+		MaxStepsPerProc: opts.MaxStepsPerProc,
+		MaxTotalSteps:   opts.MaxDepth + 1,
 		DisableTrace:    true,
 	})
 	if err != nil {
@@ -220,8 +322,10 @@ type Census struct {
 	Incomplete int
 	// Outcomes histograms complete runs by decision fingerprint.
 	Outcomes map[string]int
-	// Violations holds the first few outcomes failing the check.
-	Violations []Outcome
+	// Violations holds the first few outcomes failing the check;
+	// ViolationRuns counts ALL complete runs that failed it.
+	Violations    []Outcome
+	ViolationRuns int
 	// Exhaustive is false if the walk was truncated by MaxRuns.
 	Exhaustive bool
 }
@@ -231,8 +335,14 @@ const MaxRecordedViolations = 5
 
 // Run explores all schedules and classifies every terminal run.
 // check, if non-nil, is evaluated on complete runs; a non-nil error
-// records the outcome as a violation.
+// records the outcome as a violation. With Options.Prune the walk
+// skips subtrees whose root state was already censused, crediting
+// their stored summaries — counts stay exact.
 func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
+	opts = opts.withDefaults()
+	if opts.Prune {
+		return pruneCensus(b, opts, check)
+	}
 	c := &Census{Outcomes: make(map[string]int)}
 	_, exhaustive := Visit(b, opts, func(o Outcome) bool {
 		if o.Result.Halted {
@@ -242,8 +352,11 @@ func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
 		c.Complete++
 		c.Outcomes[DecisionFingerprint(o.Result)]++
 		if check != nil {
-			if err := check(o.Result); err != nil && len(c.Violations) < MaxRecordedViolations {
-				c.Violations = append(c.Violations, o)
+			if err := check(o.Result); err != nil {
+				c.ViolationRuns++
+				if len(c.Violations) < MaxRecordedViolations {
+					c.Violations = append(c.Violations, o)
+				}
 			}
 		}
 		return true

@@ -1,0 +1,174 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// TestExtendNeverAliases is the regression test for the walker's old
+// append(prefix, c) branching: with spare capacity in the parent's
+// backing array, two sibling extensions would share (and overwrite)
+// the same slot. extend must hand every branch its own array.
+func TestExtendNeverAliases(t *testing.T) {
+	parent := make([]Choice, 1, 8) // spare capacity: the hazardous case
+	parent[0] = Choice{Pick: 0}
+	left := extend(parent, Choice{Pick: 1})
+	right := extend(parent, Choice{Pick: 2})
+	if left[1] != (Choice{Pick: 1}) {
+		t.Fatalf("left sibling corrupted: %v", left)
+	}
+	if right[1] != (Choice{Pick: 2}) {
+		t.Fatalf("right sibling corrupted: %v", right)
+	}
+	// Deep growth of one branch must not touch the other.
+	deep := extend(left, Choice{Pick: 3, Crash: true})
+	_ = deep
+	if right[1] != (Choice{Pick: 2}) {
+		t.Fatalf("deep growth of left branch clobbered right: %v", right)
+	}
+	if cap(left) != len(left) || cap(right) != len(right) {
+		t.Fatalf("extend must allocate exactly len+1: cap(left)=%d cap(right)=%d", cap(left), cap(right))
+	}
+}
+
+// rwAttempt is a local copy of the doomed 2-process read/write
+// consensus (announce, adopt-if-visible): the canonical source of real
+// violations for white-box checks.
+func rwAttempt() *sim.System {
+	sys := sim.NewSystem()
+	ann := registers.NewArray(sys, "ann", 2, nil)
+	sys.SpawnN(2, func(id sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) {
+			ann.Write(e, int(id))
+			if other := ann.Read(e, 1-int(id)); other != nil {
+				return other, nil
+			}
+			return int(id), nil
+		}
+	})
+	return sys
+}
+
+// TestPrunedViolationRepsReplay: every violation a pruned census
+// records must be a genuine one — replaying its schedule from the root
+// must reproduce a run that fails the check. This is the guard against
+// a transposition entry crediting a violation whose stored schedule is
+// stale or aliased.
+func TestPrunedViolationRepsReplay(t *testing.T) {
+	check := func(res *sim.Result) error {
+		if d := res.DistinctDecisions(); d != nil && len(d) > 1 {
+			return errors.New("disagreement")
+		}
+		return nil
+	}
+	opts := Options{MaxCrashes: 1}.withDefaults()
+	c := Run(rwAttempt, opts, check)
+	if c.ViolationRuns == 0 {
+		t.Fatal("unpruned census found no violations; matrix broken")
+	}
+	pruned := Run(rwAttempt, opts.With(WithPrune()), check)
+	if pruned.ViolationRuns != c.ViolationRuns {
+		t.Fatalf("pruned ViolationRuns=%d, unpruned=%d", pruned.ViolationRuns, c.ViolationRuns)
+	}
+	if len(pruned.Violations) == 0 {
+		t.Fatal("pruned census recorded no representative violations")
+	}
+	for i, v := range pruned.Violations {
+		res, _ := replayPrefix(rwAttempt, opts, v.Schedule)
+		if res.Halted {
+			t.Fatalf("violation %d (%s): replay halted, schedule not terminal", i, FormatSchedule(v.Schedule))
+		}
+		if err := check(res); err == nil {
+			t.Fatalf("violation %d (%s): replay does not violate the check", i, FormatSchedule(v.Schedule))
+		}
+	}
+}
+
+// TestFrontierCoversTree: the parallel split frontier must partition
+// the terminal runs exactly — leaves plus the union of subtree walks
+// reproduce the sequential count.
+func TestFrontierCoversTree(t *testing.T) {
+	b := rwAttempt
+	opts := Options{MaxCrashes: 1}.withDefaults()
+	seqRuns, _ := sequentialVisit(b, opts, func(Outcome) bool { return true })
+	items, ok := frontier(b, opts, 4)
+	if !ok {
+		t.Fatal("frontier enumeration capped unexpectedly")
+	}
+	total := 0
+	for _, it := range items {
+		if it.prefix == nil {
+			total++
+			continue
+		}
+		en := &engine{b: b, opts: opts, root: it.prefix, visit: func(Outcome) bool { return true }}
+		en.run()
+		total += en.runs
+	}
+	if total != seqRuns {
+		t.Fatalf("frontier partition visits %d runs, sequential %d", total, seqRuns)
+	}
+}
+
+// TestStateHashAtFrontier: mid-run hashing (the resumable-run hook)
+// must agree between two executions following the same schedule and
+// diverge when the schedules genuinely diverge in state.
+func TestStateHashAtFrontier(t *testing.T) {
+	hashesAt := func(plan []Choice, at int) (uint64, bool) {
+		var fp uint64
+		var ok bool
+		pos := 0
+		sys := rwAttempt()
+		sched := func(ready []sim.ProcID, _ int) sim.ProcID {
+			if pos == at {
+				fp, ok = sys.StateHash()
+			}
+			if pos >= len(plan) {
+				return sim.Halt
+			}
+			c := plan[pos]
+			pos++
+			return c.Pick
+		}
+		_, err := sys.Run(sim.Config{
+			Scheduler:    schedulerFunc(sched),
+			Fingerprint:  true,
+			DisableTrace: true,
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return fp, ok
+	}
+	plan := []Choice{{Pick: 0}, {Pick: 0}, {Pick: 1}}
+	h1, ok1 := hashesAt(plan, 2)
+	h2, ok2 := hashesAt(plan, 2)
+	if !ok1 || !ok2 {
+		t.Fatal("StateHash not available with Fingerprint enabled")
+	}
+	if h1 != h2 {
+		t.Fatalf("same prefix hashed differently: %x vs %x", h1, h2)
+	}
+	// {0,1} reaches a genuinely different state than {0,0} (proc 1 has
+	// announced instead of proc 0 having read).
+	other := []Choice{{Pick: 0}, {Pick: 1}, {Pick: 1}}
+	h3, _ := hashesAt(other, 2)
+	if h3 == h1 {
+		t.Fatalf("states of different prefixes collide: %x", h1)
+	}
+	// The commuting case: {0,1} and {1,0} are different schedules but
+	// the two announces commute, so the states — and the hashes — must
+	// coincide. This is exactly what the transposition table exploits.
+	ha, _ := hashesAt([]Choice{{Pick: 0}, {Pick: 1}, {Pick: 0}}, 2)
+	hb, _ := hashesAt([]Choice{{Pick: 1}, {Pick: 0}, {Pick: 0}}, 2)
+	if ha != hb {
+		t.Fatalf("commuting writes hashed differently: %x vs %x", ha, hb)
+	}
+}
+
+type schedulerFunc func([]sim.ProcID, int) sim.ProcID
+
+func (f schedulerFunc) Next(ready []sim.ProcID, step int) sim.ProcID { return f(ready, step) }

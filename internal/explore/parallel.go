@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel exploration: the tree is split at a shallow depth into an
+// ordered frontier of subtree roots (plus the terminal runs that end
+// above the split); workers claim roots from a shared index — a
+// work-stealing queue degenerated to its essential half, dynamic load
+// balancing — and the results are merged back in frontier order, so
+// every observable (visit order, run counts, census totals) is
+// bit-identical to the sequential walk.
+
+// frontierItem is one entry of the split frontier, in sequential DFS
+// order: either a terminal run above the split (leaf) or a subtree
+// root's schedule prefix.
+type frontierItem struct {
+	leaf   *Outcome
+	prefix []Choice
+}
+
+// frontier enumerates the tree down to a split depth chosen so that
+// there are comfortably more roots than workers (≥8× for load balance).
+// ok is false when enumeration hit MaxRuns — the caller should fall
+// back to a sequential walk, which owns the exact cap semantics.
+func frontier(b Builder, opts Options, workers int) (items []frontierItem, ok bool) {
+	target := 8 * workers
+	for split := 1; ; split++ {
+		items = items[:0]
+		roots := 0
+		shallow := opts
+		shallow.MaxDepth = split
+		en := &engine{b: b, opts: shallow, visit: func(o Outcome) bool {
+			if o.Result.Halted && len(o.Schedule) == split {
+				items = append(items, frontierItem{prefix: o.Schedule})
+				roots++
+			} else {
+				// A genuine terminal of the full tree: it completed (or
+				// hit MaxStepsPerProc crashes) before the split depth.
+				oc := o
+				items = append(items, frontierItem{leaf: &oc})
+			}
+			return true
+		}}
+		en.run()
+		if en.capped {
+			return nil, false
+		}
+		// Stop growing the split when there is enough parallelism, when
+		// the whole tree is above the split (roots == 0), or when the
+		// split would swallow the depth budget (deep narrow trees).
+		if roots >= target || roots == 0 || split+1 >= opts.MaxDepth || split >= 24 {
+			return items, true
+		}
+	}
+}
+
+// forEachRoot runs f(i) for every root item, fanning out to the given
+// number of workers over a shared claim index.
+func forEachRoot(items []frontierItem, workers int, f func(i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(items) {
+					return
+				}
+				if items[i].prefix == nil {
+					continue
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelVisit is Visit fanned out over workers. Each root's outcomes
+// stream through a bounded channel; the calling goroutine plays the
+// sequencer, delivering outcomes to visit in exact sequential DFS
+// order and enforcing MaxRuns globally, so runs/exhaustive/visit-order
+// semantics match sequentialVisit bit for bit.
+func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool) {
+	workers := opts.workerCount()
+	items, ok := frontier(b, opts, workers)
+	if !ok {
+		return sequentialVisit(b, opts, visit)
+	}
+	type rootState struct {
+		ch     chan Outcome
+		capped bool // written before ch closes; read after — safe
+	}
+	states := make([]*rootState, len(items))
+	for i, it := range items {
+		if it.prefix != nil {
+			states[i] = &rootState{ch: make(chan Outcome, 64)}
+		}
+	}
+	done := make(chan struct{})
+	var aborted atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(items) || aborted.Load() {
+					return
+				}
+				st := states[i]
+				if st == nil {
+					continue
+				}
+				en := &engine{b: b, opts: opts, root: items[i].prefix,
+					visit: func(o Outcome) bool {
+						select {
+						case st.ch <- o:
+							return true
+						case <-done:
+							return false
+						}
+					}}
+				en.run()
+				st.capped = en.capped
+				close(st.ch)
+			}
+		}()
+	}
+	runs := 0
+	visitOK := true
+	capped := false
+deliver:
+	for i, it := range items {
+		if states[i] == nil {
+			if runs >= opts.MaxRuns {
+				capped = true
+				break deliver
+			}
+			runs++
+			if !visit(*it.leaf) {
+				visitOK = false
+				break deliver
+			}
+			continue
+		}
+		for o := range states[i].ch {
+			if runs >= opts.MaxRuns {
+				capped = true
+				break deliver
+			}
+			runs++
+			if !visit(o) {
+				visitOK = false
+				break deliver
+			}
+		}
+		if states[i].capped {
+			// The worker hit MaxRuns inside this subtree, so the global
+			// count has too: report the truncation.
+			capped = true
+			break deliver
+		}
+	}
+	aborted.Store(true)
+	close(done)
+	wg.Wait()
+	return runs, visitOK && !capped
+}

@@ -1,0 +1,202 @@
+package explore
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Transposition pruning for census exploration. Different schedule
+// prefixes often reconverge to the same global state (commuting steps
+// of different processes being the canonical case); once the subtree
+// under a state has been fully censused, every later prefix reaching
+// the same state can be credited the stored summary instead of being
+// re-walked.
+//
+// Soundness (see DESIGN.md for the full argument): processes are
+// deterministic and interact only through gated operations, so a
+// process's local state is a function of its observation history, and
+// the global state is (object states, per-process observation
+// histories, per-process status). sim.StateHash fingerprints exactly
+// that. Two nodes with equal fingerprints AND equal remaining depth AND
+// equal remaining crash budget therefore root identical subtrees: the
+// same choice sequences are legal below both, and each produces
+// Results equal in every field a census or check can observe (decided
+// values, errors, step counts, halt status). Run counts, outcome
+// histograms and violation counts transfer exactly; only the recorded
+// representative schedules may differ (they come from the first
+// encounter). Equality is up to hash collision over a 64-bit FNV-1a —
+// TestPrunedCensusMatchesUnpruned cross-checks pruned against unpruned
+// censuses over the whole small-instance matrix.
+
+// tableKey identifies a subtree: the state fingerprint plus the
+// remaining exploration budgets, both of which shape the subtree.
+type tableKey struct {
+	fp       uint64
+	depthRem int
+	crashRem int
+}
+
+// summary is the census of one fully explored subtree.
+type summary struct {
+	complete   int
+	incomplete int
+	outcomes   map[string]int // complete runs by decision fingerprint
+	violations int            // complete runs failing the check
+	reps       []Outcome      // ≤ MaxRecordedViolations representatives
+}
+
+func newSummary() *summary {
+	return &summary{outcomes: make(map[string]int)}
+}
+
+// addTerminal classifies one terminal run into the summary.
+func (s *summary) addTerminal(o Outcome, check func(*sim.Result) error) {
+	if o.Result.Halted {
+		s.incomplete++
+		return
+	}
+	s.complete++
+	s.outcomes[DecisionFingerprint(o.Result)]++
+	if check != nil {
+		if err := check(o.Result); err != nil {
+			s.violations++
+			if len(s.reps) < MaxRecordedViolations {
+				s.reps = append(s.reps, o)
+			}
+		}
+	}
+}
+
+// merge folds t into s. t is never mutated: published table entries are
+// shared and must stay immutable.
+func (s *summary) merge(t *summary) {
+	s.complete += t.complete
+	s.incomplete += t.incomplete
+	for k, v := range t.outcomes {
+		s.outcomes[k] += v
+	}
+	s.violations += t.violations
+	for _, r := range t.reps {
+		if len(s.reps) >= MaxRecordedViolations {
+			break
+		}
+		// A shared subtree's entry is credited once per hit point, so
+		// its stored representative would repeat; keep distinct ones.
+		if !s.hasRep(r) {
+			s.reps = append(s.reps, r)
+		}
+	}
+}
+
+func (s *summary) hasRep(o Outcome) bool {
+	for _, r := range s.reps {
+		if schedulesEqual(r.Schedule, o.Schedule) {
+			return true
+		}
+	}
+	return false
+}
+
+func schedulesEqual(a, b []Choice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxTableEntries caps the transposition table's memory. Beyond the cap
+// new subtrees are simply not memoized — pruning degrades, correctness
+// does not.
+const maxTableEntries = 1 << 20
+
+// pruneTable is the shared transposition table. Entries are only ever
+// inserted after their subtree is fully explored, so concurrent workers
+// need no in-progress marker: whichever worker publishes first wins,
+// and any worker's value for a key is interchangeable (summaries are
+// equal in all counted fields by the soundness argument above).
+type pruneTable struct {
+	mu sync.RWMutex
+	m  map[tableKey]*summary
+}
+
+func newPruneTable() *pruneTable {
+	return &pruneTable{m: make(map[tableKey]*summary)}
+}
+
+func (t *pruneTable) get(k tableKey) (*summary, bool) {
+	t.mu.RLock()
+	s, ok := t.m[k]
+	t.mu.RUnlock()
+	return s, ok
+}
+
+func (t *pruneTable) put(k tableKey, s *summary) {
+	t.mu.Lock()
+	if len(t.m) < maxTableEntries {
+		t.m[k] = s
+	}
+	t.mu.Unlock()
+}
+
+func censusFrom(acc *summary, exhaustive bool) *Census {
+	return &Census{
+		Complete:      acc.complete,
+		Incomplete:    acc.incomplete,
+		Outcomes:      acc.outcomes,
+		Violations:    acc.reps,
+		ViolationRuns: acc.violations,
+		Exhaustive:    exhaustive,
+	}
+}
+
+// pruneCensus is Run with transposition pruning, sequential or parallel.
+func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census {
+	table := newPruneTable()
+	workers := opts.workerCount()
+	sequential := func() *Census {
+		en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table}
+		en.run()
+		return censusFrom(en.acc, !en.capped)
+	}
+	if workers <= 1 {
+		return sequential()
+	}
+	items, ok := frontier(b, opts, workers)
+	if !ok {
+		return sequential()
+	}
+	summaries := make([]*summary, len(items))
+	capped := make([]bool, len(items))
+	runItem := func(i int) {
+		en := &engine{
+			b: b, opts: opts, acc: newSummary(), check: check,
+			table: table, root: items[i].prefix,
+		}
+		en.run()
+		summaries[i] = en.acc
+		capped[i] = en.capped
+	}
+	forEachRoot(items, workers, runItem)
+	// Deterministic merge in DFS root order. Counts are exact; only the
+	// ≤5 recorded representatives can vary run-to-run (they depend on
+	// which worker published a shared subtree first).
+	total := newSummary()
+	exhaustive := true
+	for i, it := range items {
+		if it.prefix == nil {
+			total.addTerminal(*it.leaf, check)
+			continue
+		}
+		total.merge(summaries[i])
+		if capped[i] {
+			exhaustive = false
+		}
+	}
+	return censusFrom(total, exhaustive)
+}

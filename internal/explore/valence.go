@@ -17,7 +17,7 @@ import (
 func Valence(b Builder, opts Options, prefix []Choice) []string {
 	opts = opts.withDefaults()
 	set := make(map[string]bool)
-	w := &walker{b: b, opts: opts, visit: func(o Outcome) bool {
+	en := &engine{b: b, opts: opts, root: prefix, visit: func(o Outcome) bool {
 		if o.Result.Halted {
 			set["∞"] = true
 		} else {
@@ -25,7 +25,7 @@ func Valence(b Builder, opts Options, prefix []Choice) []string {
 		}
 		return true
 	}}
-	w.expand(prefix, countCrashes(prefix))
+	en.run()
 	out := make([]string, 0, len(set))
 	for fp := range set {
 		out = append(out, fp)
@@ -66,8 +66,7 @@ func BivalencePath(b Builder, opts Options, pathLen int) ([]Choice, bool) {
 		if !Bivalent(b, opts, path) {
 			return path, false
 		}
-		w := &walker{b: b, opts: opts}
-		_, ready := w.replay(path)
+		_, ready := replayPrefix(b, opts, path)
 		if ready == nil {
 			return path, false
 		}

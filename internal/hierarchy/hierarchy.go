@@ -64,10 +64,12 @@ type Witness struct {
 }
 
 // checkAll verifies a builder against full agreement/validity checks
-// over every schedule with up to one crash.
-func checkAll(b explore.Builder, proposals []sim.Value, maxRuns int) Witness {
+// over every schedule with up to one crash. tunes forward exploration
+// tuning (explore.WithPrune, explore.WithWorkers) from the caller.
+func checkAll(b explore.Builder, proposals []sim.Value, maxRuns int, tunes ...explore.Tune) Witness {
 	w := Witness{Solves: true}
-	c := explore.Run(b, explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}, func(res *sim.Result) error {
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	c := explore.Run(b, opts, func(res *sim.Result) error {
 		if err := consensus.CheckAgreement(res); err != nil {
 			return err
 		}
@@ -102,7 +104,7 @@ func proposals(n int) []sim.Value {
 // which of the other two won) has no canonical protocol; we check the
 // natural generalization "losers adopt the smallest announced value",
 // which the explorer refutes.
-func CheckTAS(n int, maxRuns int) Witness {
+func CheckTAS(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -126,14 +128,14 @@ func CheckTAS(n int, maxRuns int) Witness {
 		})
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "test&set", n
 	return w
 }
 
 // CheckFetchAdd verifies fetch&add n-consensus (ticket protocol;
 // generalization for n ≥ 3 adopts the smallest announced value).
-func CheckFetchAdd(n int, maxRuns int) Witness {
+func CheckFetchAdd(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -157,7 +159,7 @@ func CheckFetchAdd(n int, maxRuns int) Witness {
 		})
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "fetch&add", n
 	return w
 }
@@ -166,7 +168,7 @@ func CheckFetchAdd(n int, maxRuns int) Witness {
 // the register; whoever got ⊥ back went first and wins. Level 2: solves
 // 2, fails 3 (a loser cannot tell which of the other two won first, and
 // the smallest-announced generalization disagrees).
-func CheckSwap(n int, maxRuns int) Witness {
+func CheckSwap(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -188,13 +190,13 @@ func CheckSwap(n int, maxRuns int) Witness {
 		})
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "swap", n
 	return w
 }
 
 // CheckQueue verifies queue n-consensus (pre-loaded winner token).
-func CheckQueue(n int, maxRuns int) Witness {
+func CheckQueue(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -218,14 +220,14 @@ func CheckQueue(n int, maxRuns int) Witness {
 		})
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "queue", n
 	return w
 }
 
 // CheckRW verifies the read/write-only attempt (level 1: fails already
 // at n = 2).
-func CheckRW(n int, maxRuns int) Witness {
+func CheckRW(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -234,14 +236,14 @@ func CheckRW(n int, maxRuns int) Witness {
 		}
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "read/write", n
 	return w
 }
 
 // CheckCAS verifies compare&swap-(k) n-consensus for n ≤ k−1 (the
 // paper's size limit governs the constructor, which panics beyond it).
-func CheckCAS(k, n int, maxRuns int) Witness {
+func CheckCAS(k, n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -252,14 +254,14 @@ func CheckCAS(k, n int, maxRuns int) Witness {
 		}
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = fmt.Sprintf("compare&swap-(%d)", k), n
 	return w
 }
 
 // CheckStickyBit verifies sticky-bit n-consensus: everyone writes its
 // proposal; the first write sticks and is returned to all.
-func CheckStickyBit(n int, maxRuns int) Witness {
+func CheckStickyBit(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
@@ -272,7 +274,7 @@ func CheckStickyBit(n int, maxRuns int) Witness {
 		})
 		return sys
 	}
-	w := checkAll(b, props, maxRuns)
+	w := checkAll(b, props, maxRuns, tunes...)
 	w.Object, w.N = "sticky bit", n
 	return w
 }

@@ -3,6 +3,7 @@ package hierarchy_test
 import (
 	"testing"
 
+	"repro/internal/explore"
 	"repro/internal/hierarchy"
 )
 
@@ -10,7 +11,7 @@ import (
 // fetch&add and queue each solve 2-consensus on every schedule with up
 // to one crash.
 func TestLevelTwoObjectsSolveTwo(t *testing.T) {
-	checks := []func(n, maxRuns int) hierarchy.Witness{
+	checks := []func(n, maxRuns int, tunes ...explore.Tune) hierarchy.Witness{
 		hierarchy.CheckTAS,
 		hierarchy.CheckFetchAdd,
 		hierarchy.CheckQueue,
@@ -30,7 +31,7 @@ func TestLevelTwoObjectsSolveTwo(t *testing.T) {
 // 3-process generalizations of the level-2 protocols disagree on some
 // schedule — the objects' consensus number is exactly 2.
 func TestLevelTwoObjectsFailThree(t *testing.T) {
-	checks := []func(n, maxRuns int) hierarchy.Witness{
+	checks := []func(n, maxRuns int, tunes ...explore.Tune) hierarchy.Witness{
 		hierarchy.CheckTAS,
 		hierarchy.CheckFetchAdd,
 		hierarchy.CheckQueue,

@@ -1,0 +1,90 @@
+package objects
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file makes every object in the package fingerprintable
+// (sim.StateKeyer) so that the explore package can hash global states
+// and prune schedule prefixes that reconverge. Keys must be canonical:
+// equal keys ⇒ observationally equivalent objects. Where an object
+// keeps an inspection-only history (CAS, RMW, LLSC), the history is
+// included: experiment checks may read it after a run, so states that
+// differ only in history are not interchangeable. This is conservative
+// — it can only weaken pruning, never its soundness.
+
+var (
+	_ sim.StateKeyer = (*TestAndSet)(nil)
+	_ sim.StateKeyer = (*FetchAdd)(nil)
+	_ sim.StateKeyer = (*Swap)(nil)
+	_ sim.StateKeyer = (*StickyBit)(nil)
+	_ sim.StateKeyer = (*Queue)(nil)
+	_ sim.StateKeyer = (*CAS)(nil)
+	_ sim.StateKeyer = (*RMW)(nil)
+	_ sim.StateKeyer = (*LLSC)(nil)
+	_ sim.StateKeyer = (*Consensus)(nil)
+)
+
+// StateKey implements sim.StateKeyer.
+func (t *TestAndSet) StateKey() string {
+	if t.set {
+		return "1"
+	}
+	return "0"
+}
+
+// StateKey implements sim.StateKeyer.
+func (f *FetchAdd) StateKey() string { return fmt.Sprint(f.value) }
+
+// StateKey implements sim.StateKeyer.
+func (s *Swap) StateKey() string { return sim.ValueKey(s.value) }
+
+// StateKey implements sim.StateKeyer.
+func (s *StickyBit) StateKey() string {
+	if s.value == nil {
+		return "⊥"
+	}
+	return sim.ValueKey(s.value)
+}
+
+// StateKey implements sim.StateKeyer.
+func (q *Queue) StateKey() string { return fmt.Sprintf("%v", q.items) }
+
+// StateKey implements sim.StateKeyer.
+func (c *CAS) StateKey() string {
+	return fmt.Sprintf("%d|%v", int(c.value), c.history)
+}
+
+// StateKey implements sim.StateKeyer.
+func (r *RMW) StateKey() string {
+	return fmt.Sprintf("%d|%v", int(r.value), r.history)
+}
+
+// StateKey implements sim.StateKeyer. The link table is rendered in
+// process-id order so the key is independent of map iteration.
+func (l *LLSC) StateKey() string {
+	ids := make([]int, 0, len(l.links))
+	for id := range l.links {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|", int(l.value), l.version)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d:%d,", id, l.links[sim.ProcID(id)])
+	}
+	fmt.Fprintf(&b, "|%v", l.history)
+	return b.String()
+}
+
+// StateKey implements sim.StateKeyer.
+func (c *Consensus) StateKey() string {
+	if !c.decided {
+		return "⊥"
+	}
+	return sim.ValueKey(c.value)
+}

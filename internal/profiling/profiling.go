@@ -1,0 +1,49 @@
+// Package profiling is the shared -cpuprofile/-memprofile plumbing for
+// the repo's commands. Both profiles use the runtime/pprof defaults so
+// the output is directly consumable by `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a
+// stop function that finishes the CPU profile and, when memPath is
+// non-empty, writes a heap profile. Either path may be empty; Start
+// never returns a nil stop function.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

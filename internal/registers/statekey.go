@@ -1,0 +1,30 @@
+package registers
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// StateKey implementations (sim.StateKeyer) for the register substrate,
+// enabling state-hash pruning in the explore package. Composite objects
+// (Array, Snapshot, ImmediateSnapshot, the MW-from-SW construction)
+// register their SWMR cells individually with the System, so keying
+// SWMR, MWMR and Tagged covers everything in the package. Cell values
+// must render deterministically under %v — the package's internal cell
+// structs (plain data, no pointers) all do.
+
+var (
+	_ sim.StateKeyer = (*SWMR)(nil)
+	_ sim.StateKeyer = (*MWMR)(nil)
+	_ sim.StateKeyer = (*Tagged)(nil)
+)
+
+// StateKey implements sim.StateKeyer.
+func (r *SWMR) StateKey() string { return sim.ValueKey(r.value) }
+
+// StateKey implements sim.StateKeyer.
+func (r *MWMR) StateKey() string { return sim.ValueKey(r.value) }
+
+// StateKey implements sim.StateKeyer.
+func (t *Tagged) StateKey() string { return fmt.Sprintf("%v", t.entries) }

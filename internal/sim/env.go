@@ -42,6 +42,9 @@ func (e *Env) Apply(obj Object, op OpKind, args ...Value) Value {
 	if e.sys.trace != nil {
 		e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, args, v)
 	}
+	if e.sys.fingerprint {
+		e.proc.foldOp(obj.Name(), op, args, v)
+	}
 	return v
 }
 

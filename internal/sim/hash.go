@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateKeyer is implemented by Objects whose state can be rendered as a
+// canonical string. Two objects of the same type with equal StateKeys
+// must be observationally equivalent: every future operation sequence
+// yields identical results from either. The key must be deterministic
+// across process runs (no pointer addresses, no map-iteration order —
+// fmt renders maps sorted, which is acceptable).
+//
+// StateKey is what makes a System fingerprintable: schedule explorers
+// hash object keys together with per-process observation histories to
+// recognize when two different schedule prefixes reached the same
+// global state (see System.StateHash and the explore package's
+// transposition pruning).
+type StateKeyer interface {
+	StateKey() string
+}
+
+// ValueKey canonically renders a Value for state hashing. Values stored
+// in objects or decided by processes must render deterministically
+// under %v for fingerprints to be meaningful: structs, slices, maps,
+// strings and numbers are fine; raw pointers are not (their addresses
+// differ between rebuilt systems).
+func ValueKey(v Value) string { return fmt.Sprintf("%v", v) }
+
+// FNV-1a parameters, inlined so hashing needs no allocation.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// foldString folds s into h (FNV-1a) and appends a separator byte so
+// that ("ab","c") and ("a","bc") hash differently.
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0xff
+	h *= fnvPrime64
+	return h
+}
+
+// foldUint64 folds the eight bytes of v into h (FNV-1a).
+func foldUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// StateHash returns a deterministic fingerprint of the System's current
+// global state: the StateKey of every object (in name order) plus, for
+// each process, its accumulated observation history (the sequence of
+// operations it performed with their results), step count, and
+// completion status. Fingerprinting must have been enabled by
+// Config.Fingerprint — without it the per-step observation hashes were
+// never accumulated — and every object must implement StateKeyer;
+// otherwise ok is false.
+//
+// Soundness: a process is deterministic, communicates only through
+// gated operations, and parks at the scheduler gate between steps, so
+// its entire local state ("PC + locals") is a function of its
+// observation history. Two prefixes with equal fingerprints therefore
+// reach global states from which the same schedules produce identical
+// Results (up to hash collision; explorers cross-check on small
+// instances).
+//
+// StateHash may be called from inside Scheduler.Next or
+// FaultPlan.CrashNow: at every decision point the runner has all live
+// processes parked at their gates, so the state is quiescent. This is
+// the cheap mid-run observation hook used by the explore package to
+// fingerprint the frontier without a separate replay per node.
+func (s *System) StateHash() (uint64, bool) {
+	if !s.fingerprint {
+		return 0, false
+	}
+	if len(s.objNames) != len(s.objects) {
+		s.objNames = s.objNames[:0]
+		for name := range s.objects {
+			s.objNames = append(s.objNames, name)
+		}
+		sort.Strings(s.objNames)
+	}
+	h := fnvOffset64
+	for _, name := range s.objNames {
+		k, ok := s.objects[name].(StateKeyer)
+		if !ok {
+			return 0, false
+		}
+		h = foldString(h, name)
+		h = foldString(h, k.StateKey())
+	}
+	for _, p := range s.procs {
+		h = foldUint64(h, p.opHash)
+		h = foldUint64(h, uint64(p.steps))
+		switch {
+		case p.done && p.err != nil:
+			h = foldString(h, "e")
+			h = foldString(h, p.err.Error())
+		case p.done:
+			h = foldString(h, "d")
+			h = foldString(h, ValueKey(p.value))
+		default:
+			h = foldString(h, "r")
+		}
+		if p.crashed {
+			h = foldString(h, "c")
+		}
+	}
+	return h, true
+}
+
+// foldOp accumulates one observed operation into the process's
+// observation-history hash. Called from Env.Apply while the runner is
+// blocked on this process, so the write is race-free.
+func (p *proc) foldOp(objName string, op OpKind, args []Value, result Value) {
+	h := foldString(p.opHash, objName)
+	h = foldString(h, string(op))
+	if len(args) > 0 {
+		h = foldString(h, fmt.Sprintf("%v", args))
+	}
+	p.opHash = foldString(h, ValueKey(result))
+}

@@ -71,6 +71,10 @@ type System struct {
 	trace   *Trace
 	steps   int
 	ran     bool
+	// fingerprint enables observation hashing (Config.Fingerprint);
+	// objNames caches the sorted object names for StateHash.
+	fingerprint bool
+	objNames    []string
 }
 
 type proc struct {
@@ -85,6 +89,10 @@ type proc struct {
 	// lastStep is the global index of this process's most recent shared
 	// step; -1 before its first step. Used to close operation spans.
 	lastStep int
+	// opHash is the FNV-1a fold of this process's observation history
+	// (every operation it performed with its result), maintained only
+	// when Config.Fingerprint is set. See System.StateHash.
+	opHash uint64
 	// spans are the high-level operation spans this process opened;
 	// pending are those whose start index is not yet known (no shared
 	// step since BeginOp).
@@ -129,6 +137,7 @@ func (s *System) Spawn(p Program) ProcID {
 		program:  p,
 		grant:    make(chan struct{}),
 		lastStep: -1,
+		opHash:   fnvOffset64,
 	})
 	return id
 }
@@ -157,6 +166,10 @@ type Config struct {
 	MaxTotalSteps int
 	// DisableTrace turns off event recording (useful in benchmarks).
 	DisableTrace bool
+	// Fingerprint enables per-step observation hashing so that
+	// System.StateHash (and Result.Fingerprint) are available. Off by
+	// default: hashing costs a few string formats per shared step.
+	Fingerprint bool
 }
 
 // DefaultMaxTotalSteps is the total step safety bound used when
@@ -183,6 +196,12 @@ type Result struct {
 	ReadyAtHalt []ProcID
 	// Trace is the recorded event history (nil if disabled).
 	Trace *Trace
+	// Fingerprint is the hash of the final global state (object state
+	// keys plus per-process observation histories), valid only when
+	// FingerprintOK: Config.Fingerprint was set and every object
+	// implements StateKeyer. See System.StateHash.
+	Fingerprint   uint64
+	FingerprintOK bool
 }
 
 // Decided returns the IDs of processes that produced a decision.
@@ -243,6 +262,7 @@ func (s *System) Run(cfg Config) (*Result, error) {
 	if cfg.DisableTrace {
 		s.trace = nil
 	}
+	s.fingerprint = cfg.Fingerprint
 
 	s.events = make(chan procEvent)
 	for _, p := range s.procs {
@@ -320,6 +340,7 @@ func (s *System) Run(cfg Config) (*Result, error) {
 			s.crashWith(id, ErrHalted)
 		}
 	}
+	res.Fingerprint, res.FingerprintOK = s.StateHash()
 	for i, p := range s.procs {
 		res.Values[i] = p.value
 		res.Errors[i] = p.err

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Runs the exploration-engine benchmarks (internal/explore) and distills
+# them into BENCH_explore.json at the repo root: one record per
+# benchmark with ns/op and the runs/s census-throughput metric.
+#
+#   scripts/bench_explore.sh [benchtime]     # default 2x
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkExplore' -benchtime "$benchtime" \
+	./internal/explore/ | tee "$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+$1 ~ /^BenchmarkExplore\// {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = ""; runs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")  ns = $(i - 1)
+		if ($(i) == "runs/s") runs = $(i - 1)
+	}
+	if (ns == "") next
+	if (!first) print ","
+	first = 0
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s}", name, ns, runs
+}
+END { print ""; print "]" }
+' "$raw" > BENCH_explore.json
+
+echo "wrote BENCH_explore.json ($(grep -c '"name"' BENCH_explore.json) entries)"

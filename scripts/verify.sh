@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, vet, full test suite, plus race-detector
+# runs of the concurrency-bearing packages (the parallel exploration
+# engine and the simulator it drives). Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/explore/... ./internal/sim/..."
+go test -race ./internal/explore/... ./internal/sim/...
+
+echo "verify: OK"
