@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/consensus"
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/objects"
 	"repro/internal/profiling"
 	"repro/internal/sim"
@@ -25,14 +27,21 @@ func main() {
 }
 
 func run() error {
-	protocol := flag.String("protocol", "tas2", "protocol: rw2 | rw3 | tas2 | tas3gen | fa2 | queue2 | cas")
-	k := flag.Int("k", 4, "compare&swap alphabet (for -protocol cas)")
-	n := flag.Int("n", 2, "processes (for -protocol cas)")
+	protocol := flag.String("protocol", "tas2", "protocol: rw2 | rw3 | tas2 | tas3gen | fa2 | queue2 | cas | casdeg")
+	k := flag.Int("k", 4, "compare&swap alphabet (for -protocol cas/casdeg)")
+	n := flag.Int("n", 2, "processes (for -protocol cas/casdeg)")
 	crashes := flag.Int("crashes", 1, "crash budget per schedule")
+	objFaults := flag.Int("objfaults", 0, "object-fault budget per schedule (needs a fault-wrapped protocol, e.g. casdeg)")
+	faultModes := flag.String("faultmodes", "crash", "comma-separated fault modes to enumerate: crash,omission,reset,garble")
 	maxRuns := flag.Int("maxruns", 200000, "exploration budget")
+	stepLimit := flag.Int("steplimit", 0, "per-process step budget: a run exceeding it is counted as a step-limit outcome instead of hanging the census (0 = sim default)")
 	bivalence := flag.Bool("bivalence", true, "trace the greedy bivalence path")
 	workers := flag.Int("workers", 1, "exploration workers (0 or 1 sequential, -1 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for the census")
+	pruneBudget := flag.Int("prunebudget", 0, "prune-table entry budget, FIFO-evicted beyond it (0 = default cap)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: periodically persist census progress for -resume")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "save the checkpoint after this many completed subtree roots (0 = default)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if it matches this exploration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -51,15 +60,44 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	modes, err := parseFaultModes(*faultModes)
+	if err != nil {
+		return err
+	}
 
-	opts := explore.Options{MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers, Prune: *prune}
-	c := explore.Run(builder, opts, func(res *sim.Result) error {
+	opts := explore.Options{
+		MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers,
+		Prune: *prune, PruneTableEntries: *pruneBudget,
+		MaxStepsPerProc: *stepLimit,
+	}
+	if *objFaults > 0 {
+		opts.ObjectFaults = *objFaults
+		opts.FaultModes = modes
+	}
+	check := func(res *sim.Result) error {
 		if err := consensus.CheckAgreement(res); err != nil {
 			return err
 		}
 		return consensus.CheckValidity(res, props)
-	})
-	fmt.Printf("census of %s (crash budget %d):\n%s", *protocol, *crashes, explore.DescribeCensus(c))
+	}
+	var c *explore.Census
+	if *checkpoint != "" {
+		ck := explore.Checkpoint{Path: *checkpoint, Every: *checkpointEvery, Resume: *resume}
+		var stats explore.CheckpointStats
+		c, stats, err = explore.RunCheckpointed(builder, opts, check, ck)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint: %d roots (%d resumed), %d saves to %s\n",
+			stats.TotalRoots, stats.ResumedRoots, stats.Saves, *checkpoint)
+	} else {
+		c = explore.Run(builder, opts, check)
+	}
+	fmt.Printf("census of %s (crash budget %d, object-fault budget %d):\n%s",
+		*protocol, *crashes, *objFaults, explore.DescribeCensus(c))
+	for _, e := range c.Errors {
+		fmt.Println("exploration error:", e)
+	}
 
 	v := explore.Valence(builder, explore.Options{MaxRuns: *maxRuns / 4}, nil)
 	fmt.Println("initial valence:", explore.ValenceString(v))
@@ -149,7 +187,41 @@ func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {
 			}
 			return sys
 		}, p, nil
+	case "casdeg":
+		// Fault-wrapped compare&swap consensus with graceful degradation
+		// to registers: the protocol for -objfaults experiments.
+		p := props(n)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			cas := faults.Wrap(objects.NewCAS("cas", k))
+			sys.Add(cas)
+			for _, prog := range consensus.DegradingCASProtocol(sys, cas, p) {
+				sys.Spawn(prog)
+			}
+			return sys
+		}, p, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown protocol %q", name)
 	}
+}
+
+// parseFaultModes parses the -faultmodes flag ("crash,omission,...").
+func parseFaultModes(s string) ([]sim.FaultMode, error) {
+	var modes []sim.FaultMode
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "":
+		case "crash":
+			modes = append(modes, sim.FaultCrash)
+		case "omission":
+			modes = append(modes, sim.FaultOmission)
+		case "reset":
+			modes = append(modes, sim.FaultReset)
+		case "garble":
+			modes = append(modes, sim.FaultGarble)
+		default:
+			return nil, fmt.Errorf("unknown fault mode %q", part)
+		}
+	}
+	return modes, nil
 }

@@ -40,9 +40,10 @@ func main() {
 }
 
 func run() error {
-	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9")
-	workers := flag.Int("workers", 1, "census workers for E6 (0 or 1 sequential, -1 = GOMAXPROCS)")
-	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for E6 censuses")
+	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9, e16")
+	workers := flag.Int("workers", 1, "census workers for E6/E16 (0 or 1 sequential, -1 = GOMAXPROCS)")
+	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for E6/E16 censuses")
+	stepLimit := flag.Int("steplimit", 0, "per-process step budget for censuses: runaway runs become counted step-limit outcomes instead of hanging (0 = sim default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -52,6 +53,9 @@ func run() error {
 	}
 	if *workers != 0 && *workers != 1 {
 		tunes = append(tunes, explore.WithWorkers(*workers))
+	}
+	if *stepLimit > 0 {
+		tunes = append(tunes, explore.WithStepLimit(*stepLimit))
 	}
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -74,6 +78,7 @@ func run() error {
 		{"e6", "E6 — hierarchy witnesses", e6},
 		{"e8", "E7/E8 — emulation anatomy on the cycling workload", e8},
 		{"e9", "E9 — universality and its size limits", e9},
+		{"e16", "E16 — election degradation vs object-fault budget", e16},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.id) {
@@ -214,6 +219,46 @@ func e8(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintln(w, "audit\tok")
+	return nil
+}
+
+// e16 sweeps the object-fault budget of the degrading compare&swap
+// election and reports how often the registers-only fallback preserved
+// safety — the empirical degradation curve of the object's power. The
+// censuses are exhaustive (every schedule, every fault placement), so
+// the rates are exact; pruning is forced because fault branching
+// multiplies the tree.
+func e16(w *tabwriter.Writer) error {
+	local := append(append([]explore.Tune{}, tunes...), explore.WithPrune())
+	crash := []sim.FaultMode{sim.FaultCrash}
+	omission := []sim.FaultMode{sim.FaultOmission}
+	reset := []sim.FaultMode{sim.FaultReset}
+	garble := []sim.FaultMode{sim.FaultGarble}
+	all := []sim.FaultMode{sim.FaultCrash, sim.FaultOmission, sim.FaultReset, sim.FaultGarble}
+	fmt.Fprintln(w, "k\tn\tfault budget\tmodes\tfaulted runs\tsafety violations\tsafety rate\tliveness losses")
+	for _, tc := range []struct {
+		k, n, budget int
+		modes        []sim.FaultMode
+		label        string
+	}{
+		// n = 2 keeps every census exhaustive; n = 3 fault trees run to
+		// billions of schedules and would have to be capped.
+		{3, 2, 0, crash, "—"},
+		{3, 2, 1, crash, "crash"},
+		{3, 2, 1, omission, "omission"},
+		{3, 2, 1, reset, "reset"},
+		{3, 2, 1, garble, "garble"},
+		{3, 2, 1, all, "all four"},
+		{3, 2, 2, crash, "crash"},
+	} {
+		r := election.DegradeCensus(tc.k, tc.n, tc.budget, 20_000_000, tc.modes, local...)
+		if !r.Faulted.Exhaustive {
+			return fmt.Errorf("e16: k=%d n=%d budget=%d census not exhaustive", tc.k, tc.n, tc.budget)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%d\t%.4f\t%d\n",
+			tc.k, tc.n, tc.budget, tc.label,
+			r.FaultedRuns, r.SafetyViolations, r.SafetyRate(), r.LivenessLosses)
+	}
 	return nil
 }
 

@@ -1,0 +1,68 @@
+package consensus
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// DegradingCASProtocol is CASProtocol hardened against object failure:
+// obj is a compare&swap-style object — normally a faults.Wrap around
+// objects.NewCAS — and a process that observes it failed (the
+// ErrObjectFailed sentinel) degrades to registers only instead of
+// crashing: it adopts any decision already published by a
+// compare&swap-path decider, else falls back to the RWAttempt rule
+// (decide the minimum announced proposal). Deciders on every path
+// publish before returning, so the fallback disagrees only on the
+// schedules where FLP says it must be able to. Unlike CASProtocol the
+// capacity precondition n ≤ k−1 is the caller's job — obj is opaque
+// here, and the hierarchy checks deliberately probe over-capacity.
+func DegradingCASProtocol(sys *sim.System, obj sim.Object, proposals []sim.Value) []sim.Program {
+	n := len(proposals)
+	ann := registers.NewArray(sys, obj.Name()+".ann", n, nil)
+	dec := registers.NewArray(sys, obj.Name()+".dec", n, nil)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			decide := func(v sim.Value) (sim.Value, error) {
+				dec.Write(e, v)
+				return v, nil
+			}
+			ann.Write(e, proposals[i])
+			if _, ok := faults.TryApply(e, obj, objects.OpCAS, objects.Bottom, objects.Symbol(i+1)); ok {
+				if v, ok2 := faults.TryApply(e, obj, sim.OpRead); ok2 {
+					if s, isSym := v.(objects.Symbol); isSym && s != objects.Bottom {
+						winner := int(s) - 1
+						if winner >= 0 && winner < n {
+							return decide(ann.Read(e, winner))
+						}
+					}
+					// Garbled/omitted response with no usable owner:
+					// degrade rather than decide garbage.
+				}
+			}
+			// Degraded path: adopt an authoritative published decision if
+			// any is visible, else the level-1 minimum-announced rule.
+			for j := 0; j < n; j++ {
+				if v := dec.Read(e, j); v != nil {
+					return decide(v)
+				}
+			}
+			best := proposals[i]
+			for _, v := range ann.Collect(e) {
+				if v == nil {
+					continue
+				}
+				if fmt.Sprint(v) < fmt.Sprint(best) {
+					best = v
+				}
+			}
+			return decide(best)
+		}
+	}
+	return progs
+}

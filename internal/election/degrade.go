@@ -1,0 +1,155 @@
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/objects"
+	"repro/internal/registers"
+	"repro/internal/sim"
+)
+
+// This file adds graceful degradation to the compare&swap election: a
+// protocol that detects a failed register (the ErrObjectFailed sentinel
+// of internal/faults) and falls back to a registers-only path instead
+// of crashing. The theory says the fallback cannot be both safe and
+// wait-free — leader election above the register-alone capacity needs
+// the strong object (Burns–Cruz–Loui; FLP for the consensus flavor) —
+// so the interesting question is empirical: on what fraction of
+// fault-placement schedules does the degraded protocol still elect
+// consistently? DegradeCensus measures exactly that, exhaustively.
+
+// DegradingCAS returns n programs electing a leader over obj — a
+// compare&swap-style object, normally a faults.Wrap around
+// objects.NewCAS — that survive the object failing mid-run:
+//
+//	try   c&s(⊥→i+1); read          (the DirectCAS path)
+//	on failure:
+//	  adopt any decision published by a compare&swap-path winner
+//	  else race on a fallback register (announce-then-read)
+//
+// Every compare&swap-path decider publishes its decision to a
+// single-writer register BEFORE returning, so late fallers-back adopt
+// it and agreement degrades as rarely as the schedule allows. The
+// fallback race itself is only read/write and therefore unsafe under
+// adversarial scheduling — the point the census quantifies.
+func DegradingCAS(sys *sim.System, obj sim.Object, n int) []sim.Program {
+	dec := registers.NewArray(sys, obj.Name()+".dec", n, nil)
+	fb := registers.NewMWMR(obj.Name()+".fb", nil)
+	sys.Add(fb)
+	progs := make([]sim.Program, n)
+	for i := 0; i < n; i++ {
+		i := i
+		progs[i] = func(e *sim.Env) (sim.Value, error) {
+			sp := e.BeginOp(obj.Name()+".le", "elect", i)
+			decide := func(w sim.Value) (sim.Value, error) {
+				dec.Write(e, w)
+				e.EndOp(sp, w)
+				return w, nil
+			}
+			prev, ok := faults.TryApply(e, obj, objects.OpCAS, objects.Bottom, objects.Symbol(i+1))
+			if ok {
+				if v, ok2 := faults.TryApply(e, obj, sim.OpRead); ok2 {
+					if s, isSym := v.(objects.Symbol); isSym && s != objects.Bottom {
+						return decide(int(s) - 1)
+					}
+					// A garbled/omitted response left no usable winner
+					// (⊥ or a foreign value): treat like a failure and
+					// degrade rather than decide garbage.
+					_ = prev
+				}
+			}
+			// Degraded path: the object failed (or answered nonsense).
+			// First adopt any published compare&swap-path decision — those
+			// are authoritative.
+			for j := 0; j < n; j++ {
+				if w := dec.Read(e, j); w != nil {
+					return decide(w)
+				}
+			}
+			// None visible: registers-only race.
+			if w := fb.Read(e); w != nil {
+				return decide(w)
+			}
+			fb.Write(e, i)
+			if w := fb.Read(e); w != nil {
+				return decide(w)
+			}
+			return decide(i)
+		}
+	}
+	return progs
+}
+
+// DegradeReport quantifies how gracefully the degrading election
+// survives an object-fault budget, by exhaustive comparison against the
+// fault-free baseline census over the identical protocol.
+type DegradeReport struct {
+	// Baseline is the census with fault budget 0 (it must be violation
+	// free); Faulted is the census with the requested budget, whose
+	// schedule tree strictly contains the baseline's.
+	Baseline *explore.Census
+	Faulted  *explore.Census
+	// FaultedRuns counts complete runs containing at least one injected
+	// fault (faulted complete minus baseline complete).
+	FaultedRuns int
+	// SafetyViolations counts faulted runs electing inconsistently or
+	// invalidly; the baseline contributes none, so this is exactly the
+	// faulted census's violation count.
+	SafetyViolations int
+	// LivenessLosses counts additional incomplete (depth-bound) runs
+	// introduced by faults.
+	LivenessLosses int
+}
+
+// SafetyRate is the fraction of fault-containing runs that still
+// elected consistently (1.0 when no run carried a fault).
+func (r DegradeReport) SafetyRate() float64 {
+	if r.FaultedRuns == 0 {
+		return 1
+	}
+	return 1 - float64(r.SafetyViolations)/float64(r.FaultedRuns)
+}
+
+// DegradeCensus censuses the degrading election of n processes over one
+// fault-wrapped compare&swap-(k) register, with the given object-fault
+// budget over modes (crash-only when empty), and reports how often the
+// degraded paths preserved safety and liveness. The exploration also
+// allows one process crash, matching CensusDirect.
+func DegradeCensus(k, n, faultBudget, maxRuns int, modes []sim.FaultMode, tunes ...explore.Tune) DegradeReport {
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := faults.Wrap(objects.NewCAS("cas", k))
+		sys.Add(cas)
+		for _, p := range DegradingCAS(sys, cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	check := func(res *sim.Result) error {
+		return CheckElection(res, ids)
+	}
+	base := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	faulted := base
+	faulted.ObjectFaults = faultBudget
+	faulted.FaultModes = modes
+	r := DegradeReport{
+		Baseline: explore.Run(b, base, check),
+		Faulted:  explore.Run(b, faulted, check),
+	}
+	r.FaultedRuns = r.Faulted.Complete - r.Baseline.Complete
+	r.SafetyViolations = r.Faulted.ViolationRuns
+	r.LivenessLosses = r.Faulted.Incomplete - r.Baseline.Incomplete
+	if r.Baseline.ViolationRuns != 0 {
+		// The fault-free protocol must be a correct election; a baseline
+		// violation means the degradation machinery broke the healthy
+		// path — fail loudly rather than report a bogus rate.
+		panic(fmt.Sprintf("election: degrading baseline has %d violations", r.Baseline.ViolationRuns))
+	}
+	return r
+}

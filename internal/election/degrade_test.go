@@ -1,0 +1,87 @@
+package election
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/sim"
+)
+
+// With no fault budget the degrading election must behave exactly like
+// a correct election: every schedule (including single process crashes)
+// elects consistently.
+func TestDegradingHealthyIsCorrect(t *testing.T) {
+	r := DegradeCensus(3, 2, 0, 2_000_000, nil)
+	if !r.Baseline.Exhaustive {
+		t.Fatalf("baseline not exhaustive: %+v", r.Baseline)
+	}
+	if r.Faulted.ViolationRuns != 0 {
+		t.Fatalf("healthy degrading election violated: %+v", r.Faulted)
+	}
+	if r.FaultedRuns != 0 || r.SafetyRate() != 1 {
+		t.Fatalf("zero-budget census reports faulted runs: %+v", r)
+	}
+}
+
+// One injected crash fault makes the election degrade: most schedules
+// still elect consistently (the fallback adopts published decisions),
+// but some registers-only races disagree — quantifying the paper's
+// point that the fallback cannot be unconditionally safe.
+func TestDegradingOneCrashFault(t *testing.T) {
+	r := DegradeCensus(3, 2, 1, 2_000_000, nil)
+	if !r.Faulted.Exhaustive {
+		t.Fatalf("faulted census not exhaustive: %+v", r.Faulted)
+	}
+	if r.FaultedRuns <= 0 {
+		t.Fatalf("expected fault-containing runs, got %d", r.FaultedRuns)
+	}
+	if r.SafetyViolations == 0 {
+		t.Fatalf("expected some degraded schedules to disagree (registers-only fallback cannot be safe): %+v", r)
+	}
+	if r.SafetyViolations >= r.FaultedRuns {
+		t.Fatalf("degradation never preserved safety: %d violations of %d faulted runs", r.SafetyViolations, r.FaultedRuns)
+	}
+	if rate := r.SafetyRate(); rate <= 0 || rate >= 1 {
+		t.Fatalf("safety rate %v out of (0,1)", rate)
+	}
+}
+
+// The degrading census must be bit-identical across sequential,
+// pruned, and pruned-parallel exploration, for every fault mode — the
+// cross-engine guarantee extended to fault-injected trees. This is also
+// the acceptance smoke for running a fault-budget census under -race.
+func TestDegradingCensusEngineAgreement(t *testing.T) {
+	modes := []sim.FaultMode{sim.FaultCrash, sim.FaultOmission, sim.FaultReset, sim.FaultGarble}
+	seq := DegradeCensus(3, 2, 1, 2_000_000, modes)
+	for _, tc := range []struct {
+		name  string
+		tunes []explore.Tune
+	}{
+		{"pruned", []explore.Tune{explore.WithPrune()}},
+		{"pruned-budget", []explore.Tune{explore.WithPrune(), explore.WithPruneBudget(64)}},
+		{"pruned-parallel", []explore.Tune{explore.WithPrune(), explore.WithWorkers(4)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DegradeCensus(3, 2, 1, 2_000_000, modes, tc.tunes...)
+			for _, pair := range []struct {
+				name string
+				a, b *explore.Census
+			}{
+				{"baseline", seq.Baseline, got.Baseline},
+				{"faulted", seq.Faulted, got.Faulted},
+			} {
+				if pair.a.Complete != pair.b.Complete ||
+					pair.a.Incomplete != pair.b.Incomplete ||
+					pair.a.ViolationRuns != pair.b.ViolationRuns ||
+					pair.a.Exhaustive != pair.b.Exhaustive ||
+					!reflect.DeepEqual(pair.a.Outcomes, pair.b.Outcomes) {
+					t.Errorf("%s census mismatch:\nseq: %+v\ngot: %+v", pair.name, pair.a, pair.b)
+				}
+			}
+			if got.FaultedRuns != seq.FaultedRuns || got.SafetyViolations != seq.SafetyViolations {
+				t.Errorf("report mismatch: seq %+v got %+v", seq, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,312 @@
+package explore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Checkpointed census exploration: long-running censuses periodically
+// persist their progress so a killed process can resume instead of
+// restarting. The unit of checkpointing is a frontier root (the same
+// subtree split parallel exploration uses): roots are deterministic
+// given the builder and options, each root's census summary is
+// self-contained, and a summary is only ever recorded after its subtree
+// was fully explored — so a resumed run credits recorded roots and
+// re-explores the rest, landing on the exact census a single
+// uninterrupted run produces. Representative violation outcomes are
+// persisted as schedules and rebuilt by replay on load, so the file
+// stays small and plain JSON.
+
+// Checkpoint configures RunCheckpointed.
+type Checkpoint struct {
+	// Path is the checkpoint file. It is written atomically
+	// (temp file + rename), so a kill mid-save leaves the previous
+	// checkpoint intact.
+	Path string
+	// Every saves the file after every Every newly completed roots
+	// (plus once at the end). Zero means 8.
+	Every int
+	// Resume loads Path before exploring, crediting its recorded roots
+	// — provided its key matches this builder/options frontier; a
+	// mismatched or unreadable file is ignored and the run starts
+	// fresh.
+	Resume bool
+
+	// stopAfterRoots is a test hook: abort the run (with errStopped)
+	// after this many newly completed roots, simulating a kill between
+	// checkpoint saves.
+	stopAfterRoots int
+}
+
+// CheckpointStats reports what a checkpointed run did.
+type CheckpointStats struct {
+	// TotalRoots is the number of subtree roots in the frontier.
+	TotalRoots int
+	// ResumedRoots is how many were credited from the checkpoint file.
+	ResumedRoots int
+	// Saves counts checkpoint writes (including the final one).
+	Saves int
+}
+
+// errStopped reports a run aborted by the stopAfterRoots test hook.
+var errStopped = errors.New("explore: checkpointed run stopped")
+
+// ckRoot is one fully explored subtree in the checkpoint file.
+type ckRoot struct {
+	Complete   int            `json:"complete"`
+	Incomplete int            `json:"incomplete"`
+	Outcomes   map[string]int `json:"outcomes,omitempty"`
+	Violations int            `json:"violations"`
+	Reps       [][]Choice     `json:"reps,omitempty"`
+	Capped     bool           `json:"capped,omitempty"`
+	Err        string         `json:"err,omitempty"`
+}
+
+// ckFile is the checkpoint file layout.
+type ckFile struct {
+	// Key fingerprints the exploration (options + frontier prefixes):
+	// a checkpoint is only resumable into the identical exploration.
+	Key  uint64            `json:"key"`
+	Done map[string]ckRoot `json:"done"`
+}
+
+// RunCheckpointed is Run with periodic progress persistence. It
+// explores the frontier roots on Options.Workers workers, records each
+// fully explored root, saves every Checkpoint.Every completions, and —
+// with Checkpoint.Resume — skips roots recorded by a previous
+// (interrupted) invocation with the same builder and options. The final
+// census is bit-identical to Run's in every count; like parallel
+// censuses, only the ≤5 recorded representatives may differ, and
+// MaxRuns is enforced per subtree rather than globally.
+//
+// If the tree cannot be frontier-split under MaxRuns, it falls back to
+// a plain Run with no checkpointing (stats zero).
+func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck Checkpoint) (*Census, CheckpointStats, error) {
+	opts = opts.withDefaults()
+	var stats CheckpointStats
+	workers := opts.workerCount()
+	items, ok := frontier(b, opts, workers)
+	if !ok {
+		return Run(b, opts, check), stats, nil
+	}
+	key := checkpointKey(opts, items)
+	done := make(map[int]ckRoot)
+	for _, it := range items {
+		if it.prefix != nil {
+			stats.TotalRoots++
+		}
+	}
+	if ck.Resume {
+		if f, err := loadCheckpoint(ck.Path); err == nil && f.Key == key {
+			for k, v := range f.Done {
+				if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < len(items) && items[i].prefix != nil {
+					done[i] = v
+				}
+			}
+			stats.ResumedRoots = len(done)
+		}
+	}
+	every := ck.Every
+	if every <= 0 {
+		every = 8
+	}
+
+	var table *pruneTable
+	if opts.Prune {
+		table = newPruneTable(opts.PruneTableEntries)
+	}
+
+	var (
+		mu        sync.Mutex
+		unsaved   int
+		newlyDone int
+		stopped   bool
+	)
+	save := func() error {
+		f := ckFile{Key: key, Done: make(map[string]ckRoot, len(done))}
+		for i, r := range done {
+			f.Done[strconv.Itoa(i)] = r
+		}
+		if err := saveCheckpoint(ck.Path, &f); err != nil {
+			return err
+		}
+		stats.Saves++
+		unsaved = 0
+		return nil
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(items) {
+					return
+				}
+				if items[i].prefix == nil {
+					continue
+				}
+				mu.Lock()
+				_, did := done[i]
+				stop := stopped
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if did {
+					continue
+				}
+				r := exploreRoot(b, opts, check, table, items[i].prefix)
+				mu.Lock()
+				done[i] = r
+				newlyDone++
+				unsaved++
+				if unsaved >= every {
+					save() // best-effort mid-run; the final save reports errors
+				}
+				if ck.stopAfterRoots > 0 && newlyDone >= ck.stopAfterRoots {
+					stopped = true
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := save(); err != nil {
+		return nil, stats, fmt.Errorf("explore: checkpoint save: %w", err)
+	}
+	if stopped {
+		return nil, stats, errStopped
+	}
+
+	// Deterministic merge in DFS root order, exactly like pruneCensus.
+	total := newSummary()
+	exhaustive := true
+	var errs []string
+	for i, it := range items {
+		if it.prefix == nil {
+			total.addTerminal(*it.leaf, check)
+			continue
+		}
+		r := done[i]
+		if r.Err != "" {
+			errs = append(errs, r.Err)
+			exhaustive = false
+			continue
+		}
+		total.merge(r.toSummary(b, opts))
+		if r.Capped {
+			exhaustive = false
+		}
+	}
+	c := censusFrom(total, exhaustive)
+	c.Errors = errs
+	return c, stats, nil
+}
+
+// exploreRoot fully explores one subtree, recovering panics into the
+// root's Err field like every parallel walk in this package.
+func exploreRoot(b Builder, opts Options, check func(*sim.Result) error, table *pruneTable, prefix []Choice) (out ckRoot) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = ckRoot{Err: fmt.Sprintf("subtree %s: panic: %v", FormatSchedule(prefix), r)}
+		}
+	}()
+	en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table, root: prefix}
+	en.run()
+	out = ckRoot{
+		Complete:   en.acc.complete,
+		Incomplete: en.acc.incomplete,
+		Outcomes:   en.acc.outcomes,
+		Violations: en.acc.violations,
+		Capped:     en.capped,
+	}
+	for _, rep := range en.acc.reps {
+		out.Reps = append(out.Reps, rep.Schedule)
+	}
+	return out
+}
+
+// toSummary rebuilds a summary from its persisted form, replaying the
+// recorded representative schedules to recover their Results.
+func (r ckRoot) toSummary(b Builder, opts Options) *summary {
+	s := &summary{
+		complete:   r.Complete,
+		incomplete: r.Incomplete,
+		outcomes:   make(map[string]int, len(r.Outcomes)),
+		violations: r.Violations,
+	}
+	for k, v := range r.Outcomes {
+		s.outcomes[k] = v
+	}
+	for _, sched := range r.Reps {
+		res, _ := replayPrefix(b, opts, sched)
+		s.reps = append(s.reps, Outcome{Schedule: sched, Result: res})
+	}
+	return s
+}
+
+// checkpointKey fingerprints the exploration: the option fields that
+// shape the tree plus every frontier prefix. Builders are functions and
+// cannot be hashed directly; the frontier, being the builder's observable
+// branching structure down to the split, stands in for it.
+func checkpointKey(opts Options, items []frontierItem) uint64 {
+	h := uint64(fnvOffset)
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime
+		}
+	}
+	fold(fmt.Sprintf("d%d c%d f%d m%v r%d s%d",
+		opts.MaxDepth, opts.MaxCrashes, opts.ObjectFaults, opts.FaultModes,
+		opts.MaxRuns, opts.MaxStepsPerProc))
+	for _, it := range items {
+		if it.prefix != nil {
+			fold("|" + FormatSchedule(it.prefix))
+		} else {
+			fold("|leaf:" + FormatSchedule(it.leaf.Schedule))
+		}
+	}
+	return h
+}
+
+// FNV-1a constants (local copy; sim keeps its own unexported ones).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func loadCheckpoint(path string) (*ckFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ckFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+func saveCheckpoint(path string, f *ckFile) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

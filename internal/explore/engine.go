@@ -48,8 +48,9 @@ type engine struct {
 // frame is one internal node (decision point) on the current DFS path.
 type frame struct {
 	ready   []sim.ProcID // ready set here (owned copy)
-	next    int          // next child index: picks 0..n-1, then crashes
+	next    int          // next child index: picks, then crashes, then faults
 	crashes int          // crash choices consumed on the path to here
+	faults  int          // object-fault choices consumed on the path to here
 	acc     *summary     // census mode: subtree accumulator
 	key     tableKey     // pruning: this node's table key
 	hasKey  bool
@@ -92,14 +93,18 @@ func (en *engine) probe() (*sim.Result, *summary) {
 	en.plan = append(en.plan, en.path...)
 	sys := en.b()
 	p := &prober{en: en, sys: sys, plan: en.plan}
-	res, err := sys.Run(sim.Config{
+	cfg := sim.Config{
 		Scheduler:       p,
 		Faults:          p,
 		MaxStepsPerProc: en.opts.MaxStepsPerProc,
 		MaxTotalSteps:   en.opts.MaxDepth + 1,
 		DisableTrace:    true,
 		Fingerprint:     en.table != nil,
-	})
+	}
+	if en.opts.ObjectFaults > 0 {
+		cfg.ObjectFaults = p
+	}
+	res, err := sys.Run(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("explore: probe failed: %v", err))
 	}
@@ -175,21 +180,34 @@ func (en *engine) popFrame(publish bool) {
 }
 
 // childCount: every ready process is a pick child; if crash budget
-// remains each is also a crash child. Matches the replay walker's
-// branch order exactly.
+// remains each is also a crash child; if fault budget remains each is
+// additionally a fault child per enumerated mode. Matches the replay
+// walker's branch order exactly (picks, crashes, faults mode-major).
 func (en *engine) childCount(f *frame) int {
 	n := len(f.ready)
+	total := n
 	if f.crashes < en.opts.MaxCrashes {
-		n *= 2
+		total += n
 	}
-	return n
+	if f.faults < en.opts.ObjectFaults {
+		total += n * len(en.opts.FaultModes)
+	}
+	return total
 }
 
 func (en *engine) childChoice(f *frame, idx int) Choice {
-	if idx < len(f.ready) {
+	n := len(f.ready)
+	if idx < n {
 		return Choice{Pick: f.ready[idx]}
 	}
-	return Choice{Pick: f.ready[idx-len(f.ready)], Crash: true}
+	idx -= n
+	if f.crashes < en.opts.MaxCrashes {
+		if idx < n {
+			return Choice{Pick: f.ready[idx], Crash: true}
+		}
+		idx -= n
+	}
+	return Choice{Pick: f.ready[idx%n], Fault: en.opts.FaultModes[idx/n]}
 }
 
 // prober drives one probe as both Scheduler and FaultPlan: it first
@@ -205,8 +223,21 @@ type prober struct {
 	i       int      // next plan index
 	pos     int      // choices consumed so far (plan + auto)
 	crashes int      // crash choices consumed so far
+	faults  int      // object-fault choices consumed so far
 	pruned  *summary // set when a table hit ended the probe
 	dead    bool     // planned pick was not ready (builder bug)
+	// pendingFault is armed by Next when the consumed plan choice
+	// carries an object fault and collected by FaultOp from the granted
+	// step's Env.Apply. Auto-descent never faults: fault branches exist
+	// only through backtracking into planned choices.
+	pendingFault sim.FaultMode
+}
+
+// FaultOp implements sim.ObjectFaultPlan.
+func (p *prober) FaultOp(_ int) sim.FaultMode {
+	m := p.pendingFault
+	p.pendingFault = sim.FaultNone
+	return m
 }
 
 // CrashNow implements sim.FaultPlan: it consumes all consecutive
@@ -232,6 +263,10 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 		p.pos++
 		for _, r := range ready {
 			if r == c.Pick {
+				p.pendingFault = c.Fault
+				if c.Fault != sim.FaultNone {
+					p.faults++
+				}
 				return c.Pick
 			}
 		}
@@ -241,13 +276,14 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 	if p.pos >= en.opts.MaxDepth {
 		return sim.Halt // depth bound: incomplete terminal
 	}
-	f := frame{crashes: p.crashes}
+	f := frame{crashes: p.crashes, faults: p.faults}
 	if en.table != nil {
 		if fp, ok := p.sys.StateHash(); ok {
 			key := tableKey{
 				fp:       fp,
 				depthRem: en.opts.MaxDepth - p.pos,
 				crashRem: en.opts.MaxCrashes - p.crashes,
+				faultRem: en.opts.ObjectFaults - p.faults,
 			}
 			if s, hit := en.table.get(key); hit {
 				p.pruned = s

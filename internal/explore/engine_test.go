@@ -7,17 +7,21 @@ import (
 	"testing"
 
 	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/objects"
 	"repro/internal/registers"
 	"repro/internal/sim"
 )
 
 // The engine cross-check matrix: every (builder, options) pair the
 // equivalence tests walk. It covers plain interleavings, crash
-// branching (budget 1 and 2), step limits, depth-bound incomplete
-// runs, and a protocol with real violations. The acceptance criterion
-// is bit-identical behavior between the path engine (Visit), the
-// replay reference engine (VisitReplay), the parallel walk, and the
-// pruned census.
+// branching (budget 1 and 2), object-fault branching (single- and
+// multi-mode, alone and combined with crashes, against wrapped and
+// unwrapped objects), step limits, depth-bound incomplete runs, and a
+// protocol with real violations. The acceptance criterion is
+// bit-identical behavior between the path engine (Visit), the replay
+// reference engine (VisitReplay), the parallel walk, and the pruned
+// census.
 type engineCase struct {
 	name  string
 	b     explore.Builder
@@ -31,6 +35,39 @@ func disagreement(res *sim.Result) error {
 	}
 	return nil
 }
+
+// faultyElection is a degradation-aware leader election over a
+// fault-wrapped compare&swap register: processes try the c&s path and,
+// if the object has failed, race on a plain fallback register. It is
+// the canonical builder for the object-fault matrix entries.
+func faultyElection(n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := faults.Wrap(objects.NewCAS("c", n+1))
+		fb := registers.NewMWMR("fb", nil)
+		sys.Add(cas)
+		sys.Add(fb)
+		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				prev, ok := faults.TryApply(e, cas, objects.OpCAS, objects.Bottom, objects.Symbol(int(id)+1))
+				if ok {
+					if prev == objects.Bottom {
+						return int(id), nil
+					}
+					return int(prev.(objects.Symbol)) - 1, nil
+				}
+				if v := fb.Read(e); v != nil {
+					return v, nil
+				}
+				fb.Write(e, int(id))
+				return int(id), nil
+			}
+		})
+		return sys
+	}
+}
+
+var allFaultModes = []sim.FaultMode{sim.FaultCrash, sim.FaultOmission, sim.FaultReset, sim.FaultGarble}
 
 func engineMatrix() []engineCase {
 	spinner := func() *sim.System {
@@ -58,6 +95,19 @@ func engineMatrix() []engineCase {
 		{name: "rw-consensus-crash1", b: rwConsensusAttempt, opts: explore.Options{MaxCrashes: 1}, check: disagreement},
 		{name: "spinner-depth10", b: spinner, opts: explore.Options{MaxDepth: 10}},
 		{name: "oneShot-3x2-capped", b: oneShot(3, 2), opts: explore.Options{MaxRuns: 25}},
+		{name: "faulty-le2-fault1", b: faultyElection(2),
+			opts: explore.Options{ObjectFaults: 1}, check: disagreement},
+		{name: "faulty-le2-allmodes", b: faultyElection(2),
+			opts: explore.Options{ObjectFaults: 1, FaultModes: allFaultModes}, check: disagreement},
+		{name: "faulty-le2-crash1-fault1", b: faultyElection(2),
+			opts: explore.Options{MaxCrashes: 1, ObjectFaults: 1, FaultModes: allFaultModes}, check: disagreement},
+		{name: "faulty-le3-fault1", b: faultyElection(3),
+			opts: explore.Options{ObjectFaults: 1}, check: disagreement},
+		// Fault budget against a system with no Faultable object: fault
+		// branches degrade to healthy steps, and every engine must agree
+		// on that too.
+		{name: "oneShot-2x2-fault1-unwrapped", b: oneShot(2, 2),
+			opts: explore.Options{ObjectFaults: 1, FaultModes: allFaultModes}},
 	}
 }
 
@@ -155,6 +205,10 @@ func TestPrunedCensusMatchesUnpruned(t *testing.T) {
 			for _, tunes := range [][]explore.Tune{
 				{explore.WithPrune()},
 				{explore.WithPrune(), explore.WithWorkers(4)},
+				// A starved entry budget forces constant eviction; counts
+				// must not move.
+				{explore.WithPrune(), explore.WithPruneBudget(16)},
+				{explore.WithPrune(), explore.WithPruneBudget(16), explore.WithWorkers(4)},
 			} {
 				got := explore.Run(tc.b, tc.opts.With(tunes...), tc.check)
 				if got.Complete != want.Complete || got.Incomplete != want.Incomplete ||

@@ -36,17 +36,25 @@ import (
 // under exploration. It must produce identical systems on every call.
 type Builder func() *sim.System
 
-// Choice is one branch decision: either schedule Pick for a step, or
-// crash Pick (fail-stop) at this decision point.
+// Choice is one branch decision: schedule Pick for a step, crash Pick
+// (fail-stop) at this decision point, or schedule Pick for a step whose
+// object operation misbehaves with fault mode Fault (object faults are
+// a schedule dimension exactly like crashes; see internal/faults).
+// Crash and Fault are mutually exclusive.
 type Choice struct {
 	Pick  sim.ProcID
 	Crash bool
+	Fault sim.FaultMode
 }
 
-// String renders the choice compactly ("3" or "3†").
+// String renders the choice compactly ("3", "3†", or "3!c" with the
+// fault mode's initial letter).
 func (c Choice) String() string {
 	if c.Crash {
 		return fmt.Sprintf("%d†", c.Pick)
+	}
+	if c.Fault != sim.FaultNone {
+		return fmt.Sprintf("%d!%c", c.Pick, c.Fault.String()[0])
 	}
 	return fmt.Sprint(c.Pick)
 }
@@ -69,6 +77,15 @@ type Options struct {
 	MaxDepth int
 	// MaxCrashes bounds the number of crash choices per schedule.
 	MaxCrashes int
+	// ObjectFaults bounds the number of object-fault choices per
+	// schedule: with a positive budget, every scheduling point also
+	// branches into fault-injected variants of each ready process's
+	// step, one per mode in FaultModes — enumerated exhaustively,
+	// exactly like crash placements.
+	ObjectFaults int
+	// FaultModes lists the fault modes enumerated when ObjectFaults is
+	// positive. Empty means crash-only (sim.FaultCrash).
+	FaultModes []sim.FaultMode
 	// MaxRuns caps the number of enumerated terminal runs (complete or
 	// incomplete) as a safety net. Zero means DefaultMaxRuns.
 	MaxRuns int
@@ -89,6 +106,11 @@ type Options struct {
 	// encounter of a shared subtree. Ignored by Visit, which must
 	// deliver every run.
 	Prune bool
+	// PruneTableEntries bounds the transposition table's entry count;
+	// beyond it the oldest entries are evicted FIFO. Eviction only
+	// weakens pruning (an evicted subtree is re-walked), never the
+	// census counts. Zero means the package default (see prune.go).
+	PruneTableEntries int
 }
 
 // Tune is a functional option for exploration entry points that take
@@ -100,6 +122,29 @@ func WithWorkers(n int) Tune { return func(o *Options) { o.Workers = n } }
 
 // WithPrune enables Options.Prune.
 func WithPrune() Tune { return func(o *Options) { o.Prune = true } }
+
+// WithObjectFaults tunes the object-fault budget and, optionally, the
+// enumerated modes (crash-only when none given).
+func WithObjectFaults(n int, modes ...sim.FaultMode) Tune {
+	return func(o *Options) {
+		o.ObjectFaults = n
+		if len(modes) > 0 {
+			o.FaultModes = modes
+		}
+	}
+}
+
+// WithPruneBudget tunes Options.PruneTableEntries.
+func WithPruneBudget(entries int) Tune {
+	return func(o *Options) { o.PruneTableEntries = entries }
+}
+
+// WithStepLimit tunes Options.MaxStepsPerProc: a process exceeding the
+// bound is stopped with sim.ErrStepLimit and the run stays countable,
+// converting runaway executions into census entries.
+func WithStepLimit(n int) Tune {
+	return func(o *Options) { o.MaxStepsPerProc = n }
+}
 
 // With returns a copy of o with the tunes applied.
 func (o Options) With(tunes ...Tune) Options {
@@ -136,6 +181,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRuns == 0 {
 		o.MaxRuns = DefaultMaxRuns
 	}
+	if o.ObjectFaults > 0 && len(o.FaultModes) == 0 {
+		o.FaultModes = []sim.FaultMode{sim.FaultCrash}
+	}
 	return o
 }
 
@@ -155,11 +203,21 @@ type Outcome struct {
 // With Options.Workers set, subtrees are explored in parallel and
 // outcomes are re-sequenced, preserving the exact sequential order.
 func Visit(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
+	runs, exhaustive, _ = visitAll(b, opts, visit)
+	return runs, exhaustive
+}
+
+// visitAll is Visit that additionally reports worker errors (subtrees
+// lost to recovered panics in parallel mode; always empty
+// sequentially, where a panic propagates). Any error implies
+// exhaustive == false.
+func visitAll(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool, errs []string) {
 	opts = opts.withDefaults()
 	if opts.workerCount() > 1 {
 		return parallelVisit(b, opts, visit)
 	}
-	return sequentialVisit(b, opts, visit)
+	runs, exhaustive = sequentialVisit(b, opts, visit)
+	return runs, exhaustive, nil
 }
 
 func sequentialVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool) {
@@ -176,7 +234,8 @@ func ParallelVisit(b Builder, opts Options, visit func(Outcome) bool) (runs int,
 	if opts.Workers == 0 || opts.Workers == 1 {
 		opts.Workers = -1
 	}
-	return parallelVisit(b, opts, visit)
+	runs, exhaustive, _ = parallelVisit(b, opts, visit)
+	return runs, exhaustive
 }
 
 // VisitReplay is the original exploration engine: one full replay per
@@ -187,7 +246,7 @@ func ParallelVisit(b Builder, opts Options, visit func(Outcome) bool) (runs int,
 func VisitReplay(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
 	opts = opts.withDefaults()
 	w := &walker{b: b, opts: opts, visit: visit}
-	ok := w.expand(nil, 0)
+	ok := w.expand(nil, 0, 0)
 	return w.runs, ok && !w.capped
 }
 
@@ -200,8 +259,10 @@ type walker struct {
 }
 
 // expand replays prefix, then branches on the ready set at its end.
-// It returns false to abort the whole walk.
-func (w *walker) expand(prefix []Choice, crashes int) bool {
+// It returns false to abort the whole walk. Branch order — picks, then
+// crash-picks, then fault-picks mode-major — is the canonical child
+// order the path engine must reproduce exactly.
+func (w *walker) expand(prefix []Choice, crashes, faults int) bool {
 	if w.runs >= w.opts.MaxRuns {
 		w.capped = true
 		return false
@@ -216,14 +277,23 @@ func (w *walker) expand(prefix []Choice, crashes int) bool {
 		return w.visit(Outcome{Schedule: sched, Result: res})
 	}
 	for _, id := range ready {
-		if !w.expand(extend(prefix, Choice{Pick: id}), crashes) {
+		if !w.expand(extend(prefix, Choice{Pick: id}), crashes, faults) {
 			return false
 		}
 	}
 	if crashes < w.opts.MaxCrashes {
 		for _, id := range ready {
-			if !w.expand(extend(prefix, Choice{Pick: id, Crash: true}), crashes+1) {
+			if !w.expand(extend(prefix, Choice{Pick: id, Crash: true}), crashes+1, faults) {
 				return false
+			}
+		}
+	}
+	if faults < w.opts.ObjectFaults {
+		for _, mode := range w.opts.FaultModes {
+			for _, id := range ready {
+				if !w.expand(extend(prefix, Choice{Pick: id, Fault: mode}), crashes, faults+1) {
+					return false
+				}
 			}
 		}
 	}
@@ -252,13 +322,17 @@ func (w *walker) replay(prefix []Choice) (*sim.Result, []sim.ProcID) {
 func replayPrefix(b Builder, opts Options, prefix []Choice) (*sim.Result, []sim.ProcID) {
 	plan := newChoicePlan(prefix)
 	sys := b()
-	res, err := sys.Run(sim.Config{
+	cfg := sim.Config{
 		Scheduler:       plan,
 		Faults:          plan,
 		MaxStepsPerProc: opts.MaxStepsPerProc,
 		MaxTotalSteps:   opts.MaxDepth + 1,
 		DisableTrace:    true,
-	})
+	}
+	if opts.ObjectFaults > 0 {
+		cfg.ObjectFaults = plan
+	}
+	res, err := sys.Run(cfg)
 	if err != nil {
 		// A Builder that yields scheduler misuse is a programming error.
 		panic(fmt.Sprintf("explore: replay failed: %v", err))
@@ -266,13 +340,18 @@ func replayPrefix(b Builder, opts Options, prefix []Choice) (*sim.Result, []sim.
 	return res, res.ReadyAtHalt
 }
 
-// choicePlan feeds a choice sequence to the runner, acting as both
-// Scheduler and FaultPlan. Crash choices are consumed by CrashNow (the
-// runner consults faults first at each decision point), pick choices by
-// Next; when the sequence is exhausted Next halts the run.
+// choicePlan feeds a choice sequence to the runner, acting as
+// Scheduler, FaultPlan and ObjectFaultPlan at once. Crash choices are
+// consumed by CrashNow (the runner consults faults first at each
+// decision point), pick choices by Next; when the sequence is exhausted
+// Next halts the run. A fault-pick arms pendingFault in Next, and the
+// granted step's Env.Apply collects it through FaultOp — no step
+// arithmetic is needed because FaultOp is consulted exactly once per
+// granted step.
 type choicePlan struct {
-	choices []Choice
-	i       int
+	choices      []Choice
+	i            int
+	pendingFault sim.FaultMode
 }
 
 func newChoicePlan(cs []Choice) *choicePlan { return &choicePlan{choices: cs} }
@@ -288,7 +367,8 @@ func (p *choicePlan) CrashNow(_ []sim.ProcID, _ int) []sim.ProcID {
 	return out
 }
 
-// Next implements sim.Scheduler: it consumes one pick choice.
+// Next implements sim.Scheduler: it consumes one pick choice, arming
+// the step's object fault if the choice carries one.
 func (p *choicePlan) Next(ready []sim.ProcID, _ int) sim.ProcID {
 	if p.i >= len(p.choices) {
 		return sim.Halt
@@ -297,10 +377,19 @@ func (p *choicePlan) Next(ready []sim.ProcID, _ int) sim.ProcID {
 	p.i++
 	for _, r := range ready {
 		if r == c.Pick {
+			p.pendingFault = c.Fault
 			return c.Pick
 		}
 	}
 	return sim.Halt
+}
+
+// FaultOp implements sim.ObjectFaultPlan: it hands the armed fault to
+// the step being executed and disarms it.
+func (p *choicePlan) FaultOp(_ int) sim.FaultMode {
+	m := p.pendingFault
+	p.pendingFault = sim.FaultNone
+	return m
 }
 
 // DecisionFingerprint canonically renders the decided values of a run,
@@ -328,6 +417,11 @@ type Census struct {
 	ViolationRuns int
 	// Exhaustive is false if the walk was truncated by MaxRuns.
 	Exhaustive bool
+	// Errors lists subtrees lost to recovered worker panics (parallel
+	// walks only; a sequential walk lets the panic propagate). A
+	// non-empty Errors forces Exhaustive to false: every run counted is
+	// real, but coverage is partial.
+	Errors []string
 }
 
 // MaxRecordedViolations bounds Census.Violations.
@@ -344,7 +438,7 @@ func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
 		return pruneCensus(b, opts, check)
 	}
 	c := &Census{Outcomes: make(map[string]int)}
-	_, exhaustive := Visit(b, opts, func(o Outcome) bool {
+	_, exhaustive, errs := visitAll(b, opts, func(o Outcome) bool {
 		if o.Result.Halted {
 			c.Incomplete++
 			return true
@@ -361,6 +455,7 @@ func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
 		}
 		return true
 	})
-	c.Exhaustive = exhaustive
+	c.Exhaustive = exhaustive && len(errs) == 0
+	c.Errors = errs
 	return c
 }

@@ -2,6 +2,8 @@ package explore
 
 import (
 	"errors"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/registers"
@@ -172,3 +174,194 @@ func TestStateHashAtFrontier(t *testing.T) {
 type schedulerFunc func([]sim.ProcID, int) sim.ProcID
 
 func (f schedulerFunc) Next(ready []sim.ProcID, step int) sim.ProcID { return f(ready, step) }
+
+// wideTree is a 3-process, 9-step no-op system: a bushy tree (1680
+// interleavings) for the panic-recovery and checkpoint tests.
+func wideTree() *sim.System {
+	sys := sim.NewSystem()
+	r := registers.NewMWMR("r", 0)
+	sys.Add(r)
+	sys.SpawnN(3, func(id sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) {
+			for i := 0; i < 3; i++ {
+				r.Read(e)
+			}
+			return int(id), nil
+		}
+	})
+	return sys
+}
+
+// countingBuilder wraps a builder with an atomic call counter, panicking
+// on call number panicAt (0 disables).
+func countingBuilder(inner Builder, counter *atomic.Int64, panicAt int64) Builder {
+	return func() *sim.System {
+		if n := counter.Add(1); panicAt > 0 && n == panicAt {
+			panic("injected harness fault")
+		}
+		return inner()
+	}
+}
+
+// TestWorkerPanicRecovered: a panic on a worker goroutine (here from
+// the builder, the first call after frontier enumeration — frontier
+// runs on the caller's goroutine, everything after it on workers) must
+// cost exactly the affected subtree: the census reports the loss in
+// Errors and flips Exhaustive, all other subtrees stay counted. Both
+// the streaming parallel walk and the pruned parallel census recover.
+func TestWorkerPanicRecovered(t *testing.T) {
+	base := Options{Workers: 4}.withDefaults()
+	seq := Run(wideTree, Options{}.withDefaults(), nil)
+	if !seq.Exhaustive || seq.Complete == 0 {
+		t.Fatalf("sequential baseline broken: %+v", seq)
+	}
+	// Measure the builder calls frontier enumeration consumes; the next
+	// call is the first worker probe.
+	var fc atomic.Int64
+	if _, ok := frontier(countingBuilder(wideTree, &fc, 0), base, base.workerCount()); !ok {
+		t.Fatal("frontier capped unexpectedly")
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{name: "parallel-visit", opts: base},
+		{name: "pruned-parallel", opts: base.With(WithPrune())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			got := Run(countingBuilder(wideTree, &calls, fc.Load()+1), tc.opts, nil)
+			if len(got.Errors) != 1 {
+				t.Fatalf("census errors = %v, want exactly one recovered subtree", got.Errors)
+			}
+			if got.Exhaustive {
+				t.Fatal("census with a lost subtree claims exhaustiveness")
+			}
+			if got.Complete == 0 || got.Complete >= seq.Complete {
+				t.Fatalf("census counted %d complete runs, want within (0, %d)", got.Complete, seq.Complete)
+			}
+		})
+	}
+}
+
+// TestPruneTableEvictionBudget: a starved entry budget must bound the
+// table's live size while leaving every census count untouched.
+func TestPruneTableEvictionBudget(t *testing.T) {
+	check := func(res *sim.Result) error {
+		if d := res.DistinctDecisions(); len(d) > 1 {
+			return errors.New("disagreement")
+		}
+		return nil
+	}
+	opts := Options{MaxCrashes: 1}.withDefaults()
+	want := Run(rwAttempt, opts, check)
+	for _, budget := range []int{1, 4, 64} {
+		got := Run(rwAttempt, opts.With(WithPrune(), WithPruneBudget(budget)), check)
+		if got.Complete != want.Complete || got.Incomplete != want.Incomplete ||
+			got.ViolationRuns != want.ViolationRuns || got.Exhaustive != want.Exhaustive {
+			t.Fatalf("budget %d census %d/%d viol=%d, unpruned %d/%d viol=%d",
+				budget, got.Complete, got.Incomplete, got.ViolationRuns,
+				want.Complete, want.Incomplete, want.ViolationRuns)
+		}
+	}
+	table := newPruneTable(4)
+	en := &engine{b: rwAttempt, opts: opts, acc: newSummary(), check: check, table: table}
+	en.run()
+	if n := table.size(); n > 4 {
+		t.Fatalf("table holds %d entries, budget 4", n)
+	}
+}
+
+// TestCheckpointResume: a checkpointed census killed mid-run must, on
+// resume, credit the recorded roots and land on the exact census an
+// uninterrupted run produces.
+func TestCheckpointResume(t *testing.T) {
+	check := func(res *sim.Result) error {
+		if d := res.DistinctDecisions(); len(d) > 1 {
+			return errors.New("disagreement")
+		}
+		return nil
+	}
+	opts := Options{MaxCrashes: 1, Workers: 2}.withDefaults()
+	plain := Run(wideTree, opts, check)
+	if plain.ViolationRuns == 0 {
+		t.Fatal("baseline found no violations; matrix broken")
+	}
+	dir := t.TempDir()
+
+	same := func(got *Census, label string) {
+		t.Helper()
+		if got.Complete != plain.Complete || got.Incomplete != plain.Incomplete ||
+			got.ViolationRuns != plain.ViolationRuns || got.Exhaustive != plain.Exhaustive {
+			t.Fatalf("%s census %d/%d viol=%d ex=%v, plain %d/%d viol=%d ex=%v",
+				label, got.Complete, got.Incomplete, got.ViolationRuns, got.Exhaustive,
+				plain.Complete, plain.Incomplete, plain.ViolationRuns, plain.Exhaustive)
+		}
+	}
+
+	// Uninterrupted checkpointed run == plain run.
+	full, stats, err := RunCheckpointed(wideTree, opts, check, Checkpoint{
+		Path: filepath.Join(dir, "full.json"), Every: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalRoots == 0 || stats.ResumedRoots != 0 {
+		t.Fatalf("stats %+v, want roots > 0 resumed 0", stats)
+	}
+	same(full, "uninterrupted")
+
+	// Kill after 3 roots...
+	path := filepath.Join(dir, "killed.json")
+	_, killStats, err := RunCheckpointed(wideTree, opts, check, Checkpoint{
+		Path: path, Every: 1, stopAfterRoots: 3,
+	})
+	if err != errStopped {
+		t.Fatalf("stopped run returned err=%v, want errStopped", err)
+	}
+	if killStats.Saves == 0 {
+		t.Fatal("stopped run saved no checkpoint")
+	}
+
+	// ...and resume from its file.
+	resumed, resStats, err := RunCheckpointed(wideTree, opts, check, Checkpoint{
+		Path: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resStats.ResumedRoots < 3 {
+		t.Fatalf("resume credited %d roots, want >= 3", resStats.ResumedRoots)
+	}
+	same(resumed, "resumed")
+	// The resumed census's recorded representatives must be genuine:
+	// their schedules replay to real violations even when the summary
+	// came from the checkpoint file.
+	if len(resumed.Violations) == 0 {
+		t.Fatal("resumed census recorded no representative violations")
+	}
+	for i, v := range resumed.Violations {
+		res, _ := replayPrefix(wideTree, opts, v.Schedule)
+		if res.Halted || check(res) == nil {
+			t.Fatalf("violation %d (%s) does not replay to a violation", i, FormatSchedule(v.Schedule))
+		}
+	}
+
+	// A mismatched checkpoint (different options) is ignored, not
+	// half-applied: the run is fresh and still exact.
+	otherOpts := Options{MaxCrashes: 0, Workers: 2}.withDefaults()
+	fresh, freshStats, err := RunCheckpointed(wideTree, otherOpts, check, Checkpoint{
+		Path: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshStats.ResumedRoots != 0 {
+		t.Fatalf("mismatched checkpoint credited %d roots, want 0", freshStats.ResumedRoots)
+	}
+	noCrash := Run(wideTree, otherOpts, check)
+	if fresh.Complete != noCrash.Complete || fresh.ViolationRuns != noCrash.ViolationRuns {
+		t.Fatalf("fresh census %d viol=%d, want %d viol=%d",
+			fresh.Complete, fresh.ViolationRuns, noCrash.Complete, noCrash.ViolationRuns)
+	}
+}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -86,15 +87,17 @@ func forEachRoot(items []frontierItem, workers int, f func(i int)) {
 // sequencer, delivering outcomes to visit in exact sequential DFS
 // order and enforcing MaxRuns globally, so runs/exhaustive/visit-order
 // semantics match sequentialVisit bit for bit.
-func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool) {
+func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool, []string) {
 	workers := opts.workerCount()
 	items, ok := frontier(b, opts, workers)
 	if !ok {
-		return sequentialVisit(b, opts, visit)
+		runs, exhaustive := sequentialVisit(b, opts, visit)
+		return runs, exhaustive, nil
 	}
 	type rootState struct {
 		ch     chan Outcome
-		capped bool // written before ch closes; read after — safe
+		capped bool   // written before ch closes; read after — safe
+		err    string // recovered worker panic, same publication rule
 	}
 	states := make([]*rootState, len(items))
 	for i, it := range items {
@@ -119,24 +122,39 @@ func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool
 				if st == nil {
 					continue
 				}
-				en := &engine{b: b, opts: opts, root: items[i].prefix,
-					visit: func(o Outcome) bool {
-						select {
-						case st.ch <- o:
-							return true
-						case <-done:
-							return false
+				// Recover panics from the builder or the engine into a
+				// per-subtree error: the walk over the other roots keeps
+				// going and the loss is reported, not fatal. (Panics inside
+				// spawned PROCESS goroutines are protocol bugs the runner
+				// deliberately re-raises; those still crash — only
+				// harness-side panics are survivable.)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							st.err = fmt.Sprintf("subtree %s: panic: %v",
+								FormatSchedule(items[i].prefix), r)
 						}
-					}}
-				en.run()
-				st.capped = en.capped
-				close(st.ch)
+						close(st.ch)
+					}()
+					en := &engine{b: b, opts: opts, root: items[i].prefix,
+						visit: func(o Outcome) bool {
+							select {
+							case st.ch <- o:
+								return true
+							case <-done:
+								return false
+							}
+						}}
+					en.run()
+					st.capped = en.capped
+				}()
 			}
 		}()
 	}
 	runs := 0
 	visitOK := true
 	capped := false
+	var errs []string
 deliver:
 	for i, it := range items {
 		if states[i] == nil {
@@ -162,6 +180,13 @@ deliver:
 				break deliver
 			}
 		}
+		if states[i].err != "" {
+			// The subtree died mid-walk: every outcome delivered before
+			// the panic is real, the rest of the subtree is lost. Keep
+			// draining the remaining roots.
+			errs = append(errs, states[i].err)
+			continue
+		}
 		if states[i].capped {
 			// The worker hit MaxRuns inside this subtree, so the global
 			// count has too: report the truncation.
@@ -172,5 +197,5 @@ deliver:
 	aborted.Store(true)
 	close(done)
 	wg.Wait()
-	return runs, visitOK && !capped
+	return runs, visitOK && !capped && len(errs) == 0, errs
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/sim"
@@ -30,11 +31,17 @@ import (
 // censuses over the whole small-instance matrix.
 
 // tableKey identifies a subtree: the state fingerprint plus the
-// remaining exploration budgets, both of which shape the subtree.
+// remaining exploration budgets, all of which shape the subtree. The
+// object-fault budget is a key dimension exactly like the crash budget:
+// two equal-fingerprint nodes with different remaining fault budgets
+// root different subtrees (one can still branch faults, the other
+// cannot). FaultModes is fixed per exploration, so it needs no key
+// dimension.
 type tableKey struct {
 	fp       uint64
 	depthRem int
 	crashRem int
+	faultRem int
 }
 
 // summary is the census of one fully explored subtree.
@@ -110,9 +117,13 @@ func schedulesEqual(a, b []Choice) bool {
 	return true
 }
 
-// maxTableEntries caps the transposition table's memory. Beyond the cap
-// new subtrees are simply not memoized — pruning degrades, correctness
-// does not.
+// maxTableEntries caps the transposition table's memory when
+// Options.PruneTableEntries is zero. Beyond the cap the OLDEST entries
+// are evicted FIFO — an evicted subtree is simply re-walked on its next
+// encounter, so pruning degrades under memory pressure but census
+// counts never do. FIFO (rather than LRU) keeps get() contention-free
+// under a read lock; in a DFS the oldest published subtrees are the
+// deepest ones, which are also the cheapest to re-walk.
 const maxTableEntries = 1 << 20
 
 // pruneTable is the shared transposition table. Entries are only ever
@@ -121,12 +132,21 @@ const maxTableEntries = 1 << 20
 // and any worker's value for a key is interchangeable (summaries are
 // equal in all counted fields by the soundness argument above).
 type pruneTable struct {
-	mu sync.RWMutex
-	m  map[tableKey]*summary
+	mu  sync.RWMutex
+	m   map[tableKey]*summary
+	cap int
+	// order is the FIFO insertion log; entries before head are already
+	// evicted. Duplicate publishes are dropped at put, so every entry
+	// from head on is live in m.
+	order []tableKey
+	head  int
 }
 
-func newPruneTable() *pruneTable {
-	return &pruneTable{m: make(map[tableKey]*summary)}
+func newPruneTable(capacity int) *pruneTable {
+	if capacity <= 0 {
+		capacity = maxTableEntries
+	}
+	return &pruneTable{m: make(map[tableKey]*summary), cap: capacity}
 }
 
 func (t *pruneTable) get(k tableKey) (*summary, bool) {
@@ -138,10 +158,29 @@ func (t *pruneTable) get(k tableKey) (*summary, bool) {
 
 func (t *pruneTable) put(k tableKey, s *summary) {
 	t.mu.Lock()
-	if len(t.m) < maxTableEntries {
-		t.m[k] = s
+	defer t.mu.Unlock()
+	if _, ok := t.m[k]; ok {
+		return // concurrent worker published first; values are interchangeable
 	}
-	t.mu.Unlock()
+	t.m[k] = s
+	t.order = append(t.order, k)
+	for len(t.m) > t.cap {
+		delete(t.m, t.order[t.head])
+		t.head++
+	}
+	// Compact the evicted prefix once it dominates the log, so a
+	// long-running census at the cap does not grow order unboundedly.
+	if t.head > 1024 && t.head > len(t.order)/2 {
+		t.order = append([]tableKey(nil), t.order[t.head:]...)
+		t.head = 0
+	}
+}
+
+// size reports the live entry count (tests).
+func (t *pruneTable) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
 }
 
 func censusFrom(acc *summary, exhaustive bool) *Census {
@@ -157,7 +196,7 @@ func censusFrom(acc *summary, exhaustive bool) *Census {
 
 // pruneCensus is Run with transposition pruning, sequential or parallel.
 func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census {
-	table := newPruneTable()
+	table := newPruneTable(opts.PruneTableEntries)
 	workers := opts.workerCount()
 	sequential := func() *Census {
 		en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table}
@@ -173,7 +212,17 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 	}
 	summaries := make([]*summary, len(items))
 	capped := make([]bool, len(items))
+	errs := make([]string, len(items))
 	runItem := func(i int) {
+		// A panic in the builder, a check, or the engine itself loses
+		// only this subtree: it is recorded as an error (the census comes
+		// back non-exhaustive) instead of killing every worker's progress.
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Sprintf("subtree %s: panic: %v", FormatSchedule(items[i].prefix), r)
+				capped[i] = true
+			}
+		}()
 		en := &engine{
 			b: b, opts: opts, acc: newSummary(), check: check,
 			table: table, root: items[i].prefix,
@@ -188,9 +237,15 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 	// which worker published a shared subtree first).
 	total := newSummary()
 	exhaustive := true
+	var errors []string
 	for i, it := range items {
 		if it.prefix == nil {
 			total.addTerminal(*it.leaf, check)
+			continue
+		}
+		if errs[i] != "" {
+			errors = append(errors, errs[i])
+			exhaustive = false
 			continue
 		}
 		total.merge(summaries[i])
@@ -198,5 +253,7 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 			exhaustive = false
 		}
 	}
-	return censusFrom(total, exhaustive)
+	c := censusFrom(total, exhaustive)
+	c.Errors = errors
+	return c
 }

@@ -1,0 +1,119 @@
+package faults_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// Fault-layer benchmarks, in two halves:
+//
+//   - wrap-overhead: the same healthy election census over a bare
+//     compare&swap register versus a faults.Wrap'd one (fault budget 0),
+//     isolating the per-step cost of the wrapper proxy and its StateKey
+//     concatenation. This is the price every degradation experiment
+//     pays even on fault-free schedules.
+//   - fault-census: the degrading election census with a one-fault
+//     budget, across the exploration engines — the workload
+//     scripts/bench_faults.sh records as BENCH_faults.json. The budget
+//     multiplies the tree (every ready process × every mode at every
+//     prefix), so runs/s here tracks the real cost of fault-placement
+//     enumeration, not just wrapper overhead.
+//
+// runs/s counts terminal runs accounted for per second, as in the
+// explore benchmarks.
+
+func degradingBuilder(k, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := faults.Wrap(objects.NewCAS("cas", k))
+		sys.Add(cas)
+		for _, p := range election.DegradingCAS(sys, cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func directBuilder(k, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.DirectCAS(cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func electionCheck(n int) func(*sim.Result) error {
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return func(res *sim.Result) error { return election.CheckElection(res, ids) }
+}
+
+func benchCensus(b *testing.B, build explore.Builder, opts explore.Options, check func(*sim.Result) error) {
+	b.Helper()
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := explore.Run(build, opts, check)
+		total += c.Complete + c.Incomplete
+	}
+	b.StopTimer()
+	if total == 0 {
+		b.Fatal("census enumerated zero runs")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/s")
+}
+
+func BenchmarkWrapOverhead(b *testing.B) {
+	const k, n = 4, 3
+	opts := explore.Options{MaxCrashes: 1}
+	b.Run(fmt.Sprintf("bare/k=%d/n=%d", k, n), func(b *testing.B) {
+		benchCensus(b, directBuilder(k, n), opts, electionCheck(n))
+	})
+	b.Run(fmt.Sprintf("wrapped/k=%d/n=%d", k, n), func(b *testing.B) {
+		// Same exploration over the wrapped object with a zero fault
+		// budget: the tree only differs by the degradation protocol's
+		// publication steps, and no fault branch exists.
+		benchCensus(b, degradingBuilder(k, n), opts, electionCheck(n))
+	})
+}
+
+func BenchmarkFaultCensus(b *testing.B) {
+	const k, n = 3, 2
+	engines := []struct {
+		name  string
+		tunes []explore.Tune
+	}{
+		{"sequential", nil},
+		{"pruned", []explore.Tune{explore.WithPrune()}},
+		{"pruned-parallel", []explore.Tune{explore.WithPrune(), explore.WithWorkers(-1)}},
+	}
+	budgets := []struct {
+		name  string
+		tunes []explore.Tune
+	}{
+		{"faults=0", nil},
+		{"faults=1-crash", []explore.Tune{explore.WithObjectFaults(1)}},
+		{"faults=1-allmodes", []explore.Tune{explore.WithObjectFaults(1,
+			sim.FaultCrash, sim.FaultOmission, sim.FaultReset, sim.FaultGarble)}},
+	}
+	for _, bud := range budgets {
+		for _, eng := range engines {
+			b.Run(fmt.Sprintf("degrading-le/k=%d/n=%d/%s/%s", k, n, bud.name, eng.name), func(b *testing.B) {
+				opts := explore.Options{MaxCrashes: 1}.With(bud.tunes...).With(eng.tunes...)
+				benchCensus(b, degradingBuilder(k, n), opts, electionCheck(n))
+			})
+		}
+	}
+}

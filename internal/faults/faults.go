@@ -1,0 +1,183 @@
+// Package faults is the object-level fault-injection layer of the lab.
+// The paper delimits an object's power by shrinking its value alphabet;
+// the natural robustness companion — what this package measures — is
+// what happens when base objects *misbehave* rather than merely shrink
+// (cf. Gelashvili et al., "On the Importance of Registers for
+// Computability", where removing registers collapses the hierarchy, and
+// Mostéfaoui–Perrin–Raynal's object whose parameter sweeps the whole
+// consensus hierarchy; see PAPERS.md).
+//
+// Faulty wraps any fingerprintable sim.Object and implements the four
+// fault modes of sim.FaultMode:
+//
+//   - crash: the object stops responding; every operation from the
+//     fault on answers the ErrObjectFailed sentinel VALUE (not an
+//     error through sim's error channel, which would kill the calling
+//     process — a failed object is a runtime condition the algorithm
+//     layer is supposed to detect and degrade around).
+//   - omission: a write or c&s is silently dropped while the caller is
+//     told it succeeded; later reads return stale values.
+//   - reset: the object reverts to its initial state (sim.Resettable)
+//     and the operation then executes on the reset state.
+//   - garble: the operation takes effect but the response is replaced
+//     by a wrong value from the operation's own argument alphabet.
+//
+// Which operations fault is decided by a sim.ObjectFaultPlan wired
+// through sim.Config.ObjectFaults; the explore package enumerates fault
+// placements exhaustively via Options.ObjectFaults, exactly like crash
+// placements. All modes are deterministic, so censuses stay exact.
+package faults
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// ErrObjectFailed is the sentinel a crashed object answers. It is
+// returned as the operation's result VALUE with a nil error: callers
+// detect it with IsFailed (or TryApply) and fall back; protocols that
+// ignore it and type-assert the result will panic, which is the correct
+// loudness for a protocol without a degradation path.
+var ErrObjectFailed = errors.New("faults: shared object failed")
+
+// IsFailed reports whether an operation's result is the failed-object
+// sentinel.
+func IsFailed(v sim.Value) bool {
+	err, ok := v.(error)
+	return ok && errors.Is(err, ErrObjectFailed)
+}
+
+// TryApply performs one gated operation and splits the failed-object
+// sentinel out of the result: ok is false iff the object has failed.
+// This is the call degradation-aware protocols use on fault-wrapped
+// objects.
+func TryApply(e *sim.Env, obj sim.Object, op sim.OpKind, args ...sim.Value) (v sim.Value, ok bool) {
+	v = e.Apply(obj, op, args...)
+	if IsFailed(v) {
+		return nil, false
+	}
+	return v, true
+}
+
+// Faulty wraps a shared object with injectable fault behavior. It is a
+// transparent proxy while healthy: same name, same operations, same
+// results. Faults arrive only through ApplyFault (routed by the runner
+// from the run's ObjectFaultPlan), so a Faulty with no plan behaves
+// bit-identically to its inner object.
+type Faulty struct {
+	inner sim.Object
+	keyer sim.StateKeyer
+	// failed is latched by a crash fault: the object answers the
+	// sentinel forever after.
+	failed bool
+	// injected counts faults absorbed, part of the state key (two
+	// objects differing in fault history are conservatively treated as
+	// different states by the pruner).
+	injected int
+}
+
+var (
+	_ sim.Object     = (*Faulty)(nil)
+	_ sim.Faultable  = (*Faulty)(nil)
+	_ sim.StateKeyer = (*Faulty)(nil)
+)
+
+// Wrap returns obj with injectable faults. The inner object must be
+// fingerprintable (sim.StateKeyer) — every object in this repository is
+// — so that fault-wrapped systems stay prunable and a non-keyable
+// wrapper can never silently weaken a pruned census; Wrap panics
+// otherwise (static protocol structure, so this is a programming
+// error).
+func Wrap(obj sim.Object) *Faulty {
+	k, ok := obj.(sim.StateKeyer)
+	if !ok {
+		panic(fmt.Sprintf("faults: object %q is not fingerprintable (sim.StateKeyer)", obj.Name()))
+	}
+	return &Faulty{inner: obj, keyer: k}
+}
+
+// Name implements sim.Object.
+func (f *Faulty) Name() string { return f.inner.Name() }
+
+// Inner returns the wrapped object, for inspection after a run.
+func (f *Faulty) Inner() sim.Object { return f.inner }
+
+// Failed reports whether a crash fault has been injected.
+func (f *Faulty) Failed() bool { return f.failed }
+
+// Injected returns the number of faults absorbed so far.
+func (f *Faulty) Injected() int { return f.injected }
+
+// Apply implements sim.Object: healthy operations proxy to the inner
+// object; after a crash fault every operation answers the sentinel.
+func (f *Faulty) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
+	if f.failed {
+		return ErrObjectFailed, nil
+	}
+	return f.inner.Apply(caller, op, args)
+}
+
+// ApplyFault implements sim.Faultable. Modes the inner object cannot
+// express (omission of a non-mutating op, reset of a non-Resettable)
+// degrade to a healthy Apply — injection may weaken an operation but
+// never invents protocol-level illegality.
+func (f *Faulty) ApplyFault(caller sim.ProcID, op sim.OpKind, args []sim.Value, mode sim.FaultMode) (sim.Value, error) {
+	if f.failed {
+		return ErrObjectFailed, nil
+	}
+	f.injected++
+	switch mode {
+	case sim.FaultCrash:
+		f.failed = true
+		return ErrObjectFailed, nil
+	case sim.FaultOmission:
+		switch op {
+		case sim.OpWrite:
+			// Dropped, reported as a successful write.
+			return nil, nil
+		case objects.OpCAS:
+			if len(args) == 2 {
+				// Dropped, reported as a successful c&s: the caller sees
+				// prev == old and believes its value landed.
+				return args[0], nil
+			}
+		}
+		return f.inner.Apply(caller, op, args)
+	case sim.FaultReset:
+		if r, ok := f.inner.(sim.Resettable); ok {
+			r.ResetObject()
+		}
+		return f.inner.Apply(caller, op, args)
+	case sim.FaultGarble:
+		v, err := f.inner.Apply(caller, op, args)
+		if err != nil {
+			return v, err
+		}
+		if len(args) > 0 {
+			// Wrong-but-in-alphabet response: echo the last argument
+			// (for c&s(a→b) that is b, claiming the swap landed even
+			// when prev ≠ a). Deterministic, so schedules enumerate.
+			return args[len(args)-1], nil
+		}
+		// An argument-less operation (a read) has no argument alphabet
+		// to draw from; garble it to the failure sentinel.
+		return ErrObjectFailed, nil
+	default:
+		return f.inner.Apply(caller, op, args)
+	}
+}
+
+// StateKey implements sim.StateKeyer. Fault state (failed latch and
+// injection count) is part of the key: states differing in fault
+// history are conservatively distinct, which can only weaken pruning,
+// never its soundness.
+func (f *Faulty) StateKey() string {
+	st := "ok"
+	if f.failed {
+		st = "failed"
+	}
+	return fmt.Sprintf("%s|%d|%s", st, f.injected, f.keyer.StateKey())
+}

@@ -113,3 +113,21 @@ func TestSwapLevelTwo(t *testing.T) {
 		t.Error("swap 3-process generalization survived exploration (consensus number should be 2)")
 	}
 }
+
+// TestDegradingCAS is the robustness face: the degrading compare&swap
+// protocol solves consensus when the object stays healthy, and with a
+// one-fault budget the registers-only fallback admits the disagreement
+// FLP mandates — witnessed by a concrete schedule.
+func TestDegradingCAS(t *testing.T) {
+	healthy := hierarchy.CheckCASDegrading(3, 2, 0, 400000, nil)
+	if !healthy.Solves {
+		t.Errorf("healthy degrading compare&swap should solve 2-consensus; violation at %s", healthy.Violation)
+	}
+	faulted := hierarchy.CheckCASDegrading(3, 2, 1, 2000000, nil, explore.WithPrune())
+	if faulted.Solves {
+		t.Errorf("%s with a fault budget should admit a violation (registers-only fallback)", faulted.Object)
+	}
+	if faulted.Violation == "" {
+		t.Errorf("%s: missing violating schedule", faulted.Object)
+	}
+}

@@ -136,6 +136,14 @@ func (c *CAS) Read(e *sim.Env) Symbol {
 	return e.Apply(c, sim.OpRead).(Symbol)
 }
 
+// ResetObject implements sim.Resettable: the register reverts to ⊥ and
+// its history restarts, as if freshly constructed — the semantics of an
+// injected reset fault (internal/faults).
+func (c *CAS) ResetObject() {
+	c.value = Bottom
+	c.history = append(c.history[:0], Bottom)
+}
+
 // History returns the sequence of values the register has held,
 // starting with ⊥. It is inspection-only: protocol code must not call
 // it (it is not a shared-memory step).

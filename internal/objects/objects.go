@@ -36,6 +36,9 @@ func (t *TestAndSet) Apply(_ sim.ProcID, op sim.OpKind, _ []sim.Value) (sim.Valu
 	}
 }
 
+// ResetObject implements sim.Resettable (injected reset faults).
+func (t *TestAndSet) ResetObject() { t.set = false }
+
 // TestAndSet atomically sets the bit, returning true iff the caller was
 // first (the bit was clear).
 func (t *TestAndSet) TestAndSet(e *sim.Env) bool {

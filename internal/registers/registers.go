@@ -24,9 +24,10 @@ var ErrBadOp = errors.New("registers: unsupported operation")
 // may read; only the owner may write. This is the register type the
 // paper assumes w.l.o.g. for algorithm A.
 type SWMR struct {
-	name  string
-	owner sim.ProcID
-	value sim.Value
+	name    string
+	owner   sim.ProcID
+	value   sim.Value
+	initial sim.Value
 }
 
 var _ sim.Object = (*SWMR)(nil)
@@ -34,8 +35,11 @@ var _ sim.Object = (*SWMR)(nil)
 // NewSWMR returns a SWMR register owned by owner with the given initial
 // value.
 func NewSWMR(name string, owner sim.ProcID, initial sim.Value) *SWMR {
-	return &SWMR{name: name, owner: owner, value: initial}
+	return &SWMR{name: name, owner: owner, value: initial, initial: initial}
 }
+
+// ResetObject implements sim.Resettable (injected reset faults).
+func (r *SWMR) ResetObject() { r.value = r.initial }
 
 // Name implements sim.Object.
 func (r *SWMR) Name() string { return r.name }
@@ -67,16 +71,20 @@ func (r *SWMR) Write(e *sim.Env, v sim.Value) { e.Apply(r, sim.OpWrite, v) }
 
 // MWMR is an atomic multi-writer multi-reader register.
 type MWMR struct {
-	name  string
-	value sim.Value
+	name    string
+	value   sim.Value
+	initial sim.Value
 }
 
 var _ sim.Object = (*MWMR)(nil)
 
 // NewMWMR returns a MWMR register with the given initial value.
 func NewMWMR(name string, initial sim.Value) *MWMR {
-	return &MWMR{name: name, value: initial}
+	return &MWMR{name: name, value: initial, initial: initial}
 }
+
+// ResetObject implements sim.Resettable (injected reset faults).
+func (r *MWMR) ResetObject() { r.value = r.initial }
 
 // Name implements sim.Object.
 func (r *MWMR) Name() string { return r.name }

@@ -31,7 +31,20 @@ func (e *Env) Apply(obj Object, op OpKind, args ...Value) Value {
 	}
 	e.proc.pending = e.proc.pending[:0]
 	e.proc.lastStep = idx
-	v, err := obj.Apply(e.proc.id, op, args)
+	var v Value
+	var err error
+	// Consult the object-fault plan exactly once per step, even when the
+	// target object is not Faultable: the plan may be stateful (a
+	// pending one-shot fault choice) and must see every step.
+	mode := FaultNone
+	if e.sys.objFaults != nil {
+		mode = e.sys.objFaults.FaultOp(idx)
+	}
+	if fo, ok := obj.(Faultable); ok && mode != FaultNone {
+		v, err = fo.ApplyFault(e.proc.id, op, args, mode)
+	} else {
+		v, err = obj.Apply(e.proc.id, op, args)
+	}
 	if err != nil {
 		err = fmt.Errorf("proc %d: %s.%s: %w", e.proc.id, obj.Name(), op, err)
 		if e.sys.trace != nil {

@@ -1,0 +1,93 @@
+package sim
+
+// Object-level fault injection. The paper's processes fail by crashing
+// (fail-stop); this file adds the orthogonal axis the robustness
+// experiments study: the *shared objects* themselves misbehaving. A
+// FaultMode names one failure semantics; an ObjectFaultPlan decides, at
+// each scheduler-granted step, whether the shared-memory operation
+// performed at that step is injected with a fault. The runner consults
+// the plan exactly once per step (every step is exactly one operation),
+// so fault placements are enumerable by the explore package in the same
+// way crash placements are.
+//
+// The semantics of each mode live with the object, behind the Faultable
+// interface — sim only routes. The canonical Faultable implementation
+// is the wrapper in internal/faults.
+
+// FaultMode names one object failure semantics.
+type FaultMode int
+
+const (
+	// FaultNone means the operation executes healthily.
+	FaultNone FaultMode = iota
+	// FaultCrash stops the object permanently: this and every later
+	// operation on it answers the ErrObjectFailed sentinel.
+	FaultCrash
+	// FaultOmission silently drops a mutating operation (write, c&s)
+	// while reporting success; reads may later return stale values.
+	FaultOmission
+	// FaultReset reverts the object to its initial value before the
+	// operation executes.
+	FaultReset
+	// FaultGarble executes the operation but replaces its response with
+	// a wrong value drawn from the operation's own bounded interface
+	// alphabet (deterministically, so schedules stay enumerable).
+	FaultGarble
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultOmission:
+		return "omission"
+	case FaultReset:
+		return "reset"
+	case FaultGarble:
+		return "garble"
+	default:
+		return "invalid"
+	}
+}
+
+// Faultable is implemented by objects that support injected faults.
+// ApplyFault executes op under the given fault mode; the object owns
+// the semantics (what "omission" means for a queue differs from a
+// register). A mode the object cannot express must degrade to a healthy
+// Apply, never to an error: fault injection may weaken an operation but
+// must not invent protocol-level illegality.
+type Faultable interface {
+	Object
+	ApplyFault(caller ProcID, op OpKind, args []Value, mode FaultMode) (Value, error)
+}
+
+// Resettable is implemented by objects that can revert to their initial
+// state, the hook FaultReset uses.
+type Resettable interface {
+	ResetObject()
+}
+
+// ObjectFaultPlan decides which steps carry an injected object fault.
+// FaultOp is called exactly once per granted step, with the global step
+// index, before the step's operation executes; returning FaultNone
+// leaves the operation healthy. Implementations must be deterministic.
+type ObjectFaultPlan interface {
+	FaultOp(step int) FaultMode
+}
+
+// ObjectFaultPlanFunc adapts a function to the ObjectFaultPlan interface.
+type ObjectFaultPlanFunc func(step int) FaultMode
+
+// FaultOp implements ObjectFaultPlan.
+func (f ObjectFaultPlanFunc) FaultOp(step int) FaultMode { return f(step) }
+
+// FaultAtSteps injects the given fault modes at the given global step
+// indices — the deterministic schedule form used by targeted tests.
+func FaultAtSteps(plan map[int]FaultMode) ObjectFaultPlan {
+	return ObjectFaultPlanFunc(func(step int) FaultMode {
+		return plan[step]
+	})
+}

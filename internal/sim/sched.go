@@ -158,17 +158,44 @@ func CrashAfterSteps(id ProcID, n int) FaultPlan {
 // RandomCrashes crashes up to maxCrashes distinct processes at random
 // decision points with probability p per decision, seeded for
 // reproducibility.
-func RandomCrashes(seed int64, p float64, maxCrashes int) FaultPlan {
-	rng := rand.New(rand.NewSource(seed))
-	crashed := 0
-	return FaultPlanFunc(func(ready []ProcID, _ int) []ProcID {
-		if crashed >= maxCrashes || len(ready) == 0 {
-			return nil
-		}
-		if rng.Float64() >= p {
-			return nil
-		}
-		crashed++
-		return []ProcID{ready[rng.Intn(len(ready))]}
-	})
+//
+// The returned plan is SINGLE-USE: it advances its RNG and crash count
+// on every decision, so handing one plan to a second run continues
+// where the first run left off and is not a reproduction of it. Build a
+// fresh plan per run, or call Reset between runs to rewind it to its
+// seed state.
+func RandomCrashes(seed int64, p float64, maxCrashes int) *RandomCrashPlan {
+	r := &RandomCrashPlan{seed: seed, p: p, max: maxCrashes}
+	r.Reset()
+	return r
+}
+
+// RandomCrashPlan is the stateful FaultPlan built by RandomCrashes.
+type RandomCrashPlan struct {
+	seed    int64
+	p       float64
+	max     int
+	rng     *rand.Rand
+	crashed int
+}
+
+var _ FaultPlan = (*RandomCrashPlan)(nil)
+
+// Reset rewinds the plan to its initial seed state, so the next run it
+// drives reproduces the first one exactly.
+func (r *RandomCrashPlan) Reset() {
+	r.rng = rand.New(rand.NewSource(r.seed))
+	r.crashed = 0
+}
+
+// CrashNow implements FaultPlan.
+func (r *RandomCrashPlan) CrashNow(ready []ProcID, _ int) []ProcID {
+	if r.crashed >= r.max || len(ready) == 0 {
+		return nil
+	}
+	if r.rng.Float64() >= r.p {
+		return nil
+	}
+	r.crashed++
+	return []ProcID{ready[r.rng.Intn(len(ready))]}
 }

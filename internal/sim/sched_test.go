@@ -1,0 +1,60 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// crashTrace drives a plan through a fixed synthetic decision sequence
+// and records its choices — a pure FaultPlan exercise, no system needed.
+func crashTrace(plan sim.FaultPlan) []sim.ProcID {
+	ready := []sim.ProcID{0, 1, 2}
+	var out []sim.ProcID
+	for step := 0; step < 64; step++ {
+		out = append(out, plan.CrashNow(ready, step)...)
+	}
+	return out
+}
+
+// TestRandomCrashesReproducible is the regression test for the
+// closed-over-counter bug: a RandomCrashes plan carries RNG and crash
+// state across runs, so reuse without Reset is NOT a reproduction.
+// Fresh plans from the same seed, and a Reset plan, must reproduce the
+// crash sequence exactly.
+func TestRandomCrashesReproducible(t *testing.T) {
+	first := crashTrace(sim.RandomCrashes(7, 0.3, 2))
+	if len(first) == 0 {
+		t.Fatal("plan crashed nobody; pick a seed that fires")
+	}
+
+	fresh := crashTrace(sim.RandomCrashes(7, 0.3, 2))
+	if !procIDsEqual(first, fresh) {
+		t.Fatalf("fresh plan from same seed diverged: %v vs %v", fresh, first)
+	}
+
+	plan := sim.RandomCrashes(7, 0.3, 2)
+	_ = crashTrace(plan) // first use advances RNG and crash count
+	plan.Reset()
+	if got := crashTrace(plan); !procIDsEqual(first, got) {
+		t.Fatalf("Reset plan diverged: %v vs %v", got, first)
+	}
+
+	// Lock in the documented single-use semantics: a drained plan
+	// (budget exhausted) crashes nobody on reuse without Reset.
+	if got := crashTrace(plan); len(got) != 0 {
+		t.Fatalf("reused plan without Reset crashed %v; budget should be spent", got)
+	}
+}
+
+func procIDsEqual(a, b []sim.ProcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

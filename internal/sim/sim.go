@@ -75,6 +75,8 @@ type System struct {
 	// objNames caches the sorted object names for StateHash.
 	fingerprint bool
 	objNames    []string
+	// objFaults is Config.ObjectFaults, consulted by Env.Apply.
+	objFaults ObjectFaultPlan
 }
 
 type proc struct {
@@ -158,6 +160,10 @@ type Config struct {
 	Scheduler Scheduler
 	// Faults optionally crashes processes during the run.
 	Faults FaultPlan
+	// ObjectFaults optionally injects object-level faults: before each
+	// step's operation executes, the plan is asked whether that
+	// operation misbehaves (see ObjectFaultPlan and Faultable).
+	ObjectFaults ObjectFaultPlan
 	// MaxStepsPerProc bounds the steps of any single process; a process
 	// exceeding it is stopped with ErrStepLimit. Zero means no bound.
 	MaxStepsPerProc int
@@ -263,6 +269,7 @@ func (s *System) Run(cfg Config) (*Result, error) {
 		s.trace = nil
 	}
 	s.fingerprint = cfg.Fingerprint
+	s.objFaults = cfg.ObjectFaults
 
 	s.events = make(chan procEvent)
 	for _, p := range s.procs {

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Runs the fault-injection benchmarks (internal/faults) and distills
+# them into BENCH_faults.json at the repo root: one record per benchmark
+# with ns/op and the runs/s census-throughput metric. Sibling of
+# bench_explore.sh; the two halves are the wrapper-overhead comparison
+# (bare vs fault-wrapped compare&swap) and the fault-placement census
+# across engines.
+#
+#   scripts/bench_faults.sh [benchtime]     # default 2x
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-2x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkWrapOverhead|BenchmarkFaultCensus' -benchtime "$benchtime" \
+	./internal/faults/ | tee "$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+$1 ~ /^Benchmark(WrapOverhead|FaultCensus)\// {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = ""; runs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")  ns = $(i - 1)
+		if ($(i) == "runs/s") runs = $(i - 1)
+	}
+	if (ns == "") next
+	if (!first) print ","
+	first = 0
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s}", name, ns, runs
+}
+END { print ""; print "]" }
+' "$raw" > BENCH_faults.json
+
+echo "wrote BENCH_faults.json ($(grep -c '"name"' BENCH_faults.json) entries)"

@@ -15,7 +15,11 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/explore/... ./internal/sim/..."
-go test -race ./internal/explore/... ./internal/sim/...
+echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/..."
+go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/...
+
+echo "== fault-injection smoke census (degrading compare&swap, 1 crash + 1 object fault)"
+go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
+	-prune -workers -1 -maxruns 200000 -bivalence=false
 
 echo "verify: OK"
