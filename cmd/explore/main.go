@@ -6,16 +6,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/objects"
 	"repro/internal/profiling"
+	"repro/internal/runctx"
 	"repro/internal/sim"
 )
 
@@ -44,7 +47,20 @@ func run() error {
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it matches this exploration")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "per-run deadline: cancel the census after this long, leaving a resumable checkpoint (0 = none)")
+	allowPartial := flag.Bool("allow-partial", false, "exit zero even when the census was cancelled or lost subtrees")
+	retries := flag.Int("retries", 0, "per-subtree retry attempts for failed parallel workers (0 = default)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "watchdog: requeue a subtree whose worker makes no progress for this long (0 = off)")
+	chaosKills := flag.Int("chaos-kills", 0, "chaos: inject up to this many worker panics (testing the supervisor)")
+	chaosStalls := flag.Int("chaos-stalls", 0, "chaos: inject up to this many worker stalls")
+	chaosStallFor := flag.Duration("chaos-stall-for", 50*time.Millisecond, "chaos: duration of each injected stall")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: random seed for injection placement")
 	flag.Parse()
+
+	ctx, stopSig := runctx.WithInterrupt(context.Background())
+	defer stopSig()
+	ctx, stopT := runctx.WithTimeout(ctx, *timeout)
+	defer stopT()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -69,10 +85,30 @@ func run() error {
 		MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers,
 		Prune: *prune, PruneTableEntries: *pruneBudget,
 		MaxStepsPerProc: *stepLimit,
+		Context:         ctx,
 	}
 	if *objFaults > 0 {
 		opts.ObjectFaults = *objFaults
 		opts.FaultModes = modes
+	}
+	var supStats explore.SuperviseStats
+	sup := explore.Supervise{
+		MaxAttempts:  *retries,
+		StallTimeout: *stallTimeout,
+		Stats:        &supStats,
+	}
+	supervised := *retries > 0 || *stallTimeout > 0
+	if *chaosKills > 0 || *chaosStalls > 0 {
+		sup.Chaos = &explore.ChaosPlan{
+			Seed:     *chaosSeed,
+			KillRate: 0.2, MaxKills: *chaosKills,
+			StallRate: 0.2, MaxStalls: *chaosStalls,
+			StallFor: *chaosStallFor,
+		}
+		supervised = true
+	}
+	if supervised {
+		opts.Supervision = &sup
 	}
 	check := func(res *sim.Result) error {
 		if err := consensus.CheckAgreement(res); err != nil {
@@ -88,6 +124,9 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if stats.Warning != "" {
+			fmt.Fprintln(os.Stderr, "explore: warning:", stats.Warning)
+		}
 		fmt.Printf("checkpoint: %d roots (%d resumed), %d saves to %s\n",
 			stats.TotalRoots, stats.ResumedRoots, stats.Saves, *checkpoint)
 	} else {
@@ -95,15 +134,31 @@ func run() error {
 	}
 	fmt.Printf("census of %s (crash budget %d, object-fault budget %d):\n%s",
 		*protocol, *crashes, *objFaults, explore.DescribeCensus(c))
+	if supervised {
+		fmt.Printf("supervision: %d attempts, %d retries, %d requeues (chaos: %d kills, %d stalls)\n",
+			supStats.Attempts.Load(), supStats.Retries.Load(), supStats.Requeues.Load(),
+			supStats.Kills.Load(), supStats.Stalls.Load())
+	}
 	for _, e := range c.Errors {
-		fmt.Println("exploration error:", e)
+		fmt.Fprintln(os.Stderr, "explore: exploration error:", e)
+	}
+	if c.Cancelled {
+		msg := "census cancelled before completion"
+		if *checkpoint != "" {
+			msg += "; resumable with -resume"
+		}
+		fmt.Fprintln(os.Stderr, "explore:", msg)
 	}
 
-	v := explore.Valence(builder, explore.Options{MaxRuns: *maxRuns / 4}, nil)
-	fmt.Println("initial valence:", explore.ValenceString(v))
+	// The valence and bivalence analyses re-explore from scratch; once
+	// the deadline or an interrupt has fired there is no budget for them.
+	if ctx.Err() == nil {
+		v := explore.Valence(builder, explore.Options{MaxRuns: *maxRuns / 4, Context: ctx}, nil)
+		fmt.Println("initial valence:", explore.ValenceString(v))
+	}
 
-	if *bivalence {
-		path, still := explore.BivalencePath(builder, explore.Options{MaxRuns: *maxRuns / 16}, 12)
+	if *bivalence && ctx.Err() == nil {
+		path, still := explore.BivalencePath(builder, explore.Options{MaxRuns: *maxRuns / 16, Context: ctx}, 12)
 		if still {
 			fmt.Printf("bivalence path ran the full 12 steps and is STILL bivalent: %s\n",
 				explore.FormatSchedule(path))
@@ -111,6 +166,14 @@ func run() error {
 		} else {
 			fmt.Printf("bivalence exhausted after %d steps: some step decides — the object arbitrates\n",
 				len(path))
+		}
+	}
+	if !*allowPartial {
+		if len(c.Errors) > 0 {
+			return fmt.Errorf("%d subtree(s) permanently failed (rerun with -allow-partial to accept the deficit)", len(c.Errors))
+		}
+		if c.Cancelled {
+			return fmt.Errorf("census cancelled (rerun with -allow-partial to accept partial results)")
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,14 +24,19 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/objects"
 	"repro/internal/profiling"
+	"repro/internal/runctx"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/universal"
 )
 
 // tunes are the exploration options forwarded to the census-driven
-// experiments (E6); set from -prune / -workers.
+// experiments (E6/E16); set from -prune / -workers / -timeout.
 var tunes []explore.Tune
+
+// allowPartial mirrors the -allow-partial flag for the experiment
+// bodies: when false, a census that lost subtrees fails the experiment.
+var allowPartial bool
 
 func main() {
 	if err := run(); err != nil {
@@ -46,7 +52,16 @@ func run() error {
 	stepLimit := flag.Int("steplimit", 0, "per-process step budget for censuses: runaway runs become counted step-limit outcomes instead of hanging (0 = sim default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "overall deadline: cancel remaining experiments after this long (0 = none)")
+	partial := flag.Bool("allow-partial", false, "exit zero even when a census was cancelled or lost subtrees")
 	flag.Parse()
+	allowPartial = *partial
+
+	ctx, stopSig := runctx.WithInterrupt(context.Background())
+	defer stopSig()
+	ctx, stopT := runctx.WithTimeout(ctx, *timeout)
+	defer stopT()
+	tunes = append(tunes, explore.WithContext(ctx))
 
 	if *prune {
 		tunes = append(tunes, explore.WithPrune())
@@ -83,6 +98,13 @@ func run() error {
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.id) {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if allowPartial {
+				fmt.Printf("── %s ── skipped: %v\n", ex.title, err)
+				continue
+			}
+			return fmt.Errorf("%s: run cancelled before start: %w", ex.id, err)
 		}
 		fmt.Printf("── %s ──\n", ex.title)
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -194,6 +216,17 @@ func e6(w *tabwriter.Writer) error {
 		if !wt.Solves {
 			verdict = "fails"
 		}
+		if wt.Partial() {
+			// An incomplete census backs neither verdict.
+			verdict = "partial"
+			if !allowPartial {
+				return fmt.Errorf("%s n=%d: census incomplete (cancelled=%v, %d lost subtrees)",
+					wt.Object, wt.N, wt.Cancelled, len(wt.Errors))
+			}
+			for _, e := range wt.Errors {
+				fmt.Fprintln(os.Stderr, "paperlab: e6:", e)
+			}
+		}
 		fmt.Fprintf(w, "%s\t%d\t%s\t%s\n", wt.Object, wt.N, verdict, wt.Violation)
 	}
 	return nil
@@ -252,8 +285,20 @@ func e16(w *tabwriter.Writer) error {
 		{3, 2, 2, crash, "crash"},
 	} {
 		r := election.DegradeCensus(tc.k, tc.n, tc.budget, 20_000_000, tc.modes, local...)
+		if len(r.Faulted.Errors) > 0 || r.Faulted.Cancelled {
+			for _, e := range r.Faulted.Errors {
+				fmt.Fprintln(os.Stderr, "paperlab: e16:", e)
+			}
+			if !allowPartial {
+				return fmt.Errorf("e16: k=%d n=%d budget=%d census incomplete (cancelled=%v, %d lost subtrees)",
+					tc.k, tc.n, tc.budget, r.Faulted.Cancelled, len(r.Faulted.Errors))
+			}
+		}
 		if !r.Faulted.Exhaustive {
-			return fmt.Errorf("e16: k=%d n=%d budget=%d census not exhaustive", tc.k, tc.n, tc.budget)
+			if !allowPartial {
+				return fmt.Errorf("e16: k=%d n=%d budget=%d census not exhaustive", tc.k, tc.n, tc.budget)
+			}
+			continue
 		}
 		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%d\t%.4f\t%d\n",
 			tc.k, tc.n, tc.budget, tc.label,

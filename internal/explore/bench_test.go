@@ -3,6 +3,7 @@ package explore_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/election"
 	"repro/internal/explore"
@@ -105,6 +106,49 @@ func BenchmarkExplore(b *testing.B) {
 				if total == 0 {
 					b.Fatal("census enumerated zero runs")
 				}
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/s")
+			})
+		}
+	}
+}
+
+// BenchmarkResilience measures the supervision tax: the same parallel
+// census (the BENCH_explore election workload through the streaming
+// ParallelVisit path) run plain and with the supervisor fully armed —
+// retry budget, deterministic backoff, and the heartbeat stall watchdog
+// at a timeout no healthy root ever hits. No chaos is injected: this is
+// the cost of the machinery alone (a heartbeat closure per simulator
+// step, watchdog timers on every root handoff, claim bookkeeping).
+// scripts/bench_resilience.sh pairs the two rows per workload and
+// enforces the <5% overhead acceptance bound.
+func BenchmarkResilience(b *testing.B) {
+	supervised := explore.WithSupervision(explore.Supervise{
+		MaxAttempts:  3,
+		StallTimeout: 2 * time.Second,
+	})
+	for _, in := range []benchInstance{
+		electionInstance(5, 3, 1),
+		electionInstance(5, 4, 0),
+	} {
+		for _, mode := range []struct {
+			name  string
+			tunes []explore.Tune
+		}{
+			{"plain", nil},
+			{"supervised", []explore.Tune{supervised}},
+		} {
+			b.Run(in.name+"/"+mode.name, func(b *testing.B) {
+				opts := in.opts.With(explore.WithWorkers(-1)).With(mode.tunes...)
+				total := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c := explore.Run(in.b, opts, in.check)
+					if !c.Exhaustive {
+						b.Fatal("benchmark census not exhaustive")
+					}
+					total += c.Complete + c.Incomplete
+				}
+				b.StopTimer()
 				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/s")
 			})
 		}

@@ -1,13 +1,14 @@
 package explore
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -53,6 +54,15 @@ type CheckpointStats struct {
 	ResumedRoots int
 	// Saves counts checkpoint writes (including the final one).
 	Saves int
+	// Retries and Requeues count supervisor recoveries during the run
+	// (failed-attempt retries and watchdog requeues respectively).
+	Retries  int
+	Requeues int
+	// Warning is set when Resume found a file it could not use — a
+	// corrupt or unreadable checkpoint, or one keyed to a different
+	// exploration. The run starts fresh; a missing file is a normal
+	// fresh start and produces no warning.
+	Warning string
 }
 
 // errStopped reports a run aborted by the stopAfterRoots test hook.
@@ -66,7 +76,10 @@ type ckRoot struct {
 	Violations int            `json:"violations"`
 	Reps       [][]Choice     `json:"reps,omitempty"`
 	Capped     bool           `json:"capped,omitempty"`
-	Err        string         `json:"err,omitempty"`
+	// Err is kept for decoding files from before the supervisor;
+	// failed roots are no longer persisted (so a resume retries them)
+	// and Err'd records from old files are simply not credited.
+	Err string `json:"err,omitempty"`
 }
 
 // ckFile is the checkpoint file layout.
@@ -78,13 +91,22 @@ type ckFile struct {
 }
 
 // RunCheckpointed is Run with periodic progress persistence. It
-// explores the frontier roots on Options.Workers workers, records each
-// fully explored root, saves every Checkpoint.Every completions, and —
-// with Checkpoint.Resume — skips roots recorded by a previous
-// (interrupted) invocation with the same builder and options. The final
-// census is bit-identical to Run's in every count; like parallel
-// censuses, only the ≤5 recorded representatives may differ, and
-// MaxRuns is enforced per subtree rather than globally.
+// explores the frontier roots on Options.Workers workers under the
+// supervisor (retry with backoff, stall watchdog, chaos when
+// configured), records each fully explored root, saves every
+// Checkpoint.Every completions, and — with Checkpoint.Resume — skips
+// roots recorded by a previous (interrupted) invocation with the same
+// builder and options. The final census is bit-identical to Run's in
+// every count; like parallel censuses, only the ≤5 recorded
+// representatives may differ, and MaxRuns is enforced per subtree
+// rather than globally.
+//
+// Cancellation through Options.Context is root-granular: in-flight
+// roots are discarded, completed ones are flushed to the checkpoint,
+// and the returned census carries the completed roots' counts with
+// Cancelled set — resuming later completes to the identical census.
+// Roots that exhaust the supervisor's attempt budget are reported in
+// FailedRoots and deliberately NOT persisted, so a resume retries them.
 //
 // If the tree cannot be frontier-split under MaxRuns, it falls back to
 // a plain Run with no checkpointing (stats zero).
@@ -98,16 +120,25 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 	}
 	key := checkpointKey(opts, items)
 	done := make(map[int]ckRoot)
+	resolved := make([]bool, len(items))
 	for _, it := range items {
 		if it.prefix != nil {
 			stats.TotalRoots++
 		}
 	}
 	if ck.Resume {
-		if f, err := loadCheckpoint(ck.Path); err == nil && f.Key == key {
+		f, warn := loadCheckpointTolerant(ck.Path)
+		switch {
+		case f == nil:
+			stats.Warning = warn
+		case f.Key != key:
+			stats.Warning = "checkpoint ignored: key mismatch (different builder or options); starting fresh"
+		default:
 			for k, v := range f.Done {
-				if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < len(items) && items[i].prefix != nil {
+				if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < len(items) &&
+					items[i].prefix != nil && v.Err == "" {
 					done[i] = v
+					resolved[i] = true
 				}
 			}
 			stats.ResumedRoots = len(done)
@@ -123,13 +154,21 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		table = newPruneTable(opts.PruneTableEntries)
 	}
 
+	ctx := opts.ctx()
+	// stopCtx lets the stopAfterRoots test hook cancel the pool through
+	// the same path a real kill or deadline takes.
+	stopCtx, stopCancel := context.WithCancel(ctx)
+	defer stopCancel()
+	cfg := opts.supervise()
+	wb := cfg.wrapChaos(b)
+
 	var (
-		mu        sync.Mutex
+		saveMu    sync.Mutex
 		unsaved   int
 		newlyDone int
-		stopped   bool
+		hookStop  bool
 	)
-	save := func() error {
+	save := func() error { // callers hold saveMu
 		f := ckFile{Key: key, Done: make(map[string]ckRoot, len(done))}
 		for i, r := range done {
 			f.Done[strconv.Itoa(i)] = r
@@ -141,67 +180,59 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		unsaved = 0
 		return nil
 	}
-
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(items) {
-					return
-				}
-				if items[i].prefix == nil {
-					continue
-				}
-				mu.Lock()
-				_, did := done[i]
-				stop := stopped
-				mu.Unlock()
-				if stop {
-					return
-				}
-				if did {
-					continue
-				}
-				r := exploreRoot(b, opts, check, table, items[i].prefix)
-				mu.Lock()
-				done[i] = r
-				newlyDone++
-				unsaved++
-				if unsaved >= every {
-					save() // best-effort mid-run; the final save reports errors
-				}
-				if ck.stopAfterRoots > 0 && newlyDone >= ck.stopAfterRoots {
-					stopped = true
-				}
-				mu.Unlock()
-			}
-		}()
+	onResolve := func(i int, r ckRoot) {
+		saveMu.Lock()
+		done[i] = r
+		newlyDone++
+		unsaved++
+		if unsaved >= every {
+			save() // best-effort mid-run; the final save reports errors
+		}
+		stop := ck.stopAfterRoots > 0 && newlyDone >= ck.stopAfterRoots && !hookStop
+		if stop {
+			hookStop = true
+		}
+		saveMu.Unlock()
+		if stop {
+			stopCancel()
+		}
 	}
-	wg.Wait()
-	if err := save(); err != nil {
+	task := func(tctx context.Context, i int, beat func()) (ckRoot, bool) {
+		return exploreRoot(tctx, wb, opts, check, table, items[i].prefix, beat)
+	}
+	_, _, failedMap, cancelled := superviseRoots(stopCtx, items, workers, cfg, resolved, task, onResolve)
+	stats.Retries = int(cfg.stats.Retries.Load())
+	stats.Requeues = int(cfg.stats.Requeues.Load())
+
+	saveMu.Lock()
+	err := save()
+	saveMu.Unlock()
+	if err != nil {
 		return nil, stats, fmt.Errorf("explore: checkpoint save: %w", err)
 	}
-	if stopped {
+	if hookStop {
 		return nil, stats, errStopped
 	}
 
 	// Deterministic merge in DFS root order, exactly like pruneCensus.
+	// Under cancellation this still runs: completed roots' counts are
+	// real, missing ones mark the census non-exhaustive.
 	total := newSummary()
-	exhaustive := true
-	var errs []string
+	exhaustive := !cancelled
+	var failures []RootFailure
 	for i, it := range items {
 		if it.prefix == nil {
 			total.addTerminal(*it.leaf, check)
 			continue
 		}
-		r := done[i]
-		if r.Err != "" {
-			errs = append(errs, r.Err)
+		if f, lost := failedMap[i]; lost {
+			failures = append(failures, f)
 			exhaustive = false
+			continue
+		}
+		r, explored := done[i]
+		if !explored {
+			exhaustive = false // cancelled before this root was explored
 			continue
 		}
 		total.merge(r.toSummary(b, opts))
@@ -210,21 +241,23 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		}
 	}
 	c := censusFrom(total, exhaustive)
-	c.Errors = errs
+	c.FailedRoots = failures
+	c.Errors = failureStrings(failures)
+	c.Cancelled = cancelled
 	return c, stats, nil
 }
 
-// exploreRoot fully explores one subtree, recovering panics into the
-// root's Err field like every parallel walk in this package.
-func exploreRoot(b Builder, opts Options, check func(*sim.Result) error, table *pruneTable, prefix []Choice) (out ckRoot) {
-	defer func() {
-		if r := recover(); r != nil {
-			out = ckRoot{Err: fmt.Sprintf("subtree %s: panic: %v", FormatSchedule(prefix), r)}
-		}
-	}()
-	en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table, root: prefix}
+// exploreRoot fully explores one subtree. Panics propagate: the
+// supervisor recovers them and owns the retry policy. A true second
+// return value means the context was cancelled mid-root and the partial
+// record must be discarded.
+func exploreRoot(ctx context.Context, b Builder, opts Options, check func(*sim.Result) error, table *pruneTable, prefix []Choice, beat func()) (ckRoot, bool) {
+	en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table, root: prefix, ctx: ctx, onStep: beat}
 	en.run()
-	out = ckRoot{
+	if en.cancelled {
+		return ckRoot{}, true
+	}
+	out := ckRoot{
 		Complete:   en.acc.complete,
 		Incomplete: en.acc.incomplete,
 		Outcomes:   en.acc.outcomes,
@@ -234,7 +267,7 @@ func exploreRoot(b Builder, opts Options, check func(*sim.Result) error, table *
 	for _, rep := range en.acc.reps {
 		out.Reps = append(out.Reps, rep.Schedule)
 	}
-	return out
+	return out, false
 }
 
 // toSummary rebuilds a summary from its persisted form, replaying the
@@ -299,14 +332,54 @@ func loadCheckpoint(path string) (*ckFile, error) {
 	return &f, nil
 }
 
+// loadCheckpointTolerant loads a checkpoint for resume. A missing file
+// is a normal fresh start (nil, no warning); an unreadable or corrupt
+// (e.g. truncated) file is tolerated — the run starts fresh and the
+// warning says why, instead of failing a resumable run.
+func loadCheckpointTolerant(path string) (*ckFile, string) {
+	f, err := loadCheckpoint(path)
+	switch {
+	case err == nil:
+		return f, ""
+	case os.IsNotExist(err):
+		return nil, ""
+	default:
+		return nil, fmt.Sprintf("checkpoint ignored (unreadable or corrupt: %v); starting fresh", err)
+	}
+}
+
+// saveCheckpoint writes the file durably: the temp file is fsynced
+// before the atomic rename and the parent directory after it, so a
+// machine crash cannot surface an empty or stale file under the final
+// name despite the rename's atomicity. The directory sync is
+// best-effort — not every filesystem supports it.
 func saveCheckpoint(path string, f *ckFile) error {
 	data, err := json.Marshal(f)
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if _, err := tf.Write(data); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -38,11 +39,20 @@ type engine struct {
 	frames []frame
 	plan   []Choice // scratch buffer: root + path
 
+	// ctx, when non-nil, is checked once per terminal probe: a cancelled
+	// context stops the walk at the next run boundary (cancelled is set),
+	// so abandonment cost is bounded by one probe, never one subtree.
+	ctx context.Context
+	// onStep, when non-nil, is forwarded to sim.Config.OnStep as the
+	// supervisor's progress heartbeat.
+	onStep func()
+
 	// runs counts delivered terminal runs (visit mode) or credited runs
 	// including memoized subtrees (census mode).
-	runs    int
-	capped  bool
-	stopped bool
+	runs      int
+	capped    bool
+	stopped   bool
+	cancelled bool
 }
 
 // frame is one internal node (decision point) on the current DFS path.
@@ -60,6 +70,10 @@ func (en *engine) run() {
 	for {
 		if en.runs >= en.opts.MaxRuns {
 			en.capped = true
+			break
+		}
+		if en.ctx != nil && en.ctx.Err() != nil {
+			en.cancelled = true
 			break
 		}
 		res, pruned := en.probe()
@@ -103,6 +117,10 @@ func (en *engine) probe() (*sim.Result, *summary) {
 	}
 	if en.opts.ObjectFaults > 0 {
 		cfg.ObjectFaults = p
+	}
+	if en.onStep != nil {
+		beat := en.onStep
+		cfg.OnStep = func(int) { beat() }
 	}
 	res, err := sys.Run(cfg)
 	if err != nil {

@@ -24,6 +24,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -111,6 +112,18 @@ type Options struct {
 	// weakens pruning (an evicted subtree is re-walked), never the
 	// census counts. Zero means the package default (see prune.go).
 	PruneTableEntries int
+	// Context, when non-nil, cancels the walk cooperatively: engines
+	// check it once per terminal probe (and the supervisor between root
+	// claims), so a cancelled run stops within one probe per worker and
+	// reports Census.Cancelled with every already-counted run intact.
+	// Excluded from checkpoint keys — it does not shape the tree.
+	Context context.Context
+	// Supervision configures the parallel supervisor: retry policy for
+	// panicked subtree roots, the stall watchdog, and chaos injection.
+	// Nil means the defaults (see Supervise); it never changes which
+	// runs a successful walk counts. Sequential walks ignore it (a
+	// sequential panic propagates as before).
+	Supervision *Supervise
 }
 
 // Tune is a functional option for exploration entry points that take
@@ -146,6 +159,18 @@ func WithStepLimit(n int) Tune {
 	return func(o *Options) { o.MaxStepsPerProc = n }
 }
 
+// WithContext tunes Options.Context, threading cooperative cancellation
+// into entry points that take fixed Options (the hierarchy/election/
+// consensus experiment wrappers).
+func WithContext(ctx context.Context) Tune {
+	return func(o *Options) { o.Context = ctx }
+}
+
+// WithSupervision tunes Options.Supervision.
+func WithSupervision(s Supervise) Tune {
+	return func(o *Options) { o.Supervision = &s }
+}
+
 // With returns a copy of o with the tunes applied.
 func (o Options) With(tunes ...Tune) Options {
 	for _, t := range tunes {
@@ -154,6 +179,14 @@ func (o Options) With(tunes ...Tune) Options {
 		}
 	}
 	return o
+}
+
+// ctx resolves Options.Context, never returning nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // workerCount resolves Options.Workers to an actual worker count.
@@ -203,27 +236,28 @@ type Outcome struct {
 // With Options.Workers set, subtrees are explored in parallel and
 // outcomes are re-sequenced, preserving the exact sequential order.
 func Visit(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool) {
-	runs, exhaustive, _ = visitAll(b, opts, visit)
+	runs, exhaustive, _, _ = visitAll(b, opts, visit)
 	return runs, exhaustive
 }
 
-// visitAll is Visit that additionally reports worker errors (subtrees
-// lost to recovered panics in parallel mode; always empty
-// sequentially, where a panic propagates). Any error implies
+// visitAll is Visit that additionally reports subtree roots permanently
+// lost to worker failures (parallel mode only: the supervisor retries a
+// panicked root before giving up; sequentially a panic propagates) and
+// whether the walk was cut short by Options.Context. Either implies
 // exhaustive == false.
-func visitAll(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool, errs []string) {
+func visitAll(b Builder, opts Options, visit func(Outcome) bool) (runs int, exhaustive bool, failed []RootFailure, cancelled bool) {
 	opts = opts.withDefaults()
 	if opts.workerCount() > 1 {
 		return parallelVisit(b, opts, visit)
 	}
-	runs, exhaustive = sequentialVisit(b, opts, visit)
-	return runs, exhaustive, nil
+	runs, exhaustive, cancelled = sequentialVisit(b, opts, visit)
+	return runs, exhaustive, nil, cancelled
 }
 
-func sequentialVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool) {
-	en := &engine{b: b, opts: opts, visit: visit}
+func sequentialVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool, bool) {
+	en := &engine{b: b, opts: opts, visit: visit, ctx: opts.Context}
 	en.run()
-	return en.runs, !en.capped && !en.stopped
+	return en.runs, !en.capped && !en.stopped && !en.cancelled, en.cancelled
 }
 
 // ParallelVisit is Visit forced onto parallel workers (GOMAXPROCS of
@@ -234,7 +268,7 @@ func ParallelVisit(b Builder, opts Options, visit func(Outcome) bool) (runs int,
 	if opts.Workers == 0 || opts.Workers == 1 {
 		opts.Workers = -1
 	}
-	runs, exhaustive, _ = parallelVisit(b, opts, visit)
+	runs, exhaustive, _, _ = parallelVisit(b, opts, visit)
 	return runs, exhaustive
 }
 
@@ -417,11 +451,16 @@ type Census struct {
 	ViolationRuns int
 	// Exhaustive is false if the walk was truncated by MaxRuns.
 	Exhaustive bool
-	// Errors lists subtrees lost to recovered worker panics (parallel
-	// walks only; a sequential walk lets the panic propagate). A
-	// non-empty Errors forces Exhaustive to false: every run counted is
-	// real, but coverage is partial.
-	Errors []string
+	// Errors lists subtrees permanently lost to worker failures after
+	// the supervisor's retry budget (parallel walks only; a sequential
+	// walk lets the panic propagate). A non-empty Errors forces
+	// Exhaustive to false: every run counted is real, but coverage is
+	// partial. FailedRoots carries the same failures structured.
+	Errors      []string
+	FailedRoots []RootFailure
+	// Cancelled is true when the walk was cut short by Options.Context.
+	// Counts remain real but partial; Exhaustive is false.
+	Cancelled bool
 }
 
 // MaxRecordedViolations bounds Census.Violations.
@@ -438,7 +477,7 @@ func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
 		return pruneCensus(b, opts, check)
 	}
 	c := &Census{Outcomes: make(map[string]int)}
-	_, exhaustive, errs := visitAll(b, opts, func(o Outcome) bool {
+	_, exhaustive, failed, cancelled := visitAll(b, opts, func(o Outcome) bool {
 		if o.Result.Halted {
 			c.Incomplete++
 			return true
@@ -455,7 +494,9 @@ func Run(b Builder, opts Options, check func(*sim.Result) error) *Census {
 		}
 		return true
 	})
-	c.Exhaustive = exhaustive && len(errs) == 0
-	c.Errors = errs
+	c.Exhaustive = exhaustive && len(failed) == 0 && !cancelled
+	c.FailedRoots = failed
+	c.Errors = failureStrings(failed)
+	c.Cancelled = cancelled
 	return c
 }

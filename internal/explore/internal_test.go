@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/registers"
 	"repro/internal/sim"
@@ -95,7 +96,7 @@ func TestPrunedViolationRepsReplay(t *testing.T) {
 func TestFrontierCoversTree(t *testing.T) {
 	b := rwAttempt
 	opts := Options{MaxCrashes: 1}.withDefaults()
-	seqRuns, _ := sequentialVisit(b, opts, func(Outcome) bool { return true })
+	seqRuns, _, _ := sequentialVisit(b, opts, func(Outcome) bool { return true })
 	items, ok := frontier(b, opts, 4)
 	if !ok {
 		t.Fatal("frontier enumeration capped unexpectedly")
@@ -203,13 +204,36 @@ func countingBuilder(inner Builder, counter *atomic.Int64, panicAt int64) Builde
 	}
 }
 
-// TestWorkerPanicRecovered: a panic on a worker goroutine (here from
-// the builder, the first call after frontier enumeration — frontier
-// runs on the caller's goroutine, everything after it on workers) must
-// cost exactly the affected subtree: the census reports the loss in
-// Errors and flips Exhaustive, all other subtrees stay counted. Both
-// the streaming parallel walk and the pruned parallel census recover.
-func TestWorkerPanicRecovered(t *testing.T) {
+// persistentPanicBuilder panics on EVERY call from callAt on — a fault
+// no retry can heal, for exercising the permanent-failure path.
+func persistentPanicBuilder(inner Builder, counter *atomic.Int64, callAt int64) Builder {
+	return func() *sim.System {
+		if counter.Add(1) >= callAt {
+			panic("persistent harness fault")
+		}
+		return inner()
+	}
+}
+
+// fastRetries keeps the supervisor's retry policy but strips the
+// backoff waits so failure-path tests stay fast.
+func fastRetries(attempts int, stats *SuperviseStats) Tune {
+	return WithSupervision(Supervise{
+		MaxAttempts: attempts,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Microsecond,
+		Stats:       stats,
+	})
+}
+
+// TestWorkerPanicRetried: a one-shot panic on a worker goroutine (here
+// from the builder, the first call after frontier enumeration —
+// frontier runs on the caller's goroutine, everything after it on
+// workers) must be healed by the supervisor's retry: the census comes
+// back exhaustive, error-free, and bit-identical to the sequential
+// baseline. Both the streaming parallel walk and the pruned parallel
+// census retry.
+func TestWorkerPanicRetried(t *testing.T) {
 	base := Options{Workers: 4}.withDefaults()
 	seq := Run(wideTree, Options{}.withDefaults(), nil)
 	if !seq.Exhaustive || seq.Complete == 0 {
@@ -229,16 +253,67 @@ func TestWorkerPanicRecovered(t *testing.T) {
 		{name: "pruned-parallel", opts: base.With(WithPrune())},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			var stats SuperviseStats
 			var calls atomic.Int64
-			got := Run(countingBuilder(wideTree, &calls, fc.Load()+1), tc.opts, nil)
-			if len(got.Errors) != 1 {
-				t.Fatalf("census errors = %v, want exactly one recovered subtree", got.Errors)
+			got := Run(countingBuilder(wideTree, &calls, fc.Load()+1),
+				tc.opts.With(fastRetries(3, &stats)), nil)
+			if len(got.Errors) != 0 {
+				t.Fatalf("one-shot panic not healed: errors = %v", got.Errors)
+			}
+			if !got.Exhaustive {
+				t.Fatal("healed census must be exhaustive")
+			}
+			if got.Complete != seq.Complete || got.Incomplete != seq.Incomplete {
+				t.Fatalf("healed census %d/%d, sequential %d/%d",
+					got.Complete, got.Incomplete, seq.Complete, seq.Incomplete)
+			}
+			if stats.Retries.Load() == 0 {
+				t.Fatal("supervisor reported no retries for a panicked root")
+			}
+		})
+	}
+}
+
+// TestWorkerPanicPermanentFailure: a fault that survives every retry
+// costs exactly the affected subtrees: each is reported in FailedRoots
+// with its attempt count, Exhaustive flips, and every other subtree
+// stays counted.
+func TestWorkerPanicPermanentFailure(t *testing.T) {
+	base := Options{Workers: 4}.withDefaults()
+	seq := Run(wideTree, Options{}.withDefaults(), nil)
+	var fc atomic.Int64
+	if _, ok := frontier(countingBuilder(wideTree, &fc, 0), base, base.workerCount()); !ok {
+		t.Fatal("frontier capped unexpectedly")
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{name: "parallel-visit", opts: base},
+		{name: "pruned-parallel", opts: base.With(WithPrune())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stats SuperviseStats
+			var calls atomic.Int64
+			got := Run(persistentPanicBuilder(wideTree, &calls, fc.Load()+1),
+				tc.opts.With(fastRetries(3, &stats)), nil)
+			if len(got.FailedRoots) == 0 {
+				t.Fatal("persistent fault produced no FailedRoots")
 			}
 			if got.Exhaustive {
-				t.Fatal("census with a lost subtree claims exhaustiveness")
+				t.Fatal("census with lost subtrees claims exhaustiveness")
 			}
-			if got.Complete == 0 || got.Complete >= seq.Complete {
-				t.Fatalf("census counted %d complete runs, want within (0, %d)", got.Complete, seq.Complete)
+			for _, f := range got.FailedRoots {
+				if f.Attempts != 3 {
+					t.Fatalf("failed root %q used %d attempts, want 3", FormatSchedule(f.Prefix), f.Attempts)
+				}
+				if len(f.Prefix) == 0 || f.Err == "" {
+					t.Fatalf("failure lacks prefix or error: %+v", f)
+				}
+			}
+			if got.Complete >= seq.Complete {
+				t.Fatalf("census counted %d complete runs despite lost subtrees (sequential %d)",
+					got.Complete, seq.Complete)
 			}
 		})
 	}

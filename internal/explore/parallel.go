@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Parallel exploration: the tree is split at a shallow depth into an
@@ -12,7 +13,10 @@ import (
 // work-stealing queue degenerated to its essential half, dynamic load
 // balancing — and the results are merged back in frontier order, so
 // every observable (visit order, run counts, census totals) is
-// bit-identical to the sequential walk.
+// bit-identical to the sequential walk. The sequencer doubles as the
+// supervisor for streamed visits: a root whose worker panics or stalls
+// is re-walked inline with the already-delivered prefix skipped —
+// attempts are idempotent replays, so retry changes nothing observable.
 
 // frontierItem is one entry of the split frontier, in sequential DFS
 // order: either a terminal run above the split (leaf) or a subtree
@@ -24,8 +28,9 @@ type frontierItem struct {
 
 // frontier enumerates the tree down to a split depth chosen so that
 // there are comfortably more roots than workers (≥8× for load balance).
-// ok is false when enumeration hit MaxRuns — the caller should fall
-// back to a sequential walk, which owns the exact cap semantics.
+// ok is false when enumeration hit MaxRuns or the context was cancelled
+// — the caller should fall back to a sequential walk, which owns the
+// exact cap/cancel semantics.
 func frontier(b Builder, opts Options, workers int) (items []frontierItem, ok bool) {
 	target := 8 * workers
 	for split := 1; ; split++ {
@@ -33,7 +38,7 @@ func frontier(b Builder, opts Options, workers int) (items []frontierItem, ok bo
 		roots := 0
 		shallow := opts
 		shallow.MaxDepth = split
-		en := &engine{b: b, opts: shallow, visit: func(o Outcome) bool {
+		en := &engine{b: b, opts: shallow, ctx: opts.Context, visit: func(o Outcome) bool {
 			if o.Result.Halted && len(o.Schedule) == split {
 				items = append(items, frontierItem{prefix: o.Schedule})
 				roots++
@@ -46,7 +51,7 @@ func frontier(b Builder, opts Options, workers int) (items []frontierItem, ok bo
 			return true
 		}}
 		en.run()
-		if en.capped {
+		if en.capped || en.cancelled {
 			return nil, false
 		}
 		// Stop growing the split when there is enough parallelism, when
@@ -58,55 +63,42 @@ func frontier(b Builder, opts Options, workers int) (items []frontierItem, ok bo
 	}
 }
 
-// forEachRoot runs f(i) for every root item, fanning out to the given
-// number of workers over a shared claim index.
-func forEachRoot(items []frontierItem, workers int, f func(i int)) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(items) {
-					return
-				}
-				if items[i].prefix == nil {
-					continue
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // parallelVisit is Visit fanned out over workers. Each root's outcomes
 // stream through a bounded channel; the calling goroutine plays the
 // sequencer, delivering outcomes to visit in exact sequential DFS
 // order and enforcing MaxRuns globally, so runs/exhaustive/visit-order
-// semantics match sequentialVisit bit for bit.
-func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool, []string) {
+// semantics match sequentialVisit bit for bit. A root whose worker
+// fails (panic) or stalls (heartbeat frozen past the watchdog timeout)
+// is retried inline on the sequencer goroutine with the delivered
+// prefix skipped, up to the supervision attempt budget; only then is it
+// reported as a RootFailure.
+func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool, []RootFailure, bool) {
 	workers := opts.workerCount()
+	ctx := opts.ctx()
 	items, ok := frontier(b, opts, workers)
 	if !ok {
-		runs, exhaustive := sequentialVisit(b, opts, visit)
-		return runs, exhaustive, nil
+		runs, exhaustive, cancelled := sequentialVisit(b, opts, visit)
+		return runs, exhaustive, nil, cancelled
 	}
+	cfg := opts.supervise()
+	wb := cfg.wrapChaos(b)
 	type rootState struct {
-		ch     chan Outcome
-		capped bool   // written before ch closes; read after — safe
-		err    string // recovered worker panic, same publication rule
+		ch      chan Outcome
+		abandon chan struct{} // closed by the sequencer when the root stalls
+		started atomic.Bool   // claimed by a worker (stall detection gate)
+		hb      atomic.Int64  // worker heartbeat (engine steps)
+		capped  bool          // written before ch closes; read after — safe
+		err     string        // recovered worker panic, same publication rule
 	}
 	states := make([]*rootState, len(items))
 	for i, it := range items {
 		if it.prefix != nil {
-			states[i] = &rootState{ch: make(chan Outcome, 64)}
+			states[i] = &rootState{ch: make(chan Outcome, 64), abandon: make(chan struct{})}
 		}
 	}
 	done := make(chan struct{})
-	var aborted atomic.Bool
+	ctxDone := ctx.Done()
+	var aborted, anyCancelled atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -115,49 +107,133 @@ func parallelVisit(b Builder, opts Options, visit func(Outcome) bool) (int, bool
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(items) || aborted.Load() {
+				if i >= len(items) || aborted.Load() || ctx.Err() != nil {
 					return
 				}
 				st := states[i]
 				if st == nil {
 					continue
 				}
+				st.started.Store(true)
 				// Recover panics from the builder or the engine into a
 				// per-subtree error: the walk over the other roots keeps
-				// going and the loss is reported, not fatal. (Panics inside
+				// going and the sequencer retries the loss. (Panics inside
 				// spawned PROCESS goroutines are protocol bugs the runner
 				// deliberately re-raises; those still crash — only
 				// harness-side panics are survivable.)
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							st.err = fmt.Sprintf("subtree %s: panic: %v",
-								FormatSchedule(items[i].prefix), r)
+							st.err = fmt.Sprintf("panic: %v", r)
 						}
 						close(st.ch)
 					}()
-					en := &engine{b: b, opts: opts, root: items[i].prefix,
+					en := &engine{b: wb, opts: opts, root: items[i].prefix, ctx: ctx,
 						visit: func(o Outcome) bool {
 							select {
 							case st.ch <- o:
 								return true
 							case <-done:
 								return false
+							case <-st.abandon:
+								return false
 							}
 						}}
+					if cfg.stall > 0 {
+						en.onStep = func() { st.hb.Add(1) }
+					}
 					en.run()
+					if en.cancelled {
+						anyCancelled.Store(true)
+					}
 					st.capped = en.capped
 				}()
 			}
 		}()
 	}
+
 	runs := 0
 	visitOK := true
 	capped := false
-	var errs []string
+	cancelled := false
+	var failed []RootFailure
+
+	// retry re-walks root i inline, skipping the outcomes already
+	// delivered from the failed attempt — engine order is deterministic,
+	// so the skip is exact. It shares the global runs/capped/visitOK/
+	// cancelled accounting through the closure.
+	retry := func(i, skip int) (errStr string, rootCapped bool, delivered int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errStr = fmt.Sprintf("panic: %v", r)
+			}
+		}()
+		seen := 0
+		en := &engine{b: wb, opts: opts, root: items[i].prefix, ctx: ctx,
+			visit: func(o Outcome) bool {
+				seen++
+				if seen <= skip {
+					return true
+				}
+				if runs >= opts.MaxRuns {
+					capped = true
+					return false
+				}
+				runs++
+				delivered++
+				if !visit(o) {
+					visitOK = false
+					return false
+				}
+				return true
+			}}
+		en.run()
+		if en.cancelled {
+			cancelled = true
+		}
+		return "", en.capped, delivered
+	}
+
+	// recvWatch receives one outcome with the stall watchdog armed: a
+	// claimed root whose heartbeat freezes for cfg.stall is abandoned
+	// (the worker's engine stops at its next delivery attempt) and
+	// handed to retry. Unclaimed roots never trip it — waiting for a
+	// busy pool is not a stall.
+	recvWatch := func(st *rootState) (o Outcome, open, stalled, dead bool) {
+		last := st.hb.Load()
+		t := time.NewTimer(cfg.stall)
+		defer t.Stop()
+		for {
+			select {
+			case o, open = <-st.ch:
+				return o, open, false, false
+			case <-ctxDone:
+				return Outcome{}, false, false, true
+			case <-t.C:
+				if !st.started.Load() {
+					t.Reset(cfg.stall)
+					continue
+				}
+				if cur := st.hb.Load(); cur != last {
+					last = cur
+					t.Reset(cfg.stall)
+					continue
+				}
+				cfg.stats.Requeues.Add(1)
+				close(st.abandon)
+				return Outcome{}, false, true, false
+			}
+		}
+	}
+
 deliver:
 	for i, it := range items {
-		if states[i] == nil {
+		st := states[i]
+		if st == nil {
+			if ctx.Err() != nil {
+				cancelled = true
+				break deliver
+			}
 			if runs >= opts.MaxRuns {
 				capped = true
 				break deliver
@@ -169,25 +245,77 @@ deliver:
 			}
 			continue
 		}
-		for o := range states[i].ch {
+		delivered := 0
+		stalled := false
+	recvLoop:
+		for {
+			var o Outcome
+			var open bool
+			if cfg.stall > 0 {
+				var dead bool
+				o, open, stalled, dead = recvWatch(st)
+				if dead {
+					cancelled = true
+					break deliver
+				}
+				if stalled {
+					break recvLoop
+				}
+			} else {
+				select {
+				case o, open = <-st.ch:
+				case <-ctxDone:
+					cancelled = true
+					break deliver
+				}
+			}
+			if !open {
+				break recvLoop
+			}
 			if runs >= opts.MaxRuns {
 				capped = true
 				break deliver
 			}
 			runs++
+			delivered++
 			if !visit(o) {
 				visitOK = false
 				break deliver
 			}
 		}
-		if states[i].err != "" {
-			// The subtree died mid-walk: every outcome delivered before
-			// the panic is real, the rest of the subtree is lost. Keep
-			// draining the remaining roots.
-			errs = append(errs, states[i].err)
+		// Root stream ended: classify, then retry failures inline. After
+		// a stall the worker may still be wedged, so its capped/err
+		// fields are off-limits — the retry recomputes them.
+		var errStr string
+		rootCapped := false
+		if stalled {
+			errStr = fmt.Sprintf("stalled: no heartbeat progress for %v", cfg.stall)
+		} else {
+			errStr = st.err
+			rootCapped = st.capped
+		}
+		attempt := 1
+		for errStr != "" && attempt < cfg.maxAttempts {
+			if !sleepCtx(ctx, cfg.backoff(i, attempt+1)) {
+				cancelled = true
+				break deliver
+			}
+			attempt++
+			cfg.stats.Attempts.Add(1)
+			cfg.stats.Retries.Add(1)
+			var d int
+			errStr, rootCapped, d = retry(i, delivered)
+			delivered += d
+			if capped || !visitOK || cancelled {
+				break deliver
+			}
+		}
+		if errStr != "" {
+			cfg.stats.Failed.Add(1)
+			failed = append(failed, RootFailure{Prefix: items[i].prefix, Attempts: attempt, Err: errStr})
 			continue
 		}
-		if states[i].capped {
+		if rootCapped {
 			// The worker hit MaxRuns inside this subtree, so the global
 			// count has too: report the truncation.
 			capped = true
@@ -197,5 +325,7 @@ deliver:
 	aborted.Store(true)
 	close(done)
 	wg.Wait()
-	return runs, visitOK && !capped && len(errs) == 0, errs
+	cancelled = cancelled || anyCancelled.Load()
+	exhaustive := visitOK && !capped && len(failed) == 0 && !cancelled
+	return runs, exhaustive, failed, cancelled
 }

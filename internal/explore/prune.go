@@ -1,7 +1,7 @@
 package explore
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"repro/internal/sim"
@@ -195,13 +195,19 @@ func censusFrom(acc *summary, exhaustive bool) *Census {
 }
 
 // pruneCensus is Run with transposition pruning, sequential or parallel.
+// Parallel roots run under the supervisor: a panicked root is retried
+// with backoff (attempts are replays into a fresh accumulator, so retry
+// cannot double-count), a stalled one is requeued by the watchdog, and
+// only roots that exhaust the attempt budget surface as FailedRoots.
 func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census {
 	table := newPruneTable(opts.PruneTableEntries)
 	workers := opts.workerCount()
 	sequential := func() *Census {
-		en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table}
+		en := &engine{b: b, opts: opts, acc: newSummary(), check: check, table: table, ctx: opts.Context}
 		en.run()
-		return censusFrom(en.acc, !en.capped)
+		c := censusFrom(en.acc, !en.capped && !en.cancelled)
+		c.Cancelled = en.cancelled
+		return c
 	}
 	if workers <= 1 {
 		return sequential()
@@ -210,50 +216,52 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 	if !ok {
 		return sequential()
 	}
-	summaries := make([]*summary, len(items))
-	capped := make([]bool, len(items))
-	errs := make([]string, len(items))
-	runItem := func(i int) {
-		// A panic in the builder, a check, or the engine itself loses
-		// only this subtree: it is recorded as an error (the census comes
-		// back non-exhaustive) instead of killing every worker's progress.
-		defer func() {
-			if r := recover(); r != nil {
-				errs[i] = fmt.Sprintf("subtree %s: panic: %v", FormatSchedule(items[i].prefix), r)
-				capped[i] = true
-			}
-		}()
+	cfg := opts.supervise()
+	wb := cfg.wrapChaos(b)
+	type rootOut struct {
+		sum    *summary
+		capped bool
+	}
+	task := func(ctx context.Context, i int, beat func()) (rootOut, bool) {
 		en := &engine{
-			b: b, opts: opts, acc: newSummary(), check: check,
-			table: table, root: items[i].prefix,
+			b: wb, opts: opts, acc: newSummary(), check: check,
+			table: table, root: items[i].prefix, ctx: ctx, onStep: beat,
 		}
 		en.run()
-		summaries[i] = en.acc
-		capped[i] = en.capped
+		if en.cancelled {
+			return rootOut{}, true
+		}
+		return rootOut{en.acc, en.capped}, false
 	}
-	forEachRoot(items, workers, runItem)
+	results, done, failedMap, cancelled := superviseRoots(opts.ctx(), items, workers, cfg, nil, task, nil)
 	// Deterministic merge in DFS root order. Counts are exact; only the
 	// ≤5 recorded representatives can vary run-to-run (they depend on
 	// which worker published a shared subtree first).
 	total := newSummary()
-	exhaustive := true
-	var errors []string
+	exhaustive := !cancelled
+	var failed []RootFailure
 	for i, it := range items {
 		if it.prefix == nil {
 			total.addTerminal(*it.leaf, check)
 			continue
 		}
-		if errs[i] != "" {
-			errors = append(errors, errs[i])
+		if f, lost := failedMap[i]; lost {
+			failed = append(failed, f)
 			exhaustive = false
 			continue
 		}
-		total.merge(summaries[i])
-		if capped[i] {
+		if !done[i] {
+			exhaustive = false // cancelled before this root was explored
+			continue
+		}
+		total.merge(results[i].sum)
+		if results[i].capped {
 			exhaustive = false
 		}
 	}
 	c := censusFrom(total, exhaustive)
-	c.Errors = errors
+	c.FailedRoots = failed
+	c.Errors = failureStrings(failed)
+	c.Cancelled = cancelled
 	return c
 }

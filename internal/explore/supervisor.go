@@ -1,0 +1,541 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// This file is the supervision layer shared by every parallel walk
+// (streamed parallelVisit, pruned census, checkpointed census). The
+// engines stay exact enumerators; the supervisor wraps the dispatch of
+// frontier roots to workers with the machinery that keeps long censuses
+// alive: cooperative cancellation, capped retry with deterministic
+// backoff when a root's worker panics, a heartbeat-driven stall
+// watchdog that requeues roots whose workers stop advancing, and a
+// seeded chaos injector used by the tests to prove all of the above
+// preserves bit-identical censuses.
+//
+// Soundness rests on one invariant: a root is either fully explored by
+// exactly one successful attempt, or reported in FailedRoots — never
+// partially merged. Attempts are idempotent (every attempt replays the
+// same prefix through a fresh system), so retrying or racing a
+// requeued duplicate against a stalled straggler cannot change counts;
+// the first completed attempt wins and any later duplicate is dropped.
+
+// Supervise configures the resilience policy of parallel exploration.
+// The zero value (or a nil Options.Supervision) means: 3 attempts per
+// root, 5ms base / 500ms cap exponential backoff, no stall watchdog,
+// no chaos.
+type Supervise struct {
+	// MaxAttempts bounds how often one root is attempted before it is
+	// reported as permanently failed. Zero means DefaultMaxAttempts.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// attempts of one root: attempt k (k >= 2) waits
+	// min(BackoffBase << (k-2), BackoffMax), jittered deterministically
+	// into [d/2, d] from (Seed, root, attempt). Zeros mean the package
+	// defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the backoff jitter; runs with equal seeds back off
+	// identically.
+	Seed int64
+	// StallTimeout arms the watchdog: a claimed root whose worker
+	// heartbeat does not advance for this long is requeued (attempts
+	// permitting) and a replacement worker keeps the pool at width.
+	// Zero disables the watchdog and all heartbeat accounting.
+	StallTimeout time.Duration
+	// Chaos, when non-nil, injects seeded worker kills and stalls —
+	// the fault model the retry policy and watchdog are verified under.
+	Chaos *ChaosPlan
+	// Stats, when non-nil, receives the run's supervision counters.
+	Stats *SuperviseStats
+}
+
+// DefaultMaxAttempts is the per-root attempt budget when
+// Supervise.MaxAttempts is zero.
+const DefaultMaxAttempts = 3
+
+// Default backoff shape when Supervise leaves it zero.
+const (
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffMax  = 500 * time.Millisecond
+)
+
+// ChaosPlan injects faults into worker-side exploration: each builder
+// call (one per terminal probe) may panic ("kill") or sleep ("stall"),
+// decided by a seeded RNG so failures land at reproducible points.
+// Frontier enumeration and checkpoint replay always use the clean
+// builder — chaos only ever hits work the supervisor protects.
+type ChaosPlan struct {
+	// Seed seeds the injection RNG.
+	Seed int64
+	// KillRate is the per-probe probability of an injected panic;
+	// MaxKills caps the total injected kills (0 = unlimited).
+	KillRate float64
+	MaxKills int
+	// StallRate is the per-probe probability of an injected sleep of
+	// StallFor (default 50ms); MaxStalls caps them (0 = unlimited).
+	StallRate float64
+	MaxStalls int
+	StallFor  time.Duration
+}
+
+// SuperviseStats counts supervisor activity across one walk. All
+// fields are safe to read after the walk returns.
+type SuperviseStats struct {
+	// Attempts counts root claims (first tries and retries).
+	Attempts atomic.Int64
+	// Retries counts re-enqueues after a failed (panicked) attempt.
+	Retries atomic.Int64
+	// Requeues counts watchdog-triggered re-enqueues of stalled roots.
+	Requeues atomic.Int64
+	// Kills and Stalls count injected chaos events.
+	Kills  atomic.Int64
+	Stalls atomic.Int64
+	// Failed counts roots abandoned after the attempt budget.
+	Failed atomic.Int64
+}
+
+// RootFailure records one subtree root permanently lost after the
+// supervisor's retry budget. The coverage deficit is exact: the runs
+// under Prefix — and only those — are missing from the census.
+type RootFailure struct {
+	// Prefix is the root's schedule prefix.
+	Prefix []Choice
+	// Attempts is how many times exploration of the root was tried.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err string
+}
+
+func (f RootFailure) String() string {
+	return fmt.Sprintf("subtree %q lost after %d attempts: %s (coverage deficit: exactly the runs under that prefix)",
+		FormatSchedule(f.Prefix), f.Attempts, f.Err)
+}
+
+func failureStrings(failed []RootFailure) []string {
+	if len(failed) == 0 {
+		return nil
+	}
+	out := make([]string, len(failed))
+	for i, f := range failed {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// supCfg is Supervise resolved to concrete values. stats is never nil
+// so counters are always collected (surfaced through Supervise.Stats
+// when the caller provided one).
+type supCfg struct {
+	maxAttempts int
+	base, cap   time.Duration
+	seed        int64
+	stall       time.Duration
+	chaos       *chaosState
+	stats       *SuperviseStats
+}
+
+func (o Options) supervise() *supCfg {
+	cfg := &supCfg{
+		maxAttempts: DefaultMaxAttempts,
+		base:        DefaultBackoffBase,
+		cap:         DefaultBackoffMax,
+		stats:       &SuperviseStats{},
+	}
+	if s := o.Supervision; s != nil {
+		if s.MaxAttempts > 0 {
+			cfg.maxAttempts = s.MaxAttempts
+		}
+		if s.BackoffBase > 0 {
+			cfg.base = s.BackoffBase
+		}
+		if s.BackoffMax > 0 {
+			cfg.cap = s.BackoffMax
+		}
+		cfg.seed = s.Seed
+		cfg.stall = s.StallTimeout
+		if s.Stats != nil {
+			cfg.stats = s.Stats
+		}
+		if s.Chaos != nil {
+			cfg.chaos = newChaosState(s.Chaos)
+		}
+	}
+	return cfg
+}
+
+// backoff is the delay before the attempt-th try (attempt >= 2) of the
+// given root: exponential, capped, with jitter drawn deterministically
+// from (seed, root, attempt) into the upper half so concurrent retries
+// spread out without sacrificing reproducibility.
+func (c *supCfg) backoff(root, attempt int) time.Duration {
+	d := c.base
+	for i := 2; i < attempt; i++ {
+		if d >= c.cap {
+			break
+		}
+		d *= 2
+	}
+	if d > c.cap {
+		d = c.cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := uint64(14695981039346656037) // FNV-1a over (seed, root, attempt)
+	for _, v := range [...]uint64{uint64(c.seed), uint64(root), uint64(attempt)} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return half + time.Duration(h%uint64(half+1))
+}
+
+// chaosState is a ChaosPlan plus its RNG and budgets; next is called
+// once per worker-side builder invocation.
+type chaosState struct {
+	mu            sync.Mutex
+	rng           *rand.Rand
+	plan          ChaosPlan
+	kills, stalls int
+}
+
+func newChaosState(p *ChaosPlan) *chaosState {
+	cp := *p
+	if cp.StallFor <= 0 {
+		cp.StallFor = 50 * time.Millisecond
+	}
+	return &chaosState{rng: rand.New(rand.NewSource(cp.Seed)), plan: cp}
+}
+
+func (c *chaosState) next() (kill bool, stall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan.KillRate > 0 && (c.plan.MaxKills == 0 || c.kills < c.plan.MaxKills) &&
+		c.rng.Float64() < c.plan.KillRate {
+		c.kills++
+		return true, 0
+	}
+	if c.plan.StallRate > 0 && (c.plan.MaxStalls == 0 || c.stalls < c.plan.MaxStalls) &&
+		c.rng.Float64() < c.plan.StallRate {
+		c.stalls++
+		return false, c.plan.StallFor
+	}
+	return false, 0
+}
+
+// chaosKill is the panic value of an injected kill; it reads clearly in
+// RootFailure.Err and lets tests tell injected kills from real bugs.
+type chaosKill struct{}
+
+func (chaosKill) String() string { return "chaos: injected worker kill" }
+
+// wrapChaos wraps a builder for worker-side exploration under the chaos
+// plan. With no plan it returns b unchanged (zero overhead).
+func (c *supCfg) wrapChaos(b Builder) Builder {
+	if c.chaos == nil {
+		return b
+	}
+	ch, stats := c.chaos, c.stats
+	return func() *sim.System {
+		kill, stall := ch.next()
+		if kill {
+			stats.Kills.Add(1)
+			panic(chaosKill{})
+		}
+		if stall > 0 {
+			stats.Stalls.Add(1)
+			time.Sleep(stall)
+		}
+		return b()
+	}
+}
+
+// sleepCtx sleeps d, returning false early if ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// rootClaim is one in-flight attempt at one root. hb is bumped by the
+// attempt's heartbeat (engine OnStep); last/lastAt/gone are watchdog
+// bookkeeping guarded by the supervisor mutex.
+type rootClaim struct {
+	root   int
+	cancel context.CancelFunc
+	hb     atomic.Int64
+	last   int64
+	lastAt time.Time
+	gone   bool
+}
+
+// superviseRoots runs task once per unresolved frontier root (leaves —
+// items with a nil prefix — are skipped; resolved[i], when non-nil,
+// pre-marks roots already done, e.g. credited from a checkpoint) on a
+// pool of workers with retry, backoff, and the stall watchdog per cfg.
+//
+// task explores one root; beat (nil unless the watchdog is armed) is
+// its progress heartbeat, and a true second return value means the
+// attempt observed ctx cancellation and its partial result must be
+// discarded. A panicking task fails the attempt; the root is re-queued
+// until cfg.maxAttempts, then reported in failed. onResolve, when
+// non-nil, is called once per root that completes successfully (from
+// worker goroutines, possibly concurrently).
+//
+// done[i] reports whether root i completed successfully; cancelled is
+// true when ctx ended the walk with roots outstanding.
+func superviseRoots[T any](
+	ctx context.Context,
+	items []frontierItem,
+	workers int,
+	cfg *supCfg,
+	resolved []bool,
+	task func(ctx context.Context, i int, beat func()) (T, bool),
+	onResolve func(i int, r T),
+) (results []T, done []bool, failed map[int]RootFailure, cancelled bool) {
+	n := len(items)
+	results = make([]T, n)
+	done = make([]bool, n)
+	failed = make(map[int]RootFailure)
+	attempts := make([]int, n)
+
+	// Queue capacity covers every possible enqueue (initial + retries +
+	// requeues share the per-root attempt budget) so sends never block.
+	queue := make(chan int, n*(cfg.maxAttempts+1)+workers)
+	remaining := 0
+	for i := range items {
+		if items[i].prefix == nil {
+			continue
+		}
+		if resolved != nil && resolved[i] {
+			done[i] = true
+			continue
+		}
+		remaining++
+		queue <- i
+	}
+	if remaining == 0 {
+		return results, done, failed, false
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		claims   = make(map[*rootClaim]struct{})
+		finished = make(chan struct{})
+		finOnce  sync.Once
+	)
+	finish := func() { finOnce.Do(func() { close(finished) }) }
+
+	// resolve settles root i exactly once — first completion wins; a
+	// straggling duplicate attempt is dropped, and any other in-flight
+	// claim of the same root is cancelled so it stops promptly.
+	resolve := func(i int, r T, fail *RootFailure) {
+		mu.Lock()
+		if done[i] || remaining == 0 {
+			mu.Unlock()
+			return
+		}
+		done[i] = true
+		ok := fail == nil
+		if ok {
+			results[i] = r
+		} else {
+			failed[i] = *fail
+			cfg.stats.Failed.Add(1)
+		}
+		remaining--
+		rem := remaining
+		for cl := range claims {
+			if cl.root == i {
+				cl.cancel()
+			}
+		}
+		mu.Unlock()
+		if ok && onResolve != nil {
+			onResolve(i, r)
+		}
+		if rem == 0 {
+			finish()
+		}
+	}
+
+	runTask := func(cctx context.Context, i int, beat func()) (r T, taskCancelled bool, panicMsg string) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicMsg = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		r, taskCancelled = task(cctx, i, beat)
+		if panicMsg == "" && !taskCancelled {
+			return r, false, ""
+		}
+		return r, taskCancelled, panicMsg
+	}
+
+	var worker func()
+	worker = func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-finished:
+				return
+			case <-ctx.Done():
+				return
+			case i := <-queue:
+				mu.Lock()
+				if done[i] {
+					mu.Unlock()
+					continue
+				}
+				attempts[i]++
+				a := attempts[i]
+				cctx, ccancel := context.WithCancel(ctx)
+				cl := &rootClaim{root: i, cancel: ccancel}
+				claims[cl] = struct{}{}
+				mu.Unlock()
+				cfg.stats.Attempts.Add(1)
+				var beat func()
+				if cfg.stall > 0 {
+					beat = func() { cl.hb.Add(1) }
+				}
+				r, taskCancelled, panicMsg := runTask(cctx, i, beat)
+				mu.Lock()
+				delete(claims, cl)
+				mu.Unlock()
+				ccancel()
+				switch {
+				case panicMsg != "":
+					mu.Lock()
+					settled := done[i]
+					canRetry := attempts[i] < cfg.maxAttempts
+					mu.Unlock()
+					if settled {
+						continue
+					}
+					if canRetry {
+						cfg.stats.Retries.Add(1)
+						if !sleepCtx(ctx, cfg.backoff(i, a+1)) {
+							return
+						}
+						queue <- i
+					} else {
+						var zero T
+						resolve(i, zero, &RootFailure{
+							Prefix:   items[i].prefix,
+							Attempts: a,
+							Err:      panicMsg,
+						})
+					}
+				case taskCancelled:
+					// Partial attempt: either the whole walk is being
+					// cancelled (outer select exits next iteration) or
+					// this claim lost a race and the root is settled.
+				default:
+					resolve(i, r, nil)
+				}
+			}
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go worker()
+	}
+
+	// The watchdog samples every live claim's heartbeat; a claim frozen
+	// for cfg.stall is abandoned (its context cancelled so the stuck
+	// attempt dies as soon as it unsticks), the root re-queued if the
+	// attempt budget allows, and a replacement worker spawned so one
+	// wedged goroutine cannot shrink the pool. It runs inside wg so a
+	// late spawn can never race wg.Wait.
+	if cfg.stall > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := cfg.stall / 4
+			if tick <= 0 {
+				tick = time.Millisecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-finished:
+					return
+				case <-ctx.Done():
+					return
+				case now := <-t.C:
+					type lostRoot struct {
+						i int
+						f RootFailure
+					}
+					var lost []lostRoot // resolve needs mu; settle after unlock
+					mu.Lock()
+					for cl := range claims {
+						if cl.gone {
+							continue
+						}
+						if v := cl.hb.Load(); cl.lastAt.IsZero() || v != cl.last {
+							cl.last, cl.lastAt = v, now
+							continue
+						}
+						if now.Sub(cl.lastAt) < cfg.stall {
+							continue
+						}
+						cl.gone = true
+						cl.cancel()
+						i := cl.root
+						if done[i] {
+							continue
+						}
+						if attempts[i] < cfg.maxAttempts {
+							cfg.stats.Requeues.Add(1)
+							queue <- i
+							wg.Add(1)
+							go worker()
+						} else {
+							// No attempts left: settle the root as lost so
+							// the pool can still drain to completion.
+							lost = append(lost, lostRoot{i, RootFailure{
+								Prefix:   items[i].prefix,
+								Attempts: attempts[i],
+								Err:      fmt.Sprintf("stalled: no heartbeat progress for %v", cfg.stall),
+							}})
+						}
+					}
+					mu.Unlock()
+					var zero T
+					for _, l := range lost {
+						resolve(l.i, zero, &l.f)
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	mu.Lock()
+	cancelled = remaining > 0
+	mu.Unlock()
+	return results, done, failed, cancelled
+}

@@ -61,6 +61,20 @@ type Witness struct {
 	Violation string
 	// Runs is the number of schedules explored.
 	Runs int
+	// Errors lists subtrees the exploration permanently lost (possible
+	// only under supervised parallel runs); non-empty means the verdict
+	// is not backed by a full census.
+	Errors []string
+	// Cancelled reports that the exploration was cut short by its
+	// context (deadline or interrupt) — same caveat as Errors.
+	Cancelled bool
+}
+
+// Partial reports whether the witness rests on an incomplete census —
+// in that case neither "solves" nor "fails" (absent a concrete
+// violation) is trustworthy.
+func (w Witness) Partial() bool {
+	return w.Cancelled || len(w.Errors) > 0
 }
 
 // checkAll verifies a builder against full agreement/validity checks
@@ -76,6 +90,8 @@ func checkAll(b explore.Builder, proposals []sim.Value, maxRuns int, tunes ...ex
 		return consensus.CheckValidity(res, proposals)
 	})
 	w.Runs = c.Complete + c.Incomplete
+	w.Errors = c.Errors
+	w.Cancelled = c.Cancelled
 	if len(c.Violations) > 0 {
 		w.Solves = false
 		w.Violation = explore.FormatSchedule(c.Violations[0].Schedule)

@@ -1,0 +1,73 @@
+// Package runctx wires OS signals and deadlines into the
+// context.Context that the exploration engines honor. The contract for
+// long censuses: the first SIGINT/SIGTERM cancels the context, so
+// engines drain cooperatively at frontier-root granularity, flush a
+// resumable checkpoint, and report a partial census marked Cancelled; a
+// second signal hard-exits immediately (exit code 130, the shell
+// convention for death-by-SIGINT).
+package runctx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// hardExitCode is what a second interrupt exits with: 128+SIGINT, the
+// code shells report for an uncaught interrupt.
+const hardExitCode = 130
+
+// WithInterrupt returns a child of parent that is cancelled on the
+// first SIGINT/SIGTERM; a second signal exits the process immediately.
+// stop releases the signal handler (restoring default delivery) and
+// cancels the context; defer it.
+func WithInterrupt(parent context.Context) (ctx context.Context, stop func()) {
+	ctx, cancel := context.WithCancel(parent)
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go relay(sigs, done, cancel, os.Stderr, func() { os.Exit(hardExitCode) })
+	return ctx, func() {
+		signal.Stop(sigs)
+		close(done)
+		cancel()
+	}
+}
+
+// relay is the signal loop behind WithInterrupt, factored out so the
+// first-drain/second-die protocol is testable without killing the test
+// process.
+func relay(sigs <-chan os.Signal, done <-chan struct{}, cancel context.CancelFunc, warn io.Writer, hardExit func()) {
+	seen := 0
+	for {
+		select {
+		case <-done:
+			return
+		case sig := <-sigs:
+			seen++
+			if seen == 1 {
+				fmt.Fprintf(warn, "\n%v: draining workers and flushing checkpoint — interrupt again to exit immediately\n", sig)
+				cancel()
+				continue
+			}
+			fmt.Fprintf(warn, "%v: hard exit\n", sig)
+			hardExit()
+			return // only reached when hardExit is a test stub
+		}
+	}
+}
+
+// WithTimeout adds a deadline to parent when d > 0 and is a no-op
+// otherwise, so callers can pass a -timeout flag value straight
+// through. The returned stop must be deferred either way.
+func WithTimeout(parent context.Context, d time.Duration) (context.Context, func()) {
+	if d <= 0 {
+		return parent, func() {}
+	}
+	ctx, cancel := context.WithTimeout(parent, d)
+	return ctx, func() { cancel() }
+}

@@ -1,0 +1,78 @@
+package runctx
+
+import (
+	"context"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeSignal satisfies os.Signal for driving relay directly.
+type fakeSignal string
+
+func (s fakeSignal) Signal()        {}
+func (s fakeSignal) String() string { return string(s) }
+
+func TestRelayFirstDrainsSecondDies(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	done := make(chan struct{})
+	defer close(done)
+	exited := make(chan struct{})
+	var buf strings.Builder
+	go relay(sigs, done, cancel, &buf, func() { close(exited) })
+
+	sigs <- fakeSignal("interrupt")
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case <-exited:
+		t.Fatal("first signal hard-exited")
+	default:
+	}
+
+	sigs <- fakeSignal("interrupt")
+	select {
+	case <-exited:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not hard-exit")
+	}
+	if !strings.Contains(buf.String(), "draining") {
+		t.Fatalf("no drain notice printed: %q", buf.String())
+	}
+}
+
+func TestWithInterruptSignal(t *testing.T) {
+	ctx, stop := WithInterrupt(context.Background())
+	defer stop()
+	// One real SIGINT to ourselves: must cancel, must not kill the test.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the context")
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, stop := WithTimeout(context.Background(), 0)
+	defer stop()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout set a deadline")
+	}
+	ctx2, stop2 := WithTimeout(context.Background(), 10*time.Millisecond)
+	defer stop2()
+	select {
+	case <-ctx2.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout never fired")
+	}
+}

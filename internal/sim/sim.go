@@ -176,6 +176,11 @@ type Config struct {
 	// System.StateHash (and Result.Fingerprint) are available. Off by
 	// default: hashing costs a few string formats per shared step.
 	Fingerprint bool
+	// OnStep, if set, is called from the runner goroutine after each
+	// granted shared-memory step with the cumulative step count. It is
+	// the progress-heartbeat hook for exploration supervisors; it must
+	// not block and must not touch the System.
+	OnStep func(step int)
 }
 
 // DefaultMaxTotalSteps is the total step safety bound used when
@@ -327,6 +332,9 @@ func (s *System) Run(cfg Config) (*Result, error) {
 		p.grant <- struct{}{}
 		ev := <-s.events
 		s.steps++
+		if cfg.OnStep != nil {
+			cfg.OnStep(s.steps)
+		}
 		if !ev.finished {
 			ready[ev.id] = true
 		}

@@ -413,3 +413,30 @@ func TestTraceJSONBadInput(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+// TestOnStepHeartbeat: the OnStep hook must fire exactly once per
+// granted shared-memory step, with a strictly increasing cumulative
+// count matching Result.TotalSteps — it is the progress heartbeat the
+// exploration supervisor's stall watchdog relies on.
+func TestOnStepHeartbeat(t *testing.T) {
+	var calls, last int
+	res, err := buildCounter(3, 4).Run(sim.Config{
+		Scheduler: sim.RoundRobin(),
+		OnStep: func(step int) {
+			calls++
+			if step != last+1 {
+				t.Fatalf("OnStep saw step %d after %d, want consecutive", step, last)
+			}
+			last = step
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != res.TotalSteps {
+		t.Fatalf("OnStep fired %d times, run took %d steps", calls, res.TotalSteps)
+	}
+	if calls == 0 {
+		t.Fatal("OnStep never fired")
+	}
+}

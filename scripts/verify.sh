@@ -15,11 +15,35 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/..."
-go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/...
+echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/runctx/..."
+go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/runctx/...
+
+echo "== supervisor tests under the race detector (chaos, watchdog, cancellation, checkpoint)"
+go test -race -count=1 -run 'Supervis|Chaos|Watchdog|Cancel|Checkpoint|Backoff|WorkerPanic' \
+	./internal/explore/
 
 echo "== fault-injection smoke census (degrading compare&swap, 1 crash + 1 object fault)"
 go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
 	-prune -workers -1 -maxruns 200000 -bivalence=false
+
+echo "== chaos smoke: supervised census survives injected kills and stalls, then resumes clean"
+ck="$(mktemp -u)"
+go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
+	-prune -workers 4 -maxruns 200000 -bivalence=false \
+	-checkpoint "$ck" -retries 5 -stall-timeout 2s \
+	-chaos-kills 2 -chaos-stalls 1 -chaos-stall-for 20ms -chaos-seed 7
+go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
+	-prune -workers 4 -maxruns 200000 -bivalence=false \
+	-checkpoint "$ck" -resume
+rm -f "$ck"
+
+echo "== timeout smoke: a cancelled census must exit non-zero (and zero with -allow-partial)"
+if go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
+	-workers 4 -timeout 2s -bivalence=false >/dev/null 2>&1; then
+	echo "verify: FAIL — cancelled census exited zero without -allow-partial" >&2
+	exit 1
+fi
+go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
+	-workers 4 -timeout 2s -bivalence=false -allow-partial >/dev/null
 
 echo "verify: OK"
