@@ -7,8 +7,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -55,6 +57,7 @@ func run() error {
 	chaosStalls := flag.Int("chaos-stalls", 0, "chaos: inject up to this many worker stalls")
 	chaosStallFor := flag.Duration("chaos-stall-for", 50*time.Millisecond, "chaos: duration of each injected stall")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: random seed for injection placement")
+	jsonOut := flag.Bool("json", false, "emit the census (counts, prune/steal stats, supervision counters) as JSON on stdout instead of prose")
 	flag.Parse()
 
 	ctx, stopSig := runctx.WithInterrupt(context.Background())
@@ -132,12 +135,18 @@ func run() error {
 	} else {
 		c = explore.Run(builder, opts, check)
 	}
-	fmt.Printf("census of %s (crash budget %d, object-fault budget %d):\n%s",
-		*protocol, *crashes, *objFaults, explore.DescribeCensus(c))
-	if supervised {
-		fmt.Printf("supervision: %d attempts, %d retries, %d requeues (chaos: %d kills, %d stalls)\n",
-			supStats.Attempts.Load(), supStats.Retries.Load(), supStats.Requeues.Load(),
-			supStats.Kills.Load(), supStats.Stalls.Load())
+	if *jsonOut {
+		if err := emitJSON(os.Stdout, *protocol, *crashes, *objFaults, c, supervised, &supStats); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("census of %s (crash budget %d, object-fault budget %d):\n%s",
+			*protocol, *crashes, *objFaults, explore.DescribeCensus(c))
+		if supervised {
+			fmt.Printf("supervision: %d attempts, %d retries, %d requeues (chaos: %d kills, %d stalls)\n",
+				supStats.Attempts.Load(), supStats.Retries.Load(), supStats.Requeues.Load(),
+				supStats.Kills.Load(), supStats.Stalls.Load())
+		}
 	}
 	for _, e := range c.Errors {
 		fmt.Fprintln(os.Stderr, "explore: exploration error:", e)
@@ -152,12 +161,13 @@ func run() error {
 
 	// The valence and bivalence analyses re-explore from scratch; once
 	// the deadline or an interrupt has fired there is no budget for them.
-	if ctx.Err() == nil {
+	// JSON mode skips them: stdout carries exactly one JSON object.
+	if !*jsonOut && ctx.Err() == nil {
 		v := explore.Valence(builder, explore.Options{MaxRuns: *maxRuns / 4, Context: ctx}, nil)
 		fmt.Println("initial valence:", explore.ValenceString(v))
 	}
 
-	if *bivalence && ctx.Err() == nil {
+	if !*jsonOut && *bivalence && ctx.Err() == nil {
 		path, still := explore.BivalencePath(builder, explore.Options{MaxRuns: *maxRuns / 16, Context: ctx}, 12)
 		if still {
 			fmt.Printf("bivalence path ran the full 12 steps and is STILL bivalent: %s\n",
@@ -177,6 +187,66 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// jsonCensus is the -json output shape: the Census counts plus the
+// prune/steal and supervision counters, with error values flattened to
+// strings (Census itself holds non-marshalable schedule structures).
+type jsonCensus struct {
+	Protocol      string              `json:"protocol"`
+	CrashBudget   int                 `json:"crash_budget"`
+	FaultBudget   int                 `json:"object_fault_budget"`
+	Complete      int                 `json:"complete"`
+	Incomplete    int                 `json:"incomplete"`
+	Outcomes      map[string]int      `json:"outcomes"`
+	ViolationRuns int                 `json:"violation_runs"`
+	Violations    []string            `json:"violations,omitempty"`
+	Exhaustive    bool                `json:"exhaustive"`
+	Cancelled     bool                `json:"cancelled"`
+	Errors        []string            `json:"errors,omitempty"`
+	Prune         *explore.PruneStats `json:"prune,omitempty"`
+	Supervision   *jsonSupervision    `json:"supervision,omitempty"`
+}
+
+type jsonSupervision struct {
+	Attempts int64 `json:"attempts"`
+	Retries  int64 `json:"retries"`
+	Requeues int64 `json:"requeues"`
+	Kills    int64 `json:"kills"`
+	Stalls   int64 `json:"stalls"`
+	Failed   int64 `json:"failed"`
+}
+
+func emitJSON(w io.Writer, protocol string, crashes, objFaults int, c *explore.Census, supervised bool, st *explore.SuperviseStats) error {
+	out := jsonCensus{
+		Protocol:      protocol,
+		CrashBudget:   crashes,
+		FaultBudget:   objFaults,
+		Complete:      c.Complete,
+		Incomplete:    c.Incomplete,
+		Outcomes:      c.Outcomes,
+		ViolationRuns: c.ViolationRuns,
+		Exhaustive:    c.Exhaustive,
+		Cancelled:     c.Cancelled,
+		Errors:        c.Errors,
+		Prune:         c.Prune,
+	}
+	for _, v := range c.Violations {
+		out.Violations = append(out.Violations, explore.FormatSchedule(v.Schedule))
+	}
+	if supervised {
+		out.Supervision = &jsonSupervision{
+			Attempts: st.Attempts.Load(),
+			Retries:  st.Retries.Load(),
+			Requeues: st.Requeues.Load(),
+			Kills:    st.Kills.Load(),
+			Stalls:   st.Stalls.Load(),
+			Failed:   st.Failed.Load(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {

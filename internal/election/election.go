@@ -34,9 +34,19 @@ import (
 // processes, and this protocol achieves exactly that bound.
 // The constructor panics if n > k−1.
 func DirectCAS(cas *objects.CAS, n int) []sim.Program {
-	if n > cas.K()-1 {
+	return DirectCASOn(cas, cas.K(), n)
+}
+
+// DirectCASOn is DirectCAS over any object speaking the compare&swap-(k)
+// operation alphabet — in particular a faults.Wrap'd CAS register, so
+// the identical protocol (and hence the identical schedule tree) runs
+// over bare and fault-wrapped objects; that is what makes wrapper
+// overhead directly measurable. k is the register's alphabet size; the
+// caller asserts it since a generic sim.Object cannot be asked.
+func DirectCASOn(obj sim.Object, k, n int) []sim.Program {
+	if n > k-1 {
 		panic(fmt.Sprintf("election: DirectCAS: %d processes exceed compare&swap-(%d) capacity %d",
-			n, cas.K(), cas.K()-1))
+			n, k, k-1))
 	}
 	progs := make([]sim.Program, n)
 	for i := 0; i < n; i++ {
@@ -45,9 +55,9 @@ func DirectCAS(cas *objects.CAS, n int) []sim.Program {
 			// The whole protocol is one "elect" operation of the paper's
 			// sequentially-specified LE object (§2): record it as a span
 			// so runs can be checked against spec.ElectionSpec.
-			sp := e.BeginOp(cas.Name()+".le", "elect", i)
-			cas.CompareAndSwap(e, objects.Bottom, objects.Symbol(i+1))
-			winner := int(cas.Read(e)) - 1
+			sp := e.BeginOp(obj.Name()+".le", "elect", i)
+			e.Apply2(obj, objects.OpCAS, objects.Bottom, objects.Symbol(i+1))
+			winner := int(e.Apply0(obj, sim.OpRead).(objects.Symbol)) - 1
 			e.EndOp(sp, winner)
 			return winner, nil
 		}

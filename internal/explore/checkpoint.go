@@ -244,6 +244,9 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 	c.FailedRoots = failures
 	c.Errors = failureStrings(failures)
 	c.Cancelled = cancelled
+	if table != nil {
+		c.Prune = table.statsSnapshot()
+	}
 	return c, stats, nil
 }
 

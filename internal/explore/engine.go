@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -18,6 +19,13 @@ import (
 // transposition-table hit summarizes the rest. Backtracking rewrites
 // the deepest unexhausted frame's edge and probes again. Visit order,
 // run counts and Results are bit-identical to the replay walker's.
+//
+// The census hot path is engineered to allocate nothing per run after
+// warm-up: frames store their ready sets as offsets into an
+// engine-owned arena, subtree summaries cycle through a freelist, the
+// prober is embedded and reset in place, and sim Results land in a
+// pooled sim.Scratch that is only abandoned (to a fresh one) when a
+// violation representative retains it.
 type engine struct {
 	b    Builder
 	opts Options
@@ -39,6 +47,35 @@ type engine struct {
 	frames []frame
 	plan   []Choice // scratch buffer: root + path
 
+	// readyArena backs the frames' ready sets: frame i's set is
+	// readyArena[f.readyOff : f.readyOff+f.readyN]. Pushing a frame
+	// appends, popping truncates — LIFO like the frames themselves — so
+	// the per-decision-point copy costs no allocation after warm-up.
+	readyArena []sim.ProcID
+
+	// freeSums recycles frame summaries that were merged into their
+	// parent but not published (the table owns published ones).
+	freeSums []*summary
+
+	// scratch, in census mode, receives each probe's Result; see
+	// sim.Scratch for the aliasing contract. nil in visit modes, whose
+	// Outcomes escape to callers.
+	scratch *sim.Scratch
+
+	// pr is the embedded prober, reset per probe instead of allocated.
+	pr prober
+
+	// pool/item/attempt/workerID tie a work-stealing census engine to
+	// the steal pool (steal.go): hungry() polls are answered by donating
+	// untried sibling subtrees from the shallowest open frame, and
+	// skipcheck marks that this walk must honor the item's donation log
+	// (children excised by earlier attempts of the same item).
+	pool      *stealPool
+	item      *stealItem
+	attempt   int
+	workerID  int
+	skipcheck bool
+
 	// ctx, when non-nil, is checked once per terminal probe: a cancelled
 	// context stops the walk at the next run boundary (cancelled is set),
 	// so abandonment cost is bounded by one probe, never one subtree.
@@ -57,16 +94,27 @@ type engine struct {
 
 // frame is one internal node (decision point) on the current DFS path.
 type frame struct {
-	ready   []sim.ProcID // ready set here (owned copy)
-	next    int          // next child index: picks, then crashes, then faults
-	crashes int          // crash choices consumed on the path to here
-	faults  int          // object-fault choices consumed on the path to here
-	acc     *summary     // census mode: subtree accumulator
-	key     tableKey     // pruning: this node's table key
-	hasKey  bool
+	readyOff int // ready set: offset into the engine's readyArena
+	readyN   int
+	next     int      // next child index: picks, then crashes, then faults
+	crashes  int      // crash choices consumed on the path to here
+	faults   int      // object-fault choices consumed on the path to here
+	acc      *summary // census mode: subtree accumulator
+	key      tableKey // pruning: this node's table key
+	hasKey   bool
+	// donated marks a frame whose subtree lost children to a donation
+	// (or an ancestor of one): its accumulator no longer covers the
+	// whole subtree under its key and must never be published.
+	donated bool
 }
 
+// scratchPool recycles sim.Scratch buffers across census engines.
+var scratchPool = sync.Pool{New: func() any { return sim.NewScratch() }}
+
 func (en *engine) run() {
+	if en.acc != nil && en.scratch == nil {
+		en.scratch = scratchPool.Get().(*sim.Scratch)
+	}
 	for {
 		if en.runs >= en.opts.MaxRuns {
 			en.capped = true
@@ -87,6 +135,7 @@ func (en *engine) run() {
 			break
 		}
 		if !en.backtrack() {
+			en.release()
 			return // tree exhausted; backtrack flushed every frame
 		}
 	}
@@ -97,6 +146,17 @@ func (en *engine) run() {
 	for len(en.frames) > 0 {
 		en.popFrame(false)
 	}
+	en.release()
+}
+
+// release returns the engine's scratch to the pool. Any Result
+// retained as a violation representative already triggered a scratch
+// swap in terminal(), so the buffer returned here is never aliased.
+func (en *engine) release() {
+	if en.scratch != nil {
+		scratchPool.Put(en.scratch)
+		en.scratch = nil
+	}
 }
 
 // probe rebuilds the system, replays root+path, and descends first-child
@@ -106,7 +166,8 @@ func (en *engine) probe() (*sim.Result, *summary) {
 	en.plan = append(en.plan[:0], en.root...)
 	en.plan = append(en.plan, en.path...)
 	sys := en.b()
-	p := &prober{en: en, sys: sys, plan: en.plan}
+	en.pr = prober{en: en, sys: sys, plan: en.plan, crashBuf: en.pr.crashBuf}
+	p := &en.pr
 	cfg := sim.Config{
 		Scheduler:       p,
 		Faults:          p,
@@ -114,6 +175,7 @@ func (en *engine) probe() (*sim.Result, *summary) {
 		MaxTotalSteps:   en.opts.MaxDepth + 1,
 		DisableTrace:    true,
 		Fingerprint:     en.table != nil,
+		Scratch:         en.scratch,
 	}
 	if en.opts.ObjectFaults > 0 {
 		cfg.ObjectFaults = p
@@ -146,7 +208,12 @@ func (en *engine) terminal(res *sim.Result) {
 		}
 		return
 	}
-	en.parentAcc().addTerminal(o, en.check)
+	if en.parentAcc().addTerminal(o, en.check) && en.scratch != nil {
+		// The Outcome was kept as a violation representative and its
+		// Result aliases the scratch: abandon the scratch to it and
+		// continue on a fresh one.
+		en.scratch = scratchPool.Get().(*sim.Scratch)
+	}
 }
 
 // parentAcc is the census accumulator of the current node's parent: the
@@ -158,16 +225,42 @@ func (en *engine) parentAcc() *summary {
 	return en.acc
 }
 
+// getSummary draws a cleared summary from the freelist.
+func (en *engine) getSummary() *summary {
+	if n := len(en.freeSums); n > 0 {
+		s := en.freeSums[n-1]
+		en.freeSums = en.freeSums[:n-1]
+		return s
+	}
+	return &summary{}
+}
+
+// putSummary recycles a summary that is no longer referenced (merged
+// into its parent, not published to the table).
+func (en *engine) putSummary(s *summary) {
+	s.reset()
+	en.freeSums = append(en.freeSums, s)
+}
+
 // backtrack rewrites the deepest frame that still has an untried child
 // and truncates the path there; exhausted frames are popped (publishing
 // their completed subtree summaries to the table in pruned mode). It
-// returns false when the whole tree below root is exhausted.
+// returns false when the whole tree below root is exhausted. Under a
+// steal pool, a hungry pool is fed first: the shallowest frame with
+// untried children donates them as queue items before this walk
+// descends into its own next child.
 func (en *engine) backtrack() bool {
+	if en.pool != nil && en.pool.hungry() {
+		en.donate()
+	}
 	for len(en.frames) > 0 {
 		f := &en.frames[len(en.frames)-1]
-		if f.next < en.childCount(f) {
+		for f.next < en.childCount(f) {
 			c := en.childChoice(f, f.next)
 			f.next++
+			if en.skipcheck && en.item.skips(en.prefixKey(len(en.frames)-1, c)) {
+				continue // excised by a donation in an earlier attempt
+			}
 			en.path[len(en.frames)-1] = c
 			en.path = en.path[:len(en.frames)]
 			return true
@@ -177,24 +270,67 @@ func (en *engine) backtrack() bool {
 	return false
 }
 
+// donate hands the pool every untried child of the shallowest open
+// frame that still has any — the largest subtrees this walk has not
+// committed to. The frame and all its ancestors are poisoned against
+// table publication (their accumulators no longer cover their keys);
+// deeper frames are untouched and still publish normally.
+func (en *engine) donate() {
+	for i := range en.frames {
+		f := &en.frames[i]
+		if f.next >= en.childCount(f) {
+			continue
+		}
+		if en.pool.donateFrom(en, i, f) {
+			f.next = en.childCount(f)
+			for j := 0; j <= i; j++ {
+				en.frames[j].donated = true
+			}
+		}
+		return
+	}
+}
+
+// prefixKey renders root+path[:depth]+c — the schedule prefix of child
+// c at the given frame depth — into the engine's plan scratch and
+// formats it as the donation-log key.
+func (en *engine) prefixKey(depth int, c Choice) string {
+	en.plan = append(en.plan[:0], en.root...)
+	en.plan = append(en.plan, en.path[:depth]...)
+	en.plan = append(en.plan, c)
+	return FormatSchedule(en.plan)
+}
+
 // popFrame removes the deepest frame, merging its summary into its
 // parent's; publish additionally stores it in the transposition table
-// (only legal when the subtree was fully explored).
+// (only legal when the subtree was fully explored and no children were
+// donated away).
 func (en *engine) popFrame(publish bool) {
 	i := len(en.frames) - 1
 	f := &en.frames[i]
 	if f.acc != nil {
-		if publish && f.hasKey {
-			en.table.put(f.key, f.acc)
+		stored := false
+		if publish && f.hasKey && !f.donated {
+			stored = en.table.put(f.key, f.acc)
 		}
 		if i > 0 {
 			en.frames[i-1].acc.merge(f.acc)
 		} else {
 			en.acc.merge(f.acc)
 		}
+		if !stored {
+			en.putSummary(f.acc)
+		}
+		f.acc = nil
 	}
+	en.readyArena = en.readyArena[:f.readyOff]
 	en.frames = en.frames[:i]
 	en.path = en.path[:i]
+}
+
+// ready is frame f's ready set (a slice into the engine arena).
+func (en *engine) ready(f *frame) []sim.ProcID {
+	return en.readyArena[f.readyOff : f.readyOff+f.readyN]
 }
 
 // childCount: every ready process is a pick child; if crash budget
@@ -202,7 +338,7 @@ func (en *engine) popFrame(publish bool) {
 // additionally a fault child per enumerated mode. Matches the replay
 // walker's branch order exactly (picks, crashes, faults mode-major).
 func (en *engine) childCount(f *frame) int {
-	n := len(f.ready)
+	n := f.readyN
 	total := n
 	if f.crashes < en.opts.MaxCrashes {
 		total += n
@@ -214,18 +350,19 @@ func (en *engine) childCount(f *frame) int {
 }
 
 func (en *engine) childChoice(f *frame, idx int) Choice {
-	n := len(f.ready)
+	ready := en.ready(f)
+	n := f.readyN
 	if idx < n {
-		return Choice{Pick: f.ready[idx]}
+		return Choice{Pick: ready[idx]}
 	}
 	idx -= n
 	if f.crashes < en.opts.MaxCrashes {
 		if idx < n {
-			return Choice{Pick: f.ready[idx], Crash: true}
+			return Choice{Pick: ready[idx], Crash: true}
 		}
 		idx -= n
 	}
-	return Choice{Pick: f.ready[idx%n], Fault: en.opts.FaultModes[idx/n]}
+	return Choice{Pick: ready[idx%n], Fault: en.opts.FaultModes[idx/n]}
 }
 
 // prober drives one probe as both Scheduler and FaultPlan: it first
@@ -249,6 +386,8 @@ type prober struct {
 	// step's Env.Apply. Auto-descent never faults: fault branches exist
 	// only through backtracking into planned choices.
 	pendingFault sim.FaultMode
+	// crashBuf backs CrashNow's return value across probes.
+	crashBuf []sim.ProcID
 }
 
 // FaultOp implements sim.ObjectFaultPlan.
@@ -260,15 +399,20 @@ func (p *prober) FaultOp(_ int) sim.FaultMode {
 
 // CrashNow implements sim.FaultPlan: it consumes all consecutive
 // planned crash choices at the current position. Beyond the plan the
-// engine branches crashes via backtracking, never here.
+// engine branches crashes via backtracking, never here. The returned
+// slice is reused across calls; the runner consumes it immediately.
 func (p *prober) CrashNow(_ []sim.ProcID, _ int) []sim.ProcID {
-	var out []sim.ProcID
+	if p.i >= len(p.plan) || !p.plan[p.i].Crash {
+		return nil
+	}
+	out := p.crashBuf[:0]
 	for p.i < len(p.plan) && p.plan[p.i].Crash {
 		out = append(out, p.plan[p.i].Pick)
 		p.i++
 		p.pos++
 		p.crashes++
 	}
+	p.crashBuf = out
 	return out
 }
 
@@ -310,10 +454,12 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 			f.key, f.hasKey = key, true
 		}
 	}
-	f.ready = append([]sim.ProcID(nil), ready...)
+	f.readyOff = len(en.readyArena)
+	f.readyN = len(ready)
+	en.readyArena = append(en.readyArena, ready...)
 	f.next = 1 // child 0 is the descent we take right now
 	if en.acc != nil {
-		f.acc = newSummary()
+		f.acc = en.getSummary()
 	}
 	en.frames = append(en.frames, f)
 	en.path = append(en.path, Choice{Pick: ready[0]})

@@ -461,6 +461,9 @@ type Census struct {
 	// Cancelled is true when the walk was cut short by Options.Context.
 	// Counts remain real but partial; Exhaustive is false.
 	Cancelled bool
+	// Prune reports transposition-table and work-stealing activity of a
+	// pruned census (nil when Options.Prune was off).
+	Prune *PruneStats
 }
 
 // MaxRecordedViolations bounds Census.Violations.

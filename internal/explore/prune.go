@@ -1,8 +1,8 @@
 package explore
 
 import (
-	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -44,7 +44,10 @@ type tableKey struct {
 	faultRem int
 }
 
-// summary is the census of one fully explored subtree.
+// summary is the census of one fully explored subtree. The outcomes
+// map is allocated lazily on the first complete run: most frames in a
+// deep walk pop before seeing one, and engines recycle unpublished
+// summaries through a freelist, so the map is both rare and reused.
 type summary struct {
 	complete   int
 	incomplete int
@@ -54,25 +57,45 @@ type summary struct {
 }
 
 func newSummary() *summary {
-	return &summary{outcomes: make(map[string]int)}
+	return &summary{}
 }
 
-// addTerminal classifies one terminal run into the summary.
-func (s *summary) addTerminal(o Outcome, check func(*sim.Result) error) {
+// reset clears the summary for reuse, retaining the outcomes map's
+// buckets. Reps are zeroed before truncation so recycled summaries do
+// not pin retired Results.
+func (s *summary) reset() {
+	s.complete, s.incomplete, s.violations = 0, 0, 0
+	clear(s.outcomes)
+	for i := range s.reps {
+		s.reps[i] = Outcome{}
+	}
+	s.reps = s.reps[:0]
+}
+
+// addTerminal classifies one terminal run into the summary. retained
+// reports that the Outcome (and its Result) was stored as a violation
+// representative and must stay valid — the caller's cue to stop
+// recycling any scratch buffers the Result aliases.
+func (s *summary) addTerminal(o Outcome, check func(*sim.Result) error) (retained bool) {
 	if o.Result.Halted {
 		s.incomplete++
-		return
+		return false
 	}
 	s.complete++
+	if s.outcomes == nil {
+		s.outcomes = make(map[string]int)
+	}
 	s.outcomes[DecisionFingerprint(o.Result)]++
 	if check != nil {
 		if err := check(o.Result); err != nil {
 			s.violations++
 			if len(s.reps) < MaxRecordedViolations {
 				s.reps = append(s.reps, o)
+				return true
 			}
 		}
 	}
+	return false
 }
 
 // merge folds t into s. t is never mutated: published table entries are
@@ -80,6 +103,9 @@ func (s *summary) addTerminal(o Outcome, check func(*sim.Result) error) {
 func (s *summary) merge(t *summary) {
 	s.complete += t.complete
 	s.incomplete += t.incomplete
+	if len(t.outcomes) > 0 && s.outcomes == nil {
+		s.outcomes = make(map[string]int)
+	}
 	for k, v := range t.outcomes {
 		s.outcomes[k] += v
 	}
@@ -126,15 +152,37 @@ func schedulesEqual(a, b []Choice) bool {
 // deepest ones, which are also the cheapest to re-walk.
 const maxTableEntries = 1 << 20
 
-// pruneTable is the shared transposition table. Entries are only ever
-// inserted after their subtree is fully explored, so concurrent workers
-// need no in-progress marker: whichever worker publishes first wins,
-// and any worker's value for a key is interchangeable (summaries are
-// equal in all counted fields by the soundness argument above).
-type pruneTable struct {
-	mu  sync.RWMutex
-	m   map[tableKey]*summary
-	cap int
+// pruneShardCount is the number of lock stripes of a full-size table.
+// Keys are spread by a mixed fingerprint, so with 64 stripes the
+// probability that two concurrent workers collide on a stripe lock is
+// ~1/64 per access pair — the single global RWMutex this replaces was
+// the measured bottleneck of the shared-table parallel census.
+const pruneShardCount = 64
+
+// PruneStats reports transposition-table and work-stealing activity of
+// one pruned census, so speedups (or their absence) are attributable:
+// a high hit rate with low steals means the table carried the run; a
+// high donation count means the frontier partition was uneven and
+// stealing did the balancing.
+type PruneStats struct {
+	// Hits and Misses count table lookups at decision points.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Stores counts published subtree summaries; Evictions counts
+	// entries dropped by the FIFO budget.
+	Stores    uint64 `json:"stores"`
+	Evictions uint64 `json:"evictions"`
+	// Donations counts subtrees split off mid-walk by busy workers;
+	// Steals counts donated subtrees claimed by a different worker than
+	// their donor. Both are zero for sequential censuses.
+	Donations uint64 `json:"donations"`
+	Steals    uint64 `json:"steals"`
+}
+
+// pruneShard is one lock stripe of the table.
+type pruneShard struct {
+	mu sync.RWMutex
+	m  map[tableKey]*summary
 	// order is the FIFO insertion log; entries before head are already
 	// evicted. Duplicate publishes are dropped at put, so every entry
 	// from head on is live in m.
@@ -142,63 +190,142 @@ type pruneTable struct {
 	head  int
 }
 
+// pruneTable is the transposition table shared by ALL workers of a
+// parallel census. Entries are only ever inserted after their subtree
+// is fully explored, so concurrent workers need no in-progress marker:
+// whichever worker publishes first wins (put is first-writer-wins and
+// reports whether it stored), later publishers' values are
+// interchangeable by the soundness argument above, and published
+// summaries are immutable from that point on. The table is striped
+// into pruneShardCount lock shards; a table with a small entry budget
+// collapses to one shard so the FIFO eviction bound stays exact.
+type pruneTable struct {
+	shards   []pruneShard
+	shardCap int
+
+	hits, misses, stores, evictions atomic.Uint64
+}
+
 func newPruneTable(capacity int) *pruneTable {
 	if capacity <= 0 {
 		capacity = maxTableEntries
 	}
-	return &pruneTable{m: make(map[tableKey]*summary), cap: capacity}
+	n := pruneShardCount
+	if capacity < 1024 {
+		// A tiny budget split 64 ways would round each shard's cap up
+		// and overshoot the requested total; one shard keeps the bound
+		// exact where it matters (explicit small PruneTableEntries).
+		n = 1
+	}
+	t := &pruneTable{shards: make([]pruneShard, n), shardCap: (capacity + n - 1) / n}
+	for i := range t.shards {
+		t.shards[i].m = make(map[tableKey]*summary)
+	}
+	return t
+}
+
+// shard maps a key to its stripe: the fingerprint is already a hash,
+// so mix the budget dimensions in and take high bits.
+func (t *pruneTable) shard(k tableKey) *pruneShard {
+	if len(t.shards) == 1 {
+		return &t.shards[0]
+	}
+	h := k.fp ^ uint64(k.depthRem)<<1 ^ uint64(k.crashRem)<<32 ^ uint64(k.faultRem)<<48
+	h *= 0x9e3779b97f4a7c15 // Fibonacci mix: budgets perturb low bits, shard index needs high ones
+	return &t.shards[(h>>58)&uint64(len(t.shards)-1)]
 }
 
 func (t *pruneTable) get(k tableKey) (*summary, bool) {
-	t.mu.RLock()
-	s, ok := t.m[k]
-	t.mu.RUnlock()
+	sh := t.shard(k)
+	sh.mu.RLock()
+	s, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
 	return s, ok
 }
 
-func (t *pruneTable) put(k tableKey, s *summary) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.m[k]; ok {
-		return // concurrent worker published first; values are interchangeable
+// put publishes a fully-explored subtree summary, first-writer-wins.
+// It reports whether s was stored: a stored summary is owned by the
+// table (shared, immutable — callers must not recycle or mutate it),
+// a rejected one stays owned by the caller.
+func (t *pruneTable) put(k tableKey, s *summary) bool {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return false // concurrent worker published first; values are interchangeable
 	}
-	t.m[k] = s
-	t.order = append(t.order, k)
-	for len(t.m) > t.cap {
-		delete(t.m, t.order[t.head])
-		t.head++
+	sh.m[k] = s
+	sh.order = append(sh.order, k)
+	evicted := 0
+	for len(sh.m) > t.shardCap {
+		delete(sh.m, sh.order[sh.head])
+		sh.head++
+		evicted++
 	}
 	// Compact the evicted prefix once it dominates the log, so a
 	// long-running census at the cap does not grow order unboundedly.
-	if t.head > 1024 && t.head > len(t.order)/2 {
-		t.order = append([]tableKey(nil), t.order[t.head:]...)
-		t.head = 0
+	if sh.head > 1024 && sh.head > len(sh.order)/2 {
+		sh.order = append([]tableKey(nil), sh.order[sh.head:]...)
+		sh.head = 0
 	}
+	sh.mu.Unlock()
+	t.stores.Add(1)
+	if evicted > 0 {
+		t.evictions.Add(uint64(evicted))
+	}
+	return true
 }
 
 // size reports the live entry count (tests).
 func (t *pruneTable) size() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.m)
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// statsSnapshot captures the table-side counters (donation counters
+// are merged in by the steal pool).
+func (t *pruneTable) statsSnapshot() *PruneStats {
+	return &PruneStats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Stores:    t.stores.Load(),
+		Evictions: t.evictions.Load(),
+	}
 }
 
 func censusFrom(acc *summary, exhaustive bool) *Census {
+	out := acc.outcomes
+	if out == nil {
+		out = make(map[string]int)
+	}
 	return &Census{
 		Complete:      acc.complete,
 		Incomplete:    acc.incomplete,
-		Outcomes:      acc.outcomes,
+		Outcomes:      out,
 		Violations:    acc.reps,
 		ViolationRuns: acc.violations,
 		Exhaustive:    exhaustive,
 	}
 }
 
-// pruneCensus is Run with transposition pruning, sequential or parallel.
-// Parallel roots run under the supervisor: a panicked root is retried
-// with backoff (attempts are replays into a fresh accumulator, so retry
-// cannot double-count), a stalled one is requeued by the watchdog, and
-// only roots that exhaust the attempt budget surface as FailedRoots.
+// pruneCensus is Run with transposition pruning, sequential or
+// parallel. The parallel walk shares one striped table across all
+// workers and balances load by work stealing (see steal.go): workers
+// start on frontier roots and, when the queue runs dry, busy workers
+// donate untried sibling subtrees mid-walk instead of letting the pool
+// idle. Retry with backoff, the stall watchdog and chaos injection
+// carry over from the supervisor unchanged.
 func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census {
 	table := newPruneTable(opts.PruneTableEntries)
 	workers := opts.workerCount()
@@ -207,6 +334,7 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 		en.run()
 		c := censusFrom(en.acc, !en.capped && !en.cancelled)
 		c.Cancelled = en.cancelled
+		c.Prune = table.statsSnapshot()
 		return c
 	}
 	if workers <= 1 {
@@ -216,52 +344,5 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 	if !ok {
 		return sequential()
 	}
-	cfg := opts.supervise()
-	wb := cfg.wrapChaos(b)
-	type rootOut struct {
-		sum    *summary
-		capped bool
-	}
-	task := func(ctx context.Context, i int, beat func()) (rootOut, bool) {
-		en := &engine{
-			b: wb, opts: opts, acc: newSummary(), check: check,
-			table: table, root: items[i].prefix, ctx: ctx, onStep: beat,
-		}
-		en.run()
-		if en.cancelled {
-			return rootOut{}, true
-		}
-		return rootOut{en.acc, en.capped}, false
-	}
-	results, done, failedMap, cancelled := superviseRoots(opts.ctx(), items, workers, cfg, nil, task, nil)
-	// Deterministic merge in DFS root order. Counts are exact; only the
-	// ≤5 recorded representatives can vary run-to-run (they depend on
-	// which worker published a shared subtree first).
-	total := newSummary()
-	exhaustive := !cancelled
-	var failed []RootFailure
-	for i, it := range items {
-		if it.prefix == nil {
-			total.addTerminal(*it.leaf, check)
-			continue
-		}
-		if f, lost := failedMap[i]; lost {
-			failed = append(failed, f)
-			exhaustive = false
-			continue
-		}
-		if !done[i] {
-			exhaustive = false // cancelled before this root was explored
-			continue
-		}
-		total.merge(results[i].sum)
-		if results[i].capped {
-			exhaustive = false
-		}
-	}
-	c := censusFrom(total, exhaustive)
-	c.FailedRoots = failed
-	c.Errors = failureStrings(failed)
-	c.Cancelled = cancelled
-	return c
+	return stealCensus(b, opts, check, table, items, workers)
 }

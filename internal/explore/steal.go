@@ -1,0 +1,458 @@
+package explore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"repro/internal/sim"
+)
+
+// Work-stealing parallel pruned census. The frontier split hands each
+// worker pool a starting queue of subtree roots, but fixed roots load-
+// balance badly: pruning makes subtree costs wildly uneven (a root
+// whose state was already tabled is nearly free), so some workers
+// drain their share early and idle. Here an idle pool instead makes
+// busy workers DONATE: when the shared queue runs dry and a worker
+// goes hungry, each busy engine, at its next backtrack, splits off
+// every untried child of its shallowest open frame as new queue items
+// and keeps walking its current branch.
+//
+// Exactly-once accounting under donation, retry and stall-requeue:
+//
+//   - Every queue item is resolved exactly once (first completing
+//     CURRENT-generation attempt wins; the generation counter bumps on
+//     every claim, and a stale straggler's result is discarded even if
+//     complete — unlike plain supervised roots, a stale attempt is NOT
+//     interchangeable with the live one, because the live one may have
+//     donated children the straggler would count itself).
+//   - A donation is logged in the item's skip set (keyed by the
+//     donated child's schedule prefix) before the child is enqueued.
+//     Later attempts of the donor item consult the log and excise
+//     exactly those children, so a retried donor and the donated items
+//     partition the donor's subtree — no overlap, no gap.
+//   - Donated-from frames (and their ancestors) are poisoned against
+//     transposition-table publication: their accumulators no longer
+//     cover their keys. Deeper frames still publish normally.
+//
+// Census counts are bit-identical to the sequential pruned walk
+// because summaries are merged by integer addition (order-free) and
+// the table only ever serves fully-explored, immutable summaries; see
+// DESIGN.md "Concurrent table publication".
+type stealItem struct {
+	pool   *stealPool
+	idx    int // creation sequence; only feeds backoff jitter
+	prefix []Choice
+	donor  int // worker that donated it; -1 for frontier roots
+
+	// Guarded by pool.mu.
+	attempts int             // claims so far (budgeted by cfg.maxAttempts)
+	current  int             // generation of the live attempt
+	done     bool            // resolved (merged or failed)
+	skip     map[string]bool // donation log: child prefixes excised from this item
+}
+
+// skips reports whether the child prefix key was donated away by an
+// earlier attempt of this item. Called from engine.backtrack only when
+// the item's skip set is known to be non-empty.
+func (it *stealItem) skips(key string) bool {
+	it.pool.mu.Lock()
+	ok := it.skip[key]
+	it.pool.mu.Unlock()
+	return ok
+}
+
+// stealClaim is one in-flight attempt, tracked for the stall watchdog.
+type stealClaim struct {
+	it     *stealItem
+	cancel context.CancelFunc
+	hb     atomic.Int64
+	last   int64
+	lastAt time.Time
+	gone   bool
+}
+
+type stealPool struct {
+	ctx   context.Context
+	cfg   *supCfg
+	b     Builder // chaos-wrapped worker-side builder
+	opts  Options
+	check func(*sim.Result) error
+	table *pruneTable
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []*stealItem
+	outstanding int // unresolved items (queued, claimed or donated)
+	waiting     int // workers parked on an empty queue
+	itemSeq     int
+	shutdown    bool // ctx cancelled: workers drain out
+	total       *summary
+	capped      bool
+	failed      []RootFailure
+	claims      map[*stealClaim]struct{}
+	nextWorker  int
+
+	// hungryFlag mirrors (waiting > 0 && queue empty) for lock-free
+	// polling from engine backtracks.
+	hungryFlag atomic.Bool
+
+	donations atomic.Uint64
+	steals    atomic.Uint64
+
+	wg       sync.WaitGroup
+	finished chan struct{}
+	finOnce  sync.Once
+}
+
+// stealCensus runs the shared-table pruned census over the frontier
+// items on a work-stealing pool and assembles the Census.
+func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *pruneTable, items []frontierItem, workers int) *Census {
+	cfg := opts.supervise()
+	p := &stealPool{
+		ctx: opts.ctx(), cfg: cfg, b: cfg.wrapChaos(b), opts: opts,
+		check: check, table: table, total: newSummary(),
+		claims: make(map[*stealClaim]struct{}), finished: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for _, it := range items {
+		if it.prefix == nil {
+			p.total.addTerminal(*it.leaf, check)
+			continue
+		}
+		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: it.prefix, donor: -1})
+		p.itemSeq++
+	}
+	p.outstanding = len(p.queue)
+	if p.outstanding > 0 {
+		p.nextWorker = workers
+		for w := 0; w < workers; w++ {
+			p.wg.Add(1)
+			go p.worker(w)
+		}
+		if cfg.stall > 0 {
+			p.wg.Add(1)
+			go p.watchdog()
+		}
+		// Wake parked workers if the context dies while the queue is dry.
+		go func() {
+			select {
+			case <-p.ctx.Done():
+				p.mu.Lock()
+				p.shutdown = true
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			case <-p.finished:
+			}
+		}()
+		p.wg.Wait()
+		p.finish()
+	}
+
+	p.mu.Lock()
+	cancelled := p.outstanding > 0
+	failed := p.failed
+	capped := p.capped
+	p.mu.Unlock()
+	exhaustive := !cancelled && !capped && len(failed) == 0
+	c := censusFrom(p.total, exhaustive)
+	c.FailedRoots = failed
+	c.Errors = failureStrings(failed)
+	c.Cancelled = cancelled
+	st := table.statsSnapshot()
+	st.Donations = p.donations.Load()
+	st.Steals = p.steals.Load()
+	c.Prune = st
+	return c
+}
+
+func (p *stealPool) finish() { p.finOnce.Do(func() { close(p.finished) }) }
+
+// stealForceHungry (tests only, set before the census starts) makes
+// every pool report hungry, forcing a donation at every backtrack —
+// maximal stealing churn for the bit-identity cross-checks.
+var stealForceHungry bool
+
+// hungry reports that some worker is parked on an empty queue — the
+// cue for busy engines to donate at their next backtrack.
+func (p *stealPool) hungry() bool { return stealForceHungry || p.hungryFlag.Load() }
+
+// updateHungry recomputes the flag; callers hold p.mu.
+func (p *stealPool) updateHungry() {
+	p.hungryFlag.Store(p.waiting > 0 && len(p.queue) == 0 && p.outstanding > 0)
+}
+
+// next claims the next live item, blocking while the queue is empty
+// but work is still outstanding (donations may refill it). nil means
+// drained or cancelled.
+func (p *stealPool) next(workerID int) *stealItem {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.shutdown || p.outstanding == 0 {
+			return nil
+		}
+		// LIFO: donated items are deepest and hottest in the shared table.
+		for n := len(p.queue); n > 0; n = len(p.queue) {
+			it := p.queue[n-1]
+			p.queue = p.queue[:n-1]
+			p.updateHungry()
+			if it.done {
+				continue // stale requeue of a since-resolved item
+			}
+			it.attempts++
+			it.current++
+			if it.donor >= 0 && it.donor != workerID {
+				p.steals.Add(1)
+			}
+			return it
+		}
+		p.waiting++
+		p.updateHungry()
+		p.cond.Wait()
+		p.waiting--
+		p.updateHungry()
+	}
+}
+
+func (p *stealPool) worker(id int) {
+	defer p.wg.Done()
+	for {
+		it := p.next(id)
+		if it == nil {
+			return
+		}
+		p.attempt(id, it)
+	}
+}
+
+// attempt explores one item once. Panics become retries (with the
+// supervisor's backoff) up to the attempt budget, then a RootFailure.
+func (p *stealPool) attempt(workerID int, it *stealItem) {
+	p.mu.Lock()
+	gen := it.current
+	att := it.attempts
+	hasSkips := len(it.skip) > 0
+	p.mu.Unlock()
+	p.cfg.stats.Attempts.Add(1)
+
+	cctx, cancel := context.WithCancel(p.ctx)
+	defer cancel()
+	cl := &stealClaim{it: it, cancel: cancel}
+	var beat func()
+	if p.cfg.stall > 0 {
+		beat = func() { cl.hb.Add(1) }
+		p.mu.Lock()
+		p.claims[cl] = struct{}{}
+		p.mu.Unlock()
+		defer func() {
+			p.mu.Lock()
+			delete(p.claims, cl)
+			p.mu.Unlock()
+		}()
+	}
+
+	en := &engine{
+		b: p.b, opts: p.opts, acc: newSummary(), check: p.check,
+		table: p.table, root: it.prefix, ctx: cctx,
+		pool: p, item: it, attempt: gen, workerID: workerID,
+		skipcheck: hasSkips, onStep: beat,
+	}
+	panicMsg := runRecovering(en)
+	switch {
+	case panicMsg != "":
+		p.retryOrFail(it, att, panicMsg)
+	case en.cancelled:
+		// Outer cancellation (shutdown drains the pool) or a watchdog
+		// abandonment (the item was already requeued); either way this
+		// partial walk is discarded.
+	default:
+		p.resolve(it, gen, en)
+	}
+}
+
+// runRecovering runs the engine, converting harness-side panics (chaos
+// kills, builder bugs) into an error string for the retry policy.
+func runRecovering(en *engine) (panicMsg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicMsg = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	en.run()
+	return ""
+}
+
+// resolve merges a completed attempt, first CURRENT-generation
+// completion wins: a straggler from a superseded generation is
+// discarded because the live generation may have donated children the
+// straggler walked itself.
+func (p *stealPool) resolve(it *stealItem, gen int, en *engine) {
+	p.mu.Lock()
+	if it.done || it.current != gen {
+		p.mu.Unlock()
+		return
+	}
+	it.done = true
+	p.total.merge(en.acc)
+	if en.capped {
+		p.capped = true
+	}
+	p.settleLocked(it)
+	p.mu.Unlock()
+}
+
+// settleLocked finishes bookkeeping for a resolved (merged or failed)
+// item; callers hold p.mu.
+func (p *stealPool) settleLocked(it *stealItem) {
+	p.outstanding--
+	for cl := range p.claims {
+		if cl.it == it {
+			cl.cancel()
+		}
+	}
+	p.updateHungry()
+	p.cond.Broadcast()
+	if p.outstanding == 0 {
+		p.finish()
+	}
+}
+
+func (p *stealPool) retryOrFail(it *stealItem, att int, msg string) {
+	p.mu.Lock()
+	if it.done {
+		p.mu.Unlock()
+		return
+	}
+	if it.attempts >= p.cfg.maxAttempts {
+		p.cfg.stats.Failed.Add(1)
+		it.done = true
+		p.failed = append(p.failed, RootFailure{Prefix: it.prefix, Attempts: it.attempts, Err: msg})
+		p.settleLocked(it)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.cfg.stats.Retries.Add(1)
+	if !sleepCtx(p.ctx, p.cfg.backoff(it.idx, att+1)) {
+		return
+	}
+	p.mu.Lock()
+	if !it.done {
+		p.queue = append(p.queue, it)
+		p.updateHungry()
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// donateFrom splits off every untried child of frame f (at the given
+// depth of en's walk) as new queue items, logging each in the item's
+// skip set first. It reports whether the frame's remaining children
+// are now excised from this walk — false only when the attempt lost
+// currency (superseded or resolved), in which case the walk continues
+// unchanged and its result will be discarded at resolve.
+func (p *stealPool) donateFrom(en *engine, depth int, f *frame) bool {
+	it := en.item
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if it.done || it.current != en.attempt || p.shutdown {
+		return false
+	}
+	count := en.childCount(f)
+	if f.next >= count {
+		return false
+	}
+	donated := 0
+	for idx := f.next; idx < count; idx++ {
+		c := en.childChoice(f, idx)
+		key := en.prefixKey(depth, c)
+		if it.skip[key] {
+			continue // already excised by an earlier attempt's donation
+		}
+		if it.skip == nil {
+			it.skip = make(map[string]bool)
+		}
+		it.skip[key] = true
+		prefix := make([]Choice, 0, len(en.root)+depth+1)
+		prefix = append(prefix, en.root...)
+		prefix = append(prefix, en.path[:depth]...)
+		prefix = append(prefix, c)
+		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: prefix, donor: en.workerID})
+		p.itemSeq++
+		p.outstanding++
+		donated++
+	}
+	en.skipcheck = true
+	if donated > 0 {
+		p.donations.Add(uint64(donated))
+		p.updateHungry()
+		p.cond.Broadcast()
+	}
+	return true
+}
+
+// watchdog requeues items whose claimed attempt stopped heartbeating,
+// spawning a replacement worker so a wedged goroutine cannot shrink
+// the pool; an item out of attempts is settled as failed so the pool
+// still drains.
+func (p *stealPool) watchdog() {
+	defer p.wg.Done()
+	tick := p.cfg.stall / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.finished:
+			return
+		case <-p.ctx.Done():
+			return
+		case now := <-t.C:
+			p.mu.Lock()
+			for cl := range p.claims {
+				if cl.gone {
+					continue
+				}
+				if v := cl.hb.Load(); cl.lastAt.IsZero() || v != cl.last {
+					cl.last, cl.lastAt = v, now
+					continue
+				}
+				if now.Sub(cl.lastAt) < p.cfg.stall {
+					continue
+				}
+				cl.gone = true
+				cl.cancel()
+				it := cl.it
+				if it.done {
+					continue
+				}
+				if it.attempts < p.cfg.maxAttempts {
+					p.cfg.stats.Requeues.Add(1)
+					p.queue = append(p.queue, it)
+					p.updateHungry()
+					p.cond.Broadcast()
+					p.wg.Add(1)
+					id := p.nextWorker
+					p.nextWorker++
+					go p.worker(id)
+				} else {
+					p.cfg.stats.Failed.Add(1)
+					it.done = true
+					p.failed = append(p.failed, RootFailure{
+						Prefix:   it.prefix,
+						Attempts: it.attempts,
+						Err:      fmt.Sprintf("stalled: no heartbeat progress for %v", p.cfg.stall),
+					})
+					p.settleLocked(it)
+				}
+			}
+			p.mu.Unlock()
+		}
+	}
+}

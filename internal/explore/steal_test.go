@@ -1,0 +1,131 @@
+package explore
+
+import (
+	"testing"
+	"time"
+)
+
+// forceDonation makes every steal pool report hungry for the duration
+// of the test, so busy engines donate at every backtrack — the maximal
+// stealing churn the exactness argument has to survive.
+func forceDonation(t *testing.T) {
+	t.Helper()
+	stealForceHungry = true
+	t.Cleanup(func() { stealForceHungry = false })
+}
+
+func sameCensus(t *testing.T, label string, got, want *Census) {
+	t.Helper()
+	if got.Complete != want.Complete || got.Incomplete != want.Incomplete ||
+		got.ViolationRuns != want.ViolationRuns || got.Exhaustive != want.Exhaustive {
+		t.Fatalf("%s census %d/%d viol=%d ex=%v, want %d/%d viol=%d ex=%v",
+			label, got.Complete, got.Incomplete, got.ViolationRuns, got.Exhaustive,
+			want.Complete, want.Incomplete, want.ViolationRuns, want.Exhaustive)
+	}
+	if len(got.Outcomes) != len(want.Outcomes) {
+		t.Fatalf("%s outcome histogram %v, want %v", label, got.Outcomes, want.Outcomes)
+	}
+	for k, v := range want.Outcomes {
+		if got.Outcomes[k] != v {
+			t.Fatalf("%s outcome histogram %v, want %v", label, got.Outcomes, want.Outcomes)
+		}
+	}
+	if (len(got.Violations) == 0) != (len(want.Violations) == 0) {
+		t.Fatalf("%s recorded %d violation reps, want %d", label, len(got.Violations), len(want.Violations))
+	}
+}
+
+// TestStealCensusMatchesSequentialPruned: the work-stealing shared-table
+// census must be bit-identical (counts, histogram, violation count,
+// exhaustiveness) to the sequential pruned walk, across worker counts
+// and with donation forced at every backtrack.
+func TestStealCensusMatchesSequentialPruned(t *testing.T) {
+	forceDonation(t)
+	cases := []struct {
+		name string
+		b    Builder
+		opts Options
+	}{
+		{name: "rw-crash1", b: rwAttempt, opts: Options{MaxCrashes: 1}},
+		{name: "wide", b: wideTree, opts: Options{}},
+		{name: "wide-crash1", b: wideTree, opts: Options{MaxCrashes: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts.withDefaults()
+			want := Run(tc.b, opts.With(WithPrune()), disagreeCheck)
+			var donations uint64
+			for _, workers := range []int{2, 4, 8} {
+				got := Run(tc.b, opts.With(WithPrune(), WithWorkers(workers)), disagreeCheck)
+				sameCensus(t, tc.name, got, want)
+				if got.Prune == nil {
+					t.Fatal("parallel pruned census reported no Prune stats")
+				}
+				donations += got.Prune.Donations
+			}
+			// The forced-hungry hook guarantees donation attempts; on any
+			// tree deep enough to split, some must land.
+			if tc.name != "rw-crash1" && donations == 0 {
+				t.Fatal("forced hunger produced no donations")
+			}
+		})
+	}
+}
+
+// TestStealCensusChaosBitIdentical: forced donation composed with
+// injected worker kills and the stall watchdog — retried donor items
+// must honor their donation logs (no run double-counted, none lost).
+func TestStealCensusChaosBitIdentical(t *testing.T) {
+	forceDonation(t)
+	want := Run(wideTree, Options{MaxCrashes: 1}.withDefaults().With(WithPrune()), disagreeCheck)
+	if !want.Exhaustive || want.ViolationRuns == 0 {
+		t.Fatalf("sequential pruned baseline broken: %+v", want)
+	}
+	var stats SuperviseStats
+	opts := Options{MaxCrashes: 1, Workers: 4}.withDefaults().With(WithPrune(), WithSupervision(Supervise{
+		MaxAttempts:  10,
+		BackoffBase:  time.Microsecond,
+		BackoffMax:   time.Millisecond,
+		Seed:         1,
+		StallTimeout: 25 * time.Millisecond,
+		Chaos: &ChaosPlan{
+			Seed:      7,
+			KillRate:  1,
+			MaxKills:  6,
+			StallRate: 1,
+			MaxStalls: 2,
+			StallFor:  80 * time.Millisecond,
+		},
+		Stats: &stats,
+	}))
+	got := Run(wideTree, opts, disagreeCheck)
+	if len(got.Errors) != 0 {
+		t.Fatalf("chaos not healed within the attempt budget: %v", got.Errors)
+	}
+	sameCensus(t, "chaos", got, want)
+	if stats.Kills.Load() == 0 {
+		t.Fatal("chaos injected no kills; test exercised nothing")
+	}
+	if stats.Retries.Load() == 0 && stats.Requeues.Load() == 0 {
+		t.Fatal("supervisor recorded neither retries nor requeues under chaos")
+	}
+}
+
+// TestPruneTableHitAllocFree: a transposition-table hit — the inner
+// loop of every pruned walk — must not allocate: lookup, stat counting
+// and shard selection all run on preallocated state.
+func TestPruneTableHitAllocFree(t *testing.T) {
+	table := newPruneTable(0)
+	key := tableKey{fp: 0x9e3779b97f4a7c15, depthRem: 40, crashRem: 1}
+	if !table.put(key, newSummary()) {
+		t.Fatal("put rejected first write")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := table.get(key); !ok {
+			t.Fatal("seeded key missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("prune-table hit allocates %.1f objects, want 0", allocs)
+	}
+}

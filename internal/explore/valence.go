@@ -96,6 +96,10 @@ func ValenceString(v []string) string {
 func DescribeCensus(c *Census) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "complete=%d incomplete=%d exhaustive=%v\n", c.Complete, c.Incomplete, c.Exhaustive)
+	if p := c.Prune; p != nil {
+		fmt.Fprintf(&b, "  prune: hits=%d misses=%d stores=%d evictions=%d donations=%d steals=%d\n",
+			p.Hits, p.Misses, p.Stores, p.Evictions, p.Donations, p.Steals)
+	}
 	fps := make([]string, 0, len(c.Outcomes))
 	for fp := range c.Outcomes {
 		fps = append(fps, fp)

@@ -13,11 +13,14 @@ import (
 
 // Fault-layer benchmarks, in two halves:
 //
-//   - wrap-overhead: the same healthy election census over a bare
-//     compare&swap register versus a faults.Wrap'd one (fault budget 0),
-//     isolating the per-step cost of the wrapper proxy and its StateKey
-//     concatenation. This is the price every degradation experiment
-//     pays even on fault-free schedules.
+//   - wrap-overhead: the IDENTICAL election protocol (DirectCASOn) and
+//     hence the identical schedule tree, censused over a bare
+//     compare&swap register versus a faults.Wrap'd one with a zero
+//     fault budget. The only difference between the two runs is the
+//     wrapper's per-step dispatch (one latched-bool branch) and its
+//     state folding, so the ratio IS the wrapper overhead — an earlier
+//     version compared different protocols and mistook tree size for
+//     wrapper cost. TestWrapOverheadRatio pins the ratio below 2×.
 //   - fault-census: the degrading election census with a one-fault
 //     budget, across the exploration engines — the workload
 //     scripts/bench_faults.sh records as BENCH_faults.json. The budget
@@ -40,12 +43,28 @@ func degradingBuilder(k, n int) explore.Builder {
 	}
 }
 
+// directBuilder runs DirectCAS over a bare register; wrappedBuilder
+// runs the very same protocol over a Wrap'd one (DirectCASOn speaks the
+// CAS alphabet against any object), so the two schedule trees are
+// step-for-step identical.
 func directBuilder(k, n int) explore.Builder {
 	return func() *sim.System {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
 		sys.Add(cas)
 		for _, p := range election.DirectCAS(cas, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+}
+
+func wrappedBuilder(k, n int) explore.Builder {
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := faults.Wrap(objects.NewCAS("cas", k))
+		sys.Add(cas)
+		for _, p := range election.DirectCASOn(cas, k, n) {
 			sys.Spawn(p)
 		}
 		return sys
@@ -75,18 +94,54 @@ func benchCensus(b *testing.B, build explore.Builder, opts explore.Options, chec
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "runs/s")
 }
 
+// wrapOverheadCase is the shared configuration of BenchmarkWrapOverhead
+// and TestWrapOverheadRatio: one pruned crash-branching census of the
+// same protocol, over the bare or the wrapped register.
+const wrapK, wrapN = 4, 3
+
+func wrapOverheadOpts() explore.Options {
+	return explore.Options{MaxCrashes: 1}.With(explore.WithPrune())
+}
+
 func BenchmarkWrapOverhead(b *testing.B) {
-	const k, n = 4, 3
-	opts := explore.Options{MaxCrashes: 1}
-	b.Run(fmt.Sprintf("bare/k=%d/n=%d", k, n), func(b *testing.B) {
-		benchCensus(b, directBuilder(k, n), opts, electionCheck(n))
+	opts := wrapOverheadOpts()
+	b.Run(fmt.Sprintf("bare/k=%d/n=%d", wrapK, wrapN), func(b *testing.B) {
+		benchCensus(b, directBuilder(wrapK, wrapN), opts, electionCheck(wrapN))
 	})
-	b.Run(fmt.Sprintf("wrapped/k=%d/n=%d", k, n), func(b *testing.B) {
-		// Same exploration over the wrapped object with a zero fault
-		// budget: the tree only differs by the degradation protocol's
-		// publication steps, and no fault branch exists.
-		benchCensus(b, degradingBuilder(k, n), opts, electionCheck(n))
+	b.Run(fmt.Sprintf("wrapped/k=%d/n=%d", wrapK, wrapN), func(b *testing.B) {
+		benchCensus(b, wrappedBuilder(wrapK, wrapN), opts, electionCheck(wrapN))
 	})
+}
+
+// TestWrapOverheadRatio pins the wrapper's fault-free overhead: the
+// identical census over the wrapped register must cost less than 2× the
+// bare one. The wrapper is one proxy dispatch plus a latched-bool
+// check per step (and a two-field fold per fingerprinted decision
+// point); anything pushing the ratio past 2× is a regression in that
+// fast path.
+func TestWrapOverheadRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed ratio check; skipped in -short")
+	}
+	opts := wrapOverheadOpts()
+	check := electionCheck(wrapN)
+	measure := func(build explore.Builder) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c := explore.Run(build, opts, check); c.Complete == 0 {
+					b.Fatal("census enumerated zero complete runs")
+				}
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	bare := measure(directBuilder(wrapK, wrapN))
+	wrapped := measure(wrappedBuilder(wrapK, wrapN))
+	ratio := wrapped / bare
+	t.Logf("bare %.0f ns/census, wrapped %.0f ns/census, ratio %.2f×", bare, wrapped, ratio)
+	if ratio >= 2 {
+		t.Fatalf("wrapped census costs %.2f× the bare one, want < 2×", ratio)
+	}
 }
 
 func BenchmarkFaultCensus(b *testing.B) {

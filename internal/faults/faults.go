@@ -70,6 +70,10 @@ func TryApply(e *sim.Env, obj sim.Object, op sim.OpKind, args ...sim.Value) (v s
 type Faulty struct {
 	inner sim.Object
 	keyer sim.StateKeyer
+	// folder is inner's allocation-free fold, resolved once at Wrap so
+	// the per-decision FoldState pays no type assertion; nil when the
+	// inner object only implements the string StateKey.
+	folder sim.StateFolder
 	// failed is latched by a crash fault: the object answers the
 	// sentinel forever after.
 	failed bool
@@ -80,9 +84,10 @@ type Faulty struct {
 }
 
 var (
-	_ sim.Object     = (*Faulty)(nil)
-	_ sim.Faultable  = (*Faulty)(nil)
-	_ sim.StateKeyer = (*Faulty)(nil)
+	_ sim.Object      = (*Faulty)(nil)
+	_ sim.Faultable   = (*Faulty)(nil)
+	_ sim.StateKeyer  = (*Faulty)(nil)
+	_ sim.StateFolder = (*Faulty)(nil)
 )
 
 // Wrap returns obj with injectable faults. The inner object must be
@@ -96,7 +101,8 @@ func Wrap(obj sim.Object) *Faulty {
 	if !ok {
 		panic(fmt.Sprintf("faults: object %q is not fingerprintable (sim.StateKeyer)", obj.Name()))
 	}
-	return &Faulty{inner: obj, keyer: k}
+	folder, _ := obj.(sim.StateFolder)
+	return &Faulty{inner: obj, keyer: k, folder: folder}
 }
 
 // Name implements sim.Object.
@@ -113,6 +119,14 @@ func (f *Faulty) Injected() int { return f.injected }
 
 // Apply implements sim.Object: healthy operations proxy to the inner
 // object; after a crash fault every operation answers the sentinel.
+//
+// This is the wrapper's whole fault-free fast path: one latched-bool
+// branch, then the inner Apply — no plan lookup (the runner consults
+// the ObjectFaultPlan and routes to ApplyFault only on steps where a
+// fault actually fires), no allocation, no formatting. A Faulty on a
+// fault-free step therefore costs one extra predictable branch over
+// the bare object; BenchmarkWrapOverhead asserts the end-to-end ratio
+// stays under 2×.
 func (f *Faulty) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, error) {
 	if f.failed {
 		return ErrObjectFailed, nil
@@ -180,4 +194,16 @@ func (f *Faulty) StateKey() string {
 		st = "failed"
 	}
 	return fmt.Sprintf("%s|%d|%s", st, f.injected, f.keyer.StateKey())
+}
+
+// FoldState implements sim.StateFolder, the allocation-free analogue
+// of StateKey used on the exploration hot path: fault state folds
+// binary and the inner object folds itself when it can (every object
+// in this repository can; the string fallback keeps Wrap total).
+func (f *Faulty) FoldState(h sim.Hash) sim.Hash {
+	h = h.FoldBool(f.failed).FoldInt(f.injected)
+	if f.folder != nil {
+		return f.folder.FoldState(h)
+	}
+	return h.FoldString(f.keyer.StateKey())
 }

@@ -128,12 +128,12 @@ func (c *CAS) check(s Symbol) error {
 // CompareAndSwap performs c&s(from→to) as one atomic step and returns
 // the previous value. The operation succeeded iff prev == from.
 func (c *CAS) CompareAndSwap(e *sim.Env, from, to Symbol) Symbol {
-	return e.Apply(c, OpCAS, from, to).(Symbol)
+	return e.Apply2(c, OpCAS, from, to).(Symbol)
 }
 
 // Read returns the register's current value as one atomic step.
 func (c *CAS) Read(e *sim.Env) Symbol {
-	return e.Apply(c, sim.OpRead).(Symbol)
+	return e.Apply0(c, sim.OpRead).(Symbol)
 }
 
 // ResetObject implements sim.Resettable: the register reverts to ⊥ and

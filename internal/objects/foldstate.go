@@ -1,0 +1,104 @@
+package objects
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file gives every object in the package an allocation-free state
+// fold (sim.StateFolder), used by System.StateHash on the exploration
+// hot path in place of the string StateKeys (which remain for
+// diagnostics and humans). The same canonicality contract applies as
+// in statekey.go: equal folds ⇒ observationally equivalent objects,
+// inspection-only histories included.
+
+var (
+	_ sim.StateFolder = (*TestAndSet)(nil)
+	_ sim.StateFolder = (*FetchAdd)(nil)
+	_ sim.StateFolder = (*Swap)(nil)
+	_ sim.StateFolder = (*StickyBit)(nil)
+	_ sim.StateFolder = (*Queue)(nil)
+	_ sim.StateFolder = (*CAS)(nil)
+	_ sim.StateFolder = (*RMW)(nil)
+	_ sim.StateFolder = (*LLSC)(nil)
+	_ sim.StateFolder = (*Consensus)(nil)
+	_ sim.ValueFolder = Symbol(0)
+)
+
+// FoldValue implements sim.ValueFolder: a Symbol folds as its alphabet
+// index, so fingerprinted runs never render "⊥" per step.
+func (s Symbol) FoldValue(h sim.Hash) sim.Hash { return h.FoldInt(int(s)) }
+
+// foldSymbols folds a symbol sequence, length-prefixed.
+func foldSymbols(h sim.Hash, ss []Symbol) sim.Hash {
+	h = h.FoldInt(len(ss))
+	for _, s := range ss {
+		h = h.FoldInt(int(s))
+	}
+	return h
+}
+
+// FoldState implements sim.StateFolder.
+func (t *TestAndSet) FoldState(h sim.Hash) sim.Hash { return h.FoldBool(t.set) }
+
+// FoldState implements sim.StateFolder.
+func (f *FetchAdd) FoldState(h sim.Hash) sim.Hash { return h.FoldInt(f.value) }
+
+// FoldState implements sim.StateFolder.
+func (s *Swap) FoldState(h sim.Hash) sim.Hash { return h.FoldValue(s.value) }
+
+// FoldState implements sim.StateFolder.
+func (s *StickyBit) FoldState(h sim.Hash) sim.Hash {
+	if s.value == nil {
+		return h.FoldByte(0)
+	}
+	return h.FoldByte(1).FoldValue(s.value)
+}
+
+// FoldState implements sim.StateFolder.
+func (q *Queue) FoldState(h sim.Hash) sim.Hash {
+	h = h.FoldInt(len(q.items))
+	for _, v := range q.items {
+		h = h.FoldValue(v)
+	}
+	return h
+}
+
+// FoldState implements sim.StateFolder.
+func (c *CAS) FoldState(h sim.Hash) sim.Hash {
+	return foldSymbols(h.FoldInt(int(c.value)), c.history)
+}
+
+// FoldState implements sim.StateFolder.
+func (r *RMW) FoldState(h sim.Hash) sim.Hash {
+	return foldSymbols(h.FoldInt(int(r.value)), r.history)
+}
+
+// FoldState implements sim.StateFolder. The link table folds in
+// process-id order so the result is independent of map iteration; the
+// id sort buffer is the only allocation and only occurs when links
+// exist.
+func (l *LLSC) FoldState(h sim.Hash) sim.Hash {
+	h = h.FoldInt(int(l.value)).FoldInt(l.version)
+	h = h.FoldInt(len(l.links))
+	if len(l.links) > 0 {
+		ids := make([]int, 0, len(l.links))
+		for id := range l.links {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			h = h.FoldInt(id).FoldInt(l.links[sim.ProcID(id)])
+		}
+	}
+	return foldSymbols(h, l.history)
+}
+
+// FoldState implements sim.StateFolder.
+func (c *Consensus) FoldState(h sim.Hash) sim.Hash {
+	if !c.decided {
+		return h.FoldByte(0)
+	}
+	return h.FoldByte(1).FoldValue(c.value)
+}

@@ -42,12 +42,12 @@ func (t *TestAndSet) ResetObject() { t.set = false }
 // TestAndSet atomically sets the bit, returning true iff the caller was
 // first (the bit was clear).
 func (t *TestAndSet) TestAndSet(e *sim.Env) bool {
-	return e.Apply(t, OpTAS).(bool)
+	return e.Apply0(t, OpTAS).(bool)
 }
 
 // Read returns the bit without setting it.
 func (t *TestAndSet) Read(e *sim.Env) bool {
-	return e.Apply(t, sim.OpRead).(bool)
+	return e.Apply0(t, sim.OpRead).(bool)
 }
 
 // FetchAdd is an unbounded fetch&add register (consensus number 2).
@@ -82,7 +82,7 @@ func (f *FetchAdd) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Val
 
 // FetchAdd atomically adds delta and returns the previous value.
 func (f *FetchAdd) FetchAdd(e *sim.Env, delta int) int {
-	return e.Apply(f, OpFetchAdd, delta).(int)
+	return e.Apply1(f, OpFetchAdd, delta).(int)
 }
 
 // Swap is an atomic swap register (consensus number 2).
@@ -117,7 +117,7 @@ func (s *Swap) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, 
 
 // Swap atomically replaces the value, returning the previous one.
 func (s *Swap) Swap(e *sim.Env, v sim.Value) sim.Value {
-	return e.Apply(s, OpSwap, v)
+	return e.Apply1(s, OpSwap, v)
 }
 
 // StickyBit is Plotkin's sticky bit: the first write sticks, later
@@ -154,7 +154,7 @@ func (s *StickyBit) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Va
 
 // WriteSticky writes v if the bit is unwritten and returns the stuck value.
 func (s *StickyBit) WriteSticky(e *sim.Env, v sim.Value) sim.Value {
-	return e.Apply(s, sim.OpWrite, v)
+	return e.Apply1(s, sim.OpWrite, v)
 }
 
 // Queue is a FIFO queue object (consensus number 2).
@@ -192,7 +192,7 @@ func (q *Queue) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value,
 }
 
 // Enq atomically appends v.
-func (q *Queue) Enq(e *sim.Env, v sim.Value) { e.Apply(q, OpEnq, v) }
+func (q *Queue) Enq(e *sim.Env, v sim.Value) { e.Apply1(q, OpEnq, v) }
 
 // Deq atomically removes and returns the head, or nil if empty.
-func (q *Queue) Deq(e *sim.Env) sim.Value { return e.Apply(q, OpDeq) }
+func (q *Queue) Deq(e *sim.Env) sim.Value { return e.Apply0(q, OpDeq) }

@@ -64,7 +64,7 @@ func (r *RMW) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, e
 // RMW atomically applies the transition function with arg and returns
 // the previous value.
 func (r *RMW) RMW(e *sim.Env, arg sim.Value) Symbol {
-	return e.Apply(r, OpRMW, arg).(Symbol)
+	return e.Apply1(r, OpRMW, arg).(Symbol)
 }
 
 // History returns the sequence of values the register has held
@@ -150,12 +150,12 @@ func (l *LLSC) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Va
 
 // LoadLink performs LL as one atomic step.
 func (l *LLSC) LoadLink(e *sim.Env) Symbol {
-	return e.Apply(l, OpLL).(Symbol)
+	return e.Apply0(l, OpLL).(Symbol)
 }
 
 // StoreConditional performs SC as one atomic step; true iff it took.
 func (l *LLSC) StoreConditional(e *sim.Env, to Symbol) bool {
-	return e.Apply(l, OpSC, to).(bool)
+	return e.Apply1(l, OpSC, to).(bool)
 }
 
 // History returns the value sequence (inspection only).
@@ -205,5 +205,5 @@ func (c *Consensus) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Va
 
 // Propose submits v and returns the decided value.
 func (c *Consensus) Propose(e *sim.Env, v sim.Value) sim.Value {
-	return e.Apply(c, OpPropose, v)
+	return e.Apply1(c, OpPropose, v)
 }

@@ -64,10 +64,10 @@ func (r *SWMR) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Va
 }
 
 // Read performs an atomic read as a scheduler-gated step.
-func (r *SWMR) Read(e *sim.Env) sim.Value { return e.Apply(r, sim.OpRead) }
+func (r *SWMR) Read(e *sim.Env) sim.Value { return e.Apply0(r, sim.OpRead) }
 
 // Write performs an atomic write as a scheduler-gated step.
-func (r *SWMR) Write(e *sim.Env, v sim.Value) { e.Apply(r, sim.OpWrite, v) }
+func (r *SWMR) Write(e *sim.Env, v sim.Value) { e.Apply1(r, sim.OpWrite, v) }
 
 // MWMR is an atomic multi-writer multi-reader register.
 type MWMR struct {
@@ -103,10 +103,10 @@ func (r *MWMR) Apply(_ sim.ProcID, op sim.OpKind, args []sim.Value) (sim.Value, 
 }
 
 // Read performs an atomic read as a scheduler-gated step.
-func (r *MWMR) Read(e *sim.Env) sim.Value { return e.Apply(r, sim.OpRead) }
+func (r *MWMR) Read(e *sim.Env) sim.Value { return e.Apply0(r, sim.OpRead) }
 
 // Write performs an atomic write as a scheduler-gated step.
-func (r *MWMR) Write(e *sim.Env, v sim.Value) { e.Apply(r, sim.OpWrite, v) }
+func (r *MWMR) Write(e *sim.Env, v sim.Value) { e.Apply1(r, sim.OpWrite, v) }
 
 // Array is a bank of SWMR registers, one per process, the standard
 // "announce array" shape. Register i is owned by process i.

@@ -15,9 +15,11 @@ import (
 // structs (plain data, no pointers) all do.
 
 var (
-	_ sim.StateKeyer = (*SWMR)(nil)
-	_ sim.StateKeyer = (*MWMR)(nil)
-	_ sim.StateKeyer = (*Tagged)(nil)
+	_ sim.StateKeyer  = (*SWMR)(nil)
+	_ sim.StateKeyer  = (*MWMR)(nil)
+	_ sim.StateKeyer  = (*Tagged)(nil)
+	_ sim.StateFolder = (*SWMR)(nil)
+	_ sim.StateFolder = (*MWMR)(nil)
 )
 
 // StateKey implements sim.StateKeyer.
@@ -25,6 +27,15 @@ func (r *SWMR) StateKey() string { return sim.ValueKey(r.value) }
 
 // StateKey implements sim.StateKeyer.
 func (r *MWMR) StateKey() string { return sim.ValueKey(r.value) }
+
+// FoldState implements sim.StateFolder: simple registers fold their
+// value binary so fingerprinted steps stay allocation-free. Tagged is
+// left on the fmt-backed StateKey path — its entry slices are not on
+// any hot exploration loop.
+func (r *SWMR) FoldState(h sim.Hash) sim.Hash { return h.FoldValue(r.value) }
+
+// FoldState implements sim.StateFolder.
+func (r *MWMR) FoldState(h sim.Hash) sim.Hash { return h.FoldValue(r.value) }
 
 // StateKey implements sim.StateKeyer.
 func (t *Tagged) StateKey() string { return fmt.Sprintf("%v", t.entries) }

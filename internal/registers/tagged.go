@@ -66,12 +66,12 @@ func (t *Tagged) Apply(caller sim.ProcID, op sim.OpKind, args []sim.Value) (sim.
 
 // Append performs an atomic tagged write.
 func (t *Tagged) Append(e *sim.Env, label string, v sim.Value) {
-	e.Apply(t, OpAppend, label, v)
+	e.Apply2(t, OpAppend, label, v)
 }
 
 // ReadAll atomically reads the full entry list.
 func (t *Tagged) ReadAll(e *sim.Env) []Entry {
-	return e.Apply(t, sim.OpRead).([]Entry)
+	return e.Apply0(t, sim.OpRead).([]Entry)
 }
 
 // ReadLabeled atomically reads the register and returns the latest

@@ -1,0 +1,67 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// rrSched schedules ready processes round-robin without allocating.
+type rrSched struct{ i int }
+
+func (s *rrSched) Next(ready []sim.ProcID, _ int) sim.ProcID {
+	s.i++
+	return ready[s.i%len(ready)]
+}
+
+// casLoop is a 2-process system whose steady state is pure hot path:
+// after the first round the register never changes again (the CAS
+// fails, the read returns a constant), so every extra round is exactly
+// 4 shared steps through Apply2/Apply0, fault dispatch, fingerprint
+// folding and the scheduler gate.
+func casLoop(rounds int) *sim.System {
+	sys := sim.NewSystem()
+	cas := objects.NewCAS("c", 4)
+	sys.Add(cas)
+	sys.SpawnN(2, func(id sim.ProcID) sim.Program {
+		return func(e *sim.Env) (sim.Value, error) {
+			for r := 0; r < rounds; r++ {
+				e.Apply2(cas, objects.OpCAS, objects.Bottom, objects.Symbol(int(id)+1))
+				e.Apply0(cas, sim.OpRead)
+			}
+			return int(id), nil
+		}
+	})
+	return sys
+}
+
+// TestSimStepAllocFree is the allocation regression guard for the sim
+// hot path: with a reused Scratch, fingerprinting on and tracing off —
+// the exploration census configuration — an additional shared step must
+// allocate NOTHING. Measured differentially: runs of 96 and 32 rounds
+// differ only in 256 extra steps, so any per-step allocation shows up
+// as a nonzero delta while per-run costs (system construction,
+// goroutine spawns) cancel.
+func TestSimStepAllocFree(t *testing.T) {
+	sc := sim.NewScratch()
+	allocs := func(rounds int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			sys := casLoop(rounds)
+			_, err := sys.Run(sim.Config{
+				Scheduler:    &rrSched{},
+				Fingerprint:  true,
+				DisableTrace: true,
+				Scratch:      sc,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := allocs(32)
+	long := allocs(96)
+	if delta := long - short; delta > 0 {
+		t.Fatalf("256 extra steps allocate %.1f objects (%.4f/step), want 0", delta, delta/256)
+	}
+}

@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSimStep prices one granted shared step of the lockstep
+// runner in the exploration configuration (reused Scratch, tracing
+// off), with and without observation fingerprinting — the hash folding
+// is the only difference between the two rows, so their gap is the
+// binary FNV-1a fold's cost. scripts/bench_hotpath.sh records both as
+// BENCH_hotpath.json; the allocs/op column is the same guard as
+// TestSimStepAllocFree, visible in the recorded numbers.
+func BenchmarkSimStep(b *testing.B) {
+	for _, fp := range []bool{false, true} {
+		name := "fingerprint=off"
+		if fp {
+			name = "fingerprint=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			sc := sim.NewScratch()
+			const rounds = 64
+			steps := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys := casLoop(rounds)
+				res, err := sys.Run(sim.Config{
+					Scheduler:    &rrSched{},
+					Fingerprint:  fp,
+					DisableTrace: true,
+					Scratch:      sc,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.TotalSteps
+			}
+			b.StopTimer()
+			if steps == 0 {
+				b.Fatal("no steps executed")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+		})
+	}
+}

@@ -23,7 +23,36 @@ func (e *Env) Steps() int { return e.proc.steps }
 // blocks until the scheduler grants the step. If the object rejects the
 // operation the process is stopped and the error is recorded in the
 // run's Result.
+//
+// The variadic form allocates its argument slice per call; hot
+// protocol code with fixed arity should use Apply0, Apply1 or Apply2,
+// which reuse a per-process buffer instead.
 func (e *Env) Apply(obj Object, op OpKind, args ...Value) Value {
+	return e.apply(obj, op, args)
+}
+
+// Apply0 is Apply with no arguments and no per-call allocation.
+func (e *Env) Apply0(obj Object, op OpKind) Value {
+	return e.apply(obj, op, nil)
+}
+
+// Apply1 is Apply with one argument, staged in a per-process buffer so
+// the call allocates nothing. The buffer is reused on the process's
+// next fixed-arity operation: objects must not retain the args slice
+// (they already must not — see Object.Apply).
+func (e *Env) Apply1(obj Object, op OpKind, a0 Value) Value {
+	e.proc.argbuf[0] = a0
+	return e.apply(obj, op, e.proc.argbuf[:1])
+}
+
+// Apply2 is Apply with two arguments; see Apply1.
+func (e *Env) Apply2(obj Object, op OpKind, a0, a1 Value) Value {
+	e.proc.argbuf[0] = a0
+	e.proc.argbuf[1] = a1
+	return e.apply(obj, op, e.proc.argbuf[:2])
+}
+
+func (e *Env) apply(obj Object, op OpKind, args []Value) Value {
 	e.gate()
 	idx := e.sys.steps
 	for _, sp := range e.proc.pending {
@@ -35,30 +64,48 @@ func (e *Env) Apply(obj Object, op OpKind, args ...Value) Value {
 	var err error
 	// Consult the object-fault plan exactly once per step, even when the
 	// target object is not Faultable: the plan may be stateful (a
-	// pending one-shot fault choice) and must see every step.
+	// pending one-shot fault choice) and must see every step. The
+	// Faultable assertion is paid only on the rare steps where a fault
+	// actually fires — fault-free steps go straight to Apply.
 	mode := FaultNone
 	if e.sys.objFaults != nil {
 		mode = e.sys.objFaults.FaultOp(idx)
 	}
-	if fo, ok := obj.(Faultable); ok && mode != FaultNone {
-		v, err = fo.ApplyFault(e.proc.id, op, args, mode)
+	if mode != FaultNone {
+		if fo, ok := obj.(Faultable); ok {
+			v, err = fo.ApplyFault(e.proc.id, op, args, mode)
+		} else {
+			v, err = obj.Apply(e.proc.id, op, args)
+		}
 	} else {
 		v, err = obj.Apply(e.proc.id, op, args)
 	}
 	if err != nil {
 		err = fmt.Errorf("proc %d: %s.%s: %w", e.proc.id, obj.Name(), op, err)
 		if e.sys.trace != nil {
-			e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, args, err)
+			e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, e.traceArgs(args), err)
 		}
 		panic(opError{err: err})
 	}
 	if e.sys.trace != nil {
-		e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, args, v)
+		e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, e.traceArgs(args), v)
 	}
 	if e.sys.fingerprint {
 		e.proc.foldOp(obj.Name(), op, args, v)
 	}
 	return v
+}
+
+// traceArgs returns args safe for retention by the trace. The
+// fixed-arity fast paths stage arguments in the process's reusable
+// buffer; a recorded Event outlives the step, so those must be copied
+// out. Variadic Apply args are freshly allocated per call and pass
+// through untouched.
+func (e *Env) traceArgs(args []Value) []Value {
+	if len(args) > 0 && &args[0] == &e.proc.argbuf[0] {
+		return append([]Value(nil), args...)
+	}
+	return args
 }
 
 // ApplyNamed is Apply on the object registered under name. It panics if

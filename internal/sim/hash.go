@@ -21,6 +21,25 @@ type StateKeyer interface {
 	StateKey() string
 }
 
+// StateFolder is the allocation-free refinement of StateKeyer: instead
+// of rendering state to a string, the object folds its state directly
+// into a Hash. StateHash prefers FoldState over StateKey when both are
+// implemented, so hot exploration loops never touch fmt. The same
+// equivalence contract applies: equal folds ⇒ observationally
+// equivalent objects, and the fold must be deterministic across
+// process runs.
+type StateFolder interface {
+	FoldState(h Hash) Hash
+}
+
+// ValueFolder is implemented by Value types that can fold themselves
+// into a Hash without string formatting. Hash.Value uses it for
+// protocol-specific types (e.g. objects.Symbol); plain ints, bools,
+// strings and errors already have allocation-free cases.
+type ValueFolder interface {
+	FoldValue(h Hash) Hash
+}
+
 // ValueKey canonically renders a Value for state hashing. Values stored
 // in objects or decided by processes must render deterministically
 // under %v for fingerprints to be meaningful: structs, slices, maps,
@@ -34,36 +53,117 @@ const (
 	fnvPrime64  uint64 = 1099511628211
 )
 
-// foldString folds s into h (FNV-1a) and appends a separator byte so
-// that ("ab","c") and ("a","bc") hash differently.
-func foldString(h uint64, s string) uint64 {
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= fnvPrime64
-	}
-	h ^= 0xff
-	h *= fnvPrime64
-	return h
+// Hash is an incrementally built FNV-1a fingerprint. All Fold methods
+// are allocation-free; each input kind is framed with a distinct tag
+// byte so adjacent fields cannot alias ((1,"") vs ("",1), int 1 vs
+// string "1", and so on).
+type Hash uint64
+
+// NewHash returns the FNV-1a offset basis.
+func NewHash() Hash { return Hash(fnvOffset64) }
+
+// FoldByte folds one byte.
+func (h Hash) FoldByte(b byte) Hash {
+	x := uint64(h)
+	x ^= uint64(b)
+	x *= fnvPrime64
+	return Hash(x)
 }
 
-// foldUint64 folds the eight bytes of v into h (FNV-1a).
-func foldUint64(h, v uint64) uint64 {
+// FoldString folds s plus a terminator so ("ab","c") and ("a","bc")
+// hash differently.
+func (h Hash) FoldString(s string) Hash {
+	x := uint64(h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnvPrime64
+	}
+	x ^= 0xff
+	x *= fnvPrime64
+	return Hash(x)
+}
+
+// FoldUint64 folds the eight bytes of v.
+func (h Hash) FoldUint64(v uint64) Hash {
+	x := uint64(h)
 	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime64
+		x ^= v & 0xff
+		x *= fnvPrime64
 		v >>= 8
 	}
-	return h
+	return Hash(x)
 }
 
+// FoldInt folds v as its two's-complement uint64 image.
+func (h Hash) FoldInt(v int) Hash { return h.FoldUint64(uint64(v)) }
+
+// FoldBool folds one byte distinguishing true from false.
+func (h Hash) FoldBool(b bool) Hash {
+	if b {
+		return h.FoldByte(1)
+	}
+	return h.FoldByte(0)
+}
+
+// Tag bytes framing each Value kind in Hash.FoldValue. Distinct tags
+// keep differently-typed values with the same binary image apart.
+const (
+	tagNil    byte = 0xe0
+	tagFolder byte = 0xe1
+	tagInt    byte = 0xe2
+	tagBool   byte = 0xe3
+	tagString byte = 0xe4
+	tagProcID byte = 0xe5
+	tagError  byte = 0xe6
+	tagOther  byte = 0xe7
+)
+
+// FoldValue folds an operation argument or result. Common protocol
+// value types (nil, int, bool, string, ProcID, error, and anything
+// implementing ValueFolder) fold without allocation; anything else
+// falls back to fmt, preserving the ValueKey determinism contract.
+func (h Hash) FoldValue(v Value) Hash {
+	switch x := v.(type) {
+	case nil:
+		return h.FoldByte(tagNil)
+	case ValueFolder:
+		return x.FoldValue(h.FoldByte(tagFolder))
+	case int:
+		return h.FoldByte(tagInt).FoldInt(x)
+	case bool:
+		return h.FoldByte(tagBool).FoldBool(x)
+	case string:
+		return h.FoldByte(tagString).FoldString(x)
+	case ProcID:
+		return h.FoldByte(tagProcID).FoldInt(int(x))
+	case error:
+		return h.FoldByte(tagError).FoldString(x.Error())
+	default:
+		return h.FoldByte(tagOther).FoldString(ValueKey(v))
+	}
+}
+
+// foldString and foldUint64 are the legacy free-function forms, kept
+// for call sites that carry a bare uint64.
+func foldString(h uint64, s string) uint64 { return uint64(Hash(h).FoldString(s)) }
+func foldUint64(h, v uint64) uint64        { return uint64(Hash(h).FoldUint64(v)) }
+
+// Per-process status tags folded by StateHash.
+const (
+	tagProcErr     byte = 0xd0
+	tagProcDone    byte = 0xd1
+	tagProcLive    byte = 0xd2
+	tagProcCrashed byte = 0xd3
+)
+
 // StateHash returns a deterministic fingerprint of the System's current
-// global state: the StateKey of every object (in name order) plus, for
-// each process, its accumulated observation history (the sequence of
-// operations it performed with their results), step count, and
-// completion status. Fingerprinting must have been enabled by
-// Config.Fingerprint — without it the per-step observation hashes were
-// never accumulated — and every object must implement StateKeyer;
-// otherwise ok is false.
+// global state: the state fold (or StateKey) of every object (in name
+// order) plus, for each process, its accumulated observation history
+// (the sequence of operations it performed with their results), step
+// count, and completion status. Fingerprinting must have been enabled
+// by Config.Fingerprint — without it the per-step observation hashes
+// were never accumulated — and every object must implement StateFolder
+// or StateKeyer; otherwise ok is false.
 //
 // Soundness: a process is deterministic, communicates only through
 // gated operations, and parks at the scheduler gate between steps, so
@@ -89,43 +189,46 @@ func (s *System) StateHash() (uint64, bool) {
 		}
 		sort.Strings(s.objNames)
 	}
-	h := fnvOffset64
+	h := NewHash()
 	for _, name := range s.objNames {
-		k, ok := s.objects[name].(StateKeyer)
-		if !ok {
+		h = h.FoldString(name)
+		switch o := s.objects[name].(type) {
+		case StateFolder:
+			h = o.FoldState(h)
+		case StateKeyer:
+			h = h.FoldString(o.StateKey())
+		default:
 			return 0, false
 		}
-		h = foldString(h, name)
-		h = foldString(h, k.StateKey())
 	}
 	for _, p := range s.procs {
-		h = foldUint64(h, p.opHash)
-		h = foldUint64(h, uint64(p.steps))
+		h = h.FoldUint64(p.opHash)
+		h = h.FoldInt(p.steps)
 		switch {
 		case p.done && p.err != nil:
-			h = foldString(h, "e")
-			h = foldString(h, p.err.Error())
+			h = h.FoldByte(tagProcErr).FoldString(p.err.Error())
 		case p.done:
-			h = foldString(h, "d")
-			h = foldString(h, ValueKey(p.value))
+			h = h.FoldByte(tagProcDone).FoldValue(p.value)
 		default:
-			h = foldString(h, "r")
+			h = h.FoldByte(tagProcLive)
 		}
 		if p.crashed {
-			h = foldString(h, "c")
+			h = h.FoldByte(tagProcCrashed)
 		}
 	}
-	return h, true
+	return uint64(h), true
 }
 
 // foldOp accumulates one observed operation into the process's
-// observation-history hash. Called from Env.Apply while the runner is
-// blocked on this process, so the write is race-free.
+// observation-history hash. Called from Env.apply while the runner is
+// blocked on this process, so the write is race-free. Everything on
+// this path folds binary — no fmt, no intermediate strings — because
+// it runs once per shared step of every fingerprinted exploration.
 func (p *proc) foldOp(objName string, op OpKind, args []Value, result Value) {
-	h := foldString(p.opHash, objName)
-	h = foldString(h, string(op))
-	if len(args) > 0 {
-		h = foldString(h, fmt.Sprintf("%v", args))
+	h := Hash(p.opHash).FoldString(objName).FoldString(string(op))
+	h = h.FoldInt(len(args))
+	for _, a := range args {
+		h = h.FoldValue(a)
 	}
-	p.opHash = foldString(h, ValueKey(result))
+	p.opHash = uint64(h.FoldValue(result))
 }

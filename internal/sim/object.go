@@ -18,6 +18,10 @@ const (
 // model — a non-owner writing a single-writer register, a value outside
 // a bounded object's alphabet. Such an error is a protocol bug and
 // stops the calling process.
+//
+// Implementations must not retain the args slice past the call: the
+// runner stages fixed-arity arguments in a reused per-process buffer
+// (see Env.Apply1).
 type Object interface {
 	// Name uniquely identifies the object within its System.
 	Name() string

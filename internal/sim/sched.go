@@ -10,7 +10,10 @@ const Halt ProcID = -1
 
 // Scheduler chooses which ready process takes the next step. ready is
 // non-empty and sorted ascending; step is the global step count so far.
-// Implementations must be deterministic to keep runs reproducible.
+// The runner reuses the ready slice between decisions, so
+// implementations must treat it as read-only and must not retain it
+// past the call. Implementations must be deterministic to keep runs
+// reproducible.
 type Scheduler interface {
 	Next(ready []ProcID, step int) ProcID
 }
@@ -115,7 +118,8 @@ func Recording(inner Scheduler, dst *[]ProcID) Scheduler {
 
 // FaultPlan injects crash failures. Before every scheduling decision
 // the runner asks the plan which ready processes to crash now; crashed
-// processes take no further steps (fail-stop).
+// processes take no further steps (fail-stop). The ready slice is
+// reused between calls: treat it as read-only and do not retain it.
 type FaultPlan interface {
 	CrashNow(ready []ProcID, step int) []ProcID
 }

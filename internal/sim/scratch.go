@@ -1,0 +1,106 @@
+package sim
+
+// Scratch is reusable per-run working memory. A schedule explorer
+// executes millions of short runs whose Results are usually inspected
+// and discarded; without reuse, every run allocates the Result struct
+// plus four per-process slices. Passing a Scratch through
+// Config.Scratch makes Run build its Result inside the scratch's
+// buffers instead.
+//
+// Ownership contract: the *Result returned by Run aliases the Scratch.
+// It is valid until the same Scratch is passed to another Run. A caller
+// that wants to retain a Result (for example as a recorded violation
+// witness) must either copy it or stop reusing the scratch — the
+// explore engine does the latter, abandoning the scratch to the
+// retained Result and drawing a fresh one from its pool.
+//
+// A Scratch is not safe for concurrent use; give each worker its own.
+type Scratch struct {
+	res     Result
+	values  []Value
+	errors  []error
+	crashed []bool
+	steps   []int
+	ready   []ProcID
+	halt    []ProcID
+}
+
+// NewScratch returns an empty Scratch. Buffers grow on first use and
+// are retained across runs.
+func NewScratch() *Scratch {
+	return &Scratch{}
+}
+
+// prep clears the scratch for a run of n processes and returns the
+// embedded Result with zeroed, length-n slices.
+func (sc *Scratch) prep(n int) *Result {
+	sc.values = resliceValues(sc.values, n)
+	sc.errors = resliceErrors(sc.errors, n)
+	sc.crashed = resliceBools(sc.crashed, n)
+	sc.steps = resliceInts(sc.steps, n)
+	sc.res = Result{
+		Values:  sc.values,
+		Errors:  sc.errors,
+		Crashed: sc.crashed,
+		Steps:   sc.steps,
+	}
+	return &sc.res
+}
+
+// readyBuf returns a zero-length ready-set buffer with capacity ≥ n.
+func (sc *Scratch) readyBuf(n int) []ProcID {
+	if cap(sc.ready) < n {
+		sc.ready = make([]ProcID, 0, n)
+	}
+	return sc.ready[:0]
+}
+
+// haltList copies ready into the retained ReadyAtHalt buffer.
+func (sc *Scratch) haltList(ready []ProcID) []ProcID {
+	sc.halt = append(sc.halt[:0], ready...)
+	return sc.halt
+}
+
+func resliceValues(b []Value, n int) []Value {
+	if cap(b) < n {
+		return make([]Value, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = nil
+	}
+	return b
+}
+
+func resliceErrors(b []error, n int) []error {
+	if cap(b) < n {
+		return make([]error, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = nil
+	}
+	return b
+}
+
+func resliceBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+func resliceInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

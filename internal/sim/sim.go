@@ -23,7 +23,6 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // ProcID identifies a process within a System. IDs are dense and start
@@ -100,6 +99,12 @@ type proc struct {
 	// step since BeginOp).
 	spans   []*Span
 	pending []*Span
+	// env is this process's Env handle, embedded so runProc does not
+	// allocate one per process per run.
+	env Env
+	// argbuf backs the fixed-arity Apply0/1/2 fast paths, so common
+	// operations need no per-call argument slice.
+	argbuf [3]Value
 }
 
 type procEvent struct {
@@ -181,6 +186,11 @@ type Config struct {
 	// the progress-heartbeat hook for exploration supervisors; it must
 	// not block and must not touch the System.
 	OnStep func(step int)
+	// Scratch, if set, supplies reusable buffers for the Result and the
+	// runner's ready set, eliminating per-run allocations in tight
+	// exploration loops. The returned Result aliases the Scratch; see
+	// the Scratch ownership contract.
+	Scratch *Scratch
 }
 
 // DefaultMaxTotalSteps is the total step safety bound used when
@@ -280,15 +290,26 @@ func (s *System) Run(cfg Config) (*Result, error) {
 	for _, p := range s.procs {
 		go s.runProc(p)
 	}
+	// The ready set is a sorted slice maintained in place (insertion on
+	// step completion, removal on grant/crash). Schedulers and fault
+	// plans see the live slice — it is reused between calls and must
+	// not be retained. Slices stay tiny (≤ NumProcs), so ordered
+	// insertion beats the old map + sort-per-decision by a wide margin
+	// and allocates nothing after warm-up.
+	var ready []ProcID
+	if cfg.Scratch != nil {
+		ready = cfg.Scratch.readyBuf(len(s.procs))
+	} else {
+		ready = make([]ProcID, 0, len(s.procs))
+	}
 	// Wait for every process to arrive at its first gate (or finish
 	// without taking any shared step).
-	ready := make(map[ProcID]bool)
 	pending := len(s.procs)
 	for pending > 0 {
 		ev := <-s.events
 		pending--
 		if !ev.finished {
-			ready[ev.id] = true
+			ready = insertReady(ready, ev.id)
 		}
 	}
 
@@ -298,37 +319,33 @@ func (s *System) Run(cfg Config) (*Result, error) {
 			halted = true
 			break
 		}
-		readyList := sortedIDs(ready)
 		if cfg.Faults != nil {
-			crashNow := cfg.Faults.CrashNow(readyList, s.steps)
+			crashNow := cfg.Faults.CrashNow(ready, s.steps)
 			for _, id := range crashNow {
-				if !ready[id] {
-					continue
+				var ok bool
+				if ready, ok = removeReady(ready, id); ok {
+					s.crash(id)
 				}
-				s.crash(id)
-				delete(ready, id)
 			}
 			if len(ready) == 0 {
 				break
 			}
-			readyList = sortedIDs(ready)
 		}
-		next := cfg.Scheduler.Next(readyList, s.steps)
+		next := cfg.Scheduler.Next(ready, s.steps)
 		if next == Halt {
 			halted = true
 			break
 		}
-		if !ready[next] {
+		var inSet bool
+		if ready, inSet = removeReady(ready, next); !inSet {
 			s.abort(ready)
-			return nil, fmt.Errorf("sim: scheduler chose process %d, not in ready set %v", next, readyList)
+			return nil, fmt.Errorf("sim: scheduler chose process %d, not in ready set %v", next, ready)
 		}
 		p := s.procs[next]
 		if cfg.MaxStepsPerProc > 0 && p.steps >= cfg.MaxStepsPerProc {
 			s.crashWith(next, ErrStepLimit)
-			delete(ready, next)
 			continue
 		}
-		delete(ready, next)
 		p.grant <- struct{}{}
 		ev := <-s.events
 		s.steps++
@@ -336,22 +353,31 @@ func (s *System) Run(cfg Config) (*Result, error) {
 			cfg.OnStep(s.steps)
 		}
 		if !ev.finished {
-			ready[ev.id] = true
+			ready = insertReady(ready, ev.id)
 		}
 	}
 
-	res := &Result{
-		Values:     make([]Value, len(s.procs)),
-		Errors:     make([]error, len(s.procs)),
-		Crashed:    make([]bool, len(s.procs)),
-		Steps:      make([]int, len(s.procs)),
-		TotalSteps: s.steps,
-		Halted:     halted,
-		Trace:      s.trace,
+	var res *Result
+	if cfg.Scratch != nil {
+		res = cfg.Scratch.prep(len(s.procs))
+	} else {
+		res = &Result{
+			Values:  make([]Value, len(s.procs)),
+			Errors:  make([]error, len(s.procs)),
+			Crashed: make([]bool, len(s.procs)),
+			Steps:   make([]int, len(s.procs)),
+		}
 	}
+	res.TotalSteps = s.steps
+	res.Halted = halted
+	res.Trace = s.trace
 	if halted {
-		res.ReadyAtHalt = sortedIDs(ready)
-		for id := range ready {
+		if cfg.Scratch != nil {
+			res.ReadyAtHalt = cfg.Scratch.haltList(ready)
+		} else {
+			res.ReadyAtHalt = append([]ProcID(nil), ready...)
+		}
+		for _, id := range ready {
 			s.crashWith(id, ErrHalted)
 		}
 	}
@@ -391,8 +417,8 @@ func (s *System) runProc(p *proc) {
 		p.done = true
 		s.events <- procEvent{id: p.id, finished: true}
 	}()
-	env := &Env{sys: s, proc: p}
-	v, err := p.program(env)
+	p.env = Env{sys: s, proc: p}
+	v, err := p.program(&p.env)
 	p.value, p.err = v, err
 }
 
@@ -414,17 +440,37 @@ func (s *System) crashWith(id ProcID, err error) {
 
 // abort crashes every remaining ready process (used on misuse errors so
 // goroutines do not leak).
-func (s *System) abort(ready map[ProcID]bool) {
-	for id := range ready {
+func (s *System) abort(ready []ProcID) {
+	for _, id := range ready {
 		s.crash(id)
 	}
 }
 
-func sortedIDs(set map[ProcID]bool) []ProcID {
-	ids := make([]ProcID, 0, len(set))
-	for id := range set {
-		ids = append(ids, id)
+// insertReady inserts id into the sorted ready slice. Ready sets have
+// at most NumProcs elements, so a backwards linear scan is both the
+// simplest and the fastest ordered insert.
+func insertReady(ready []ProcID, id ProcID) []ProcID {
+	i := len(ready)
+	for i > 0 && ready[i-1] > id {
+		i--
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	ready = append(ready, 0)
+	copy(ready[i+1:], ready[i:])
+	ready[i] = id
+	return ready
+}
+
+// removeReady removes id from the sorted ready slice, reporting whether
+// it was present.
+func removeReady(ready []ProcID, id ProcID) ([]ProcID, bool) {
+	for i, r := range ready {
+		if r == id {
+			copy(ready[i:], ready[i+1:])
+			return ready[:len(ready)-1], true
+		}
+		if r > id {
+			break
+		}
+	}
+	return ready, false
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Performance-regression gate: runs the exploration benchmarks on the
+# working tree AND on a base git ref (checked out into a throwaway
+# worktree), then fails if any benchmark present in both runs got more
+# than 10% slower (ns/op) in the working tree. Benchmarks only one side
+# has are reported but never fail the gate, so adding or renaming
+# benchmarks stays cheap.
+#
+#   scripts/bench_compare.sh [base-ref] [benchtime]   # default HEAD, 2x
+set -eu
+
+cd "$(dirname "$0")/.."
+base="${1:-HEAD}"
+benchtime="${2:-2x}"
+pat='BenchmarkExplore'
+
+cur="$(mktemp)"
+old="$(mktemp)"
+wt="$(mktemp -d)/base"
+cleanup() {
+	rm -f "$cur" "$old"
+	git worktree remove --force "$wt" 2>/dev/null || true
+	rm -rf "$(dirname "$wt")"
+}
+trap cleanup EXIT
+
+echo "== benchmarking working tree ($pat, benchtime $benchtime)"
+go test -run '^$' -bench "$pat" -benchtime "$benchtime" ./internal/explore/ | tee "$cur"
+
+echo "== benchmarking base ref $base"
+git worktree add --force --detach "$wt" "$base" >/dev/null
+(cd "$wt" && go test -run '^$' -bench "$pat" -benchtime "$benchtime" ./internal/explore/) | tee "$old"
+
+awk -v limit=1.10 -v base="$base" '
+function bench(line,    name) {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) if ($(i) == "ns/op") return name SUBSEP $(i - 1)
+	return ""
+}
+FNR == NR {
+	if ($1 ~ /^Benchmark/) { r = bench($0); if (r != "") { split(r, a, SUBSEP); oldns[a[1]] = a[2] } }
+	next
+}
+$1 ~ /^Benchmark/ {
+	r = bench($0); if (r == "") next
+	split(r, a, SUBSEP); name = a[1]; ns = a[2]
+	if (!(name in oldns)) { printf "  new (not in %s): %s\n", base, name; next }
+	ratio = ns / oldns[name]
+	seen[name] = 1
+	if (ratio > limit) {
+		printf "  REGRESSION %s: %.0f -> %.0f ns/op (%.2fx)\n", name, oldns[name], ns, ratio
+		bad = 1
+	} else {
+		printf "  ok %s: %.0f -> %.0f ns/op (%.2fx)\n", name, oldns[name], ns, ratio
+	}
+}
+END {
+	for (name in oldns) if (!(name in seen)) printf "  gone (only in %s): %s\n", base, name
+	if (bad) { print "bench_compare: FAIL — ns/op regressed more than 10% vs " base; exit 1 }
+	print "bench_compare: OK (no benchmark regressed more than 10% vs " base ")"
+}
+' "$old" "$cur"

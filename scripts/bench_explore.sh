@@ -1,13 +1,17 @@
 #!/usr/bin/env sh
 # Runs the exploration-engine benchmarks (internal/explore) and distills
 # them into BENCH_explore.json at the repo root: one record per
-# benchmark with ns/op and the runs/s census-throughput metric.
+# benchmark with ns/op and the runs/s census-throughput metric. Each
+# record carries the host's CPU count: parallel-vs-sequential ratios are
+# only meaningful relative to it.
 #
 #   scripts/bench_explore.sh [benchtime]     # default 2x
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
+cpus="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
+[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -15,7 +19,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkExplore' -benchtime "$benchtime" \
 	./internal/explore/ | tee "$raw"
 
-awk '
+awk -v cpus="$cpus" '
 BEGIN { print "["; first = 1 }
 $1 ~ /^BenchmarkExplore\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -27,7 +31,7 @@ $1 ~ /^BenchmarkExplore\// {
 	if (ns == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s}", name, ns, runs
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s}", name, ns, runs, cpus
 }
 END { print ""; print "]" }
 ' "$raw" > BENCH_explore.json

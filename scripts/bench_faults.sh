@@ -11,6 +11,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-2x}"
+cpus="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
+[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -18,7 +20,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkWrapOverhead|BenchmarkFaultCensus' -benchtime "$benchtime" \
 	./internal/faults/ | tee "$raw"
 
-awk '
+awk -v cpus="$cpus" '
 BEGIN { print "["; first = 1 }
 $1 ~ /^Benchmark(WrapOverhead|FaultCensus)\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -30,7 +32,7 @@ $1 ~ /^Benchmark(WrapOverhead|FaultCensus)\// {
 	if (ns == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s}", name, ns, runs
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s}", name, ns, runs, cpus
 }
 END { print ""; print "]" }
 ' "$raw" > BENCH_faults.json

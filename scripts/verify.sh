@@ -22,6 +22,11 @@ echo "== supervisor tests under the race detector (chaos, watchdog, cancellation
 go test -race -count=1 -run 'Supervis|Chaos|Watchdog|Cancel|Checkpoint|Backoff|WorkerPanic' \
 	./internal/explore/
 
+echo "== benchmark smoke (-benchtime 1x: every benchmark still runs)"
+go test -run '^$' -bench 'BenchmarkSimStep' -benchtime 1x ./internal/sim/ >/dev/null
+go test -run '^$' -bench 'BenchmarkExplore' -benchtime 1x ./internal/explore/ >/dev/null
+go test -run '^$' -bench 'BenchmarkWrapOverhead|BenchmarkFaultCensus' -benchtime 1x ./internal/faults/ >/dev/null
+
 echo "== fault-injection smoke census (degrading compare&swap, 1 crash + 1 object fault)"
 go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
 	-prune -workers -1 -maxruns 200000 -bivalence=false
