@@ -259,7 +259,15 @@ func (en *engine) backtrack() bool {
 			c := en.childChoice(f, f.next)
 			f.next++
 			if en.skipcheck && en.item.skips(en.prefixKey(len(en.frames)-1, c)) {
-				continue // excised by a donation in an earlier attempt
+				// Excised by a donation in an earlier attempt: the child
+				// is counted by its own queue item, so this frame's
+				// accumulator — and every ancestor's — no longer covers
+				// its whole subtree. Poison them against table
+				// publication, exactly as donate() does at donation time.
+				for j := range en.frames {
+					en.frames[j].donated = true
+				}
+				continue
 			}
 			en.path[len(en.frames)-1] = c
 			en.path = en.path[:len(en.frames)]
@@ -440,7 +448,16 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 	}
 	f := frame{crashes: p.crashes, faults: p.faults}
 	if en.table != nil {
-		if fp, ok := p.sys.StateHash(); ok {
+		if en.skipcheck && en.item.shadows(en.root, en.path) {
+			// This node is a proper ancestor of a child donated away by
+			// an earlier attempt of the same item, so part of its
+			// subtree is owned by separately-enqueued items. A table
+			// hit here would credit those donated children a second
+			// time, and the frame's own accumulator will lose them to
+			// skip excision below — so the retried walk must neither
+			// consult nor publish the table at this node.
+			f.donated = true
+		} else if fp, ok := p.sys.StateHash(); ok {
 			key := tableKey{
 				fp:       fp,
 				depthRem: en.opts.MaxDepth - p.pos,

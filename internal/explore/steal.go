@@ -36,7 +36,14 @@ import (
 //     partition the donor's subtree — no overlap, no gap.
 //   - Donated-from frames (and their ancestors) are poisoned against
 //     transposition-table publication: their accumulators no longer
-//     cover their keys. Deeper frames still publish normally.
+//     cover their keys. Deeper frames still publish normally. A
+//     retried donor attempt re-establishes the same poison: every node
+//     it visits that is a proper ancestor of a donated prefix (see
+//     stealItem.shadows) neither takes table hits — a hit would credit
+//     the donated children a second time, on top of the items that
+//     walk them — nor publishes, and the skip branch of
+//     engine.backtrack re-poisons the open frames when it excises a
+//     child.
 //
 // Census counts are bit-identical to the sequential pruned walk
 // because summaries are merged by integer addition (order-free) and
@@ -52,7 +59,9 @@ type stealItem struct {
 	attempts int             // claims so far (budgeted by cfg.maxAttempts)
 	current  int             // generation of the live attempt
 	done     bool            // resolved (merged or failed)
+	queued   bool            // currently sitting in pool.queue
 	skip     map[string]bool // donation log: child prefixes excised from this item
+	skipSeqs [][]Choice      // the same donated prefixes as schedules, for shadows
 }
 
 // skips reports whether the child prefix key was donated away by an
@@ -63,6 +72,37 @@ func (it *stealItem) skips(key string) bool {
 	ok := it.skip[key]
 	it.pool.mu.Unlock()
 	return ok
+}
+
+// shadows reports whether the node at schedule prefix root+path is a
+// proper ancestor of a donated child of this item: its subtree
+// contains runs that separately-enqueued items count, so a retried
+// donor attempt must neither credit a table hit for the node (the
+// stored summary covers the donated children too) nor publish it (its
+// own accumulator will lose them to skip excision). Only consulted on
+// retried attempts with a non-empty donation log.
+func (it *stealItem) shadows(root, path []Choice) bool {
+	n := len(root) + len(path)
+	it.pool.mu.Lock()
+	defer it.pool.mu.Unlock()
+seqs:
+	for _, k := range it.skipSeqs {
+		if len(k) <= n {
+			continue
+		}
+		for i, c := range root {
+			if k[i] != c {
+				continue seqs
+			}
+		}
+		for i, c := range path {
+			if k[len(root)+i] != c {
+				continue seqs
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // stealClaim is one in-flight attempt, tracked for the stall watchdog.
@@ -123,7 +163,7 @@ func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *
 			p.total.addTerminal(*it.leaf, check)
 			continue
 		}
-		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: it.prefix, donor: -1})
+		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: it.prefix, donor: -1, queued: true})
 		p.itemSeq++
 	}
 	p.outstanding = len(p.queue)
@@ -199,6 +239,7 @@ func (p *stealPool) next(workerID int) *stealItem {
 		for n := len(p.queue); n > 0; n = len(p.queue) {
 			it := p.queue[n-1]
 			p.queue = p.queue[:n-1]
+			it.queued = false
 			p.updateHungry()
 			if it.done {
 				continue // stale requeue of a since-resolved item
@@ -248,11 +289,6 @@ func (p *stealPool) attempt(workerID int, it *stealItem) {
 		p.mu.Lock()
 		p.claims[cl] = struct{}{}
 		p.mu.Unlock()
-		defer func() {
-			p.mu.Lock()
-			delete(p.claims, cl)
-			p.mu.Unlock()
-		}()
 	}
 
 	en := &engine{
@@ -262,9 +298,18 @@ func (p *stealPool) attempt(workerID int, it *stealItem) {
 		skipcheck: hasSkips, onStep: beat,
 	}
 	panicMsg := runRecovering(en)
+	if p.cfg.stall > 0 {
+		// Deregister the claim before the retry path can sleep in
+		// backoff: the attempt is over, and a finished claim left
+		// registered would stop heartbeating and trip the watchdog
+		// into a spurious requeue.
+		p.mu.Lock()
+		delete(p.claims, cl)
+		p.mu.Unlock()
+	}
 	switch {
 	case panicMsg != "":
-		p.retryOrFail(it, att, panicMsg)
+		p.retryOrFail(it, gen, att, panicMsg)
 	case en.cancelled:
 		// Outer cancellation (shutdown drains the pool) or a watchdog
 		// abandonment (the item was already requeued); either way this
@@ -321,9 +366,17 @@ func (p *stealPool) settleLocked(it *stealItem) {
 	}
 }
 
-func (p *stealPool) retryOrFail(it *stealItem, att int, msg string) {
+// retryOrFail handles a panicked attempt of generation gen: requeue
+// with backoff while the budget lasts, otherwise settle the item as
+// failed. Like resolve, it is a no-op for a superseded generation:
+// after a watchdog requeue has handed the item to a newer claim, the
+// stale straggler's panic must neither requeue the item a second time
+// nor burn it to a RootFailure out from under the live attempt (which
+// would discard that attempt's imminent result and drop the subtree
+// from the census).
+func (p *stealPool) retryOrFail(it *stealItem, gen, att int, msg string) {
 	p.mu.Lock()
-	if it.done {
+	if it.done || it.current != gen {
 		p.mu.Unlock()
 		return
 	}
@@ -341,7 +394,10 @@ func (p *stealPool) retryOrFail(it *stealItem, att int, msg string) {
 		return
 	}
 	p.mu.Lock()
-	if !it.done {
+	// Re-check after the sleep: the watchdog may have requeued the item
+	// already (queued), or a newer claim may own it now (current).
+	if !it.done && it.current == gen && !it.queued {
+		it.queued = true
 		p.queue = append(p.queue, it)
 		p.updateHungry()
 		p.cond.Broadcast()
@@ -369,7 +425,11 @@ func (p *stealPool) donateFrom(en *engine, depth int, f *frame) bool {
 	donated := 0
 	for idx := f.next; idx < count; idx++ {
 		c := en.childChoice(f, idx)
-		key := en.prefixKey(depth, c)
+		prefix := make([]Choice, 0, len(en.root)+depth+1)
+		prefix = append(prefix, en.root...)
+		prefix = append(prefix, en.path[:depth]...)
+		prefix = append(prefix, c)
+		key := FormatSchedule(prefix)
 		if it.skip[key] {
 			continue // already excised by an earlier attempt's donation
 		}
@@ -377,11 +437,8 @@ func (p *stealPool) donateFrom(en *engine, depth int, f *frame) bool {
 			it.skip = make(map[string]bool)
 		}
 		it.skip[key] = true
-		prefix := make([]Choice, 0, len(en.root)+depth+1)
-		prefix = append(prefix, en.root...)
-		prefix = append(prefix, en.path[:depth]...)
-		prefix = append(prefix, c)
-		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: prefix, donor: en.workerID})
+		it.skipSeqs = append(it.skipSeqs, prefix)
+		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: prefix, donor: en.workerID, queued: true})
 		p.itemSeq++
 		p.outstanding++
 		donated++
@@ -433,14 +490,17 @@ func (p *stealPool) watchdog() {
 					continue
 				}
 				if it.attempts < p.cfg.maxAttempts {
-					p.cfg.stats.Requeues.Add(1)
-					p.queue = append(p.queue, it)
-					p.updateHungry()
-					p.cond.Broadcast()
-					p.wg.Add(1)
-					id := p.nextWorker
-					p.nextWorker++
-					go p.worker(id)
+					if !it.queued {
+						p.cfg.stats.Requeues.Add(1)
+						it.queued = true
+						p.queue = append(p.queue, it)
+						p.updateHungry()
+						p.cond.Broadcast()
+						p.wg.Add(1)
+						id := p.nextWorker
+						p.nextWorker++
+						go p.worker(id)
+					}
 				} else {
 					p.cfg.stats.Failed.Add(1)
 					it.done = true

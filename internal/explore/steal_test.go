@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 )
@@ -108,6 +110,167 @@ func TestStealCensusChaosBitIdentical(t *testing.T) {
 	}
 	if stats.Retries.Load() == 0 && stats.Requeues.Load() == 0 {
 		t.Fatal("supervisor recorded neither retries nor requeues under chaos")
+	}
+}
+
+// TestRetriedDonorTableSoundness pins the transposition-table rules of
+// a retried donor attempt — an attempt re-claimed after an earlier
+// attempt of the same item donated a child away. Both hazards are
+// exercised deterministically by running the donor walk (skip log
+// pre-seeded) and the donated item's walk directly:
+//
+//  1. Publication: the donor's frames at ancestors of the donated
+//     prefix lose the donated subtree to skip excision, so nothing the
+//     donor publishes may under-count — every table entry it produces
+//     must match the entry a full sequential walk produces for the
+//     same key.
+//  2. Hits: against a table pre-seeded by a full walk, the donor must
+//     not take hits at those ancestors — a hit would credit the
+//     donated subtree a second time on top of the donated item's walk.
+func TestRetriedDonorTableSoundness(t *testing.T) {
+	b := wideTree
+	opts := Options{MaxCrashes: 1}.withDefaults().With(WithPrune())
+
+	// Reference: a full sequential pruned walk, keeping its table.
+	refTable := newPruneTable(0)
+	full := &engine{b: b, opts: opts, acc: newSummary(), check: disagreeCheck, table: refTable}
+	full.run()
+	if full.capped || full.cancelled {
+		t.Fatal("reference walk did not complete")
+	}
+	want := censusFrom(full.acc, true)
+	if want.ViolationRuns == 0 {
+		t.Fatal("reference census found no violations; test tree too tame")
+	}
+
+	// Pick a donated child: a depth-2 prefix that is NOT the first
+	// child of its decision node (auto-descent takes child 0, which is
+	// never donated), i.e. the first terminal schedule's length-2
+	// prefix with the second choice swapped for a sibling's.
+	var first, donated []Choice
+	Visit(b, Options{MaxCrashes: 1}, func(o Outcome) bool {
+		if len(o.Schedule) < 2 {
+			return true
+		}
+		if first == nil {
+			first = append([]Choice(nil), o.Schedule[:2]...)
+			return true
+		}
+		if o.Schedule[0] == first[0] && o.Schedule[1] != first[1] {
+			donated = append([]Choice(nil), o.Schedule[:2]...)
+			return false
+		}
+		return true
+	})
+	if donated == nil {
+		t.Fatal("found no sibling child to donate")
+	}
+
+	// runSplit replays the retried-donor scenario against the given
+	// table: the donor item's walk with the donation pre-logged, plus
+	// the donated item's walk, merged. The pair partitions the tree, so
+	// the merged census must equal the reference census exactly.
+	runSplit := func(table *pruneTable) *Census {
+		t.Helper()
+		p := &stealPool{
+			ctx: context.Background(), cfg: opts.supervise(), opts: opts,
+			check: disagreeCheck, table: table, total: newSummary(),
+			claims: make(map[*stealClaim]struct{}), finished: make(chan struct{}),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		it := &stealItem{
+			pool: p, attempts: 2, current: 2,
+			skip:     map[string]bool{FormatSchedule(donated): true},
+			skipSeqs: [][]Choice{donated},
+		}
+		donor := &engine{
+			b: b, opts: opts, acc: newSummary(), check: disagreeCheck,
+			table: table, pool: p, item: it, attempt: 2, skipcheck: true,
+		}
+		donor.run()
+		den := &engine{b: b, opts: opts, acc: newSummary(), check: disagreeCheck, table: table, root: donated}
+		den.run()
+		if donor.capped || donor.cancelled || den.capped || den.cancelled {
+			t.Fatal("split walks did not complete")
+		}
+		total := newSummary()
+		total.merge(donor.acc)
+		total.merge(den.acc)
+		return censusFrom(total, true)
+	}
+
+	// Hazard 1: fresh table. The donor's ancestor frames of the donated
+	// prefix must not publish their under-counted accumulators.
+	fresh := newPruneTable(0)
+	sameCensus(t, "fresh-table split", runSplit(fresh), want)
+	for si := range fresh.shards {
+		sh := &fresh.shards[si]
+		for k, s := range sh.m {
+			ref, ok := refTable.get(k)
+			if !ok {
+				t.Errorf("split walk published key %+v never published by the full walk", k)
+				continue
+			}
+			if s.complete != ref.complete || s.incomplete != ref.incomplete || s.violations != ref.violations {
+				t.Errorf("split walk published %d/%d viol=%d under key %+v, full walk published %d/%d viol=%d",
+					s.complete, s.incomplete, s.violations, k, ref.complete, ref.incomplete, ref.violations)
+				continue
+			}
+			for o, n := range ref.outcomes {
+				if s.outcomes[o] != n {
+					t.Errorf("split walk outcome histogram %v under key %+v, want %v", s.outcomes, k, ref.outcomes)
+					break
+				}
+			}
+		}
+	}
+
+	// Hazard 2: pre-seeded table. The donor must not take a hit at the
+	// root or the depth-1 ancestor of the donated prefix, both of which
+	// the reference walk published with the donated subtree included.
+	sameCensus(t, "seeded-table split", runSplit(refTable), want)
+}
+
+// TestStealRetryStaleGeneration: a superseded attempt's panic must not
+// requeue or fail an item out from under the live attempt. Pre-fix, a
+// stale straggler reaching retryOrFail at the attempt budget marked
+// the item as a RootFailure, so the live attempt's imminent successful
+// result was discarded in resolve and the subtree silently dropped.
+func TestStealRetryStaleGeneration(t *testing.T) {
+	opts := Options{}.withDefaults().With(WithSupervision(Supervise{
+		MaxAttempts: 1, BackoffBase: time.Microsecond, BackoffMax: time.Microsecond,
+	}))
+	p := &stealPool{
+		ctx: context.Background(), cfg: opts.supervise(), opts: opts,
+		total: newSummary(), claims: make(map[*stealClaim]struct{}), finished: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	it := &stealItem{pool: p, prefix: []Choice{{Pick: 0}}, donor: -1, queued: true}
+	p.queue = append(p.queue, it)
+	p.outstanding = 1
+	if got := p.next(0); got != it {
+		t.Fatal("claim of the seeded item failed")
+	}
+	// A watchdog requeue hands the item to a second, live claim.
+	p.mu.Lock()
+	it.attempts++
+	it.current++
+	p.mu.Unlock()
+	// The stale first attempt (generation 1) panics with the budget
+	// spent: it must be a no-op, not a requeue or a RootFailure.
+	p.retryOrFail(it, 1, 1, "panic: stale straggler")
+	p.mu.Lock()
+	if it.done || len(p.failed) != 0 || len(p.queue) != 0 {
+		p.mu.Unlock()
+		t.Fatalf("stale attempt settled the item: done=%v failed=%v queue=%d", it.done, p.failed, len(p.queue))
+	}
+	p.mu.Unlock()
+	// The live attempt's completion still resolves the item.
+	p.resolve(it, 2, &engine{acc: newSummary()})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !it.done || p.outstanding != 0 || len(p.failed) != 0 {
+		t.Fatalf("live attempt did not resolve cleanly: done=%v outstanding=%d failed=%v", it.done, p.outstanding, p.failed)
 	}
 }
 
