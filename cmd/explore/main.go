@@ -44,6 +44,8 @@ func run() error {
 	workers := flag.Int("workers", 1, "exploration workers (0 or 1 sequential, -1 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for the census")
 	pruneBudget := flag.Int("prunebudget", 0, "prune-table entry budget, FIFO-evicted beyond it (0 = default cap)")
+	symmetry := flag.Bool("symmetry", false, "canonicalize fingerprints under declared process symmetry (implies -prune; audited per protocol, silently off with a note if the protocol declares none)")
+	sleepsets := flag.Bool("sleepsets", false, "skip re-exploration of independent-step commutations via the prune table (implies -prune)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: periodically persist census progress for -resume")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "save the checkpoint after this many completed subtree roots (0 = default)")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if it matches this exploration")
@@ -87,6 +89,7 @@ func run() error {
 	opts := explore.Options{
 		MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers,
 		Prune: *prune, PruneTableEntries: *pruneBudget,
+		Symmetry: *symmetry, SleepSets: *sleepsets,
 		MaxStepsPerProc: *stepLimit,
 		Context:         ctx,
 	}
@@ -311,6 +314,7 @@ func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {
 		}, p, nil
 	case "cas":
 		p := props(n)
+		spec := consensus.CASSymmetric(n)
 		return func() *sim.System {
 			sys := sim.NewSystem()
 			cas := objects.NewCAS("cas", k)
@@ -318,6 +322,7 @@ func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {
 			for _, prog := range consensus.CASProtocol(sys, cas, p) {
 				sys.Spawn(prog)
 			}
+			sys.DeclareSymmetry(spec)
 			return sys
 		}, p, nil
 	case "casdeg":

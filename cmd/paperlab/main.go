@@ -18,6 +18,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/agents"
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/election"
 	"repro/internal/explore"
@@ -46,9 +47,11 @@ func main() {
 }
 
 func run() error {
-	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9, e16")
-	workers := flag.Int("workers", 1, "census workers for E6/E16 (0 or 1 sequential, -1 = GOMAXPROCS)")
+	only := flag.String("only", "", "run a single experiment: e1, e3, e4, e5, e6, e8, e9, e16, e18")
+	workers := flag.Int("workers", 1, "census workers for E6/E16/E18 (0 or 1 sequential, -1 = GOMAXPROCS)")
 	prune := flag.Bool("prune", false, "enable state-fingerprint subtree pruning for E6/E16 censuses")
+	symmetry := flag.Bool("symmetry", false, "canonicalize census fingerprints under declared process symmetry (implies pruning; protocols without a declared spec degrade to plain pruning with a note)")
+	sleepsets := flag.Bool("sleepsets", false, "skip independent-step commutations via the prune table (implies pruning)")
 	stepLimit := flag.Int("steplimit", 0, "per-process step budget for censuses: runaway runs become counted step-limit outcomes instead of hanging (0 = sim default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -65,6 +68,12 @@ func run() error {
 
 	if *prune {
 		tunes = append(tunes, explore.WithPrune())
+	}
+	if *symmetry {
+		tunes = append(tunes, explore.WithSymmetry())
+	}
+	if *sleepsets {
+		tunes = append(tunes, explore.WithSleepSets())
 	}
 	if *workers != 0 && *workers != 1 {
 		tunes = append(tunes, explore.WithWorkers(*workers))
@@ -94,6 +103,7 @@ func run() error {
 		{"e8", "E7/E8 — emulation anatomy on the cycling workload", e8},
 		{"e9", "E9 — universality and its size limits", e9},
 		{"e16", "E16 — election degradation vs object-fault budget", e16},
+		{"e18", "E18 — reduction soundness: reduced vs unreduced censuses", e18},
 	}
 	for _, ex := range experiments {
 		if *only != "" && !strings.EqualFold(*only, ex.id) {
@@ -303,6 +313,96 @@ func e16(w *tabwriter.Writer) error {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%d\t%d\t%.4f\t%d\n",
 			tc.k, tc.n, tc.budget, tc.label,
 			r.FaultedRuns, r.SafetyViolations, r.SafetyRate(), r.LivenessLosses)
+	}
+	return nil
+}
+
+// e18 cross-checks the schedule-space reducers against ground truth:
+// on both election families (compare&swap and arbitrary RMW) and on
+// CAS consensus, the census under symmetry folding, sleep-set credit,
+// and their composition must be bit-identical to the unreduced walk,
+// while table probes — real replayed executions — shrink. This is the
+// reduced-vs-unreduced matrix of EXPERIMENTS.md E18.
+func e18(w *tabwriter.Writer) error {
+	families := []struct {
+		name string
+		run  func(t ...explore.Tune) *explore.Census
+	}{
+		{"election/DirectCAS k=4 n=3", func(t ...explore.Tune) *explore.Census {
+			return election.CensusDirect(4, 3, 0, t...)
+		}},
+		{"election/DirectRMW k=4 n=3", func(t ...explore.Tune) *explore.Census {
+			return election.CensusRMW(4, 3, 0, t...)
+		}},
+		{"consensus/CAS k=4 n=3", func(t ...explore.Tune) *explore.Census {
+			return consensus.CensusCAS(4, 3, 0, t...)
+		}},
+	}
+	modes := []struct {
+		name  string
+		extra []explore.Tune
+	}{
+		{"unreduced", nil},
+		{"prune", []explore.Tune{explore.WithPrune()}},
+		{"symmetry", []explore.Tune{explore.WithSymmetry()}},
+		{"sleepsets", []explore.Tune{explore.WithSleepSets()}},
+		{"sym+sleep", []explore.Tune{explore.WithSymmetry(), explore.WithSleepSets()}},
+	}
+	fmt.Fprintln(w, "family\tmode\tcomplete\toutcomes\tprobes\tsym hits\tsleep skips\tmatch")
+	for _, f := range families {
+		var base *explore.Census
+		for _, m := range modes {
+			local := append(append([]explore.Tune{}, tunes...), m.extra...)
+			c := f.run(local...)
+			if !c.Exhaustive || c.Cancelled || len(c.Errors) > 0 {
+				if !allowPartial {
+					return fmt.Errorf("e18: %s/%s census incomplete (exhaustive=%v cancelled=%v, %d errors)",
+						f.name, m.name, c.Exhaustive, c.Cancelled, len(c.Errors))
+				}
+				fmt.Fprintf(w, "%s\t%s\tpartial\t—\t—\t—\t—\tskipped\n", f.name, m.name)
+				continue
+			}
+			probes, symHits, sleepSkips := "—", "—", "—"
+			if p := c.Prune; p != nil {
+				probes = fmt.Sprint(p.Probes)
+				symHits = fmt.Sprint(p.SymmetryHits)
+				sleepSkips = fmt.Sprint(p.SleepSkips)
+			}
+			match := "baseline"
+			if base != nil {
+				match = "ok"
+				if err := sameCounts(c, base); err != nil {
+					if !allowPartial {
+						return fmt.Errorf("e18: %s/%s diverges from unreduced census: %w", f.name, m.name, err)
+					}
+					match = "MISMATCH"
+				}
+			} else {
+				base = c
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+				f.name, m.name, c.Complete, len(c.Outcomes), probes, symHits, sleepSkips, match)
+		}
+	}
+	return nil
+}
+
+// sameCounts reports whether two censuses agree on every number a
+// reducer must preserve.
+func sameCounts(got, want *explore.Census) error {
+	if got.Complete != want.Complete || got.Incomplete != want.Incomplete ||
+		got.ViolationRuns != want.ViolationRuns || got.Exhaustive != want.Exhaustive {
+		return fmt.Errorf("counts %d/%d viol=%d ex=%v, want %d/%d viol=%d ex=%v",
+			got.Complete, got.Incomplete, got.ViolationRuns, got.Exhaustive,
+			want.Complete, want.Incomplete, want.ViolationRuns, want.Exhaustive)
+	}
+	if len(got.Outcomes) != len(want.Outcomes) {
+		return fmt.Errorf("outcome histogram %v, want %v", got.Outcomes, want.Outcomes)
+	}
+	for k, v := range want.Outcomes {
+		if got.Outcomes[k] != v {
+			return fmt.Errorf("outcome %q × %d, want × %d", k, got.Outcomes[k], v)
+		}
 	}
 	return nil
 }

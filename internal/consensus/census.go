@@ -1,21 +1,72 @@
 package consensus
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"repro/internal/explore"
 	"repro/internal/objects"
 	"repro/internal/sim"
 )
 
+// CASSymmetric is the process-symmetry spec of the canonical CAS
+// consensus census: proposals are 100+i for process i, claimed CAS
+// symbols are i+1, and each process announces its proposal in its own
+// SWMR cell "cas.ann[i]". Renaming the processes by π therefore
+// renames proposal 100+i to 100+π(i), symbol i+1 to π(i)+1, and cell
+// "cas.ann[i]" to "cas.ann[π(i)]"; the shared "cas" register keeps its
+// name. The spec is tied to those conventions — a census with a
+// different proposal scheme must build its own spec.
+func CASSymmetric(n int) *sim.Symmetry {
+	const pre = "cas.ann["
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			switch x := v.(type) {
+			case int:
+				if x >= 100 && x < 100+n {
+					return 100 + int(perm[x-100])
+				}
+			case objects.Symbol:
+				if s := int(x); s >= 1 && s <= n {
+					return objects.Symbol(perm[s-1] + 1)
+				}
+			}
+			return v
+		},
+		RenameObject: func(name string, perm []sim.ProcID) string {
+			if strings.HasPrefix(name, pre) && strings.HasSuffix(name, "]") {
+				if i, err := strconv.Atoi(name[len(pre) : len(name)-1]); err == nil && i >= 0 && i < n {
+					return fmt.Sprintf("cas.ann[%d]", perm[i])
+				}
+			}
+			return name
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(v int) int {
+				if v >= 100 && v < 100+n {
+					return 100 + int(perm[v-100])
+				}
+				return v
+			})
+		},
+	}
+}
+
 // CensusCAS exhaustively censuses the canonical compare&swap-(k)
 // n-consensus protocol (propose ⊥→your symbol, read the winner),
 // checking agreement and validity on every complete run with up to one
 // crash. tunes forward exploration tuning (explore.WithPrune,
-// explore.WithWorkers) to the census.
+// explore.WithWorkers) to the census. The builder declares
+// CASSymmetric, so explore.WithSymmetry() folds process-permutation
+// classes of the walk.
 func CensusCAS(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 	props := make([]sim.Value, n)
 	for i := range props {
 		props[i] = 100 + i
 	}
+	spec := CASSymmetric(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
@@ -23,6 +74,7 @@ func CensusCAS(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		for _, p := range CASProtocol(sys, cas, props) {
 			sys.Spawn(p)
 		}
+		sys.DeclareSymmetry(spec)
 		return sys
 	}
 	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)

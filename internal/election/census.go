@@ -6,13 +6,50 @@ import (
 	"repro/internal/sim"
 )
 
+// DirectSymmetric is the process-symmetry spec of the direct election
+// protocols (DirectCAS and DirectRMW): identities ARE process indices,
+// so renaming the processes by π renames decision i to π(i) and claimed
+// symbol i+1 to π(i)+1, with ⊥ (and any symbol outside the claimed
+// range) fixed. The single shared register is permutation-invariant by
+// name, so no RenameObject is needed. The full symmetric group applies:
+// the protocols treat every process identically up to its identity.
+func DirectSymmetric(n int) *sim.Symmetry {
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			switch x := v.(type) {
+			case int:
+				if x >= 0 && x < n {
+					return int(perm[x])
+				}
+			case objects.Symbol:
+				if s := int(x); s >= 1 && s <= n {
+					return objects.Symbol(perm[s-1] + 1)
+				}
+			}
+			return v
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(i int) int {
+				if i >= 0 && i < n {
+					return int(perm[i])
+				}
+				return i
+			})
+		},
+	}
+}
+
 // CensusDirect exhaustively censuses the DirectCAS election of n
 // processes over one compare&swap-(k) register, checking consistency
 // and validity on every complete run (with up to one crash — the
 // wait-freedom regime of the paper's Claim rows). tunes forward
 // exploration tuning, e.g. explore.WithPrune() or
-// explore.WithWorkers(n), without changing the experiment's shape.
+// explore.WithWorkers(n), without changing the experiment's shape. The
+// builder declares DirectSymmetric, so explore.WithSymmetry() reduces
+// the walk to one subtree per process-permutation class.
 func CensusDirect(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	spec := DirectSymmetric(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
@@ -20,6 +57,34 @@ func CensusDirect(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		for _, p := range DirectCAS(cas, n) {
 			sys.Spawn(p)
 		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		return CheckElection(res, ids)
+	})
+}
+
+// CensusRMW is CensusDirect for the OTHER election family: the
+// DirectRMW protocol over one arbitrary k-valued read-modify-write
+// register (claim-if-empty), the paper's conjectured generalization
+// from compare&swap-(k). Same check, same crash regime, same declared
+// symmetry — the protocol is identity-symmetric for exactly the same
+// reason DirectCAS is.
+func CensusRMW(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	spec := DirectSymmetric(n)
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		progs, _ := DirectRMW(sys, "rmw", k, n)
+		for _, p := range progs {
+			sys.Spawn(p)
+		}
+		sys.DeclareSymmetry(spec)
 		return sys
 	}
 	ids := make([]sim.Value, n)

@@ -40,6 +40,7 @@ func electionInstance(k, n, crashes int) benchInstance {
 	for i := range ids {
 		ids[i] = i
 	}
+	spec := election.DirectSymmetric(n)
 	return benchInstance{
 		name: fmt.Sprintf("direct-cas/k=%d/n=%d/crashes=%d", k, n, crashes),
 		b: func() *sim.System {
@@ -49,6 +50,9 @@ func electionInstance(k, n, crashes int) benchInstance {
 			for _, p := range election.DirectCAS(cas, n) {
 				sys.Spawn(p)
 			}
+			// Only the symmetry engines consult the declaration; the
+			// baseline engines run the identical system regardless.
+			sys.DeclareSymmetry(spec)
 			return sys
 		},
 		opts:  explore.Options{MaxCrashes: crashes},
@@ -96,6 +100,25 @@ func BenchmarkExplore(b *testing.B) {
 		// how much genuine parallelism backed the recorded numbers.
 		{"pruned-parallel", func(in benchInstance) int {
 			c := explore.Run(in.b, in.opts.With(explore.WithPrune(), explore.WithWorkers(4)), in.check)
+			return c.Complete + c.Incomplete
+		}},
+		// The reduction engines fold the schedule space before probing
+		// the table: symmetry canonicalizes fingerprints under the
+		// declared process permutations, sleep sets credit independent-
+		// step commutations, "reduced" composes both. Counts stay
+		// bit-identical (TestReducedCensusMatchesUnreduced); what drops
+		// is the number of replayed executions behind each credited run.
+		{"pruned-symmetry", func(in benchInstance) int {
+			c := explore.Run(in.b, in.opts.With(explore.WithSymmetry()), in.check)
+			return c.Complete + c.Incomplete
+		}},
+		{"pruned-reduced", func(in benchInstance) int {
+			c := explore.Run(in.b, in.opts.With(explore.WithSymmetry(), explore.WithSleepSets()), in.check)
+			return c.Complete + c.Incomplete
+		}},
+		{"pruned-parallel-reduced", func(in benchInstance) int {
+			c := explore.Run(in.b, in.opts.With(explore.WithSymmetry(), explore.WithSleepSets(),
+				explore.WithWorkers(4)), in.check)
 			return c.Complete + c.Incomplete
 		}},
 	}

@@ -112,6 +112,13 @@ type ckFile struct {
 // a plain Run with no checkpointing (stats zero).
 func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck Checkpoint) (*Census, CheckpointStats, error) {
 	opts = opts.withDefaults()
+	if opts.Prune {
+		// Resolve symmetry up front so the Canonicalizer is built and
+		// audited once and rides through Options into every root engine.
+		// A refusal also lands here (Symmetry flips off), making the
+		// checkpoint key fold the EFFECTIVE reducer set deterministically.
+		opts = resolveSymmetry(b, opts)
+	}
 	var stats CheckpointStats
 	workers := opts.workerCount()
 	items, ok := frontier(b, opts, workers)
@@ -246,6 +253,7 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 	c.Cancelled = cancelled
 	if table != nil {
 		c.Prune = table.statsSnapshot()
+		opts.markReducers(c.Prune)
 	}
 	return c, stats, nil
 }
@@ -304,9 +312,9 @@ func checkpointKey(opts Options, items []frontierItem) uint64 {
 			h *= fnvPrime
 		}
 	}
-	fold(fmt.Sprintf("d%d c%d f%d m%v r%d s%d",
+	fold(fmt.Sprintf("d%d c%d f%d m%v r%d s%d y%t z%t",
 		opts.MaxDepth, opts.MaxCrashes, opts.ObjectFaults, opts.FaultModes,
-		opts.MaxRuns, opts.MaxStepsPerProc))
+		opts.MaxRuns, opts.MaxStepsPerProc, opts.Symmetry, opts.SleepSets))
 	for _, it := range items {
 		if it.prefix != nil {
 			fold("|" + FormatSchedule(it.prefix))

@@ -38,6 +38,21 @@ type engine struct {
 	check func(*sim.Result) error
 	// table enables transposition pruning (census mode only).
 	table *pruneTable
+	// canon, when non-nil (and table is set), switches the table keys to
+	// symmetry-canonical fingerprints: frames remember their canonical
+	// orientation (frame.permIdx) so publishes rename outcome keys INTO
+	// canonical coordinates and hits rename them back OUT. Resolved once
+	// per census by resolveSymmetry, shared read-only by all workers.
+	canon *sim.Canonicalizer
+	// sleep enables independence (sleep-set) pruning: when the last two
+	// edges of a probe are plain picks of different processes pending on
+	// different objects, the node's freshly computed table key is
+	// memoized on the grandparent frame (recordPair); backtracking into
+	// the swapped sibling order then credits the subtree straight from
+	// the table without replaying a probe (creditChild). Sound because
+	// steps on distinct objects commute EXACTLY: the swapped orders
+	// reach identical states, hence identical keys.
+	sleep bool
 
 	// root is a fixed schedule prefix under which the walk happens
 	// (empty for a whole-tree walk); path holds the edges taken below
@@ -52,10 +67,22 @@ type engine struct {
 	// appends, popping truncates — LIFO like the frames themselves — so
 	// the per-decision-point copy costs no allocation after warm-up.
 	readyArena []sim.ProcID
+	// pendingArena parallels readyArena when sleep is on: entry
+	// f.readyOff+i is the interned pending-object ID of ready process
+	// readyArena[f.readyOff+i] at that decision point — the static
+	// footprint the independence test compares.
+	pendingArena []int32
+	// objIDs interns object names to small ints for pendingArena.
+	objIDs map[string]int32
 
 	// freeSums recycles frame summaries that were merged into their
 	// parent but not published (the table owns published ones).
 	freeSums []*summary
+	// freePairs recycles the frames' pair-memo slices. Pair slices have
+	// non-nested lifetimes relative to the arena (a frame may accumulate
+	// pairs long after deeper frames pushed), so they recycle through a
+	// freelist instead of arena truncation.
+	freePairs [][]pairRec
 
 	// scratch, in census mode, receives each probe's Result; see
 	// sim.Scratch for the aliasing contract. nil in visit modes, whose
@@ -102,6 +129,13 @@ type frame struct {
 	acc      *summary // census mode: subtree accumulator
 	key      tableKey // pruning: this node's table key
 	hasKey   bool
+	// permIdx is the canonical orientation of this node's key (index
+	// into the canonicalizer's permutation group; 0 = identity/plain).
+	permIdx int32
+	// pairs are the sleep-set memos recorded AT this frame: child
+	// sequences u·a·b whose reorder u·b·a is known to reach the node
+	// with the stored table key. Recycled via the engine's freePairs.
+	pairs []pairRec
 	// donated marks a frame whose subtree lost children to a donation
 	// (or an ancestor of one): its accumulator no longer covers the
 	// whole subtree under its key and must never be published.
@@ -111,9 +145,24 @@ type frame struct {
 // scratchPool recycles sim.Scratch buffers across census engines.
 var scratchPool = sync.Pool{New: func() any { return sim.NewScratch() }}
 
+// pairRec is one sleep-set memo: from the frame holding it, taking
+// plain picks first·second reaches a node whose table key is key at
+// canonical orientation permIdx. Recorded when first and second were
+// pending on distinct objects (so second·first commutes to the same
+// node), consumed by creditChild when backtracking into second·….
+type pairRec struct {
+	first, second sim.ProcID
+	key           tableKey
+	permIdx       int32
+}
+
 func (en *engine) run() {
 	if en.acc != nil && en.scratch == nil {
 		en.scratch = scratchPool.Get().(*sim.Scratch)
+	}
+	if en.table != nil {
+		en.canon = en.opts.canon
+		en.sleep = en.opts.SleepSets
 	}
 	for {
 		if en.runs >= en.opts.MaxRuns {
@@ -126,7 +175,16 @@ func (en *engine) run() {
 		}
 		res, pruned := en.probe()
 		if pruned != nil {
-			en.parentAcc().merge(pruned)
+			// A hit found under canonical keys may match at a different
+			// orientation than the stored subtree was published in; the
+			// stored outcome keys are in canonical coordinates, so merge
+			// them back through the INVERSE of this node's orientation.
+			if en.canon != nil && en.pr.prunedPerm != 0 {
+				en.parentAcc().mergeRenamed(pruned, en.canon.OutcomeRenamerInv(en.pr.prunedPerm))
+				en.table.symHits.Add(1)
+			} else {
+				en.parentAcc().merge(pruned)
+			}
 			en.runs += pruned.complete + pruned.incomplete
 		} else {
 			en.terminal(res)
@@ -168,6 +226,9 @@ func (en *engine) probe() (*sim.Result, *summary) {
 	sys := en.b()
 	en.pr = prober{en: en, sys: sys, plan: en.plan, crashBuf: en.pr.crashBuf}
 	p := &en.pr
+	if en.table != nil {
+		en.table.probes.Add(1)
+	}
 	cfg := sim.Config{
 		Scheduler:       p,
 		Faults:          p,
@@ -175,6 +236,7 @@ func (en *engine) probe() (*sim.Result, *summary) {
 		MaxTotalSteps:   en.opts.MaxDepth + 1,
 		DisableTrace:    true,
 		Fingerprint:     en.table != nil,
+		Canon:           en.canon,
 		Scratch:         en.scratch,
 	}
 	if en.opts.ObjectFaults > 0 {
@@ -269,6 +331,9 @@ func (en *engine) backtrack() bool {
 				}
 				continue
 			}
+			if en.sleep && en.creditChild(f, c) {
+				continue
+			}
 			en.path[len(en.frames)-1] = c
 			en.path = en.path[:len(en.frames)]
 			return true
@@ -276,6 +341,115 @@ func (en *engine) backtrack() bool {
 		en.popFrame(true)
 	}
 	return false
+}
+
+// creditChild consumes a sleep-set memo: child c of the deepest frame
+// is reached by swapping the frame's incoming edge with c, and if that
+// exact swap was memoized on the grandparent (recordPair) the reordered
+// node's summary is credited straight from the table — the subtree is
+// counted without replaying a single probe. A miss (the entry was
+// evicted, or the subtree is not fully published yet) falls through to
+// a normal descent, so eviction degrades the savings, never the counts.
+func (en *engine) creditChild(f *frame, c Choice) bool {
+	d := len(en.frames) - 1
+	if d < 1 || c.Crash || c.Fault != sim.FaultNone {
+		return false
+	}
+	in := en.path[d-1] // the frame's incoming edge
+	if in.Crash || in.Fault != sim.FaultNone || in.Pick == c.Pick {
+		return false
+	}
+	g := &en.frames[d-1]
+	for i := range g.pairs {
+		pr := &g.pairs[i]
+		if pr.first != c.Pick || pr.second != in.Pick {
+			continue
+		}
+		// Under a donation log, the reordered node's subtree may contain
+		// children excised to other queue items; crediting the full
+		// stored summary would double-count them. The exact-match case
+		// was excluded by the skips() check above; proper ancestors are
+		// excluded here.
+		if en.skipcheck && en.item.shadowsChild(en.root, en.path[:d], c) {
+			return false
+		}
+		s, hit := en.table.get(pr.key)
+		if !hit {
+			return false
+		}
+		if en.canon != nil && pr.permIdx != 0 {
+			f.acc.mergeRenamed(s, en.canon.OutcomeRenamerInv(int(pr.permIdx)))
+		} else {
+			f.acc.merge(s)
+		}
+		en.runs += s.complete + s.incomplete
+		en.table.sleepSkips.Add(1)
+		return true
+	}
+	return false
+}
+
+// recordPair memoizes the just-computed key of the current probe node
+// when its last two edges are independent: plain picks of distinct
+// processes that were pending on distinct objects. The memo lands on
+// the frame those two edges left (the reordered node's grandparent),
+// which is exactly where creditChild will backtrack through. Frame
+// identity makes the independence test stable: the memo is only ever
+// consulted on the very frame instance it was recorded on.
+func (en *engine) recordPair(key tableKey, permIdx int) {
+	L := len(en.path)
+	if L < 2 {
+		return
+	}
+	a, b := en.path[L-2], en.path[L-1]
+	if a.Crash || b.Crash || a.Fault != sim.FaultNone || b.Fault != sim.FaultNone || a.Pick == b.Pick {
+		return
+	}
+	g := &en.frames[L-2]
+	pa := en.pendingAt(g, a.Pick)
+	pb := en.pendingAt(&en.frames[L-1], b.Pick)
+	if pa < 0 || pb < 0 || pa == pb {
+		return
+	}
+	if g.pairs == nil {
+		g.pairs = en.getPairs()
+	}
+	g.pairs = append(g.pairs, pairRec{first: a.Pick, second: b.Pick, key: key, permIdx: int32(permIdx)})
+}
+
+// pendingAt is the interned pending-object ID process id had at frame
+// f's decision point (-1 if id was not in f's ready set).
+func (en *engine) pendingAt(f *frame, id sim.ProcID) int32 {
+	r := en.ready(f)
+	for i, q := range r {
+		if q == id {
+			return en.pendingArena[f.readyOff+i]
+		}
+	}
+	return -1
+}
+
+// objID interns an object name for pendingArena comparisons.
+func (en *engine) objID(name string) int32 {
+	if id, ok := en.objIDs[name]; ok {
+		return id
+	}
+	if en.objIDs == nil {
+		en.objIDs = make(map[string]int32)
+	}
+	id := int32(len(en.objIDs))
+	en.objIDs[name] = id
+	return id
+}
+
+// getPairs draws a cleared pair-memo slice from the freelist.
+func (en *engine) getPairs() []pairRec {
+	if n := len(en.freePairs); n > 0 {
+		ps := en.freePairs[n-1]
+		en.freePairs = en.freePairs[:n-1]
+		return ps[:0]
+	}
+	return make([]pairRec, 0, 4)
 }
 
 // donate hands the pool every untried child of the shallowest open
@@ -319,7 +493,19 @@ func (en *engine) popFrame(publish bool) {
 	if f.acc != nil {
 		stored := false
 		if publish && f.hasKey && !f.donated {
-			stored = en.table.put(f.key, f.acc)
+			if en.canon != nil && f.permIdx != 0 {
+				// The key is canonical but this walk accumulated outcome
+				// keys in its own (non-canonical) orientation: publish a
+				// COPY renamed into canonical coordinates, and keep the
+				// raw accumulator for the parent merge below.
+				pub := en.getSummary()
+				pub.mergeRenamed(f.acc, en.canon.OutcomeRenamer(int(f.permIdx)))
+				if !en.table.put(f.key, pub) {
+					en.putSummary(pub)
+				}
+			} else {
+				stored = en.table.put(f.key, f.acc)
+			}
 		}
 		if i > 0 {
 			en.frames[i-1].acc.merge(f.acc)
@@ -330,6 +516,13 @@ func (en *engine) popFrame(publish bool) {
 			en.putSummary(f.acc)
 		}
 		f.acc = nil
+	}
+	if f.pairs != nil {
+		en.freePairs = append(en.freePairs, f.pairs)
+		f.pairs = nil
+	}
+	if en.sleep {
+		en.pendingArena = en.pendingArena[:f.readyOff]
 	}
 	en.readyArena = en.readyArena[:f.readyOff]
 	en.frames = en.frames[:i]
@@ -388,7 +581,10 @@ type prober struct {
 	crashes int      // crash choices consumed so far
 	faults  int      // object-fault choices consumed so far
 	pruned  *summary // set when a table hit ended the probe
-	dead    bool     // planned pick was not ready (builder bug)
+	// prunedPerm is the canonical orientation the hit node's key was
+	// computed at; run() un-renames the consumed summary through it.
+	prunedPerm int
+	dead       bool // planned pick was not ready (builder bug)
 	// pendingFault is armed by Next when the consumed plan choice
 	// carries an object fault and collected by FaultOp from the granted
 	// step's Env.Apply. Auto-descent never faults: fault branches exist
@@ -457,23 +653,45 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 			// skip excision below — so the retried walk must neither
 			// consult nor publish the table at this node.
 			f.donated = true
-		} else if fp, ok := p.sys.StateHash(); ok {
-			key := tableKey{
-				fp:       fp,
-				depthRem: en.opts.MaxDepth - p.pos,
-				crashRem: en.opts.MaxCrashes - p.crashes,
-				faultRem: en.opts.ObjectFaults - p.faults,
+		} else {
+			var fp uint64
+			var permIdx int
+			var ok bool
+			if en.canon != nil {
+				fp, permIdx, ok = p.sys.StateHashCanon()
+			} else {
+				fp, ok = p.sys.StateHash()
 			}
-			if s, hit := en.table.get(key); hit {
-				p.pruned = s
-				return sim.Halt
+			if ok {
+				key := tableKey{
+					fp:       fp,
+					depthRem: en.opts.MaxDepth - p.pos,
+					crashRem: en.opts.MaxCrashes - p.crashes,
+					faultRem: en.opts.ObjectFaults - p.faults,
+				}
+				if en.sleep {
+					// Memoize the key whether or not this probe continues:
+					// a sibling reorder wants it either way.
+					en.recordPair(key, permIdx)
+				}
+				if s, hit := en.table.get(key); hit {
+					p.pruned = s
+					p.prunedPerm = permIdx
+					return sim.Halt
+				}
+				f.key, f.hasKey = key, true
+				f.permIdx = int32(permIdx)
 			}
-			f.key, f.hasKey = key, true
 		}
 	}
 	f.readyOff = len(en.readyArena)
 	f.readyN = len(ready)
 	en.readyArena = append(en.readyArena, ready...)
+	if en.sleep {
+		for _, id := range ready {
+			en.pendingArena = append(en.pendingArena, en.objID(p.sys.PendingObject(id)))
+		}
+	}
 	f.next = 1 // child 0 is the descent we take right now
 	if en.acc != nil {
 		f.acc = en.getSummary()

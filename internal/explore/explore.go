@@ -112,6 +112,29 @@ type Options struct {
 	// weakens pruning (an evicted subtree is re-walked), never the
 	// census counts. Zero means the package default (see prune.go).
 	PruneTableEntries int
+	// Symmetry enables process-symmetry canonicalization of the
+	// transposition keys: states equal up to a process permutation from
+	// the protocol's declared group share one table entry, so the walk
+	// explores one subtree per symmetry CLASS. Strictly opt-in and
+	// verified: the builder's system must carry a sim.Symmetry spec
+	// (DeclareSymmetry), which is structurally validated and empirically
+	// audited before the first probe — on any failure the census runs
+	// unreduced and records why in PruneStats.SymmetryNote, never
+	// silently trusting an unsound spec. Census counts, outcome
+	// histograms and violation counts are bit-identical to the unreduced
+	// walk (stored summaries are published in canonical coordinates and
+	// translated back per hit). Implies Prune.
+	Symmetry bool
+	// SleepSets enables independence (sleep-set/DPOR-style) pruning:
+	// when two adjacent plain steps of different processes touch
+	// DISTINCT objects they commute exactly, so the sibling order
+	// reconverges to the same state — the engine memoizes the reordered
+	// node's table key at first visit and credits the sibling subtree
+	// straight from the table at backtrack time, skipping the whole
+	// replay probe that plain pruning would still pay. Counts are exact
+	// (it is the transposition argument applied eagerly); the savings
+	// show up as fewer probes, not fewer credited runs. Implies Prune.
+	SleepSets bool
 	// Context, when non-nil, cancels the walk cooperatively: engines
 	// check it once per terminal probe (and the supervisor between root
 	// claims), so a cancelled run stops within one probe per worker and
@@ -124,6 +147,14 @@ type Options struct {
 	// runs a successful walk counts. Sequential walks ignore it (a
 	// sequential panic propagates as before).
 	Supervision *Supervise
+
+	// canon is the validated Canonicalizer resolved from the builder's
+	// declared symmetry spec (resolveSymmetry); non-nil only when
+	// Symmetry survived validation and audit. symNote records why
+	// symmetry was refused. Both are plumbing, set by the census entry
+	// points, never by callers.
+	canon   *sim.Canonicalizer
+	symNote string
 }
 
 // Tune is a functional option for exploration entry points that take
@@ -135,6 +166,12 @@ func WithWorkers(n int) Tune { return func(o *Options) { o.Workers = n } }
 
 // WithPrune enables Options.Prune.
 func WithPrune() Tune { return func(o *Options) { o.Prune = true } }
+
+// WithSymmetry enables Options.Symmetry (which implies Prune).
+func WithSymmetry() Tune { return func(o *Options) { o.Symmetry = true } }
+
+// WithSleepSets enables Options.SleepSets (which implies Prune).
+func WithSleepSets() Tune { return func(o *Options) { o.SleepSets = true } }
 
 // WithObjectFaults tunes the object-fault budget and, optionally, the
 // enumerated modes (crash-only when none given).
@@ -216,6 +253,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ObjectFaults > 0 && len(o.FaultModes) == 0 {
 		o.FaultModes = []sim.FaultMode{sim.FaultCrash}
+	}
+	if o.Symmetry || o.SleepSets {
+		o.Prune = true // both reducers live on the transposition table
 	}
 	return o
 }

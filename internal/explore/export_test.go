@@ -1,0 +1,12 @@
+package explore
+
+import "testing"
+
+// ForceDonation re-exports the forced-donation chaos hook for
+// package explore_test cross-checks: those tests import the protocol
+// packages (election, consensus), which import explore, so they cannot
+// live in package explore without an import cycle.
+func ForceDonation(t *testing.T) {
+	t.Helper()
+	forceDonation(t)
+}

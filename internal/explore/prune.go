@@ -122,6 +122,38 @@ func (s *summary) merge(t *summary) {
 	}
 }
 
+// mergeRenamed is merge with every outcome key mapped through rename —
+// the translation step of symmetry-canonical table storage. A summary
+// stored at canonical orientation π holds outcome keys renamed under π;
+// publishing merges under π, consuming a hit merges under π⁻¹ (see
+// engine.popFrame and engine.run). Counts transfer untouched; violation
+// representatives keep their first-encounter schedules unrenamed,
+// exactly like plain merge (the replayability contract is per-schedule,
+// not per-hit-point). A nil rename degrades to plain merge.
+func (s *summary) mergeRenamed(t *summary, rename func(string) string) {
+	if rename == nil {
+		s.merge(t)
+		return
+	}
+	s.complete += t.complete
+	s.incomplete += t.incomplete
+	if len(t.outcomes) > 0 && s.outcomes == nil {
+		s.outcomes = make(map[string]int)
+	}
+	for k, v := range t.outcomes {
+		s.outcomes[rename(k)] += v
+	}
+	s.violations += t.violations
+	for _, r := range t.reps {
+		if len(s.reps) >= MaxRecordedViolations {
+			break
+		}
+		if !s.hasRep(r) {
+			s.reps = append(s.reps, r)
+		}
+	}
+}
+
 func (s *summary) hasRep(o Outcome) bool {
 	for _, r := range s.reps {
 		if schedulesEqual(r.Schedule, o.Schedule) {
@@ -177,6 +209,21 @@ type PruneStats struct {
 	// their donor. Both are zero for sequential censuses.
 	Donations uint64 `json:"donations"`
 	Steals    uint64 `json:"steals"`
+	// Probes counts system replays (one per terminal run or table hit) —
+	// the "explored executions" a schedule-space reducer is trying to
+	// cut. SymmetryHits counts table hits consumed at a non-identity
+	// canonical orientation (states recognized only thanks to symmetry);
+	// SleepSkips counts sibling subtrees credited at backtrack time via
+	// an independence pair memo, each of which saved one whole probe.
+	Probes       uint64 `json:"probes,omitempty"`
+	SymmetryHits uint64 `json:"symmetry_hits,omitempty"`
+	SleepSkips   uint64 `json:"sleep_skips,omitempty"`
+	// SymmetryOn/SleepSetsOn record which reducers were ACTIVE (symmetry
+	// may be refused even when requested); SymmetryNote says why it was
+	// refused, empty otherwise.
+	SymmetryOn   bool   `json:"symmetry_on,omitempty"`
+	SleepSetsOn  bool   `json:"sleep_sets_on,omitempty"`
+	SymmetryNote string `json:"symmetry_note,omitempty"`
 }
 
 // pruneShard is one lock stripe of the table.
@@ -204,6 +251,7 @@ type pruneTable struct {
 	shardCap int
 
 	hits, misses, stores, evictions atomic.Uint64
+	probes, symHits, sleepSkips     atomic.Uint64
 }
 
 func newPruneTable(capacity int) *pruneTable {
@@ -297,11 +345,21 @@ func (t *pruneTable) size() int {
 // are merged in by the steal pool).
 func (t *pruneTable) statsSnapshot() *PruneStats {
 	return &PruneStats{
-		Hits:      t.hits.Load(),
-		Misses:    t.misses.Load(),
-		Stores:    t.stores.Load(),
-		Evictions: t.evictions.Load(),
+		Hits:         t.hits.Load(),
+		Misses:       t.misses.Load(),
+		Stores:       t.stores.Load(),
+		Evictions:    t.evictions.Load(),
+		Probes:       t.probes.Load(),
+		SymmetryHits: t.symHits.Load(),
+		SleepSkips:   t.sleepSkips.Load(),
 	}
+}
+
+// markReducers stamps the active-reducer flags onto a stats snapshot.
+func (o Options) markReducers(st *PruneStats) {
+	st.SymmetryOn = o.canon != nil
+	st.SleepSetsOn = o.SleepSets
+	st.SymmetryNote = o.symNote
 }
 
 func censusFrom(acc *summary, exhaustive bool) *Census {
@@ -319,6 +377,47 @@ func censusFrom(acc *summary, exhaustive bool) *Census {
 	}
 }
 
+// symmetryAuditRounds/Steps size the empirical equivariance audit run
+// once per census before symmetry reduction is allowed on (see
+// sim.AuditSymmetry). A handful of rotated schedules times every group
+// element catches every spec mistake the test suite has produced;
+// structural validation (NewCanonicalizer) catches the rest.
+const (
+	symmetryAuditRounds = 3
+	symmetryAuditSteps  = 64
+)
+
+// resolveSymmetry turns Options.Symmetry into a working Canonicalizer,
+// or off. The builder's probe system (built, never run) supplies the
+// declared spec and the object shape; structural validation and the
+// equivariance audit must BOTH pass, otherwise the census proceeds
+// unreduced with the refusal recorded — requested-but-unsound symmetry
+// is a degraded run, never a wrong one.
+func resolveSymmetry(b Builder, opts Options) Options {
+	if !opts.Symmetry {
+		return opts
+	}
+	opts.Symmetry = false
+	probe := b()
+	spec := probe.SymmetrySpec()
+	if spec == nil {
+		opts.symNote = "symmetry off: builder declares no sim.Symmetry spec"
+		return opts
+	}
+	canon, err := sim.NewCanonicalizer(probe, spec)
+	if err != nil {
+		opts.symNote = "symmetry off: " + err.Error()
+		return opts
+	}
+	if err := sim.AuditSymmetry(b, canon, symmetryAuditRounds, symmetryAuditSteps); err != nil {
+		opts.symNote = "symmetry off: " + err.Error()
+		return opts
+	}
+	opts.Symmetry = true
+	opts.canon = canon
+	return opts
+}
+
 // pruneCensus is Run with transposition pruning, sequential or
 // parallel. The parallel walk shares one striped table across all
 // workers and balances load by work stealing (see steal.go): workers
@@ -327,6 +426,7 @@ func censusFrom(acc *summary, exhaustive bool) *Census {
 // idle. Retry with backoff, the stall watchdog and chaos injection
 // carry over from the supervisor unchanged.
 func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census {
+	opts = resolveSymmetry(b, opts)
 	table := newPruneTable(opts.PruneTableEntries)
 	workers := opts.workerCount()
 	sequential := func() *Census {
@@ -335,6 +435,7 @@ func pruneCensus(b Builder, opts Options, check func(*sim.Result) error) *Census
 		c := censusFrom(en.acc, !en.capped && !en.cancelled)
 		c.Cancelled = en.cancelled
 		c.Prune = table.statsSnapshot()
+		opts.markReducers(c.Prune)
 		return c
 	}
 	if workers <= 1 {

@@ -1,0 +1,177 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+func assertCensusEqual(t *testing.T, label string, got, want *explore.Census) {
+	t.Helper()
+	if got.Complete != want.Complete || got.Incomplete != want.Incomplete ||
+		got.ViolationRuns != want.ViolationRuns || got.Exhaustive != want.Exhaustive {
+		t.Fatalf("%s: census %d/%d viol=%d ex=%v, want %d/%d viol=%d ex=%v",
+			label, got.Complete, got.Incomplete, got.ViolationRuns, got.Exhaustive,
+			want.Complete, want.Incomplete, want.ViolationRuns, want.Exhaustive)
+	}
+	if len(got.Outcomes) != len(want.Outcomes) {
+		t.Fatalf("%s: outcome histogram %v, want %v", label, got.Outcomes, want.Outcomes)
+	}
+	for k, v := range want.Outcomes {
+		if got.Outcomes[k] != v {
+			t.Fatalf("%s: outcome histogram %v, want %v", label, got.Outcomes, want.Outcomes)
+		}
+	}
+	if (len(got.Violations) == 0) != (len(want.Violations) == 0) {
+		t.Fatalf("%s: recorded %d violation reps, want %d", label, len(got.Violations), len(want.Violations))
+	}
+}
+
+// TestReducedCensusMatchesUnreduced is the fast-tier soundness smoke
+// for the schedule-space reducers: symmetry folding and sleep-set table
+// credit must leave every census number bit-identical to the plain
+// unpruned walk — on both election families and CAS consensus,
+// sequentially and under forced-donation work stealing. It also pins
+// the perf claim's direction: symmetry must strictly cut table probes
+// on these fully symmetric protocols.
+func TestReducedCensusMatchesUnreduced(t *testing.T) {
+	explore.ForceDonation(t)
+	protocols := []struct {
+		name string
+		run  func(tunes ...explore.Tune) *explore.Census
+	}{
+		{"election-direct-cas", func(tunes ...explore.Tune) *explore.Census {
+			return election.CensusDirect(4, 3, 0, tunes...)
+		}},
+		{"election-direct-rmw", func(tunes ...explore.Tune) *explore.Census {
+			return election.CensusRMW(4, 3, 0, tunes...)
+		}},
+		{"consensus-cas", func(tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusCAS(3, 2, 0, tunes...)
+		}},
+	}
+	reducers := []struct {
+		name  string
+		tunes []explore.Tune
+	}{
+		{"symmetry", []explore.Tune{explore.WithSymmetry()}},
+		{"sleepsets", []explore.Tune{explore.WithSleepSets()}},
+		{"both", []explore.Tune{explore.WithSymmetry(), explore.WithSleepSets()}},
+	}
+	for _, p := range protocols {
+		t.Run(p.name, func(t *testing.T) {
+			want := p.run()                        // plain replay walk: ground truth
+			plain := p.run(explore.WithPrune())    // pruning only: probe baseline
+			assertCensusEqual(t, "pruned", plain, want)
+			if plain.Prune == nil || plain.Prune.Probes == 0 {
+				t.Fatal("pruned baseline reported no probes")
+			}
+			for _, r := range reducers {
+				got := p.run(r.tunes...)
+				assertCensusEqual(t, r.name, got, want)
+				st := got.Prune
+				if st == nil {
+					t.Fatalf("%s: reduced census has no Prune stats", r.name)
+				}
+				hasSym := false
+				for _, tn := range r.tunes {
+					// Compare by effect, not name: symmetry runs must report
+					// SymmetryOn and land hits on these symmetric protocols.
+					got := explore.Options{}.With(tn)
+					hasSym = hasSym || got.Symmetry
+				}
+				if hasSym {
+					if !st.SymmetryOn {
+						t.Fatalf("%s: symmetry requested but off: %q", r.name, st.SymmetryNote)
+					}
+					if st.SymmetryHits == 0 {
+						t.Fatalf("%s: symmetry on but zero canonical hits", r.name)
+					}
+					if st.Probes >= plain.Prune.Probes {
+						t.Fatalf("%s: %d probes, not fewer than plain pruning's %d",
+							r.name, st.Probes, plain.Prune.Probes)
+					}
+				}
+				par := p.run(append([]explore.Tune{explore.WithWorkers(4)}, r.tunes...)...)
+				assertCensusEqual(t, r.name+"-workers4", par, want)
+			}
+		})
+	}
+}
+
+// asymmetricBuilder declares full 2-process symmetry over a protocol
+// that is NOT symmetric: proc 0 and proc 1 swap in different values and
+// decide differently. The audit must refuse the spec.
+func asymmetricBuilder() *sim.System {
+	sys := sim.NewSystem()
+	sw := objects.NewSwap("sw", nil)
+	sys.Add(sw)
+	for i := 0; i < 2; i++ {
+		i := i
+		sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+			if i == 0 {
+				e.Apply1(sw, objects.OpSwap, 7)
+				return 0, nil
+			}
+			prev := e.Apply1(sw, objects.OpSwap, 8)
+			if prev == nil {
+				return 1, nil
+			}
+			return 2, nil
+		})
+	}
+	// Deliberately wrong: claims the procs are interchangeable with no
+	// value renaming at all.
+	sys.DeclareSymmetry(&sim.Symmetry{Perms: sim.FullPerms(2)})
+	return sys
+}
+
+// TestSymmetryRefusesAsymmetricProtocol: a bogus symmetry declaration
+// must not silently corrupt the census. The audit rejects it, the walk
+// falls back to plain pruning with a diagnostic note, and the numbers
+// still match the unreduced walk.
+func TestSymmetryRefusesAsymmetricProtocol(t *testing.T) {
+	check := func(res *sim.Result) error { return nil }
+	want := explore.Run(asymmetricBuilder, explore.Options{}, check)
+	got := explore.Run(asymmetricBuilder, explore.Options{Symmetry: true}, check)
+	assertCensusEqual(t, "refused-symmetry", got, want)
+	st := got.Prune
+	if st == nil {
+		t.Fatal("no Prune stats on symmetry-requested census")
+	}
+	if st.SymmetryOn {
+		t.Fatal("audit accepted an asymmetric protocol's symmetry declaration")
+	}
+	if st.SymmetryNote == "" {
+		t.Fatal("symmetry refusal carries no diagnostic note")
+	}
+	if st.SymmetryHits != 0 {
+		t.Fatalf("symmetry off but %d hits recorded", st.SymmetryHits)
+	}
+	t.Logf("refusal note: %s", st.SymmetryNote)
+}
+
+// TestSymmetryRefusesUndeclared: requesting symmetry on a builder that
+// declares no spec degrades to plain pruning with a note, never an
+// error.
+func TestSymmetryRefusesUndeclared(t *testing.T) {
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		sw := objects.NewSwap("sw", nil)
+		sys.Add(sw)
+		sys.Spawn(func(e *sim.Env) (sim.Value, error) {
+			e.Apply1(sw, objects.OpSwap, 1)
+			return 0, nil
+		})
+		return sys
+	}
+	check := func(res *sim.Result) error { return nil }
+	got := explore.Run(b, explore.Options{Symmetry: true}, check)
+	if got.Prune == nil || got.Prune.SymmetryOn || got.Prune.SymmetryNote == "" {
+		t.Fatalf("undeclared symmetry must degrade with a note, got %+v", got.Prune)
+	}
+}

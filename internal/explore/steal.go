@@ -105,6 +105,40 @@ seqs:
 	return false
 }
 
+// shadowsChild is shadows for the child node root+path+c without
+// materializing the extended slice: consulted by the sleep-set credit
+// path (engine.creditChild), where the child in question was never
+// descended into, so no frame carries it. Exact equality with a donated
+// prefix is impossible here — backtrack's skips() check excised that
+// case before crediting was attempted — so only proper ancestry is
+// tested, like shadows.
+func (it *stealItem) shadowsChild(root, path []Choice, c Choice) bool {
+	n := len(root) + len(path) + 1
+	it.pool.mu.Lock()
+	defer it.pool.mu.Unlock()
+seqs:
+	for _, k := range it.skipSeqs {
+		if len(k) <= n {
+			continue
+		}
+		for i, ch := range root {
+			if k[i] != ch {
+				continue seqs
+			}
+		}
+		for i, ch := range path {
+			if k[len(root)+i] != ch {
+				continue seqs
+			}
+		}
+		if k[n-1] != c {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
 // stealClaim is one in-flight attempt, tracked for the stall watchdog.
 type stealClaim struct {
 	it     *stealItem
@@ -205,6 +239,7 @@ func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *
 	st := table.statsSnapshot()
 	st.Donations = p.donations.Load()
 	st.Steals = p.steals.Load()
+	opts.markReducers(st)
 	c.Prune = st
 	return c
 }

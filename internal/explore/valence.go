@@ -99,6 +99,13 @@ func DescribeCensus(c *Census) string {
 	if p := c.Prune; p != nil {
 		fmt.Fprintf(&b, "  prune: hits=%d misses=%d stores=%d evictions=%d donations=%d steals=%d\n",
 			p.Hits, p.Misses, p.Stores, p.Evictions, p.Donations, p.Steals)
+		if p.SymmetryOn || p.SleepSetsOn || p.SymmetryNote != "" {
+			fmt.Fprintf(&b, "  reduce: probes=%d symmetry=%v(hits=%d) sleepsets=%v(skips=%d)\n",
+				p.Probes, p.SymmetryOn, p.SymmetryHits, p.SleepSetsOn, p.SleepSkips)
+			if p.SymmetryNote != "" {
+				fmt.Fprintf(&b, "  reduce: %s\n", p.SymmetryNote)
+			}
+		}
 	}
 	fps := make([]string, 0, len(c.Outcomes))
 	for fp := range c.Outcomes {

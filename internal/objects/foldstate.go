@@ -102,3 +102,110 @@ func (c *Consensus) FoldState(h sim.Hash) sim.Hash {
 	}
 	return h.FoldByte(1).FoldValue(c.value)
 }
+
+// Symmetry-aware folds (sim.PermStateFolder), used by StateHashCanon to
+// fold the state each object WOULD have in a process-renamed execution.
+// The contract is self-consistency across permutations — the fold under
+// (π, rename) must equal the identity fold of the renamed object — so
+// these may lay out bytes differently from FoldState (e.g. FoldValue
+// where FoldState uses FoldInt) as long as every permutation goes
+// through the same layout. Stored values go through rename; ProcID-keyed
+// internal state (LLSC links) goes through perm; per-process ownership
+// encoded in object NAMES is the Canonicalizer's job (RenameObject).
+
+var (
+	_ sim.PermStateFolder = (*TestAndSet)(nil)
+	_ sim.PermStateFolder = (*FetchAdd)(nil)
+	_ sim.PermStateFolder = (*Swap)(nil)
+	_ sim.PermStateFolder = (*StickyBit)(nil)
+	_ sim.PermStateFolder = (*Queue)(nil)
+	_ sim.PermStateFolder = (*CAS)(nil)
+	_ sim.PermStateFolder = (*RMW)(nil)
+	_ sim.PermStateFolder = (*LLSC)(nil)
+	_ sim.PermStateFolder = (*Consensus)(nil)
+)
+
+// foldSymbolsUnder folds a symbol sequence with every symbol renamed,
+// length-prefixed.
+func foldSymbolsUnder(h sim.Hash, rename func(sim.Value) sim.Value, ss []Symbol) sim.Hash {
+	h = h.FoldInt(len(ss))
+	for _, s := range ss {
+		h = h.FoldValue(rename(s))
+	}
+	return h
+}
+
+// FoldStateUnder implements sim.PermStateFolder: a set bit carries no
+// process identity.
+func (t *TestAndSet) FoldStateUnder(h sim.Hash, _ []sim.ProcID, _ func(sim.Value) sim.Value) sim.Hash {
+	return h.FoldBool(t.set)
+}
+
+// FoldStateUnder implements sim.PermStateFolder: a counter carries no
+// process identity.
+func (f *FetchAdd) FoldStateUnder(h sim.Hash, _ []sim.ProcID, _ func(sim.Value) sim.Value) sim.Hash {
+	return h.FoldInt(f.value)
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (s *Swap) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	return h.FoldValue(rename(s.value))
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (s *StickyBit) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	if s.value == nil {
+		return h.FoldByte(0)
+	}
+	return h.FoldByte(1).FoldValue(rename(s.value))
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (q *Queue) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	h = h.FoldInt(len(q.items))
+	for _, v := range q.items {
+		h = h.FoldValue(rename(v))
+	}
+	return h
+}
+
+// FoldStateUnder implements sim.PermStateFolder: the inspection history
+// renames element-wise, exactly as the renamed execution would have
+// written it.
+func (c *CAS) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	return foldSymbolsUnder(h.FoldValue(rename(c.value)), rename, c.history)
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (r *RMW) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	return foldSymbolsUnder(h.FoldValue(rename(r.value)), rename, r.history)
+}
+
+// FoldStateUnder implements sim.PermStateFolder. The link table is
+// keyed by ProcID, so the renamed object's table is {perm[p]: ver};
+// folding it sorted by RENAMED id makes the fold match the identity
+// fold of that renamed table.
+func (l *LLSC) FoldStateUnder(h sim.Hash, perm []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	h = h.FoldValue(rename(l.value)).FoldInt(l.version)
+	h = h.FoldInt(len(l.links))
+	if len(l.links) > 0 {
+		type link struct{ id, ver int }
+		renamed := make([]link, 0, len(l.links))
+		for id, ver := range l.links {
+			renamed = append(renamed, link{int(perm[id]), ver})
+		}
+		sort.Slice(renamed, func(i, j int) bool { return renamed[i].id < renamed[j].id })
+		for _, lk := range renamed {
+			h = h.FoldInt(lk.id).FoldInt(lk.ver)
+		}
+	}
+	return foldSymbolsUnder(h, rename, l.history)
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (c *Consensus) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	if !c.decided {
+		return h.FoldByte(0)
+	}
+	return h.FoldByte(1).FoldValue(rename(c.value))
+}

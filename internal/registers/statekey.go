@@ -20,6 +20,9 @@ var (
 	_ sim.StateKeyer  = (*Tagged)(nil)
 	_ sim.StateFolder = (*SWMR)(nil)
 	_ sim.StateFolder = (*MWMR)(nil)
+
+	_ sim.PermStateFolder = (*SWMR)(nil)
+	_ sim.PermStateFolder = (*MWMR)(nil)
 )
 
 // StateKey implements sim.StateKeyer.
@@ -39,3 +42,16 @@ func (r *MWMR) FoldState(h sim.Hash) sim.Hash { return h.FoldValue(r.value) }
 
 // StateKey implements sim.StateKeyer.
 func (t *Tagged) StateKey() string { return fmt.Sprintf("%v", t.entries) }
+
+// FoldStateUnder implements sim.PermStateFolder: a register's state is
+// its value, renamed. A SWMR cell's OWNER is part of its name (see
+// NewArray's "%s[%d]" convention), so ownership renames through the
+// symmetry spec's RenameObject, not here.
+func (r *SWMR) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	return h.FoldValue(rename(r.value))
+}
+
+// FoldStateUnder implements sim.PermStateFolder.
+func (r *MWMR) FoldStateUnder(h sim.Hash, _ []sim.ProcID, rename func(sim.Value) sim.Value) sim.Hash {
+	return h.FoldValue(rename(r.value))
+}

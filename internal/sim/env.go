@@ -53,6 +53,11 @@ func (e *Env) Apply2(obj Object, op OpKind, a0, a1 Value) Value {
 }
 
 func (e *Env) apply(obj Object, op OpKind, args []Value) Value {
+	// Publish the static footprint of the upcoming step BEFORE parking
+	// at the gate: the runner (and the scheduler it calls) reads it via
+	// System.PendingObject while this goroutine is blocked, so the
+	// events-channel send inside gate orders the write before any read.
+	e.proc.pendingObj = obj.Name()
 	e.gate()
 	idx := e.sys.steps
 	for _, sp := range e.proc.pending {
@@ -92,6 +97,9 @@ func (e *Env) apply(obj Object, op OpKind, args []Value) Value {
 	}
 	if e.sys.fingerprint {
 		e.proc.foldOp(obj.Name(), op, args, v)
+		if e.sys.canon != nil {
+			e.sys.canon.foldOpPerms(e.proc, obj.Name(), op, args, v)
+		}
 	}
 	return v
 }

@@ -23,6 +23,7 @@ type Scratch struct {
 	steps   []int
 	ready   []ProcID
 	halt    []ProcID
+	perm    []uint64
 }
 
 // NewScratch returns an empty Scratch. Buffers grow on first use and
@@ -53,6 +54,16 @@ func (sc *Scratch) readyBuf(n int) []ProcID {
 		sc.ready = make([]ProcID, 0, n)
 	}
 	return sc.ready[:0]
+}
+
+// permBuf returns a length-n buffer backing the per-permutation
+// observation hashes of a canonicalized run (Run overwrites every
+// entry before use).
+func (sc *Scratch) permBuf(n int) []uint64 {
+	if cap(sc.perm) < n {
+		sc.perm = make([]uint64, n)
+	}
+	return sc.perm[:n]
 }
 
 // haltList copies ready into the retained ReadyAtHalt buffer.

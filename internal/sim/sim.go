@@ -76,6 +76,12 @@ type System struct {
 	objNames    []string
 	// objFaults is Config.ObjectFaults, consulted by Env.Apply.
 	objFaults ObjectFaultPlan
+	// symmetry is the protocol's declared process-symmetry spec (see
+	// DeclareSymmetry); canon is the validated Canonicalizer installed
+	// by Config.Canon for this run. Both nil unless symmetry reduction
+	// is in play.
+	symmetry *Symmetry
+	canon    *Canonicalizer
 }
 
 type proc struct {
@@ -94,6 +100,14 @@ type proc struct {
 	// (every operation it performed with its result), maintained only
 	// when Config.Fingerprint is set. See System.StateHash.
 	opHash uint64
+	// permHash[k-1] is opHash as it would be in the execution renamed
+	// under the canonicalizer's permutation k (identity elided — it
+	// provably equals opHash). Maintained only when Config.Canon is set.
+	permHash []uint64
+	// pendingObj is the name of the object this process's NEXT granted
+	// step operates on, published just before the process parks at the
+	// scheduler gate. See System.PendingObject.
+	pendingObj string
 	// spans are the high-level operation spans this process opened;
 	// pending are those whose start index is not yet known (no shared
 	// step since BeginOp).
@@ -181,6 +195,11 @@ type Config struct {
 	// System.StateHash (and Result.Fingerprint) are available. Off by
 	// default: hashing costs a few string formats per shared step.
 	Fingerprint bool
+	// Canon, if set (and Fingerprint is on), additionally maintains the
+	// per-permutation observation hashes that System.StateHashCanon
+	// needs. The Canonicalizer is read-only and safely shared across
+	// concurrent runs; see NewCanonicalizer.
+	Canon *Canonicalizer
 	// OnStep, if set, is called from the runner goroutine after each
 	// granted shared-memory step with the cumulative step count. It is
 	// the progress-heartbeat hook for exploration supervisors; it must
@@ -285,6 +304,23 @@ func (s *System) Run(cfg Config) (*Result, error) {
 	}
 	s.fingerprint = cfg.Fingerprint
 	s.objFaults = cfg.ObjectFaults
+	if cfg.Canon != nil && cfg.Fingerprint {
+		s.canon = cfg.Canon
+		if np := cfg.Canon.NumPerms() - 1; np > 0 {
+			var buf []uint64
+			if cfg.Scratch != nil {
+				buf = cfg.Scratch.permBuf(np * len(s.procs))
+			} else {
+				buf = make([]uint64, np*len(s.procs))
+			}
+			for i := range buf {
+				buf[i] = fnvOffset64
+			}
+			for i, p := range s.procs {
+				p.permHash = buf[i*np : (i+1)*np : (i+1)*np]
+			}
+		}
+	}
 
 	s.events = make(chan procEvent)
 	for _, p := range s.procs {

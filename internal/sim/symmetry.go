@@ -1,0 +1,561 @@
+package sim
+
+// Process-symmetry canonicalization. The protocols the paper censuses
+// (DirectCAS election, the RMW election conjecture, CAS consensus) are
+// symmetric in process identity: renaming the processes by any
+// permutation π and renaming every ID-derived value and per-process
+// object accordingly maps executions to executions. The explore
+// package exploits this by fingerprinting each global state under the
+// LEAST permutation in the declared group ("canonical orientation"),
+// so the transposition table stores one subtree per symmetry class
+// instead of one per class member.
+//
+// The machinery is strictly opt-in: a protocol declares a Symmetry
+// spec on its System (DeclareSymmetry), the explorer validates it
+// structurally (NewCanonicalizer) and empirically (AuditSymmetry), and
+// refuses to enable the reduction if either fails — no silent
+// unsoundness. See DESIGN.md §5 "Reduction soundness".
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Symmetry declares that a protocol is invariant under a group of
+// process-ID permutations. All callbacks must be pure and must satisfy
+// the equivariance contract checked by AuditSymmetry: running the
+// system under a π-renamed schedule yields the π-renamed execution.
+type Symmetry struct {
+	// Perms is the permutation group, identity first. Perms[k][i] is
+	// the ID that process i maps to under permutation k. The set must
+	// be closed under composition (NewCanonicalizer validates).
+	Perms [][]ProcID
+
+	// RenameValue maps an operation argument/result or decision value
+	// under a permutation (e.g. Symbol(i+1) ↦ Symbol(perm[i]+1)).
+	// Values not derived from process IDs must pass through unchanged.
+	// nil means no value depends on process identity.
+	RenameValue func(v Value, perm []ProcID) Value
+
+	// RenameObject maps an object name under a permutation (e.g. a
+	// per-process announce cell "x.ann[i]" ↦ "x.ann[perm[i]]"). It must
+	// be a bijection of the system's object set. nil means object names
+	// do not encode process identity.
+	RenameObject func(name string, perm []ProcID) string
+
+	// RenameOutcome maps a census decision-fingerprint key (the
+	// explore package's sorted "[v1 v2]" rendering) under a
+	// permutation. Required whenever decisions are ID-derived (the
+	// audit enforces this); RenameIntKey covers integer decisions.
+	// It must be the identity for the identity permutation.
+	RenameOutcome func(key string, perm []ProcID) string
+}
+
+// FullPerms returns the full symmetric group on {0..n-1} in
+// lexicographic order, so the identity comes first.
+func FullPerms(n int) [][]ProcID {
+	var out [][]ProcID
+	cur := make([]ProcID, 0, n)
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			out = append(out, append([]ProcID(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, ProcID(i))
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+// PermStateFolder is the symmetry-aware refinement of StateFolder: the
+// object folds the state it WOULD have in the π-renamed execution.
+// rename is the permutation's value renamer (never nil; identity for
+// the identity permutation). The contract mirrors StateFolder's, plus
+// self-consistency across permutations:
+//
+//	FoldStateUnder(h, π, rename_π) of object o
+//	  == FoldStateUnder(h, id, id) of the renamed object π(o)
+//
+// Per-process ownership encoded in the object NAME (e.g. SWMR cells of
+// an announce array) is folded by the Canonicalizer through the spec's
+// RenameObject, so implementations only rename stored values (and, for
+// types like LLSC that track per-process state internally, their
+// ProcID-keyed tables via the perm argument).
+type PermStateFolder interface {
+	FoldStateUnder(h Hash, perm []ProcID, rename func(Value) Value) Hash
+}
+
+// RenameIntKey renames a decision-fingerprint key "[a b c]" whose
+// entries are all integers, mapping each through f and re-sorting into
+// canonical order. It panics on a malformed or non-integer key — a
+// protocol with non-integer decisions needs its own RenameOutcome.
+func RenameIntKey(key string, f func(int) int) string {
+	if len(key) < 2 || key[0] != '[' || key[len(key)-1] != ']' {
+		panic(fmt.Sprintf("sim: RenameIntKey: malformed decision key %q", key))
+	}
+	body := key[1 : len(key)-1]
+	if body == "" {
+		return key
+	}
+	fields := strings.Fields(body)
+	out := make([]string, len(fields))
+	for i, fd := range fields {
+		v, err := strconv.Atoi(fd)
+		if err != nil {
+			panic(fmt.Sprintf("sim: RenameIntKey: non-integer decision %q in key %q", fd, key))
+		}
+		out[i] = strconv.Itoa(f(v))
+	}
+	sort.Strings(out)
+	return "[" + strings.Join(out, " ") + "]"
+}
+
+// DeclareSymmetry attaches a Symmetry spec to the system. The spec is
+// a declaration only — it has no effect on a run unless an explorer
+// validates it and passes the derived Canonicalizer via Config.Canon.
+// Builders share one immutable spec across all their systems.
+func (s *System) DeclareSymmetry(spec *Symmetry) { s.symmetry = spec }
+
+// SymmetrySpec returns the declared Symmetry spec, or nil.
+func (s *System) SymmetrySpec() *Symmetry { return s.symmetry }
+
+// PendingObject returns the name of the object that process id's next
+// granted step will operate on. Valid only for processes currently
+// parked at the scheduler gate (every process in the ready set); the
+// runner may call it from inside Scheduler.Next. This is the static
+// footprint the explore package's independence pruning keys on: steps
+// of distinct processes pending on distinct objects commute.
+func (s *System) PendingObject(id ProcID) string { return s.procs[id].pendingObj }
+
+// Canonicalizer is the precomputed machinery that folds a System's
+// global state under every permutation of its symmetry group. It is
+// derived once per exploration from a probe system (NewCanonicalizer)
+// and shared — read-only — by every worker and every probe run, so the
+// per-run setup cost is a few slice headers, not |G|·|objects| work.
+type Canonicalizer struct {
+	spec  *Symmetry
+	perms [][]ProcID
+	inv   [][]ProcID // inv[k] is perms[k]⁻¹ as a lookup slice
+
+	names    []string // sorted object names of the system shape
+	objIndex map[string]int
+
+	// Per-permutation precomputation (index 0 = identity):
+	renameVal    []func(Value) Value // value renamers (never nil)
+	renamedNames [][]string          // renamedNames[k][i] renames names[i]
+	foldOrder    [][]int             // indices into names, sorted by renamed name
+	outRename    []func(string) string // outcome-key renamers (nil = identity)
+	outRenameInv []func(string) string // under the inverse permutation
+}
+
+// NewCanonicalizer validates spec against the system's shape (objects
+// and process count) and precomputes the per-permutation fold tables.
+// It returns an error — symmetry must then stay disabled — when the
+// permutation set is not a group on the system's processes, when an
+// object does not support symmetry folding, or when RenameObject is
+// not a bijection of the object set.
+func NewCanonicalizer(sys *System, spec *Symmetry) (*Canonicalizer, error) {
+	if spec == nil || len(spec.Perms) == 0 {
+		return nil, fmt.Errorf("sim: symmetry: empty permutation set")
+	}
+	n := len(sys.procs)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: symmetry: system has no processes")
+	}
+	encode := func(p []ProcID) string {
+		var b strings.Builder
+		for _, id := range p {
+			fmt.Fprintf(&b, "%d,", id)
+		}
+		return b.String()
+	}
+	seen := make(map[string]int, len(spec.Perms))
+	for k, p := range spec.Perms {
+		if len(p) != n {
+			return nil, fmt.Errorf("sim: symmetry: permutation %d has length %d, system has %d processes", k, len(p), n)
+		}
+		hit := make([]bool, n)
+		for _, id := range p {
+			if id < 0 || int(id) >= n || hit[id] {
+				return nil, fmt.Errorf("sim: symmetry: permutation %d (%v) is not a bijection of 0..%d", k, p, n-1)
+			}
+			hit[id] = true
+		}
+		if _, dup := seen[encode(p)]; dup {
+			return nil, fmt.Errorf("sim: symmetry: duplicate permutation %v", p)
+		}
+		seen[encode(p)] = k
+	}
+	for i, id := range spec.Perms[0] {
+		if int(id) != i {
+			return nil, fmt.Errorf("sim: symmetry: Perms[0] must be the identity, got %v", spec.Perms[0])
+		}
+	}
+	// Closure under composition: without it the canonical orientation
+	// is not a true quotient (Canonical(π(s)) could differ from
+	// Canonical(s)) and the reduction silently stops merging classes.
+	comp := make([]ProcID, n)
+	for _, a := range spec.Perms {
+		for _, b := range spec.Perms {
+			for i := range comp {
+				comp[i] = a[b[i]]
+			}
+			if _, ok := seen[encode(comp)]; !ok {
+				return nil, fmt.Errorf("sim: symmetry: permutation set not closed under composition (%v∘%v missing)", a, b)
+			}
+		}
+	}
+
+	c := &Canonicalizer{spec: spec, perms: spec.Perms}
+	c.names = make([]string, 0, len(sys.objects))
+	for name, obj := range sys.objects {
+		if _, ok := obj.(PermStateFolder); !ok {
+			return nil, fmt.Errorf("sim: symmetry: object %q does not implement PermStateFolder", name)
+		}
+		c.names = append(c.names, name)
+	}
+	sort.Strings(c.names)
+	c.objIndex = make(map[string]int, len(c.names))
+	for i, name := range c.names {
+		c.objIndex[name] = i
+	}
+
+	nPerm := len(c.perms)
+	c.inv = make([][]ProcID, nPerm)
+	c.renameVal = make([]func(Value) Value, nPerm)
+	c.renamedNames = make([][]string, nPerm)
+	c.foldOrder = make([][]int, nPerm)
+	c.outRename = make([]func(string) string, nPerm)
+	c.outRenameInv = make([]func(string) string, nPerm)
+	for k := 0; k < nPerm; k++ {
+		perm := c.perms[k]
+		inv := make([]ProcID, n)
+		for i, id := range perm {
+			inv[id] = ProcID(i)
+		}
+		c.inv[k] = inv
+		if k == 0 || spec.RenameValue == nil {
+			c.renameVal[k] = func(v Value) Value { return v }
+		} else {
+			rv, p := spec.RenameValue, perm
+			c.renameVal[k] = func(v Value) Value { return rv(v, p) }
+		}
+		rn := make([]string, len(c.names))
+		for i, name := range c.names {
+			if k == 0 || spec.RenameObject == nil {
+				rn[i] = name
+				continue
+			}
+			renamed := spec.RenameObject(name, perm)
+			if _, ok := c.objIndex[renamed]; !ok {
+				return nil, fmt.Errorf("sim: symmetry: RenameObject maps %q to %q, which is not an object of the system", name, renamed)
+			}
+			rn[i] = renamed
+		}
+		order := make([]int, len(c.names))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return rn[order[a]] < rn[order[b]] })
+		if k != 0 && spec.RenameObject != nil {
+			// Bijectivity: a non-injective RenameObject would fold two
+			// distinct objects under one name and drop another.
+			for i := 1; i < len(order); i++ {
+				if rn[order[i]] == rn[order[i-1]] {
+					return nil, fmt.Errorf("sim: symmetry: RenameObject is not a bijection (two objects map to %q)", rn[order[i]])
+				}
+			}
+		}
+		c.renamedNames[k] = rn
+		c.foldOrder[k] = order
+		if k != 0 && spec.RenameOutcome != nil {
+			ro, p, ip := spec.RenameOutcome, perm, inv
+			c.outRename[k] = func(key string) string { return ro(key, p) }
+			c.outRenameInv[k] = func(key string) string { return ro(key, ip) }
+		}
+	}
+	return c, nil
+}
+
+// NumPerms returns the size of the permutation group.
+func (c *Canonicalizer) NumPerms() int { return len(c.perms) }
+
+// OutcomeRenamer returns the outcome-key renamer for permutation k
+// (nil means identity — safe to skip renaming entirely).
+func (c *Canonicalizer) OutcomeRenamer(k int) func(string) string { return c.outRename[k] }
+
+// OutcomeRenamerInv is OutcomeRenamer under the INVERSE of permutation
+// k — what a table hit at canonical orientation k applies to translate
+// the stored (canonical-coordinates) summary back into its own frame.
+func (c *Canonicalizer) OutcomeRenamerInv(k int) func(string) string { return c.outRenameInv[k] }
+
+// foldOpPerms extends proc.foldOp to every non-identity permutation:
+// p.permHash[k-1] accumulates the observation history process p would
+// have in the π_k-renamed execution (renamed object, renamed
+// arguments, renamed result). Everything here is precomputed closures
+// and binary folds — this runs once per shared step per permutation.
+func (c *Canonicalizer) foldOpPerms(p *proc, objName string, op OpKind, args []Value, result Value) {
+	oi, known := c.objIndex[objName]
+	for k := 1; k < len(c.perms); k++ {
+		rv := c.renameVal[k]
+		name := objName
+		if known {
+			name = c.renamedNames[k][oi]
+		}
+		h := Hash(p.permHash[k-1]).FoldString(name).FoldString(string(op))
+		h = h.FoldInt(len(args))
+		for _, a := range args {
+			h = h.FoldValue(rv(a))
+		}
+		p.permHash[k-1] = uint64(h.FoldValue(rv(result)))
+	}
+}
+
+// tagCanon is the leading byte of every canonical-orientation fold, so
+// the canonical keyspace can never collide with plain StateHash keys —
+// a census may legitimately mix both (see the StateHashCanon bail-out).
+const tagCanon byte = 0xc1
+
+// stateHashUnder folds the global state the system WOULD have in the
+// π_k-renamed execution: objects in renamed-name order with renamed
+// values, processes in renamed-ID order with their per-permutation
+// observation hashes. By the PermStateFolder contract this equals the
+// identity fold of the renamed state, so comparing folds across k
+// compares renamed states.
+func (s *System) stateHashUnder(k int) (uint64, bool) {
+	c := s.canon
+	h := NewHash().FoldByte(tagCanon)
+	rv := c.renameVal[k]
+	perm := c.perms[k]
+	rn := c.renamedNames[k]
+	for _, oi := range c.foldOrder[k] {
+		obj, ok := s.objects[c.names[oi]].(PermStateFolder)
+		if !ok {
+			return 0, false
+		}
+		h = h.FoldString(rn[oi])
+		h = obj.FoldStateUnder(h, perm, rv)
+	}
+	inv := c.inv[k]
+	for j := 0; j < len(s.procs); j++ {
+		p := s.procs[inv[j]]
+		oph := p.opHash
+		if k != 0 {
+			oph = p.permHash[k-1]
+		}
+		h = h.FoldUint64(oph)
+		h = h.FoldInt(p.steps)
+		switch {
+		case p.done && p.err != nil:
+			h = h.FoldByte(tagProcErr).FoldString(p.err.Error())
+		case p.done:
+			h = h.FoldByte(tagProcDone).FoldValue(rv(p.value))
+		default:
+			h = h.FoldByte(tagProcLive)
+		}
+		if p.crashed {
+			h = h.FoldByte(tagProcCrashed)
+		}
+	}
+	return uint64(h), true
+}
+
+// isSentinelErr reports whether err is one of the runner's ID-free
+// sentinel errors. Any other error (an object rejection, a protocol
+// error) may embed process IDs in its text, which the value renamers
+// cannot reach — canonicalization must bail for such states.
+func isSentinelErr(err error) bool {
+	return err == ErrCrashed || err == ErrStepLimit || err == ErrHalted
+}
+
+// StateHashCanon is StateHash under the least permutation of the
+// declared symmetry group: it returns the minimum of stateHashUnder
+// over the whole group plus the index of the minimizing permutation
+// (the state's canonical orientation). Symmetric states share a
+// canonical fingerprint, so a transposition table keyed on it stores
+// one subtree per symmetry class.
+//
+// When no Canonicalizer is configured, or some finished process holds
+// a non-sentinel error (whose text may embed process IDs and therefore
+// escapes the renamers), it falls back to the plain StateHash with
+// orientation 0. The bail-out predicate is itself equivariant — a
+// renamed execution errs exactly when the original does — so bailed
+// states simply fold in the plain keyspace (tagCanon keeps the two
+// keyspaces disjoint) and lose reduction, never soundness.
+func (s *System) StateHashCanon() (uint64, int, bool) {
+	c := s.canon
+	if c == nil {
+		fp, ok := s.StateHash()
+		return fp, 0, ok
+	}
+	for _, p := range s.procs {
+		if p.done && p.err != nil && !isSentinelErr(p.err) {
+			fp, ok := s.StateHash()
+			return fp, 0, ok
+		}
+	}
+	var best uint64
+	bestK := 0
+	for k := range c.perms {
+		fp, ok := s.stateHashUnder(k)
+		if !ok {
+			fp2, ok2 := s.StateHash()
+			return fp2, 0, ok2
+		}
+		if k == 0 || fp < best {
+			best, bestK = fp, k
+		}
+	}
+	return best, bestK, true
+}
+
+// auditSched records a rotating schedule: at each decision point it
+// picks ready[(step+offset) mod |ready|], diversifying interleavings
+// across audit rounds without randomness.
+type auditSched struct {
+	offset int
+	picks  []ProcID
+}
+
+func (a *auditSched) Next(ready []ProcID, step int) ProcID {
+	id := ready[(step+a.offset)%len(ready)]
+	a.picks = append(a.picks, id)
+	return id
+}
+
+// auditReplay replays a recorded schedule with every pick mapped
+// through a permutation; dead is set if a mapped pick was not ready —
+// direct evidence the protocol is not equivariant under the spec.
+type auditReplay struct {
+	picks []ProcID
+	perm  []ProcID
+	i     int
+	dead  bool
+}
+
+func (a *auditReplay) Next(ready []ProcID, _ int) ProcID {
+	if a.i >= len(a.picks) {
+		return Halt
+	}
+	want := a.perm[a.picks[a.i]]
+	a.i++
+	for _, r := range ready {
+		if r == want {
+			return want
+		}
+	}
+	a.dead = true
+	return Halt
+}
+
+// auditDecisionKey renders the multiset of decided values exactly like
+// the explore package's DecisionFingerprint, optionally renamed.
+func auditDecisionKey(res *Result, rename func(Value, []ProcID) Value, perm []ProcID) string {
+	var vals []string
+	for i, err := range res.Errors {
+		if err != nil {
+			continue
+		}
+		v := res.Values[i]
+		if rename != nil {
+			v = rename(v, perm)
+		}
+		vals = append(vals, fmt.Sprint(v))
+	}
+	sort.Strings(vals)
+	return "[" + strings.Join(vals, " ") + "]"
+}
+
+// AuditSymmetry empirically checks the equivariance contract of c's
+// spec against the builder: for `rounds` recorded base schedules and
+// every non-identity permutation π of the group, replaying the
+// π-renamed schedule on a fresh system must (a) never pick a non-ready
+// process, (b) reach a final state whose identity fold equals the base
+// state's fold under π, and (c) decide the π-renamed decision multiset
+// — with RenameOutcome agreeing on the rendered keys whenever
+// decisions are not permutation-invariant. A nil error is the
+// explorer's license to enable symmetry reduction; any failure means
+// the spec (or the protocol) is not symmetric and reduction must stay
+// off.
+func AuditSymmetry(build func() *System, c *Canonicalizer, rounds, maxSteps int) error {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	if maxSteps <= 0 {
+		maxSteps = 64
+	}
+	for r := 0; r < rounds; r++ {
+		base := build()
+		rec := &auditSched{offset: r}
+		bres, err := base.Run(Config{
+			Scheduler: rec, Fingerprint: true, Canon: c,
+			MaxTotalSteps: maxSteps, DisableTrace: true,
+		})
+		if err != nil {
+			return fmt.Errorf("symmetry audit: base run: %w", err)
+		}
+		bailed := false
+		for _, e := range bres.Errors {
+			if e != nil && !isSentinelErr(e) {
+				bailed = true // canonicalization would bail here anyway
+			}
+		}
+		if bailed {
+			continue
+		}
+		baseKey := auditDecisionKey(bres, nil, nil)
+		for k := 1; k < c.NumPerms(); k++ {
+			perm := c.perms[k]
+			fpK, ok := base.stateHashUnder(k)
+			if !ok {
+				return fmt.Errorf("symmetry audit: object lost PermStateFolder support mid-run")
+			}
+			twin := build()
+			rp := &auditReplay{picks: rec.picks, perm: perm}
+			tres, err := twin.Run(Config{
+				Scheduler: rp, Fingerprint: true, Canon: c,
+				MaxTotalSteps: maxSteps, DisableTrace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("symmetry audit: renamed run: %w", err)
+			}
+			if rp.dead {
+				return fmt.Errorf("symmetry audit: protocol not equivariant: schedule renamed under %v diverged (renamed pick not ready)", perm)
+			}
+			fp0, ok := twin.stateHashUnder(0)
+			if !ok {
+				return fmt.Errorf("symmetry audit: object lost PermStateFolder support mid-run")
+			}
+			if fp0 != fpK {
+				return fmt.Errorf("symmetry audit: state fold mismatch under %v (round %d): the spec's renamers do not match the protocol", perm, r)
+			}
+			twinKey := auditDecisionKey(tres, nil, nil)
+			renamedKey := auditDecisionKey(bres, c.spec.RenameValue, perm)
+			if renamedKey != twinKey {
+				return fmt.Errorf("symmetry audit: RenameValue maps decisions %s to %s but the renamed run decided %s (perm %v)", baseKey, renamedKey, twinKey, perm)
+			}
+			if baseKey != twinKey && c.spec.RenameOutcome == nil {
+				return fmt.Errorf("symmetry audit: decisions are permutation-sensitive (%s vs %s under %v) but the spec has no RenameOutcome", baseKey, twinKey, perm)
+			}
+			if c.spec.RenameOutcome != nil {
+				if got := c.spec.RenameOutcome(baseKey, perm); got != twinKey {
+					return fmt.Errorf("symmetry audit: RenameOutcome maps %s to %s but the renamed run decided %s (perm %v)", baseKey, got, twinKey, perm)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/election"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// buildSymDirect is the DirectCAS election with its declared symmetry —
+// one shared register, so canonicalization exercises value renaming
+// only.
+func buildSymDirect(k, n int) func() *sim.System {
+	spec := election.DirectSymmetric(n)
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range election.DirectCAS(cas, n) {
+			sys.Spawn(p)
+		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+}
+
+// buildSymCAS is the CAS consensus with per-process announce cells, so
+// canonicalization additionally exercises object renaming
+// ("cas.ann[i]" ↦ "cas.ann[π(i)]").
+func buildSymCAS(k, n int) func() *sim.System {
+	spec := consensus.CASSymmetric(n)
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	return func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", k)
+		sys.Add(cas)
+		for _, p := range consensus.CASProtocol(sys, cas, props) {
+			sys.Spawn(p)
+		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+}
+
+// TestCanonicalHashPermutationInvariant is the soundness property the
+// symmetry reducer rests on: for a random reachable state s and any
+// declared permutation π, Canonical(π(s)) == Canonical(s). Random
+// prefixes of random schedules reach s; replaying the same schedule
+// with every pick renamed through π reaches π(s) in an equivariant
+// protocol; both runs must then canonicalize to the same fingerprint.
+func TestCanonicalHashPermutationInvariant(t *testing.T) {
+	families := []struct {
+		name  string
+		build func() *sim.System
+	}{
+		{"direct-cas", buildSymDirect(4, 3)},
+		{"consensus-cas", buildSymCAS(4, 3)},
+	}
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			probe := fam.build()
+			spec := probe.SymmetrySpec()
+			canon, err := sim.NewCanonicalizer(probe, spec)
+			if err != nil {
+				t.Fatalf("NewCanonicalizer: %v", err)
+			}
+			rng := rand.New(rand.NewSource(0x5ee1))
+			for trial := 0; trial < 150; trial++ {
+				// Drive a random prefix of random length; a scheduler Halt
+				// leaves the system in a mid-run reachable state (halt
+				// errors are sentinels, so canonicalization stays active).
+				limit := rng.Intn(24)
+				var picks []sim.ProcID
+				base := fam.build()
+				rec := sim.SchedulerFunc(func(ready []sim.ProcID, _ int) sim.ProcID {
+					if len(picks) >= limit {
+						return sim.Halt
+					}
+					p := ready[rng.Intn(len(ready))]
+					picks = append(picks, p)
+					return p
+				})
+				if _, err := base.Run(sim.Config{Scheduler: rec, Fingerprint: true, Canon: canon}); err != nil {
+					t.Fatalf("trial %d: base run: %v", trial, err)
+				}
+				h1, _, ok1 := base.StateHashCanon()
+
+				perm := spec.Perms[rng.Intn(len(spec.Perms))]
+				twin := fam.build()
+				i := 0
+				diverged := false
+				rep := sim.SchedulerFunc(func(ready []sim.ProcID, _ int) sim.ProcID {
+					if i >= len(picks) {
+						return sim.Halt
+					}
+					want := perm[picks[i]]
+					i++
+					for _, id := range ready {
+						if id == want {
+							return id
+						}
+					}
+					diverged = true
+					return sim.Halt
+				})
+				if _, err := twin.Run(sim.Config{Scheduler: rep, Fingerprint: true, Canon: canon}); err != nil {
+					t.Fatalf("trial %d: twin run: %v", trial, err)
+				}
+				if diverged {
+					t.Fatalf("trial %d: renamed schedule diverged under perm %v — protocol is not equivariant", trial, perm)
+				}
+				h2, _, ok2 := twin.StateHashCanon()
+				if ok1 != ok2 || h1 != h2 {
+					t.Fatalf("trial %d: canonical fingerprint not permutation-invariant under %v:\n base %#x (ok=%v)\n twin %#x (ok=%v)\n picks %v",
+						trial, perm, h1, ok1, h2, ok2, picks)
+				}
+			}
+		})
+	}
+}
+
+// TestRenameIntKeyRoundTrip pins the outcome-key renamer to the
+// DecisionFingerprint format: renaming re-sorts, and renaming by π then
+// π⁻¹ is the identity.
+func TestRenameIntKeyRoundTrip(t *testing.T) {
+	perm := []sim.ProcID{2, 0, 1}
+	inv := []sim.ProcID{1, 2, 0}
+	key := "[0 1 2]"
+	renamed := sim.RenameIntKey(key, func(i int) int { return int(perm[i]) })
+	if renamed != "[0 1 2]" {
+		t.Fatalf("full multiset must be invariant, got %q", renamed)
+	}
+	key = "[0 0 2]"
+	renamed = sim.RenameIntKey(key, func(i int) int { return int(perm[i]) })
+	if renamed != "[1 2 2]" {
+		t.Fatalf("rename = %q, want [1 2 2]", renamed)
+	}
+	back := sim.RenameIntKey(renamed, func(i int) int { return int(inv[i]) })
+	if back != "[0 0 2]" {
+		t.Fatalf("round trip = %q, want [0 0 2]", back)
+	}
+}

@@ -2,9 +2,11 @@
 # Performance-regression gate: runs the exploration benchmarks on the
 # working tree AND on a base git ref (checked out into a throwaway
 # worktree), then fails if any benchmark present in both runs got more
-# than 10% slower (ns/op) in the working tree. Benchmarks only one side
-# has are reported but never fail the gate, so adding or renaming
-# benchmarks stays cheap.
+# than 10% slower (ns/op) in the working tree. A benchmark the base ref
+# does not have by the same name also FAILS the gate: a comparison that
+# silently skips the benchmarks you care about is worse than no gate.
+# Set BENCH_COMPARE_ALLOW_NEW=1 when the working tree legitimately adds
+# or renames benchmarks the base cannot know about.
 #
 #   scripts/bench_compare.sh [base-ref] [benchtime]   # default HEAD, 2x
 set -eu
@@ -31,7 +33,7 @@ echo "== benchmarking base ref $base"
 git worktree add --force --detach "$wt" "$base" >/dev/null
 (cd "$wt" && go test -run '^$' -bench "$pat" -benchtime "$benchtime" ./internal/explore/) | tee "$old"
 
-awk -v limit=1.10 -v base="$base" '
+awk -v limit=1.10 -v base="$base" -v allownew="${BENCH_COMPARE_ALLOW_NEW:-0}" '
 function bench(line,    name) {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	for (i = 2; i <= NF; i++) if ($(i) == "ns/op") return name SUBSEP $(i - 1)
@@ -44,7 +46,11 @@ FNR == NR {
 $1 ~ /^Benchmark/ {
 	r = bench($0); if (r == "") next
 	split(r, a, SUBSEP); name = a[1]; ns = a[2]
-	if (!(name in oldns)) { printf "  new (not in %s): %s\n", base, name; next }
+	if (!(name in oldns)) {
+		printf "  MISSING in %s: %s\n", base, name
+		missing++
+		next
+	}
 	ratio = ns / oldns[name]
 	seen[name] = 1
 	if (ratio > limit) {
@@ -57,6 +63,11 @@ $1 ~ /^Benchmark/ {
 END {
 	for (name in oldns) if (!(name in seen)) printf "  gone (only in %s): %s\n", base, name
 	if (bad) { print "bench_compare: FAIL — ns/op regressed more than 10% vs " base; exit 1 }
+	if (missing > 0 && allownew != "1") {
+		printf "bench_compare: FAIL — %d benchmark(s) have no counterpart in %s, so the gate compared nothing for them\n", missing, base
+		print "  (set BENCH_COMPARE_ALLOW_NEW=1 if the working tree legitimately adds or renames benchmarks)"
+		exit 1
+	}
 	print "bench_compare: OK (no benchmark regressed more than 10% vs " base ")"
 }
 ' "$old" "$cur"

@@ -1,0 +1,48 @@
+# Shared CPU-environment recording and overwrite guard for the
+# bench_*.sh distillers. Source this from a bench script, then:
+#
+#   bench_filter_args "$@" && eval "set -- $bench_args"
+#   ...
+#   bench_guard BENCH_x.json      # before overwriting the JSON
+#
+# $cpus is GOMAXPROCS — what the Go runtime will actually use — and
+# $num_cpu is the host's online processor count; the distillers record
+# both in every BENCH_*.json entry. Parallel-vs-sequential ratios
+# recorded on a multi-CPU host are not comparable to a cpus=1 rerun
+# (the parallel engines silently serialize), so bench_guard refuses to
+# overwrite multi-CPU data from a single-CPU run unless --force was
+# passed (or BENCH_FORCE=1 is set).
+
+cpus="$(go env GOMAXPROCS 2>/dev/null || echo 0)"
+[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+num_cpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+force="${BENCH_FORCE:-0}"
+
+# bench_filter_args strips --force from the argument list (setting
+# force=1) and leaves the rest, single-quoted, in $bench_args for the
+# caller to re-`set --`.
+bench_filter_args() {
+	bench_args=""
+	for bench_arg in "$@"; do
+		case "$bench_arg" in
+		--force) force=1 ;;
+		*) bench_args="$bench_args '$bench_arg'" ;;
+		esac
+	done
+}
+
+# bench_guard OUT refuses (exit 1) to overwrite OUT when OUT records
+# any entry with cpus > 1 but this run has cpus=1 and --force was not
+# given.
+bench_guard() {
+	bench_out="$1"
+	[ "$force" = "1" ] && return 0
+	[ "$cpus" -le 1 ] 2>/dev/null || return 0
+	[ -f "$bench_out" ] || return 0
+	bench_prev="$(grep -o '"cpus": *[0-9][0-9]*' "$bench_out" | grep -o '[0-9][0-9]*$' | sort -rn | head -1)"
+	if [ -n "$bench_prev" ] && [ "$bench_prev" -gt 1 ]; then
+		echo "refusing to overwrite $bench_out: it was recorded with cpus=$bench_prev but this run has cpus=$cpus." >&2
+		echo "A single-CPU rerun would erase the parallel-speedup evidence; pass --force to overwrite anyway." >&2
+		exit 1
+	fi
+}

@@ -5,13 +5,14 @@
 # record carries the host's CPU count: parallel-vs-sequential ratios are
 # only meaningful relative to it.
 #
-#   scripts/bench_explore.sh [benchtime]     # default 2x
+#   scripts/bench_explore.sh [--force] [benchtime]     # default 2x
 set -eu
 
 cd "$(dirname "$0")/.."
+. scripts/bench_env.sh
+bench_filter_args "$@" && eval "set -- $bench_args"
 benchtime="${1:-2x}"
-cpus="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
-[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+bench_guard BENCH_explore.json
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -19,7 +20,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkExplore' -benchtime "$benchtime" \
 	./internal/explore/ | tee "$raw"
 
-awk -v cpus="$cpus" '
+awk -v cpus="$cpus" -v numcpu="$num_cpu" '
 BEGIN { print "["; first = 1 }
 $1 ~ /^BenchmarkExplore\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -31,7 +32,7 @@ $1 ~ /^BenchmarkExplore\// {
 	if (ns == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s}", name, ns, runs, cpus
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s, \"num_cpu\": %s}", name, ns, runs, cpus, numcpu
 }
 END { print ""; print "]" }
 ' "$raw" > BENCH_explore.json

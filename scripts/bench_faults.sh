@@ -6,13 +6,14 @@
 # (bare vs fault-wrapped compare&swap) and the fault-placement census
 # across engines.
 #
-#   scripts/bench_faults.sh [benchtime]     # default 2x
+#   scripts/bench_faults.sh [--force] [benchtime]     # default 2x
 set -eu
 
 cd "$(dirname "$0")/.."
+. scripts/bench_env.sh
+bench_filter_args "$@" && eval "set -- $bench_args"
 benchtime="${1:-2x}"
-cpus="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
-[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+bench_guard BENCH_faults.json
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -20,7 +21,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkWrapOverhead|BenchmarkFaultCensus' -benchtime "$benchtime" \
 	./internal/faults/ | tee "$raw"
 
-awk -v cpus="$cpus" '
+awk -v cpus="$cpus" -v numcpu="$num_cpu" '
 BEGIN { print "["; first = 1 }
 $1 ~ /^Benchmark(WrapOverhead|FaultCensus)\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -32,7 +33,7 @@ $1 ~ /^Benchmark(WrapOverhead|FaultCensus)\// {
 	if (ns == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s}", name, ns, runs, cpus
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs_per_sec\": %s, \"cpus\": %s, \"num_cpu\": %s}", name, ns, runs, cpus, numcpu
 }
 END { print ""; print "]" }
 ' "$raw" > BENCH_faults.json

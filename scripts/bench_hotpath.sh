@@ -6,13 +6,14 @@
 # on any box, but parallel-speedup expectations are not portable off
 # multi-core hosts.
 #
-#   scripts/bench_hotpath.sh [benchtime]     # default 100x
+#   scripts/bench_hotpath.sh [--force] [benchtime]     # default 100x
 set -eu
 
 cd "$(dirname "$0")/.."
+. scripts/bench_env.sh
+bench_filter_args "$@" && eval "set -- $bench_args"
 benchtime="${1:-100x}"
-cpus="$(go env GOMAXPROCS 2>/dev/null || echo 1)"
-[ "$cpus" -gt 0 ] 2>/dev/null || cpus="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+bench_guard BENCH_hotpath.json
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -20,7 +21,7 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkSimStep' -benchtime "$benchtime" \
 	./internal/sim/ | tee "$raw"
 
-awk -v cpus="$cpus" '
+awk -v cpus="$cpus" -v numcpu="$num_cpu" '
 BEGIN { print "["; first = 1 }
 $1 ~ /^BenchmarkSimStep\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
@@ -33,8 +34,8 @@ $1 ~ /^BenchmarkSimStep\// {
 	if (ns == "") next
 	if (!first) print ","
 	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"ns_per_step\": %s, \"allocs_per_op\": %s, \"cpus\": %s}", \
-		name, ns, step, allocs, cpus
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"ns_per_step\": %s, \"allocs_per_op\": %s, \"cpus\": %s, \"num_cpu\": %s}", \
+		name, ns, step, allocs, cpus, numcpu
 }
 END { print ""; print "]" }
 ' "$raw" > BENCH_hotpath.json

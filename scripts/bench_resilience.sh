@@ -6,11 +6,14 @@
 # ParallelVisit baseline (the acceptance bound); the script exits
 # non-zero when it does not.
 #
-#   scripts/bench_resilience.sh [benchtime]     # default 3x
+#   scripts/bench_resilience.sh [--force] [benchtime]     # default 3x
 set -eu
 
 cd "$(dirname "$0")/.."
+. scripts/bench_env.sh
+bench_filter_args "$@" && eval "set -- $bench_args"
 benchtime="${1:-3x}"
+bench_guard BENCH_resilience.json
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -18,8 +21,8 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench 'BenchmarkResilience' -benchtime "$benchtime" \
 	./internal/explore/ | tee "$raw"
 
-awk '
-BEGIN { print "{"; print "  \"benchmarks\": ["; first = 1 }
+awk -v cpus="$cpus" -v numcpu="$num_cpu" '
+BEGIN { printf "{\n  \"cpus\": %s,\n  \"num_cpu\": %s,\n", cpus, numcpu; print "  \"benchmarks\": ["; first = 1 }
 $1 ~ /^BenchmarkResilience\// {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	ns = ""; runs = ""

@@ -15,12 +15,19 @@ go vet ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/runctx/..."
-go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/runctx/...
+echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/consensus/... ./internal/runctx/..."
+go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/consensus/... ./internal/runctx/...
 
 echo "== supervisor tests under the race detector (chaos, watchdog, cancellation, checkpoint)"
 go test -race -count=1 -run 'Supervis|Chaos|Watchdog|Cancel|Checkpoint|Backoff|WorkerPanic' \
 	./internal/explore/
+
+echo "== reduction paths under the race detector (symmetry folding, sleep-set credit, forced donation)"
+go test -race -count=1 -run 'TestReducedCensusMatchesUnreduced|TestSymmetryRefuses|TestCanonicalHashPermutationInvariant' \
+	./internal/explore/ ./internal/sim/
+
+echo "== reduction smoke: reduced census must match unreduced bit-for-bit (fast tier)"
+go test -count=1 -run 'TestReducedCensusMatchesUnreduced' ./internal/explore/
 
 echo "== benchmark smoke (-benchtime 1x: every benchmark still runs)"
 go test -run '^$' -bench 'BenchmarkSimStep' -benchtime 1x ./internal/sim/ >/dev/null
@@ -50,5 +57,10 @@ if go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
 fi
 go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
 	-workers 4 -timeout 2s -bivalence=false -allow-partial >/dev/null
+
+if [ -n "${VERIFY_BENCH_BASE:-}" ]; then
+	echo "== opt-in benchmark regression gate vs $VERIFY_BENCH_BASE"
+	scripts/bench_compare.sh "$VERIFY_BENCH_BASE"
+fi
 
 echo "verify: OK"
