@@ -15,13 +15,10 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/consensus"
+	"repro/internal/censusd"
 	"repro/internal/explore"
-	"repro/internal/faults"
-	"repro/internal/objects"
 	"repro/internal/profiling"
 	"repro/internal/runctx"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -32,7 +29,7 @@ func main() {
 }
 
 func run() error {
-	protocol := flag.String("protocol", "tas2", "protocol: rw2 | rw3 | tas2 | tas3gen | fa2 | queue2 | cas | casdeg")
+	protocol := flag.String("protocol", "tas2", "protocol: "+strings.Join(censusd.ProtocolNames(), " | "))
 	k := flag.Int("k", 4, "compare&swap alphabet (for -protocol cas/casdeg)")
 	n := flag.Int("n", 2, "processes (for -protocol cas/casdeg)")
 	crashes := flag.Int("crashes", 1, "crash budget per schedule")
@@ -62,10 +59,8 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit the census (counts, prune/steal stats, supervision counters) as JSON on stdout instead of prose")
 	flag.Parse()
 
-	ctx, stopSig := runctx.WithInterrupt(context.Background())
-	defer stopSig()
-	ctx, stopT := runctx.WithTimeout(ctx, *timeout)
-	defer stopT()
+	ctx, stop := runctx.WithDrain(context.Background(), *timeout)
+	defer stop()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -77,26 +72,29 @@ func run() error {
 		}
 	}()
 
-	builder, props, err := pick(*protocol, *k, *n)
-	if err != nil {
+	// The request/identity encoding is shared with the census daemon:
+	// the same flags submitted to cmd/censusd name the same exploration
+	// and would dedup against it.
+	req := censusd.Request{
+		Protocol: *protocol, K: *k, N: *n,
+		Crashes: crashes, ObjFaults: *objFaults,
+		MaxRuns: *maxRuns, StepLimit: *stepLimit,
+		Workers: *workers, Prune: *prune, Symmetry: *symmetry, SleepSets: *sleepsets,
+	}
+	if *objFaults > 0 {
+		req.FaultModes = strings.Split(*faultModes, ",")
+	}
+	if err := req.Normalize(); err != nil {
 		return err
 	}
-	modes, err := parseFaultModes(*faultModes)
+	builder, props, err := req.Build()
 	if err != nil {
 		return err
 	}
 
-	opts := explore.Options{
-		MaxCrashes: *crashes, MaxRuns: *maxRuns, Workers: *workers,
-		Prune: *prune, PruneTableEntries: *pruneBudget,
-		Symmetry: *symmetry, SleepSets: *sleepsets,
-		MaxStepsPerProc: *stepLimit,
-		Context:         ctx,
-	}
-	if *objFaults > 0 {
-		opts.ObjectFaults = *objFaults
-		opts.FaultModes = modes
-	}
+	opts := req.Options()
+	opts.PruneTableEntries = *pruneBudget
+	opts.Context = ctx
 	var supStats explore.SuperviseStats
 	sup := explore.Supervise{
 		MaxAttempts:  *retries,
@@ -116,12 +114,7 @@ func run() error {
 	if supervised {
 		opts.Supervision = &sup
 	}
-	check := func(res *sim.Result) error {
-		if err := consensus.CheckAgreement(res); err != nil {
-			return err
-		}
-		return consensus.CheckValidity(res, props)
-	}
+	check := censusd.Check(props)
 	var c *explore.Census
 	if *checkpoint != "" {
 		ck := explore.Checkpoint{Path: *checkpoint, Every: *checkpointEvery, Resume: *resume}
@@ -192,174 +185,14 @@ func run() error {
 	return nil
 }
 
-// jsonCensus is the -json output shape: the Census counts plus the
-// prune/steal and supervision counters, with error values flattened to
-// strings (Census itself holds non-marshalable schedule structures).
-type jsonCensus struct {
-	Protocol      string              `json:"protocol"`
-	CrashBudget   int                 `json:"crash_budget"`
-	FaultBudget   int                 `json:"object_fault_budget"`
-	Complete      int                 `json:"complete"`
-	Incomplete    int                 `json:"incomplete"`
-	Outcomes      map[string]int      `json:"outcomes"`
-	ViolationRuns int                 `json:"violation_runs"`
-	Violations    []string            `json:"violations,omitempty"`
-	Exhaustive    bool                `json:"exhaustive"`
-	Cancelled     bool                `json:"cancelled"`
-	Errors        []string            `json:"errors,omitempty"`
-	Prune         *explore.PruneStats `json:"prune,omitempty"`
-	Supervision   *jsonSupervision    `json:"supervision,omitempty"`
-}
-
-type jsonSupervision struct {
-	Attempts int64 `json:"attempts"`
-	Retries  int64 `json:"retries"`
-	Requeues int64 `json:"requeues"`
-	Kills    int64 `json:"kills"`
-	Stalls   int64 `json:"stalls"`
-	Failed   int64 `json:"failed"`
-}
-
+// emitJSON renders the census through the shared censusd.Result shape
+// — the same encoding the daemon's durable result cache stores, so
+// daemon results and -json output compare field for field.
 func emitJSON(w io.Writer, protocol string, crashes, objFaults int, c *explore.Census, supervised bool, st *explore.SuperviseStats) error {
-	out := jsonCensus{
-		Protocol:      protocol,
-		CrashBudget:   crashes,
-		FaultBudget:   objFaults,
-		Complete:      c.Complete,
-		Incomplete:    c.Incomplete,
-		Outcomes:      c.Outcomes,
-		ViolationRuns: c.ViolationRuns,
-		Exhaustive:    c.Exhaustive,
-		Cancelled:     c.Cancelled,
-		Errors:        c.Errors,
-		Prune:         c.Prune,
-	}
-	for _, v := range c.Violations {
-		out.Violations = append(out.Violations, explore.FormatSchedule(v.Schedule))
-	}
-	if supervised {
-		out.Supervision = &jsonSupervision{
-			Attempts: st.Attempts.Load(),
-			Retries:  st.Retries.Load(),
-			Requeues: st.Requeues.Load(),
-			Kills:    st.Kills.Load(),
-			Stalls:   st.Stalls.Load(),
-			Failed:   st.Failed.Load(),
-		}
+	if !supervised {
+		st = nil
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
-}
-
-func pick(name string, k, n int) (explore.Builder, []sim.Value, error) {
-	props := func(n int) []sim.Value {
-		out := make([]sim.Value, n)
-		for i := range out {
-			out[i] = 100 + i
-		}
-		return out
-	}
-	switch name {
-	case "rw2":
-		p := props(2)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	case "rw3":
-		p := props(3)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	case "tas2":
-		p := props(2)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			ts := objects.NewTestAndSet("t")
-			sys.Add(ts)
-			for _, prog := range consensus.TASProtocol(sys, ts, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	case "fa2":
-		p := props(2)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			fa := objects.NewFetchAdd("f", 0)
-			sys.Add(fa)
-			for _, prog := range consensus.FetchAddProtocol(sys, fa, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	case "queue2":
-		p := props(2)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			q := objects.NewQueue("q", "winner")
-			sys.Add(q)
-			for _, prog := range consensus.QueueProtocol(sys, q, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	case "cas":
-		p := props(n)
-		spec := consensus.CASSymmetric(n)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			cas := objects.NewCAS("cas", k)
-			sys.Add(cas)
-			for _, prog := range consensus.CASProtocol(sys, cas, p) {
-				sys.Spawn(prog)
-			}
-			sys.DeclareSymmetry(spec)
-			return sys
-		}, p, nil
-	case "casdeg":
-		// Fault-wrapped compare&swap consensus with graceful degradation
-		// to registers: the protocol for -objfaults experiments.
-		p := props(n)
-		return func() *sim.System {
-			sys := sim.NewSystem()
-			cas := faults.Wrap(objects.NewCAS("cas", k))
-			sys.Add(cas)
-			for _, prog := range consensus.DegradingCASProtocol(sys, cas, p) {
-				sys.Spawn(prog)
-			}
-			return sys
-		}, p, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown protocol %q", name)
-	}
-}
-
-// parseFaultModes parses the -faultmodes flag ("crash,omission,...").
-func parseFaultModes(s string) ([]sim.FaultMode, error) {
-	var modes []sim.FaultMode
-	for _, part := range strings.Split(s, ",") {
-		switch strings.TrimSpace(part) {
-		case "":
-		case "crash":
-			modes = append(modes, sim.FaultCrash)
-		case "omission":
-			modes = append(modes, sim.FaultOmission)
-		case "reset":
-			modes = append(modes, sim.FaultReset)
-		case "garble":
-			modes = append(modes, sim.FaultGarble)
-		default:
-			return nil, fmt.Errorf("unknown fault mode %q", part)
-		}
-	}
-	return modes, nil
+	return enc.Encode(censusd.ResultFrom(protocol, crashes, objFaults, c, st))
 }

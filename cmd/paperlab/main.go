@@ -60,10 +60,8 @@ func run() error {
 	flag.Parse()
 	allowPartial = *partial
 
-	ctx, stopSig := runctx.WithInterrupt(context.Background())
-	defer stopSig()
-	ctx, stopT := runctx.WithTimeout(ctx, *timeout)
-	defer stopT()
+	ctx, stop := runctx.WithDrain(context.Background(), *timeout)
+	defer stop()
 	tunes = append(tunes, explore.WithContext(ctx))
 
 	if *prune {

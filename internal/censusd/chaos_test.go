@@ -1,0 +1,209 @@
+package censusd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// The process-level chaos test: a real cmd/censusd daemon, SIGKILLed
+// with jobs in flight, must resume them after restart and produce
+// censuses bit-identical to uninterrupted direct runs. This is the
+// acceptance criterion of the daemon's crash-safety story, exercised
+// end to end through the actual binary, the HTTP API, and the on-disk
+// store.
+
+// buildDaemon compiles cmd/censusd into dir, with -race iff this test
+// binary has it, and returns the binary path.
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "censusd")
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, "repro/cmd/censusd")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = filepath.Join("..", "..") // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building censusd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches the binary on a free port over the given store
+// dir and returns its base URL and process handle.
+func startDaemon(t *testing.T, bin, dir string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir,
+		"-workers", "2", "-queue", "8", "-checkpoint-every", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "censusd: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon never reported its address (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+	return "http://" + addr, cmd
+}
+
+func submitJob(t *testing.T, base string, req Request) string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit %+v: %d %s", req, resp.StatusCode, m.Error)
+	}
+	return m.ID
+}
+
+// getJob fetches one job view; ok is false on transport errors (the
+// daemon may be gone mid-poll).
+func getJob(base, id string) (*jobView, bool) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, false
+	}
+	return &v, true
+}
+
+func TestDaemonKillRestartBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test; skipped in -short")
+	}
+	scratch := t.TempDir()
+	bin := buildDaemon(t, scratch)
+	storeDir := filepath.Join(scratch, "store")
+
+	// Three jobs: one long (rw3, single engine worker — the kill
+	// target), two ordinary. All verified bit-identical at the end.
+	reqs := []Request{
+		{Protocol: "rw3", Workers: 1},
+		{Protocol: "cas", K: 4, N: 3, Workers: 2},
+		{Protocol: "fa2"},
+	}
+	wants := make([]*explore.Census, len(reqs))
+	for i, r := range reqs {
+		wants[i] = groundTruth(t, r)
+	}
+
+	base, cmd := startDaemon(t, bin, storeDir)
+	ids := make([]string, len(reqs))
+	for i, r := range reqs {
+		ids[i] = submitJob(t, base, r)
+	}
+
+	// Wait for the long job to be genuinely mid-run — running, with at
+	// least one completed root (so the checkpoint file exists) and not
+	// yet done — then SIGKILL the daemon.
+	killed := false
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := getJob(base, ids[0])
+		if ok && v.State == StateRunning && v.Progress != nil && v.Progress.RootsDone >= 1 {
+			if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			killed = true
+			break
+		}
+		if ok && v.State == StateDone {
+			t.Fatal("long job finished before the kill; grow its budget")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !killed {
+		_ = cmd.Process.Kill()
+		t.Fatal("long job never reached mid-run state")
+	}
+	_ = cmd.Wait() // reap; exit status is the kill, not an error
+
+	// Restart over the same store: every job must complete.
+	base2, cmd2 := startDaemon(t, bin, storeDir)
+	defer func() {
+		// Graceful drain on the way out; hard kill only as fallback.
+		_ = cmd2.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { _ = cmd2.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			_ = cmd2.Process.Kill()
+			<-done
+		}
+	}()
+
+	finals := make([]*jobView, len(reqs))
+	deadline = time.Now().Add(10 * time.Minute)
+	for i := range reqs {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s (%s) did not finish after restart", ids[i], reqs[i].Protocol)
+			}
+			v, ok := getJob(base2, ids[i])
+			if ok && v.State == StateDone {
+				finals[i] = v
+				break
+			}
+			if ok && v.State == StateFailed {
+				t.Fatalf("job %s failed after restart: %s", ids[i], v.Error)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	for i, v := range finals {
+		assertResultMatches(t, fmt.Sprintf("job %s after kill+restart", reqs[i].Protocol), v.Result, wants[i])
+	}
+	// The killed job must really have gone through crash recovery — a
+	// restart-requeue and a checkpoint resume, not a silent rerun.
+	long := finals[0]
+	if long.Restarts < 1 {
+		t.Fatalf("long job records %d restarts; the kill did not interrupt it", long.Restarts)
+	}
+	if long.Checkpoint == nil || long.Checkpoint.ResumedRoots == 0 {
+		t.Fatalf("long job resumed no roots: %+v", long.Checkpoint)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package censusd
+
+const raceEnabled = false

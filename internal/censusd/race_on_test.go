@@ -1,0 +1,7 @@
+//go:build race
+
+package censusd
+
+// raceEnabled mirrors the test binary's -race setting so the chaos
+// test builds the daemon under the same detector.
+const raceEnabled = true

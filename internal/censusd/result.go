@@ -1,0 +1,67 @@
+package censusd
+
+import (
+	"repro/internal/explore"
+)
+
+// Result is the wire/storage rendering of a census: the counts plus
+// the prune/steal and supervision counters, with schedules flattened
+// to strings. cmd/explore's -json output and the daemon's result cache
+// share this shape, so "bit-identical to a direct cmd/explore run" is
+// directly comparable field by field.
+type Result struct {
+	Protocol      string              `json:"protocol"`
+	CrashBudget   int                 `json:"crash_budget"`
+	FaultBudget   int                 `json:"object_fault_budget"`
+	Complete      int                 `json:"complete"`
+	Incomplete    int                 `json:"incomplete"`
+	Outcomes      map[string]int      `json:"outcomes"`
+	ViolationRuns int                 `json:"violation_runs"`
+	Violations    []string            `json:"violations,omitempty"`
+	Exhaustive    bool                `json:"exhaustive"`
+	Cancelled     bool                `json:"cancelled"`
+	Errors        []string            `json:"errors,omitempty"`
+	Prune         *explore.PruneStats `json:"prune,omitempty"`
+	Supervision   *Supervision        `json:"supervision,omitempty"`
+}
+
+// Supervision is the flattened supervisor counter block of a Result.
+type Supervision struct {
+	Attempts int64 `json:"attempts"`
+	Retries  int64 `json:"retries"`
+	Requeues int64 `json:"requeues"`
+	Kills    int64 `json:"kills"`
+	Stalls   int64 `json:"stalls"`
+	Failed   int64 `json:"failed"`
+}
+
+// ResultFrom flattens a census. st may be nil (unsupervised run).
+func ResultFrom(protocol string, crashes, objFaults int, c *explore.Census, st *explore.SuperviseStats) *Result {
+	out := &Result{
+		Protocol:      protocol,
+		CrashBudget:   crashes,
+		FaultBudget:   objFaults,
+		Complete:      c.Complete,
+		Incomplete:    c.Incomplete,
+		Outcomes:      c.Outcomes,
+		ViolationRuns: c.ViolationRuns,
+		Exhaustive:    c.Exhaustive,
+		Cancelled:     c.Cancelled,
+		Errors:        c.Errors,
+		Prune:         c.Prune,
+	}
+	for _, v := range c.Violations {
+		out.Violations = append(out.Violations, explore.FormatSchedule(v.Schedule))
+	}
+	if st != nil {
+		out.Supervision = &Supervision{
+			Attempts: st.Attempts.Load(),
+			Retries:  st.Retries.Load(),
+			Requeues: st.Requeues.Load(),
+			Kills:    st.Kills.Load(),
+			Stalls:   st.Stalls.Load(),
+			Failed:   st.Failed.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,519 @@
+package censusd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// Dir is the job store directory.
+	Dir string
+	// Workers is the number of jobs run concurrently (default 2). Each
+	// job additionally uses its request's engine workers.
+	Workers int
+	// QueueDepth bounds the admission backlog: submissions beyond this
+	// many queued jobs are shed with 429 (default 16).
+	QueueDepth int
+	// CheckpointEvery is how many completed subtree roots elapse
+	// between checkpoint saves (default 1 — maximum durability; the
+	// daemon's whole point is surviving kills).
+	CheckpointEvery int
+	// Supervision is the per-job supervisor template (retry budget,
+	// backoff, stall watchdog). Stats and OnEvent are owned per job and
+	// must be nil here.
+	Supervision explore.Supervise
+	// Logf receives operational log lines (default os.Stderr).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "censusd: "+format+"\n", args...)
+		}
+	}
+	return c
+}
+
+// eventRec is one supervisor event as exposed over /jobs/{id}.
+type eventRec struct {
+	Kind    string `json:"kind"`
+	Root    int    `json:"root"`
+	Attempt int    `json:"attempt,omitempty"`
+	Err     string `json:"err,omitempty"`
+}
+
+// maxEventRing bounds the per-job recent-event list.
+const maxEventRing = 32
+
+// progress is a job's live telemetry, fed by the supervisor's OnEvent
+// hook from exploration worker goroutines.
+type progress struct {
+	mu        sync.Mutex
+	attempts  int64
+	retries   int64
+	requeues  int64
+	rootsDone int64
+	failed    int64
+	recent    []eventRec
+}
+
+func (p *progress) observe(e explore.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case explore.EventClaim:
+		p.attempts++
+	case explore.EventResolved:
+		p.rootsDone++
+	case explore.EventRetry:
+		p.retries++
+	case explore.EventRequeue:
+		p.requeues++
+	case explore.EventFailed:
+		p.failed++
+	}
+	p.recent = append(p.recent, eventRec{Kind: e.Kind.String(), Root: e.Root, Attempt: e.Attempt, Err: e.Err})
+	if len(p.recent) > maxEventRing {
+		p.recent = p.recent[len(p.recent)-maxEventRing:]
+	}
+}
+
+// progressView is the JSON rendering of progress.
+type progressView struct {
+	Attempts  int64      `json:"attempts"`
+	Retries   int64      `json:"retries"`
+	Requeues  int64      `json:"requeues"`
+	RootsDone int64      `json:"roots_done"`
+	Failed    int64      `json:"failed_roots"`
+	Recent    []eventRec `json:"recent_events,omitempty"`
+}
+
+func (p *progress) view() *progressView {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return &progressView{
+		Attempts: p.attempts, Retries: p.retries, Requeues: p.requeues,
+		RootsDone: p.rootsDone, Failed: p.failed,
+		Recent: append([]eventRec(nil), p.recent...),
+	}
+}
+
+// jobState is a Job plus its live telemetry.
+type jobState struct {
+	job      *Job
+	progress progress
+}
+
+// Server is the census daemon core: the job table, the bounded
+// admission queue, and the worker pool. HTTP is a thin layer over it
+// (Handler); cmd/censusd adds listening and signal handling.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	ctx context.Context // drain: cancelled means stop admitting and wind down
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	queued int // admission backlog (jobs in StateQueued)
+
+	queue chan string
+	wg    sync.WaitGroup
+}
+
+// New opens the store, recovers persisted jobs — running jobs (in
+// flight when the previous process died) are re-queued to resume from
+// their checkpoints — and returns a server ready to Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Supervision.Stats != nil || cfg.Supervision.OnEvent != nil {
+		return nil, fmt.Errorf("censusd: Config.Supervision.Stats/OnEvent are per-job; set them nil")
+	}
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	jobs, warnings, err := store.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range warnings {
+		cfg.Logf("recovery: %s", w)
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		jobs:  make(map[string]*jobState, len(jobs)),
+		queue: make(chan string, cfg.QueueDepth+len(jobs)+cfg.Workers+1),
+	}
+	for _, j := range jobs {
+		if j.State == StateRunning {
+			// The previous daemon died with this job in flight: its
+			// checkpoint holds every root completed before the kill.
+			j.State = StateQueued
+			j.Restarts++
+			if err := store.Save(j); err != nil {
+				return nil, err
+			}
+			cfg.Logf("recovery: job %s re-queued (restart %d), resuming from checkpoint", j.ID, j.Restarts)
+		}
+		s.jobs[j.ID] = &jobState{job: j}
+		if j.State == StateQueued {
+			s.queued++
+			s.queue <- j.ID
+		}
+	}
+	return s, nil
+}
+
+// Start launches the worker pool. ctx is the drain context: cancelling
+// it stops admission, interrupts running jobs at subtree-root
+// granularity (flushing their checkpoints), and winds the pool down.
+// Call Drain to wait for the wind-down.
+func (s *Server) Start(ctx context.Context) {
+	s.ctx = ctx
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case id := <-s.queue:
+					s.runJob(ctx, id)
+				}
+			}
+		}()
+	}
+}
+
+// Drain blocks until every worker has stopped. Jobs interrupted
+// mid-run have been checkpointed and persisted back to queued, ready
+// for the next daemon to resume.
+func (s *Server) Drain() {
+	s.wg.Wait()
+}
+
+// draining reports whether the drain context has fired.
+func (s *Server) draining() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// Submit admits a census request. The returned code is the HTTP-style
+// outcome: 201 newly admitted, 200 attached to an existing job or
+// served from the result cache, 429 shed (queue full — retryable),
+// 503 draining (retryable elsewhere).
+func (s *Server) Submit(req Request) (job *Job, code int, err error) {
+	if err := req.Normalize(); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if s.draining() {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("daemon is draining; resubmit after restart")
+	}
+	id := req.ID()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if js, ok := s.jobs[id]; ok {
+		switch js.job.State {
+		case StateFailed:
+			// Resubmission of a failed job re-queues it; the retained
+			// checkpoint makes this a resume, not a restart.
+			if s.queued >= s.cfg.QueueDepth {
+				return nil, http.StatusTooManyRequests, fmt.Errorf("admission queue full (%d queued); retry later", s.queued)
+			}
+			js.job.State = StateQueued
+			js.job.Error = ""
+			js.job.FinishedAt = nil
+			if err := s.store.Save(js.job); err != nil {
+				return nil, http.StatusInternalServerError, err
+			}
+			s.queued++
+			s.queue <- id
+			s.cfg.Logf("job %s re-queued after failure (identity %q)", id, js.job.Identity)
+			return js.job, http.StatusOK, nil
+		default:
+			// Queued/running: attach. Done: serve the durable cache.
+			return js.job, http.StatusOK, nil
+		}
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		return nil, http.StatusTooManyRequests, fmt.Errorf("admission queue full (%d queued); retry later", s.queued)
+	}
+	j := &Job{
+		ID:          id,
+		Identity:    req.Identity(),
+		Request:     req,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}
+	// Durability before visibility: the record is on disk before the
+	// job is queued, so a kill between the two re-queues it on restart.
+	if err := s.store.Save(j); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	s.jobs[id] = &jobState{job: j}
+	s.queued++
+	s.queue <- id
+	s.cfg.Logf("job %s admitted (identity %q, %d queued)", id, j.Identity, s.queued)
+	return j, http.StatusCreated, nil
+}
+
+// runJob executes one job under the supervisor with panic isolation.
+func (s *Server) runJob(ctx context.Context, id string) {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	if !ok || js.job.State != StateQueued {
+		// Stale queue entry (e.g. the job was settled by an earlier
+		// duplicate enqueue); nothing to do.
+		s.mu.Unlock()
+		return
+	}
+	js.job.State = StateRunning
+	now := time.Now().UTC()
+	js.job.StartedAt = &now
+	s.queued--
+	if err := s.store.Save(js.job); err != nil {
+		s.cfg.Logf("job %s: persist running state: %v", id, err)
+	}
+	req := js.job.Request
+	s.mu.Unlock()
+
+	settle := func(mutate func(j *Job)) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		mutate(js.job)
+		if err := s.store.Save(js.job); err != nil {
+			s.cfg.Logf("job %s: persist: %v", id, err)
+		}
+	}
+
+	// Panic isolation: one poisoned job must not take a pool worker (or
+	// the daemon) down. The supervisor already retries panics inside
+	// the exploration; this guards everything around it.
+	defer func() {
+		if p := recover(); p != nil {
+			s.cfg.Logf("job %s: panic isolated: %v", id, p)
+			settle(func(j *Job) {
+				j.State = StateFailed
+				j.Error = fmt.Sprintf("panic: %v", p)
+				t := time.Now().UTC()
+				j.FinishedAt = &t
+			})
+		}
+	}()
+
+	jobCtx, cancel := ctx, func() {}
+	if req.TimeoutSec > 0 {
+		jobCtx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutSec)*time.Second)
+	}
+	defer cancel()
+
+	builder, props, err := req.Build()
+	if err != nil {
+		settle(func(j *Job) {
+			j.State = StateFailed
+			j.Error = err.Error()
+			t := time.Now().UTC()
+			j.FinishedAt = &t
+		})
+		return
+	}
+	var supStats explore.SuperviseStats
+	sup := s.cfg.Supervision
+	sup.Stats = &supStats
+	sup.OnEvent = js.progress.observe
+	opts := req.Options()
+	opts.Context = jobCtx
+	opts.Supervision = &sup
+
+	c, ckStats, err := explore.RunCheckpointed(builder, opts, Check(props), explore.Checkpoint{
+		Path:   s.store.CheckpointPath(id),
+		Every:  s.cfg.CheckpointEvery,
+		Resume: true,
+	})
+	ckInfo := &CheckpointInfo{
+		TotalRoots:   ckStats.TotalRoots,
+		ResumedRoots: ckStats.ResumedRoots,
+		Saves:        ckStats.Saves,
+		Warning:      ckStats.Warning,
+	}
+	switch {
+	case err != nil:
+		settle(func(j *Job) {
+			j.State = StateFailed
+			j.Error = err.Error()
+			j.Checkpoint = ckInfo
+			t := time.Now().UTC()
+			j.FinishedAt = &t
+		})
+	case c.Cancelled && ctx.Err() != nil:
+		// Drain: the checkpoint holds everything completed so far; the
+		// job goes back to queued and the next daemon resumes it.
+		settle(func(j *Job) {
+			j.State = StateQueued
+			j.Checkpoint = ckInfo
+			j.StartedAt = nil
+			s.queued++
+		})
+		s.cfg.Logf("job %s checkpointed and re-queued for the next run (drain)", id)
+	case c.Cancelled:
+		// The job's own timeout fired. The checkpoint is retained:
+		// resubmitting the identical request resumes, not restarts.
+		settle(func(j *Job) {
+			j.State = StateFailed
+			j.Error = fmt.Sprintf("job timeout after %ds (checkpoint retained; resubmit to resume)", req.TimeoutSec)
+			j.Checkpoint = ckInfo
+			t := time.Now().UTC()
+			j.FinishedAt = &t
+		})
+	default:
+		result := ResultFrom(req.Protocol, *req.Crashes, req.ObjFaults, c, &supStats)
+		settle(func(j *Job) {
+			j.State = StateDone
+			j.Result = result
+			j.Checkpoint = ckInfo
+			t := time.Now().UTC()
+			j.FinishedAt = &t
+		})
+		s.cfg.Logf("job %s done: %d complete, %d incomplete, %d violations (resumed %d/%d roots)",
+			id, c.Complete, c.Incomplete, c.ViolationRuns, ckStats.ResumedRoots, ckStats.TotalRoots)
+	}
+}
+
+// jobView is the /jobs/{id} response: the persisted record plus live
+// progress.
+type jobView struct {
+	*Job
+	Progress *progressView `json:"progress,omitempty"`
+}
+
+// Job returns a point-in-time view of one job (nil if unknown).
+func (s *Server) Job(id string) *jobView {
+	s.mu.Lock()
+	js, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	cp := *js.job
+	s.mu.Unlock()
+	return &jobView{Job: &cp, Progress: js.progress.view()}
+}
+
+// Jobs lists every job, oldest first.
+func (s *Server) Jobs() []*jobView {
+	s.mu.Lock()
+	states := make([]*jobState, 0, len(s.jobs))
+	views := make([]*jobView, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		cp := *js.job
+		states = append(states, js)
+		views = append(views, &jobView{Job: &cp})
+	}
+	s.mu.Unlock()
+	for i, js := range states {
+		views[i].Progress = js.progress.view()
+	}
+	sort.Slice(views, func(a, b int) bool { return views[a].SubmittedAt.Before(views[b].SubmittedAt) })
+	return views
+}
+
+// health is the /healthz response.
+type health struct {
+	Status  string         `json:"status"` // ok | draining
+	Jobs    map[string]int `json:"jobs"`
+	Queued  int            `json:"queued"`
+	Depth   int            `json:"queue_depth"`
+	Workers int            `json:"workers"`
+}
+
+// Health summarizes daemon state.
+func (s *Server) Health() health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := health{
+		Status:  "ok",
+		Jobs:    map[string]int{},
+		Queued:  s.queued,
+		Depth:   s.cfg.QueueDepth,
+		Workers: s.cfg.Workers,
+	}
+	if s.draining() {
+		h.Status = "draining"
+	}
+	for _, js := range s.jobs {
+		h.Jobs[js.job.State]++
+	}
+	return h
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs      submit a Request; 201 admitted, 200 attached/cached,
+//	                400 invalid, 429 queue full (Retry-After set),
+//	                503 draining
+//	GET  /jobs      list all jobs
+//	GET  /jobs/{id} one job: status, progress events, counters, result
+//	GET  /healthz   daemon health and job-state histogram
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+			return
+		}
+		job, code, err := s.Submit(req)
+		if err != nil {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, code, s.Job(job.ID))
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		v := s.Job(r.PathValue("id"))
+		if v == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -85,3 +85,125 @@ func CensusCAS(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		return CheckValidity(res, props)
 	})
 }
+
+// TASSymmetric is the process-symmetry spec of the canonical test&set
+// 2-consensus census: proposals are 100+i for process i and each
+// process announces in its own SWMR cell "t.ann[i]". The test&set bit
+// itself stores no identity, so renaming the two processes renames
+// proposal 100+i to 100+π(i) and cell "t.ann[i]" to "t.ann[π(i)]" and
+// nothing else. Tied to those conventions, like CASSymmetric.
+func TASSymmetric() *sim.Symmetry {
+	const n = 2
+	const pre = "t.ann["
+	renameProp := func(v int, perm []sim.ProcID) int {
+		if v >= 100 && v < 100+n {
+			return 100 + int(perm[v-100])
+		}
+		return v
+	}
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			if x, ok := v.(int); ok {
+				return renameProp(x, perm)
+			}
+			return v
+		},
+		RenameObject: func(name string, perm []sim.ProcID) string {
+			if strings.HasPrefix(name, pre) && strings.HasSuffix(name, "]") {
+				if i, err := strconv.Atoi(name[len(pre) : len(name)-1]); err == nil && i >= 0 && i < n {
+					return fmt.Sprintf("t.ann[%d]", perm[i])
+				}
+			}
+			return name
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(v int) int { return renameProp(v, perm) })
+		},
+	}
+}
+
+// CensusTAS exhaustively censuses the canonical test&set 2-consensus
+// protocol (announce, t&s, winner keeps its proposal, loser adopts),
+// checking agreement and validity on every complete run with up to one
+// crash. The builder declares TASSymmetric, so explore.WithSymmetry()
+// folds the two-process permutation classes of the walk.
+func CensusTAS(maxRuns int, tunes ...explore.Tune) *explore.Census {
+	props := [2]sim.Value{100, 101}
+	spec := TASSymmetric()
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		ts := objects.NewTestAndSet("t")
+		sys.Add(ts)
+		for _, p := range TASProtocol(sys, ts, props) {
+			sys.Spawn(p)
+		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		if err := CheckAgreement(res); err != nil {
+			return err
+		}
+		return CheckValidity(res, props[:])
+	})
+}
+
+// StickyBitSymmetric is the process-symmetry spec of the sticky-bit
+// n-consensus census: proposals are 100+i and the only shared object is
+// the sticky bit, whose stored (stuck) value is renamed through the
+// bit's own PermStateFolder — no per-process cells exist, so no
+// RenameObject is needed.
+func StickyBitSymmetric(n int) *sim.Symmetry {
+	renameProp := func(v int, perm []sim.ProcID) int {
+		if v >= 100 && v < 100+n {
+			return 100 + int(perm[v-100])
+		}
+		return v
+	}
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			if x, ok := v.(int); ok {
+				return renameProp(x, perm)
+			}
+			return v
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(v int) int { return renameProp(v, perm) })
+		},
+	}
+}
+
+// CensusStickyBit exhaustively censuses sticky-bit n-consensus — every
+// process sticky-writes its proposal and decides the returned (stuck)
+// value, the paper's universal single-object consensus — checking
+// agreement and validity with up to one crash. The builder declares
+// StickyBitSymmetric for explore.WithSymmetry().
+func CensusStickyBit(n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	spec := StickyBitSymmetric(n)
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		sb := objects.NewStickyBit("s")
+		sys.Add(sb)
+		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
+			return func(e *sim.Env) (sim.Value, error) {
+				return sb.WriteSticky(e, props[id]), nil
+			}
+		})
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		if err := CheckAgreement(res); err != nil {
+			return err
+		}
+		return CheckValidity(res, props)
+	})
+}

@@ -86,8 +86,17 @@ type ckRoot struct {
 type ckFile struct {
 	// Key fingerprints the exploration (options + frontier prefixes):
 	// a checkpoint is only resumable into the identical exploration.
-	Key  uint64            `json:"key"`
-	Done map[string]ckRoot `json:"done"`
+	Key uint64 `json:"key"`
+	// Frontier and Opts split Key's two ingredients so resume can tell
+	// "different exploration" (ignore, start fresh) from "same
+	// exploration under different engine options" (refuse loudly: the
+	// caller almost certainly forgot a -symmetry/-sleepsets/-objfaults
+	// flag, and silently restarting would explore under the wrong
+	// reduction). Zero/empty in files from before this split — those
+	// degrade to the old ignore-with-warning behavior.
+	Frontier uint64            `json:"frontier,omitempty"`
+	Opts     string            `json:"opts,omitempty"`
+	Done     map[string]ckRoot `json:"done"`
 }
 
 // RunCheckpointed is Run with periodic progress persistence. It
@@ -126,6 +135,8 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		return Run(b, opts, check), stats, nil
 	}
 	key := checkpointKey(opts, items)
+	optsFP := optionsFingerprint(opts)
+	frontierFP := frontierFingerprint(items)
 	done := make(map[int]ckRoot)
 	resolved := make([]bool, len(items))
 	for _, it := range items {
@@ -139,6 +150,17 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		case f == nil:
 			stats.Warning = warn
 		case f.Key != key:
+			// Same exploration tree but different engine options is a
+			// hard error: the caller believes they are resuming the run
+			// that wrote the checkpoint, and silently starting fresh
+			// would explore under the wrong reduction/budget settings.
+			// (Files from before the Frontier/Opts split carry neither
+			// field and keep the old ignore-with-warning behavior.)
+			if f.Frontier == frontierFP && f.Opts != "" && f.Opts != optsFP {
+				return nil, stats, fmt.Errorf(
+					"explore: checkpoint %s records the same exploration under different engine options (checkpoint %q, this run %q); refusing to resume — rerun with the original options or delete the checkpoint",
+					ck.Path, f.Opts, optsFP)
+			}
 			stats.Warning = "checkpoint ignored: key mismatch (different builder or options); starting fresh"
 		default:
 			for k, v := range f.Done {
@@ -176,7 +198,7 @@ func RunCheckpointed(b Builder, opts Options, check func(*sim.Result) error, ck 
 		hookStop  bool
 	)
 	save := func() error { // callers hold saveMu
-		f := ckFile{Key: key, Done: make(map[string]ckRoot, len(done))}
+		f := ckFile{Key: key, Frontier: frontierFP, Opts: optsFP, Done: make(map[string]ckRoot, len(done))}
 		for i, r := range done {
 			f.Done[strconv.Itoa(i)] = r
 		}
@@ -300,26 +322,52 @@ func (r ckRoot) toSummary(b Builder, opts Options) *summary {
 	return s
 }
 
-// checkpointKey fingerprints the exploration: the option fields that
-// shape the tree plus every frontier prefix. Builders are functions and
-// cannot be hashed directly; the frontier, being the builder's observable
-// branching structure down to the split, stands in for it.
-func checkpointKey(opts Options, items []frontierItem) uint64 {
-	h := uint64(fnvOffset)
-	fold := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= fnvPrime
-		}
-	}
-	fold(fmt.Sprintf("d%d c%d f%d m%v r%d s%d y%t z%t",
+// optionsFingerprint renders the option fields that shape the census —
+// budgets and reducers — as a short stable string. It is stored
+// verbatim in the checkpoint file so an options mismatch can be
+// reported in the error, not just detected.
+func optionsFingerprint(opts Options) string {
+	return fmt.Sprintf("d%d c%d f%d m%v r%d s%d y%t z%t",
 		opts.MaxDepth, opts.MaxCrashes, opts.ObjectFaults, opts.FaultModes,
-		opts.MaxRuns, opts.MaxStepsPerProc, opts.Symmetry, opts.SleepSets))
+		opts.MaxRuns, opts.MaxStepsPerProc, opts.Symmetry, opts.SleepSets)
+}
+
+// foldString continues an FNV-1a fold over s.
+func foldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// frontierFingerprint hashes every frontier prefix. Builders are
+// functions and cannot be hashed directly; the frontier, being the
+// builder's observable branching structure down to the split, stands
+// in for it.
+func frontierFingerprint(items []frontierItem) uint64 {
+	h := uint64(fnvOffset)
 	for _, it := range items {
 		if it.prefix != nil {
-			fold("|" + FormatSchedule(it.prefix))
+			h = foldString(h, "|"+FormatSchedule(it.prefix))
 		} else {
-			fold("|leaf:" + FormatSchedule(it.leaf.Schedule))
+			h = foldString(h, "|leaf:"+FormatSchedule(it.leaf.Schedule))
+		}
+	}
+	return h
+}
+
+// checkpointKey fingerprints the exploration: the option fields that
+// shape the tree plus every frontier prefix. The fold order (options
+// string, then prefixes) is preserved from earlier releases so their
+// checkpoints still resume.
+func checkpointKey(opts Options, items []frontierItem) uint64 {
+	h := foldString(uint64(fnvOffset), optionsFingerprint(opts))
+	for _, it := range items {
+		if it.prefix != nil {
+			h = foldString(h, "|"+FormatSchedule(it.prefix))
+		} else {
+			h = foldString(h, "|leaf:"+FormatSchedule(it.leaf.Schedule))
 		}
 	}
 	return h

@@ -53,6 +53,12 @@ func TestReducedCensusMatchesUnreduced(t *testing.T) {
 		{"consensus-cas", func(tunes ...explore.Tune) *explore.Census {
 			return consensus.CensusCAS(3, 2, 0, tunes...)
 		}},
+		{"consensus-tas", func(tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusTAS(0, tunes...)
+		}},
+		{"consensus-stickybit", func(tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusStickyBit(3, 0, tunes...)
+		}},
 	}
 	reducers := []struct {
 		name  string
@@ -64,8 +70,8 @@ func TestReducedCensusMatchesUnreduced(t *testing.T) {
 	}
 	for _, p := range protocols {
 		t.Run(p.name, func(t *testing.T) {
-			want := p.run()                        // plain replay walk: ground truth
-			plain := p.run(explore.WithPrune())    // pruning only: probe baseline
+			want := p.run()                     // plain replay walk: ground truth
+			plain := p.run(explore.WithPrune()) // pruning only: probe baseline
 			assertCensusEqual(t, "pruned", plain, want)
 			if plain.Prune == nil || plain.Prune.Probes == 0 {
 				t.Fatal("pruned baseline reported no probes")

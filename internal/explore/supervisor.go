@@ -56,6 +56,60 @@ type Supervise struct {
 	Chaos *ChaosPlan
 	// Stats, when non-nil, receives the run's supervision counters.
 	Stats *SuperviseStats
+	// OnEvent, when non-nil, observes the supervisor's per-root
+	// lifecycle (claim, resolve, retry, requeue, failure) as it happens.
+	// It is called from worker goroutines, possibly concurrently, and
+	// must be fast and thread-safe; it must not call back into the walk.
+	// Events are advisory telemetry — they never affect counts. Only the
+	// pooled checkpoint path (RunCheckpointed) emits them today.
+	OnEvent func(Event)
+}
+
+// EventKind classifies a supervisor Event.
+type EventKind uint8
+
+const (
+	// EventClaim: a worker claimed a root and began an attempt.
+	EventClaim EventKind = iota + 1
+	// EventResolved: a root completed successfully (counted exactly once
+	// per root, however many attempts raced).
+	EventResolved
+	// EventRetry: an attempt failed (panic) and the root was re-queued.
+	EventRetry
+	// EventRequeue: the stall watchdog abandoned a frozen attempt and
+	// re-queued the root.
+	EventRequeue
+	// EventFailed: the root was abandoned after the attempt budget; its
+	// subtree is the census's coverage deficit.
+	EventFailed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventClaim:
+		return "claim"
+	case EventResolved:
+		return "resolved"
+	case EventRetry:
+		return "retry"
+	case EventRequeue:
+		return "requeue"
+	case EventFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one supervisor lifecycle observation, delivered through
+// Supervise.OnEvent.
+type Event struct {
+	Kind EventKind
+	// Root is the frontier root index the event concerns.
+	Root int
+	// Attempt is the 1-based attempt number (0 when not applicable).
+	Attempt int
+	// Err carries the failure detail of retry/failed events.
+	Err string
 }
 
 // DefaultMaxAttempts is the per-root attempt budget when
@@ -141,6 +195,15 @@ type supCfg struct {
 	stall       time.Duration
 	chaos       *chaosState
 	stats       *SuperviseStats
+	onEvent     func(Event)
+}
+
+// emit delivers a supervisor event to the observer, if any. Callers
+// must not hold the supervisor mutex.
+func (c *supCfg) emit(e Event) {
+	if c.onEvent != nil {
+		c.onEvent(e)
+	}
 }
 
 func (o Options) supervise() *supCfg {
@@ -165,6 +228,7 @@ func (o Options) supervise() *supCfg {
 		if s.Stats != nil {
 			cfg.stats = s.Stats
 		}
+		cfg.onEvent = s.OnEvent
 		if s.Chaos != nil {
 			cfg.chaos = newChaosState(s.Chaos)
 		}
@@ -371,6 +435,11 @@ func superviseRoots[T any](
 			}
 		}
 		mu.Unlock()
+		if ok {
+			cfg.emit(Event{Kind: EventResolved, Root: i})
+		} else {
+			cfg.emit(Event{Kind: EventFailed, Root: i, Attempt: fail.Attempts, Err: fail.Err})
+		}
 		if ok && onResolve != nil {
 			onResolve(i, r)
 		}
@@ -414,6 +483,7 @@ func superviseRoots[T any](
 				claims[cl] = struct{}{}
 				mu.Unlock()
 				cfg.stats.Attempts.Add(1)
+				cfg.emit(Event{Kind: EventClaim, Root: i, Attempt: a})
 				var beat func()
 				if cfg.stall > 0 {
 					beat = func() { cl.hb.Add(1) }
@@ -434,6 +504,7 @@ func superviseRoots[T any](
 					}
 					if canRetry {
 						cfg.stats.Retries.Add(1)
+						cfg.emit(Event{Kind: EventRetry, Root: i, Attempt: a, Err: panicMsg})
 						if !sleepCtx(ctx, cfg.backoff(i, a+1)) {
 							return
 						}
@@ -490,6 +561,7 @@ func superviseRoots[T any](
 						f RootFailure
 					}
 					var lost []lostRoot // resolve needs mu; settle after unlock
+					var requeued []int  // emit needs mu released
 					mu.Lock()
 					for cl := range claims {
 						if cl.gone {
@@ -510,6 +582,7 @@ func superviseRoots[T any](
 						}
 						if attempts[i] < cfg.maxAttempts {
 							cfg.stats.Requeues.Add(1)
+							requeued = append(requeued, i)
 							queue <- i
 							wg.Add(1)
 							go worker()
@@ -524,6 +597,9 @@ func superviseRoots[T any](
 						}
 					}
 					mu.Unlock()
+					for _, i := range requeued {
+						cfg.emit(Event{Kind: EventRequeue, Root: i})
+					}
 					var zero T
 					for _, l := range lost {
 						resolve(l.i, zero, &l.f)

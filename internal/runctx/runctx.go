@@ -61,6 +61,19 @@ func relay(sigs <-chan os.Signal, done <-chan struct{}, cancel context.CancelFun
 	}
 }
 
+// WithDrain is the shared context setup for every long-running command
+// (cmd/explore, cmd/paperlab, cmd/censusd): interrupt-drained per
+// WithInterrupt, with an optional overall deadline per WithTimeout
+// (d <= 0 means none). The returned stop releases both; defer it.
+func WithDrain(parent context.Context, d time.Duration) (context.Context, func()) {
+	ctx, stopSig := WithInterrupt(parent)
+	ctx, stopT := WithTimeout(ctx, d)
+	return ctx, func() {
+		stopT()
+		stopSig()
+	}
+}
+
 // WithTimeout adds a deadline to parent when d > 0 and is a no-op
 // otherwise, so callers can pass a -timeout flag value straight
 // through. The returned stop must be deferred either way.

@@ -62,6 +62,32 @@ func TestWithInterruptSignal(t *testing.T) {
 	}
 }
 
+func TestWithDrain(t *testing.T) {
+	// No deadline when d <= 0; interrupt handling is still armed.
+	ctx, stop := WithDrain(context.Background(), 0)
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("WithDrain(0) set a deadline")
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the drained context")
+	}
+	stop()
+
+	// With a deadline, the context expires on its own.
+	ctx2, stop2 := WithDrain(context.Background(), 10*time.Millisecond)
+	defer stop2()
+	select {
+	case <-ctx2.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("WithDrain deadline never fired")
+	}
+}
+
 func TestWithTimeout(t *testing.T) {
 	ctx, stop := WithTimeout(context.Background(), 0)
 	defer stop()

@@ -154,9 +154,9 @@ type Canonicalizer struct {
 	objIndex map[string]int
 
 	// Per-permutation precomputation (index 0 = identity):
-	renameVal    []func(Value) Value // value renamers (never nil)
-	renamedNames [][]string          // renamedNames[k][i] renames names[i]
-	foldOrder    [][]int             // indices into names, sorted by renamed name
+	renameVal    []func(Value) Value   // value renamers (never nil)
+	renamedNames [][]string            // renamedNames[k][i] renames names[i]
+	foldOrder    [][]int               // indices into names, sorted by renamed name
 	outRename    []func(string) string // outcome-key renamers (nil = identity)
 	outRenameInv []func(string) string // under the inverse permutation
 }

@@ -1,0 +1,162 @@
+#!/usr/bin/env sh
+# Daemon chaos smoke: submit census jobs to a live cmd/censusd, kill -9
+# the daemon mid-run, restart it over the same data directory, and
+# assert every job completes with a census bit-identical to a direct
+# (uninterrupted) cmd/explore run. Exercises the crash-safety story the
+# daemon exists for: durable job store, per-root checkpointing, and
+# restart-time requeue of in-flight work. Needs curl and jq.
+# Run from the repo root; scripts/verify.sh invokes it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		echo "daemon_chaos: $tool not found; skipping daemon chaos smoke" >&2
+		exit 0
+	fi
+done
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -9 "$daemon_pid" 2>/dev/null || true
+		wait "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building censusd and explore"
+go build -o "$work/censusd" ./cmd/censusd
+go build -o "$work/explore" ./cmd/explore
+
+start_daemon() {
+	"$work/censusd" -addr 127.0.0.1:0 -dir "$work/data" \
+		-workers 2 -checkpoint-every 1 >"$work/daemon.out" 2>"$work/daemon.err" &
+	daemon_pid=$!
+	# The daemon prints "censusd: listening on <addr>" once bound.
+	i=0
+	while [ $i -lt 100 ]; do
+		addr="$(sed -n 's/^censusd: listening on //p' "$work/daemon.out" 2>/dev/null | head -n1)"
+		if [ -n "$addr" ]; then
+			base="http://$addr"
+			return 0
+		fi
+		if ! kill -0 "$daemon_pid" 2>/dev/null; then
+			echo "daemon_chaos: daemon died on startup:" >&2
+			cat "$work/daemon.err" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "daemon_chaos: daemon never reported its address" >&2
+	exit 1
+}
+
+submit() {
+	curl -sS -X POST "$base/jobs" -d "$1" | jq -r .id
+}
+
+job_field() {
+	curl -sS "$base/jobs/$1" | jq -r "$2"
+}
+
+echo "== starting censusd"
+start_daemon
+echo "   listening at $base"
+
+echo "== submitting 3 jobs (rw3 is the long one we kill mid-run)"
+long_id="$(submit '{"protocol":"rw3","workers":1}')"
+cas_id="$(submit '{"protocol":"cas","k":4,"n":3,"workers":2}')"
+fa_id="$(submit '{"protocol":"fa2"}')"
+echo "   jobs: $long_id $cas_id $fa_id"
+
+echo "== waiting for the long job to be mid-run, then kill -9"
+i=0
+while :; do
+	state="$(job_field "$long_id" .state)"
+	roots="$(job_field "$long_id" '.progress.roots_done // 0')"
+	if [ "$state" = "running" ] && [ "$roots" -ge 1 ]; then
+		break
+	fi
+	if [ "$state" = "done" ]; then
+		echo "daemon_chaos: FAIL — long job finished before the kill; grow its tree" >&2
+		exit 1
+	fi
+	i=$((i + 1))
+	if [ $i -gt 600 ]; then
+		echo "daemon_chaos: FAIL — long job never reached mid-run (state=$state roots=$roots)" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+echo "   killed mid-run with roots_done=$roots"
+
+echo "== restarting censusd over the same data dir"
+: >"$work/daemon.out"
+start_daemon
+echo "   listening at $base"
+
+echo "== waiting for all jobs to finish"
+for id in "$long_id" "$cas_id" "$fa_id"; do
+	i=0
+	while :; do
+		state="$(job_field "$id" .state)"
+		case "$state" in
+		done) break ;;
+		failed)
+			echo "daemon_chaos: FAIL — job $id failed: $(job_field "$id" .error)" >&2
+			exit 1
+			;;
+		esac
+		i=$((i + 1))
+		if [ $i -gt 2400 ]; then
+			echo "daemon_chaos: FAIL — job $id stuck in state $state" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+
+restarts="$(job_field "$long_id" .restarts)"
+resumed="$(job_field "$long_id" '.checkpoint.resumed_roots // 0')"
+if [ "$restarts" -lt 1 ]; then
+	echo "daemon_chaos: FAIL — long job records $restarts restarts; the kill did not interrupt it" >&2
+	exit 1
+fi
+if [ "$resumed" -lt 1 ]; then
+	echo "daemon_chaos: FAIL — long job resumed $resumed roots; it reran instead of resuming" >&2
+	exit 1
+fi
+echo "   long job survived: restarts=$restarts resumed_roots=$resumed"
+
+echo "== comparing daemon results against direct cmd/explore runs"
+# Daemon results must be bit-identical to uninterrupted direct runs.
+# The daemon result omits the supervision block (live counters, not
+# census content); drop it from both sides before diffing.
+compare() {
+	id="$1"
+	shift
+	curl -sS "$base/jobs/$id" | jq -S 'del(.result.supervision) | .result' >"$work/daemon.json"
+	"$work/explore" "$@" -json -bivalence=false | jq -S 'del(.supervision)' >"$work/direct.json"
+	if ! diff -u "$work/direct.json" "$work/daemon.json"; then
+		echo "daemon_chaos: FAIL — job $id census differs from the direct run" >&2
+		exit 1
+	fi
+}
+compare "$long_id" -protocol rw3 -workers 1
+compare "$cas_id" -protocol cas -k 4 -n 3 -workers 2
+compare "$fa_id" -protocol fa2
+
+echo "== graceful drain (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "daemon_chaos: OK"

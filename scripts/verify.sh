@@ -18,6 +18,9 @@ go test ./...
 echo "== go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/consensus/... ./internal/runctx/..."
 go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./internal/election/... ./internal/consensus/... ./internal/runctx/...
 
+echo "== census daemon under the race detector (admission, dedup, recovery, kill -9 chaos)"
+go test -race -count=1 ./internal/censusd/
+
 echo "== supervisor tests under the race detector (chaos, watchdog, cancellation, checkpoint)"
 go test -race -count=1 -run 'Supervis|Chaos|Watchdog|Cancel|Checkpoint|Backoff|WorkerPanic' \
 	./internal/explore/
@@ -48,6 +51,9 @@ go run ./cmd/explore -protocol casdeg -k 3 -n 2 -crashes 1 -objfaults 1 \
 	-prune -workers 4 -maxruns 200000 -bivalence=false \
 	-checkpoint "$ck" -resume
 rm -f "$ck"
+
+echo "== daemon chaos smoke: kill -9 the census daemon mid-run, restart, assert bit-identical results"
+scripts/daemon_chaos.sh
 
 echo "== timeout smoke: a cancelled census must exit non-zero (and zero with -allow-partial)"
 if go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
