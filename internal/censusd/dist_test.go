@@ -1,0 +1,467 @@
+package censusd
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/distcensus"
+	"repro/internal/explore"
+)
+
+// planFor resolves a request into its distribution plan, skipping the
+// test if the exploration does not frontier-split.
+func planFor(t *testing.T, req Request) *explore.DistPlan {
+	t.Helper()
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	b, props, err := req.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, ok := explore.NewDistPlan(b, req.Options(), Check(props))
+	if !ok {
+		t.Fatal("request does not frontier-split")
+	}
+	return plan
+}
+
+func testDistJob(t *testing.T, ttl time.Duration, maxAttempts int) *distJob {
+	t.Helper()
+	plan := planFor(t, Request{Protocol: "cas", K: 4, N: 3, Workers: 2})
+	return newDistJob("job1", plan, json.RawMessage(`{}`), nil, ttl, maxAttempts,
+		&progress{}, func(string, ...any) {})
+}
+
+// TestLeaseStateMachine drives the coordinator's per-root lease state
+// machine with an explicit clock through every edge the chaos harness
+// exercises with real time: expiry requeue, the generation-staleness
+// guard, duplicate idempotence, and heartbeats racing expiry.
+func TestLeaseStateMachine(t *testing.T) {
+	ttl := 10 * time.Second
+	t0 := time.Unix(1000, 0)
+	sum := explore.RootSummary{Complete: 1}
+
+	t.Run("expired-lease-requeues-under-new-generation", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		l := d.lease("w1", t0, false)
+		if l == nil || l.Generation != 1 {
+			t.Fatalf("first lease: %+v", l)
+		}
+		if n := d.expire(t0.Add(ttl / 2)); n != 0 {
+			t.Fatalf("mid-ttl expire reaped %d leases", n)
+		}
+		if n := d.expire(t0.Add(ttl + time.Millisecond)); n != 1 {
+			t.Fatalf("post-ttl expire reaped %d leases, want 1", n)
+		}
+		// The root is back in the queue under a bumped generation; the
+		// lease order keeps it last, so drain the queue to find it.
+		for {
+			l2 := d.lease("w2", t0.Add(ttl), false)
+			if l2 == nil {
+				t.Fatal("expired root never re-leased")
+			}
+			if l2.Root == l.Root {
+				if l2.Generation != 2 {
+					t.Fatalf("re-lease generation %d, want 2", l2.Generation)
+				}
+				break
+			}
+		}
+	})
+
+	t.Run("stale-generation-rejected-after-requeue", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		l := d.lease("w1", t0, false)
+		d.expire(t0.Add(ttl + time.Millisecond)) // w1 presumed dead; requeued
+
+		// w1 resurrects and delivers its finished work under gen 1 —
+		// the double-count the generation guard exists to stop.
+		if v := d.deliver("w1", l.Root, l.Generation, sum, "", false); v != distcensus.ResultStale {
+			t.Fatalf("superseded delivery verdict %q, want stale", v)
+		}
+		if got := d.resolvedCopy(); len(got) != 0 {
+			t.Fatalf("stale delivery was merged: %v", got)
+		}
+		// The current generation still delivers fine.
+		if v := d.deliver("w2", l.Root, l.Generation+1, sum, "", false); v != distcensus.ResultAccepted {
+			t.Fatalf("current-generation delivery verdict %q, want accepted", v)
+		}
+		d.mu.Lock()
+		stale, resolved := d.staleResults, len(d.resolved)
+		d.mu.Unlock()
+		if stale != 1 || resolved != 1 {
+			t.Fatalf("stale=%d resolved=%d, want 1/1", stale, resolved)
+		}
+	})
+
+	t.Run("duplicate-delivery-is-idempotent", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		l := d.lease("w1", t0, false)
+		if v := d.deliver("w1", l.Root, l.Generation, sum, "", false); v != distcensus.ResultAccepted {
+			t.Fatalf("first delivery verdict %q", v)
+		}
+		// A retried POST /dist/result (worker crashed between delivery
+		// and dropping its in-flight record) must not count twice.
+		if v := d.deliver("w1", l.Root, l.Generation, sum, "", false); v != distcensus.ResultDuplicate {
+			t.Fatalf("second delivery verdict %q, want duplicate", v)
+		}
+		d.mu.Lock()
+		dup, resolved := d.dupResults, len(d.resolved)
+		d.mu.Unlock()
+		if dup != 1 || resolved != 1 {
+			t.Fatalf("dup=%d resolved=%d, want 1/1", dup, resolved)
+		}
+	})
+
+	t.Run("heartbeat-renewal-races-expiry", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		l := d.lease("w1", t0, false)
+		// Renewed just before the deadline: the next expiry pass spares it.
+		if !d.heartbeat(l.Root, l.Generation, t0.Add(ttl-time.Millisecond)) {
+			t.Fatal("pre-deadline heartbeat refused")
+		}
+		if n := d.expire(t0.Add(ttl + time.Second)); n != 0 {
+			t.Fatalf("renewed lease expired anyway (%d reaped)", n)
+		}
+		// But once the renewed deadline passes and the root is requeued,
+		// the old generation's heartbeat is answered gone.
+		if n := d.expire(t0.Add(2*ttl + time.Second)); n != 1 {
+			t.Fatalf("expire after renewed deadline reaped %d", n)
+		}
+		if d.heartbeat(l.Root, l.Generation, t0.Add(2*ttl+time.Second)) {
+			t.Fatal("heartbeat renewed a requeued lease")
+		}
+	})
+
+	t.Run("error-deliveries-exhaust-the-attempt-budget", func(t *testing.T) {
+		d := testDistJob(t, ttl, 2)
+		l := d.lease("w1", t0, false)
+		if v := d.deliver("w1", l.Root, l.Generation, explore.RootSummary{}, "boom", false); v != distcensus.ResultAccepted {
+			t.Fatalf("error delivery verdict %q", v)
+		}
+		// Attempt 2 under gen 2 (drain other roots until it comes up).
+		var l2 *distcensus.Lease
+		for {
+			l2 = d.lease("w1", t0, false)
+			if l2 == nil || l2.Root == l.Root {
+				break
+			}
+		}
+		if l2 == nil || l2.Generation != 2 {
+			t.Fatalf("second attempt lease: %+v", l2)
+		}
+		d.deliver("w1", l2.Root, l2.Generation, explore.RootSummary{}, "boom again", false)
+		failed := d.failedCopy()
+		f, ok := failed[l.Root]
+		if !ok || f.Attempts != 2 {
+			t.Fatalf("root not written off after budget: %+v", failed)
+		}
+		// A write-off is final: even the "current" generation is stale now.
+		if v := d.deliver("w1", l.Root, 3, sum, "", false); v != distcensus.ResultStale {
+			t.Fatalf("post-failure delivery verdict %q, want stale", v)
+		}
+	})
+
+	t.Run("closed-job-grants-and-renews-nothing", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		l := d.lease("w1", t0, false)
+		d.close()
+		if d.lease("w2", t0, false) != nil {
+			t.Fatal("closed job granted a lease")
+		}
+		if d.heartbeat(l.Root, l.Generation, t0) {
+			t.Fatal("closed job renewed a lease")
+		}
+	})
+
+	t.Run("all-roots-resolved-closes-done", func(t *testing.T) {
+		d := testDistJob(t, ttl, 6)
+		for {
+			l := d.lease("w1", t0, false)
+			if l == nil {
+				break
+			}
+			d.deliver("w1", l.Root, l.Generation, sum, "", false)
+		}
+		select {
+		case <-d.done:
+		default:
+			t.Fatal("done not closed after every root resolved")
+		}
+	})
+}
+
+// TestDistributedEndToEnd runs a real coordinator and a real in-process
+// worker over HTTP: the job must distribute (remote roots counted) and
+// settle bit-identical to the direct census.
+func TestDistributedEndToEnd(t *testing.T) {
+	req := Request{Protocol: "cas", K: 4, N: 3, Workers: 2}
+	want := groundTruth(t, req)
+
+	srv, err := New(Config{
+		Dir: t.TempDir(), Workers: 1, QueueDepth: 4,
+		LeaseTTL: 2 * time.Second, WorkerPoll: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.Start(ctx)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	w := &distcensus.Worker{
+		ID: "w-test", Dir: t.TempDir(),
+		Client: &distcensus.Client{Base: ts.URL},
+		Build:  BuildRaw,
+		Poll:   20 * time.Millisecond,
+		Logf:   func(string, ...any) {},
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); _ = w.Run(wctx) }()
+	defer func() { wcancel(); <-workerDone }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Health().WorkersLive == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	job, code, err := srv.Submit(req)
+	if err != nil || code != 201 {
+		t.Fatalf("submit: code %d err %v", code, err)
+	}
+	v := waitState(t, srv, job.ID, StateDone)
+	assertResultMatches(t, "distributed", v.Result, want)
+	if h := srv.Health(); h.RemoteRoots == 0 {
+		t.Fatalf("job settled without any remote roots: %+v", h)
+	}
+}
+
+// TestCancelRunningDistributedJob: DELETE-style cancellation of a
+// running job lands it in the persisted cancelled terminal state with
+// its partial census, and resubmitting the identical request resumes
+// it to a bit-identical completion.
+func TestCancelRunningDistributedJob(t *testing.T) {
+	req := Request{Protocol: "cas", K: 4, N: 3, Workers: 2}
+	want := groundTruth(t, req)
+
+	// Short TTL so the ghost worker's liveness window (2×TTL) passes
+	// quickly once the job is cancelled.
+	srv, err := New(Config{
+		Dir: t.TempDir(), Workers: 1, QueueDepth: 4,
+		LeaseTTL: 250 * time.Millisecond, WorkerPoll: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.Start(ctx)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A worker that registers and vanishes: the job takes the
+	// distributed path, grants no leases, and sits running — a
+	// deterministic window to cancel in.
+	ghost := &distcensus.Client{Base: ts.URL}
+	if _, err := ghost.Register(context.Background(), "ghost"); err != nil {
+		t.Fatal(err)
+	}
+
+	job, _, err := srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, job.ID, StateRunning)
+	if code, err := srv.Cancel(job.ID); code != 202 {
+		t.Fatalf("cancel running: code %d err %v", code, err)
+	}
+	v := waitState(t, srv, job.ID, StateCancelled)
+	if v.FinishedAt == nil {
+		t.Fatal("cancelled job has no FinishedAt")
+	}
+	// The terminal state is persisted, not just in memory.
+	onDisk, err := srv.store.Load(job.ID)
+	if err != nil || onDisk.State != StateCancelled {
+		t.Fatalf("persisted state %v err %v, want cancelled", onDisk, err)
+	}
+	// Cancelling a terminal job conflicts.
+	if code, _ := srv.Cancel(job.ID); code != 409 {
+		t.Fatalf("cancel terminal: code %d, want 409", code)
+	}
+
+	// Let the ghost go stale so the resumed run goes local, then
+	// resubmit: the retained checkpoint resumes it to completion.
+	for srv.Health().WorkersLive != 0 {
+		time.Sleep(20 * time.Millisecond)
+	}
+	re, code, err := srv.Submit(req)
+	if err != nil || code != 200 || re.ID != job.ID {
+		t.Fatalf("resubmit: code %d err %v id %s", code, err, re.ID)
+	}
+	v = waitState(t, srv, job.ID, StateDone)
+	assertResultMatches(t, "resumed-after-cancel", v.Result, want)
+}
+
+// TestCancelQueuedJob: a queued job cancels synchronously without ever
+// running.
+func TestCancelQueuedJob(t *testing.T) {
+	srv, err := New(Config{Dir: t.TempDir(), Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the job stays queued.
+	job, _, err := srv.Submit(Request{Protocol: "tas2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := srv.Cancel(job.ID); code != 200 {
+		t.Fatalf("cancel queued: code %d err %v", code, err)
+	}
+	if v := srv.Job(job.ID); v.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", v.State)
+	}
+	if code, _ := srv.Cancel("ffffffffffffffff"); code != 404 {
+		t.Fatalf("cancel unknown: code %d, want 404", code)
+	}
+}
+
+// TestResultCacheEviction: with StoreMaxJobs=1, older terminal jobs are
+// evicted LRU — record and checkpoint deleted, counters exposed — while
+// the newest stays servable.
+func TestResultCacheEviction(t *testing.T) {
+	srv, err := New(Config{Dir: t.TempDir(), Workers: 1, QueueDepth: 8, StoreMaxJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.Start(ctx)
+
+	var ids []string
+	for _, p := range []string{"tas2", "fa2", "rw2"} {
+		job, _, err := srv.Submit(Request{Protocol: p, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, srv, job.ID, StateDone)
+		ids = append(ids, job.ID)
+	}
+
+	h := srv.Health()
+	if h.EvictedJobs < 2 || h.EvictedBytes <= 0 {
+		t.Fatalf("evicted %d jobs / %d bytes, want >=2 / >0", h.EvictedJobs, h.EvictedBytes)
+	}
+	if got := len(srv.Jobs()); got != 1 {
+		t.Fatalf("%d jobs survive, want 1", got)
+	}
+	// The survivor is the most recent; the first is gone from disk too.
+	if v := srv.Job(ids[2]); v == nil || v.Result == nil {
+		t.Fatal("newest job lost its cached result")
+	}
+	if srv.Job(ids[0]) != nil {
+		t.Fatal("oldest job still visible after eviction")
+	}
+	if _, err := srv.store.Load(ids[0]); err == nil {
+		t.Fatal("evicted job record still on disk")
+	}
+}
+
+// TestRateLimiter: token-bucket arithmetic with a fake clock, and the
+// counter the /healthz endpoint surfaces.
+func TestRateLimiter(t *testing.T) {
+	now := time.Unix(5000, 0)
+	rl := newRateLimiter(1, 2) // 1 token/s, burst 2
+	rl.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := rl.allow("alice")
+	if ok {
+		t.Fatal("post-burst request allowed")
+	}
+	if retry < time.Second {
+		t.Fatalf("retry-after %v, want >= 1s", retry)
+	}
+	// Other clients have their own bucket.
+	if ok, _ := rl.allow("bob"); !ok {
+		t.Fatal("second client denied by first client's bucket")
+	}
+	// Refill: one second accrues one token.
+	now = now.Add(time.Second)
+	if ok, _ := rl.allow("alice"); !ok {
+		t.Fatal("request denied after refill")
+	}
+	if ok, _ := rl.allow("alice"); ok {
+		t.Fatal("second request allowed on a single refilled token")
+	}
+	if rl.deniedCount() != 2 {
+		t.Fatalf("denied count %d, want 2", rl.deniedCount())
+	}
+	// Disabled limiter admits everything.
+	off := newRateLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := off.allow("x"); !ok {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+}
+
+// TestRateLimitHTTP: over the wire, a throttled POST /jobs is a 429
+// with Retry-After, keyed by X-Client-ID, and counted in /healthz.
+func TestRateLimitHTTP(t *testing.T) {
+	srv, err := New(Config{
+		Dir: t.TempDir(), Workers: 1, QueueDepth: 8,
+		RatePerSec: 0.001, RateBurst: 1, // one request, then a long wait
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(client string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(`{"protocol":"tas2"}`))
+		req.Header.Set("X-Client-ID", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("alice"); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp := post("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// A distinct client is not throttled by alice's bucket (it attaches
+	// to the existing job: 200).
+	if resp := post("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: %d, want 200", resp.StatusCode)
+	}
+	if h := srv.Health(); h.RateLimited != 1 {
+		t.Fatalf("rate_limited %d, want 1", h.RateLimited)
+	}
+}

@@ -1,0 +1,105 @@
+package censusd
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket over POST /jobs. It is the
+// first of the two admission guards — the second is queue-depth
+// shedding — so one chatty client exhausts its own budget before it
+// can exhaust the shared queue. Clients are keyed by the X-Client-ID
+// header when present (workers and scripted callers identify
+// themselves), else by remote host.
+type rateLimiter struct {
+	rate  float64 // tokens per second (0: disabled)
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+	now     func() time.Time // test seam
+	denied  int64
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateBuckets bounds the client table; at the cap, stale buckets
+// (full, hence inert) are dropped before admitting a new client.
+const maxRateBuckets = 4096
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*rateBucket),
+		now:     time.Now,
+	}
+}
+
+// allow consumes one token from key's bucket. When denied, retryAfter
+// is the wait (rounded up to whole seconds) until a token accrues.
+func (rl *rateLimiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if rl == nil || rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[key]
+	if b == nil {
+		if len(rl.buckets) >= maxRateBuckets {
+			rl.evictFullLocked(now)
+		}
+		b = &rateBucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	rl.denied++
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait.Truncate(time.Second) + time.Second
+}
+
+// evictFullLocked drops buckets that have fully refilled — clients
+// idle long enough that forgetting them is behavior-neutral.
+func (rl *rateLimiter) evictFullLocked(now time.Time) {
+	for key, b := range rl.buckets {
+		if math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate) >= rl.burst {
+			delete(rl.buckets, key)
+		}
+	}
+}
+
+func (rl *rateLimiter) deniedCount() int64 {
+	if rl == nil {
+		return 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.denied
+}
+
+// clientKey identifies the submitting client for rate limiting.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

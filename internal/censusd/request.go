@@ -8,6 +8,7 @@
 package censusd
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -177,6 +178,25 @@ func (r Request) Options() explore.Options {
 		opts.FaultModes, _ = ParseFaultModes(strings.Join(r.FaultModes, ","))
 	}
 	return opts
+}
+
+// BuildRaw decodes a serialized Request (a distributed work item's
+// payload) into the exploration it names: builder, engine options, and
+// verdict check. Worker and coordinator both resolve through this
+// registry, so identical bytes reproduce the identical exploration.
+func BuildRaw(raw []byte) (explore.Builder, explore.Options, func(*sim.Result) error, error) {
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, explore.Options{}, nil, fmt.Errorf("censusd: decode request: %w", err)
+	}
+	if err := req.Normalize(); err != nil {
+		return nil, explore.Options{}, nil, err
+	}
+	b, props, err := req.Build()
+	if err != nil {
+		return nil, explore.Options{}, nil, err
+	}
+	return b, req.Options(), Check(props), nil
 }
 
 // Check returns the per-run verdict for the request's protocol:

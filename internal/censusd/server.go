@@ -33,6 +33,30 @@ type Config struct {
 	Supervision explore.Supervise
 	// Logf receives operational log lines (default os.Stderr).
 	Logf func(format string, args ...any)
+
+	// LeaseTTL is the distributed work-item lease duration (default
+	// 10s); a worker that stops renewing for this long loses the item.
+	LeaseTTL time.Duration
+	// WorkerPoll is the lease-poll interval suggested to workers at
+	// registration (default 500ms).
+	WorkerPoll time.Duration
+	// DistMaxAttempts bounds lease grants per root before the root is
+	// written off as a coverage deficit (default 6).
+	DistMaxAttempts int
+
+	// StoreMaxJobs bounds how many terminal (done/failed/cancelled)
+	// jobs the result cache retains; the least recently accessed are
+	// evicted past it (0: unbounded).
+	StoreMaxJobs int
+	// StoreMaxBytes bounds the terminal jobs' on-disk footprint —
+	// records plus checkpoints (0: unbounded).
+	StoreMaxBytes int64
+
+	// RatePerSec enables per-client rate limiting of POST /jobs at this
+	// sustained rate (0: disabled); RateBurst is the bucket size
+	// (default 1 when limiting).
+	RatePerSec float64
+	RateBurst  int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,10 +141,43 @@ func (p *progress) view() *progressView {
 	}
 }
 
-// jobState is a Job plus its live telemetry.
+// jobState is a Job plus its live telemetry and cancellation hook.
 type jobState struct {
 	job      *Job
 	progress progress
+
+	// cmu guards the cancellation state (never held with Server.mu
+	// acquired after it).
+	cmu       sync.Mutex
+	cancel    context.CancelFunc
+	cancelReq bool
+	// access is the LRU clock for result-cache eviction (guarded by
+	// Server.mu).
+	access time.Time
+}
+
+func (js *jobState) setCancel(fn context.CancelFunc) {
+	js.cmu.Lock()
+	js.cancel = fn
+	js.cmu.Unlock()
+}
+
+// requestCancel flips the cancel flag and fires the job's context (a
+// no-op if the job is not running right now).
+func (js *jobState) requestCancel() {
+	js.cmu.Lock()
+	js.cancelReq = true
+	fn := js.cancel
+	js.cmu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+func (js *jobState) cancelRequested() bool {
+	js.cmu.Lock()
+	defer js.cmu.Unlock()
+	return js.cancelReq
 }
 
 // Server is the census daemon core: the job table, the bounded
@@ -138,6 +195,12 @@ type Server struct {
 
 	queue chan string
 	wg    sync.WaitGroup
+
+	dist    *distState
+	limiter *rateLimiter
+
+	evictedJobs  int64 // guarded by mu
+	evictedBytes int64
 }
 
 // New opens the store, recovers persisted jobs — running jobs (in
@@ -160,10 +223,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf("recovery: %s", w)
 	}
 	s := &Server{
-		cfg:   cfg,
-		store: store,
-		jobs:  make(map[string]*jobState, len(jobs)),
-		queue: make(chan string, cfg.QueueDepth+len(jobs)+cfg.Workers+1),
+		cfg:     cfg,
+		store:   store,
+		jobs:    make(map[string]*jobState, len(jobs)),
+		queue:   make(chan string, cfg.QueueDepth+len(jobs)+cfg.Workers+1),
+		dist:    newDistState(cfg.LeaseTTL, cfg.WorkerPoll, cfg.DistMaxAttempts),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
 	}
 	for _, j := range jobs {
 		if j.State == StateRunning {
@@ -235,21 +300,26 @@ func (s *Server) Submit(req Request) (job *Job, code int, err error) {
 	defer s.mu.Unlock()
 	if js, ok := s.jobs[id]; ok {
 		switch js.job.State {
-		case StateFailed:
-			// Resubmission of a failed job re-queues it; the retained
-			// checkpoint makes this a resume, not a restart.
+		case StateFailed, StateCancelled:
+			// Resubmission of a failed or cancelled job re-queues it; the
+			// retained checkpoint makes this a resume, not a restart.
 			if s.queued >= s.cfg.QueueDepth {
 				return nil, http.StatusTooManyRequests, fmt.Errorf("admission queue full (%d queued); retry later", s.queued)
 			}
+			prev := js.job.State
 			js.job.State = StateQueued
 			js.job.Error = ""
+			js.job.Result = nil
 			js.job.FinishedAt = nil
+			js.cmu.Lock()
+			js.cancelReq = false
+			js.cmu.Unlock()
 			if err := s.store.Save(js.job); err != nil {
 				return nil, http.StatusInternalServerError, err
 			}
 			s.queued++
 			s.queue <- id
-			s.cfg.Logf("job %s re-queued after failure (identity %q)", id, js.job.Identity)
+			s.cfg.Logf("job %s re-queued after %s (identity %q)", id, prev, js.job.Identity)
 			return js.job, http.StatusOK, nil
 		default:
 			// Queued/running: attach. Done: serve the durable cache.
@@ -322,11 +392,17 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		}
 	}()
 
-	jobCtx, cancel := ctx, func() {}
+	// Per-job cancellation: DELETE /jobs/{id} fires this context; the
+	// exploration drains at subtree-root granularity and the settle
+	// switch below lands the job in the cancelled state.
+	jobCtx, cancelJob := context.WithCancel(ctx)
+	defer cancelJob()
+	js.setCancel(cancelJob)
 	if req.TimeoutSec > 0 {
-		jobCtx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutSec)*time.Second)
+		var cancelT context.CancelFunc
+		jobCtx, cancelT = context.WithTimeout(jobCtx, time.Duration(req.TimeoutSec)*time.Second)
+		defer cancelT()
 	}
-	defer cancel()
 
 	builder, props, err := req.Build()
 	if err != nil {
@@ -338,6 +414,19 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		})
 		return
 	}
+
+	// Distributed path when remote workers are live; graceful
+	// degradation is the fall-through — with no fleet (or an
+	// unsplittable tree) the job runs exactly as it always has,
+	// locally. Both paths share the checkpoint file, so a job can
+	// alternate between them across daemon restarts.
+	if s.dist.liveWorkers(time.Now()) > 0 {
+		if s.runJobDistributed(ctx, jobCtx, js, id, req, builder, props, settle) {
+			s.evict()
+			return
+		}
+	}
+
 	var supStats explore.SuperviseStats
 	sup := s.cfg.Supervision
 	sup.Stats = &supStats
@@ -366,26 +455,10 @@ func (s *Server) runJob(ctx context.Context, id string) {
 			t := time.Now().UTC()
 			j.FinishedAt = &t
 		})
-	case c.Cancelled && ctx.Err() != nil:
-		// Drain: the checkpoint holds everything completed so far; the
-		// job goes back to queued and the next daemon resumes it.
-		settle(func(j *Job) {
-			j.State = StateQueued
-			j.Checkpoint = ckInfo
-			j.StartedAt = nil
-			s.queued++
-		})
-		s.cfg.Logf("job %s checkpointed and re-queued for the next run (drain)", id)
 	case c.Cancelled:
-		// The job's own timeout fired. The checkpoint is retained:
-		// resubmitting the identical request resumes, not restarts.
-		settle(func(j *Job) {
-			j.State = StateFailed
-			j.Error = fmt.Sprintf("job timeout after %ds (checkpoint retained; resubmit to resume)", req.TimeoutSec)
-			j.Checkpoint = ckInfo
-			t := time.Now().UTC()
-			j.FinishedAt = &t
-		})
+		// Drain, explicit cancel, or job timeout — the checkpoint is
+		// retained in every case.
+		s.settleCancelled(js, id, req, c, ckInfo, settle)
 	default:
 		result := ResultFrom(req.Protocol, *req.Crashes, req.ObjFaults, c, &supStats)
 		settle(func(j *Job) {
@@ -398,16 +471,20 @@ func (s *Server) runJob(ctx context.Context, id string) {
 		s.cfg.Logf("job %s done: %d complete, %d incomplete, %d violations (resumed %d/%d roots)",
 			id, c.Complete, c.Incomplete, c.ViolationRuns, ckStats.ResumedRoots, ckStats.TotalRoots)
 	}
+	s.evict()
 }
 
 // jobView is the /jobs/{id} response: the persisted record plus live
-// progress.
+// progress and, while distributing, the lease table.
 type jobView struct {
 	*Job
 	Progress *progressView `json:"progress,omitempty"`
+	Dist     *distJobView  `json:"dist,omitempty"`
 }
 
 // Job returns a point-in-time view of one job (nil if unknown).
+// Viewing a job refreshes its eviction clock: polled jobs are the last
+// to be evicted from the result cache.
 func (s *Server) Job(id string) *jobView {
 	s.mu.Lock()
 	js, ok := s.jobs[id]
@@ -415,9 +492,90 @@ func (s *Server) Job(id string) *jobView {
 		s.mu.Unlock()
 		return nil
 	}
+	js.access = time.Now()
 	cp := *js.job
 	s.mu.Unlock()
-	return &jobView{Job: &cp, Progress: js.progress.view()}
+	v := &jobView{Job: &cp, Progress: js.progress.view()}
+	if d := s.dist.job(id); d != nil {
+		v.Dist = d.view()
+	}
+	return v
+}
+
+// Cancel cancels a job: a queued job settles immediately, a running
+// job's context fires (the exploration drains, outstanding worker
+// leases are revoked via the gone/stale answers, and the job settles
+// cancelled with its partial census). The checkpoint is retained —
+// resubmitting the identical request resumes. Terminal jobs conflict.
+func (s *Server) Cancel(id string) (code int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return http.StatusNotFound, fmt.Errorf("no such job")
+	}
+	switch js.job.State {
+	case StateQueued:
+		js.requestCancel() // flags the state for a racing runJob pickup
+		js.job.State = StateCancelled
+		t := time.Now().UTC()
+		js.job.FinishedAt = &t
+		s.queued--
+		if err := s.store.Save(js.job); err != nil {
+			return http.StatusInternalServerError, err
+		}
+		s.cfg.Logf("job %s cancelled while queued", id)
+		return http.StatusOK, nil
+	case StateRunning:
+		js.requestCancel()
+		s.cfg.Logf("job %s: cancellation requested", id)
+		return http.StatusAccepted, nil
+	default:
+		return http.StatusConflict, fmt.Errorf("job already %s", js.job.State)
+	}
+}
+
+// evict enforces the result-cache bounds: terminal jobs beyond
+// StoreMaxJobs / StoreMaxBytes are deleted (record, checkpoint, and
+// dedup entry), least recently accessed first.
+func (s *Server) evict() {
+	if s.cfg.StoreMaxJobs <= 0 && s.cfg.StoreMaxBytes <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type cand struct {
+		id     string
+		access time.Time
+		size   int64
+	}
+	var cands []cand
+	var bytes int64
+	for id, js := range s.jobs {
+		if !terminalState(js.job.State) {
+			continue
+		}
+		at := js.access
+		if at.IsZero() && js.job.FinishedAt != nil {
+			at = *js.job.FinishedAt
+		}
+		sz := s.store.Size(id)
+		cands = append(cands, cand{id: id, access: at, size: sz})
+		bytes += sz
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].access.Before(cands[b].access) })
+	for len(cands) > 0 &&
+		((s.cfg.StoreMaxJobs > 0 && len(cands) > s.cfg.StoreMaxJobs) ||
+			(s.cfg.StoreMaxBytes > 0 && bytes > s.cfg.StoreMaxBytes)) {
+		c := cands[0]
+		cands = cands[1:]
+		s.store.Delete(c.id)
+		delete(s.jobs, c.id)
+		bytes -= c.size
+		s.evictedJobs++
+		s.evictedBytes += c.size
+		s.cfg.Logf("job %s evicted from result cache (%d bytes reclaimed)", c.id, c.size)
+	}
 }
 
 // Jobs lists every job, oldest first.
@@ -445,10 +603,24 @@ type health struct {
 	Queued  int            `json:"queued"`
 	Depth   int            `json:"queue_depth"`
 	Workers int            `json:"workers"`
+
+	// Distribution telemetry.
+	WorkersLive   int   `json:"workers_live"`
+	LeasesActive  int   `json:"leases_active"`
+	StaleResults  int64 `json:"stale_results"`
+	DupResults    int64 `json:"duplicate_results"`
+	LeaseExpiries int64 `json:"lease_expiries"`
+	RemoteRoots   int64 `json:"remote_roots"`
+
+	// Admission/eviction telemetry.
+	EvictedJobs  int64 `json:"evicted_jobs"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	RateLimited  int64 `json:"rate_limited"`
 }
 
 // Health summarizes daemon state.
 func (s *Server) Health() health {
+	stale, dup, expiries, remote, leases := s.dist.totals()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h := health{
@@ -457,6 +629,17 @@ func (s *Server) Health() health {
 		Queued:  s.queued,
 		Depth:   s.cfg.QueueDepth,
 		Workers: s.cfg.Workers,
+
+		WorkersLive:   s.dist.liveWorkers(time.Now()),
+		LeasesActive:  leases,
+		StaleResults:  stale,
+		DupResults:    dup,
+		LeaseExpiries: expiries,
+		RemoteRoots:   remote,
+
+		EvictedJobs:  s.evictedJobs,
+		EvictedBytes: s.evictedBytes,
+		RateLimited:  s.limiter.deniedCount(),
 	}
 	if s.draining() {
 		h.Status = "draining"
@@ -469,15 +652,28 @@ func (s *Server) Health() health {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /jobs      submit a Request; 201 admitted, 200 attached/cached,
-//	                400 invalid, 429 queue full (Retry-After set),
-//	                503 draining
-//	GET  /jobs      list all jobs
-//	GET  /jobs/{id} one job: status, progress events, counters, result
-//	GET  /healthz   daemon health and job-state histogram
+//	POST   /jobs      submit a Request; 201 admitted, 200 attached/
+//	                  cached, 400 invalid, 429 rate-limited or queue
+//	                  full (Retry-After set), 503 draining
+//	GET    /jobs      list all jobs
+//	GET    /jobs/{id} one job: status, progress, lease table, result
+//	DELETE /jobs/{id} cancel; 200 settled, 202 cancelling, 404 unknown,
+//	                  409 already terminal
+//	GET    /healthz   daemon health, job-state histogram, distribution
+//	                  and admission counters
+//
+// plus the /dist worker API (register, lease, heartbeat, result).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		// Rate limit before queue-depth shedding: a chatty client is
+		// throttled on its own budget before it can crowd the shared
+		// admission queue.
+		if ok, retry := s.limiter.allow(clientKey(r)); !ok {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "rate limit exceeded; retry later"})
+			return
+		}
 		var req Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
@@ -493,6 +689,15 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, code, s.Job(job.ID))
 	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		code, err := s.Cancel(id)
+		if err != nil {
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, code, s.Job(id))
+	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Jobs())
 	})
@@ -507,6 +712,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
 	})
+	s.distHandlers(mux)
 	return mux
 }
 

@@ -10,17 +10,24 @@ import (
 	"time"
 )
 
-// Job states. The lifecycle is queued → running → done | failed, with
-// two recovery edges: a daemon restart re-queues every job found
-// running (it was in flight when the process died), and resubmitting a
-// failed job re-queues it (its checkpoint was retained, so it resumes
-// rather than restarts).
+// Job states. The lifecycle is queued → running → done | failed |
+// cancelled, with two recovery edges: a daemon restart re-queues every
+// job found running (it was in flight when the process died), and
+// resubmitting a failed or cancelled job re-queues it (its checkpoint
+// was retained, so it resumes rather than restarts).
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
+
+// terminalState reports whether state is settled — eligible for
+// result-cache eviction and safe to delete.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
 
 // Job is one census job record — the unit the store persists. Request
 // and identity never change after admission; state, progress, and
@@ -112,6 +119,24 @@ func (s *Store) Save(j *Job) error {
 		d.Close()
 	}
 	return nil
+}
+
+// Delete removes a job record and its checkpoint (eviction). Missing
+// files are fine: eviction is idempotent.
+func (s *Store) Delete(id string) {
+	_ = os.Remove(s.jobPath(id))
+	_ = os.Remove(s.CheckpointPath(id))
+}
+
+// Size is the on-disk footprint of one job: record plus checkpoint.
+func (s *Store) Size(id string) int64 {
+	var total int64
+	for _, p := range []string{s.jobPath(id), s.CheckpointPath(id)} {
+		if fi, err := os.Stat(p); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // Load reads one job record; os.IsNotExist(err) means no such job.

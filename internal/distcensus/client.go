@@ -1,0 +1,156 @@
+package distcensus
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/runctx"
+)
+
+// Client is the worker's HTTP client for the coordinator's
+// distribution API. Transient failures — connection refused while the
+// coordinator restarts, 5xx, 429/503 shedding — are retried with the
+// seeded exponential backoff from internal/runctx; protocol verdicts
+// (409 gone/stale) are returned to the caller, never retried.
+type Client struct {
+	// Base is the coordinator's base URL (http://host:port).
+	Base string
+	// Backoff shapes transient-error retries.
+	Backoff runctx.Backoff
+	// MaxAttempts bounds retries per call (0 = 8).
+	MaxAttempts int
+	// HTTP is the underlying client (nil = a 10s-timeout default).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+// errGone marks a 409 verdict: the lease (or delivered generation) was
+// superseded. Exposed through IsGone.
+type errGone struct{ detail string }
+
+func (e errGone) Error() string { return "gone: " + e.detail }
+
+// IsGone reports whether err is a coordinator 409 — lease revoked or
+// result stale. The caller abandons the attempt; nothing was counted.
+func IsGone(err error) bool {
+	_, ok := err.(errGone)
+	return ok
+}
+
+// post sends one JSON request with transient-error retry. A nil out
+// skips body decoding. ok204 makes a 204 return (false, nil) instead
+// of an error — the lease poll's "no work" answer.
+func (c *Client) post(ctx context.Context, path string, in, out any, ok204 bool) (bool, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return false, err
+	}
+	key := fold(path)
+	var lastErr error
+	for attempt := 1; attempt <= c.attempts(); attempt++ {
+		if attempt > 1 && !c.Backoff.Sleep(ctx, key, attempt-1) {
+			return false, ctx.Err()
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http().Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			lastErr = err // transport error: coordinator down/restarting
+			continue
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent && ok204:
+			return false, nil
+		case resp.StatusCode == http.StatusOK:
+			if out != nil {
+				if err := json.Unmarshal(data, out); err != nil {
+					return false, fmt.Errorf("distcensus: %s: bad response: %w", path, err)
+				}
+			}
+			return true, nil
+		case resp.StatusCode == http.StatusConflict:
+			return false, errGone{detail: string(bytes.TrimSpace(data))}
+		case resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = fmt.Errorf("distcensus: %s: %s", path, resp.Status)
+			continue
+		default:
+			return false, fmt.Errorf("distcensus: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+		}
+	}
+	return false, fmt.Errorf("distcensus: %s: giving up after %d attempts: %w", path, c.attempts(), lastErr)
+}
+
+// Register announces the worker; retried until the coordinator answers.
+func (c *Client) Register(ctx context.Context, workerID string) (RegisterReply, error) {
+	var out RegisterReply
+	_, err := c.post(ctx, PathRegister, RegisterRequest{WorkerID: workerID}, &out, false)
+	return out, err
+}
+
+// Lease polls for one work item; a nil lease means no work right now.
+func (c *Client) Lease(ctx context.Context, workerID string) (*Lease, error) {
+	var out Lease
+	ok, err := c.post(ctx, PathLease, LeaseRequest{WorkerID: workerID}, &out, true)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Heartbeat renews a lease; IsGone(err) means it was revoked.
+func (c *Client) Heartbeat(ctx context.Context, hb HeartbeatRequest) error {
+	_, err := c.post(ctx, PathHeartbeat, hb, nil, false)
+	return err
+}
+
+// Deliver posts a work item's result and returns the coordinator's
+// verdict. IsGone(err) is the stale rejection: the generation was
+// superseded and nothing was counted.
+func (c *Client) Deliver(ctx context.Context, res ResultRequest) (string, error) {
+	var out ResultReply
+	_, err := c.post(ctx, PathResult, res, &out, false)
+	if err != nil {
+		if IsGone(err) {
+			return ResultStale, err
+		}
+		return "", err
+	}
+	return out.Status, nil
+}
+
+// fold hashes a string into a backoff jitter key (FNV-1a).
+func fold(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

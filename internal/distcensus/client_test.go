@@ -1,0 +1,121 @@
+package distcensus
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runctx"
+)
+
+func fastClient(base string) *Client {
+	return &Client{
+		Base:    base,
+		Backoff: runctx.Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond},
+	}
+}
+
+// TestClientRetriesTransient: 5xx and 429 answers are retried until the
+// coordinator recovers; the eventual 200 wins.
+func TestClientRetriesTransient(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "shedding", http.StatusTooManyRequests)
+		case 3:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"poll_millis":100,"lease_ttl_millis":2000}`))
+		}
+	}))
+	defer ts.Close()
+
+	reg, err := fastClient(ts.URL).Register(context.Background(), "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.LeaseTTLMillis != 2000 || calls.Load() != 4 {
+		t.Fatalf("reply %+v after %d calls", reg, calls.Load())
+	}
+}
+
+// TestClientGivesUpAfterMaxAttempts: a coordinator that never recovers
+// is bounded, not retried forever.
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxAttempts = 3
+	if _, err := c.Register(context.Background(), "w1"); err == nil {
+		t.Fatal("no error from a permanently-down coordinator")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d attempts, want 3", calls.Load())
+	}
+}
+
+// TestClientGoneIsNeverRetried: a 409 is a protocol verdict (lease
+// revoked / result stale), surfaced as IsGone on the first answer.
+func TestClientGoneIsNeverRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "stale: generation superseded", http.StatusConflict)
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	err := c.Heartbeat(context.Background(), HeartbeatRequest{WorkerID: "w1"})
+	if !IsGone(err) {
+		t.Fatalf("409 surfaced as %v, want IsGone", err)
+	}
+	status, err := c.Deliver(context.Background(), ResultRequest{WorkerID: "w1"})
+	if status != ResultStale || !IsGone(err) {
+		t.Fatalf("stale delivery: status %q err %v", status, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls for two verdicts; 409 was retried", calls.Load())
+	}
+}
+
+// TestClientLeaseNoWork: the 204 lease answer is a nil lease, no error.
+func TestClientLeaseNoWork(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	l, err := fastClient(ts.URL).Lease(context.Background(), "w1")
+	if l != nil || err != nil {
+		t.Fatalf("empty poll: lease %+v err %v, want nil/nil", l, err)
+	}
+}
+
+// TestClientCancelledContextStopsRetrying: cancellation mid-backoff
+// ends the loop with the context's error, not a retry exhaustion.
+func TestClientCancelledContextStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Backoff: runctx.Backoff{Base: time.Hour, Max: time.Hour}}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	_, err := c.Register(ctx, "w1")
+	if err == nil || time.Since(start) > 10*time.Second {
+		t.Fatalf("cancel mid-backoff: err %v after %v", err, time.Since(start))
+	}
+}

@@ -1,0 +1,119 @@
+// Package distcensus is the wire protocol and worker side of the
+// distributed census: a coordinator (internal/censusd) shards an
+// exploration's frontier roots into leased work items, remote workers
+// (cmd/censusworker) explore the leased subtrees and deliver partial
+// censuses, and the coordinator merges them under the bit-identical
+// discipline of the local engines.
+//
+// The robustness core is the lease protocol. Every work item carries a
+// generation counter, bumped each time the coordinator requeues the
+// item after a lease expiry (worker crash, hang, or partition). A
+// delivery is accepted only when its generation is current and the
+// item unresolved; a late result from a superseded attempt — a killed
+// worker resurrected with its persisted in-flight state — is rejected
+// as stale rather than double-counted, the same staleness guard the
+// in-process work-stealing pool applies to retried donor attempts.
+// Duplicate deliveries of the resolved generation are idempotent.
+package distcensus
+
+import (
+	"encoding/json"
+
+	"repro/internal/explore"
+)
+
+// HTTP paths of the coordinator's distribution API, mounted alongside
+// the censusd job API.
+const (
+	PathRegister  = "/dist/register"
+	PathLease     = "/dist/lease"
+	PathHeartbeat = "/dist/heartbeat"
+	PathResult    = "/dist/result"
+)
+
+// RegisterRequest announces a worker to the coordinator. Registration
+// is idempotent; workers re-register freely after either side
+// restarts.
+type RegisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// RegisterReply carries the coordinator's pacing parameters.
+type RegisterReply struct {
+	// PollMillis is how long a worker should sleep between lease polls
+	// that found no work.
+	PollMillis int `json:"poll_millis"`
+	// LeaseTTLMillis is the lease duration; workers must renew within
+	// it or the item is requeued under a new generation.
+	LeaseTTLMillis int `json:"lease_ttl_millis"`
+}
+
+// LeaseRequest asks for one work item.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Lease is one leased work item: a subtree root of one job's frontier,
+// plus everything a worker needs to reproduce the exploration — the
+// full job request (opaque here; the worker's JobBuilder decodes it)
+// and the coordinator's resolved options fingerprint, which the worker
+// cross-checks before exploring. A 204 response (no JSON body) means
+// no work is available.
+type Lease struct {
+	JobID      string           `json:"job_id"`
+	Root       int              `json:"root"`
+	Generation int              `json:"generation"`
+	Prefix     []explore.Choice `json:"prefix"`
+	// Request is the job's census request, verbatim; the worker decodes
+	// it with the same registry the coordinator used (censusd.Request).
+	Request json.RawMessage `json:"request"`
+	// OptionsFP is the coordinator's resolved options fingerprint. The
+	// worker recomputes it (explore.FingerprintOptions) and refuses the
+	// item on mismatch — exploring under the wrong reduction would
+	// corrupt the merge.
+	OptionsFP string `json:"options_fp"`
+	// TTLMillis is this lease's duration.
+	TTLMillis int `json:"ttl_millis"`
+}
+
+// HeartbeatRequest renews a lease. The coordinator answers 200 when
+// the lease is still current, 409 ("gone") when it was revoked —
+// expired and requeued under a new generation, the job settled, or
+// the job cancelled — at which point the worker abandons the attempt.
+type HeartbeatRequest struct {
+	WorkerID   string `json:"worker_id"`
+	JobID      string `json:"job_id"`
+	Root       int    `json:"root"`
+	Generation int    `json:"generation"`
+}
+
+// ResultRequest delivers a work item's outcome: the subtree's census
+// summary, or Err when the worker could not explore it (build failure,
+// options fingerprint mismatch). Deliveries are idempotent per
+// (job, root, generation).
+type ResultRequest struct {
+	WorkerID   string              `json:"worker_id"`
+	JobID      string              `json:"job_id"`
+	Root       int                 `json:"root"`
+	Generation int                 `json:"generation"`
+	Summary    explore.RootSummary `json:"summary"`
+	Err        string              `json:"err,omitempty"`
+}
+
+// Delivery verdicts, in ResultReply.Status.
+const (
+	// ResultAccepted: the summary was merged; the item is resolved.
+	ResultAccepted = "accepted"
+	// ResultDuplicate: the item was already resolved with this
+	// generation's result; the delivery was dropped idempotently.
+	ResultDuplicate = "duplicate"
+	// ResultStale: the delivery's generation was superseded (the lease
+	// expired and the item was requeued); the result was rejected and
+	// NOT counted. Carried on a 409 response.
+	ResultStale = "stale"
+)
+
+// ResultReply is the coordinator's verdict on a delivery.
+type ResultReply struct {
+	Status string `json:"status"`
+}

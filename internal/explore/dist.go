@@ -1,0 +1,452 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Distributed census support: the exported view of the machinery
+// RunCheckpointed builds on, so a coordinator process can shard an
+// exploration's frontier roots over remote workers and merge the
+// returned partial censuses under the exact discipline the local
+// engines use. The unit of distribution is the same unit the
+// work-stealing pool and the checkpoint file use — a subtree root's
+// schedule prefix — and the merge is the same deterministic
+// DFS-root-order fold, so a distributed census is bit-identical in
+// every count to a single-process run. Only engine telemetry (prune
+// table hit/miss counters) is process-local and not aggregated.
+
+// RootSummary is the census of one fully explored subtree root, in the
+// form that crosses process boundaries: plain counts plus violation
+// representatives flattened to schedules. It is the exported twin of
+// the checkpoint file's per-root record, and the two convert exactly —
+// a coordinator checkpoint written from remote results resumes into a
+// local run and vice versa.
+type RootSummary struct {
+	Complete   int            `json:"complete"`
+	Incomplete int            `json:"incomplete"`
+	Outcomes   map[string]int `json:"outcomes,omitempty"`
+	Violations int            `json:"violations"`
+	Reps       [][]Choice     `json:"reps,omitempty"`
+	Capped     bool           `json:"capped,omitempty"`
+}
+
+func (r RootSummary) ck() ckRoot {
+	return ckRoot{
+		Complete: r.Complete, Incomplete: r.Incomplete, Outcomes: r.Outcomes,
+		Violations: r.Violations, Reps: r.Reps, Capped: r.Capped,
+	}
+}
+
+func summaryFromCk(r ckRoot) RootSummary {
+	return RootSummary{
+		Complete: r.Complete, Incomplete: r.Incomplete, Outcomes: r.Outcomes,
+		Violations: r.Violations, Reps: r.Reps, Capped: r.Capped,
+	}
+}
+
+// DistPlan is one exploration split into its distributable work items.
+// It is built coordinator-side from the same builder and options a
+// local run would use; Prefix(i) hands out the per-root work items,
+// Merge folds the returned summaries back together, and the checkpoint
+// methods persist progress in the exact file format RunCheckpointed
+// writes — so a job started locally can finish distributed and the
+// other way round.
+type DistPlan struct {
+	b     Builder
+	opts  Options
+	check func(*sim.Result) error
+	items []frontierItem
+
+	key        uint64
+	optsFP     string
+	frontierFP uint64
+
+	// Local-fallback execution shares one transposition table across
+	// roots, like RunCheckpointed.
+	tableOnce sync.Once
+	table     *pruneTable
+}
+
+// NewDistPlan resolves the options (defaults, symmetry audit) and
+// splits the exploration at the standard frontier. ok is false when
+// the tree cannot be frontier-split under MaxRuns — the caller should
+// fall back to a plain local Run, which owns the cap semantics.
+func NewDistPlan(b Builder, opts Options, check func(*sim.Result) error) (*DistPlan, bool) {
+	opts = opts.withDefaults()
+	if opts.Prune {
+		opts = resolveSymmetry(b, opts)
+	}
+	items, ok := frontier(b, opts, opts.workerCount())
+	if !ok {
+		return nil, false
+	}
+	return &DistPlan{
+		b: b, opts: opts, check: check, items: items,
+		key:        checkpointKey(opts, items),
+		optsFP:     optionsFingerprint(opts),
+		frontierFP: frontierFingerprint(items),
+	}, true
+}
+
+// Len is the number of frontier items (roots and above-split leaves).
+func (p *DistPlan) Len() int { return len(p.items) }
+
+// Roots lists the indices of the distributable items — frontier
+// entries that are subtree roots, not leaves.
+func (p *DistPlan) Roots() []int {
+	var out []int
+	for i, it := range p.items {
+		if it.prefix != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Prefix is item i's schedule prefix (nil for a leaf).
+func (p *DistPlan) Prefix(i int) []Choice { return p.items[i].prefix }
+
+// OptionsFingerprint renders the census-shaping option fields; a
+// worker recomputes it from its own resolved options and refuses a
+// work item whose fingerprint disagrees — the cross-process version of
+// the checkpoint file's wrong-options refusal.
+func (p *DistPlan) OptionsFingerprint() string { return p.optsFP }
+
+// Key is the exploration's checkpoint key (options + frontier).
+func (p *DistPlan) Key() uint64 { return p.key }
+
+// LoadCheckpoint loads the plan's checkpoint file, crediting recorded
+// roots. Semantics match RunCheckpointed's resume exactly: a missing
+// file is a silent fresh start, a corrupt or foreign file is ignored
+// with a warning, and a file recording the same exploration under
+// different engine options is a hard error.
+func (p *DistPlan) LoadCheckpoint(path string) (map[int]RootSummary, string, error) {
+	f, warn := loadCheckpointTolerant(path)
+	switch {
+	case f == nil:
+		return nil, warn, nil
+	case f.Key != p.key:
+		if f.Frontier == p.frontierFP && f.Opts != "" && f.Opts != p.optsFP {
+			return nil, "", fmt.Errorf(
+				"explore: checkpoint %s records the same exploration under different engine options (checkpoint %q, this run %q); refusing to resume — rerun with the original options or delete the checkpoint",
+				path, f.Opts, p.optsFP)
+		}
+		return nil, "checkpoint ignored: key mismatch (different builder or options); starting fresh", nil
+	}
+	done := make(map[int]RootSummary)
+	for k, v := range f.Done {
+		if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < len(p.items) &&
+			p.items[i].prefix != nil && v.Err == "" {
+			done[i] = summaryFromCk(v)
+		}
+	}
+	return done, "", nil
+}
+
+// SaveCheckpoint persists the completed roots atomically and durably,
+// in the standard checkpoint file format.
+func (p *DistPlan) SaveCheckpoint(path string, done map[int]RootSummary) error {
+	f := ckFile{Key: p.key, Frontier: p.frontierFP, Opts: p.optsFP, Done: make(map[string]ckRoot, len(done))}
+	for i, r := range done {
+		f.Done[strconv.Itoa(i)] = r.ck()
+	}
+	return saveCheckpoint(path, &f)
+}
+
+// ExploreRootLocal fully explores root i in this process — the
+// coordinator's degraded mode when no remote workers are available.
+// Roots explored locally share one transposition table, like
+// RunCheckpointed. cancelled is true when ctx ended the attempt; the
+// partial summary must be discarded.
+func (p *DistPlan) ExploreRootLocal(ctx context.Context, i int) (RootSummary, bool) {
+	if p.opts.Prune {
+		p.tableOnce.Do(func() { p.table = newPruneTable(p.opts.PruneTableEntries) })
+	}
+	r, cancelled := exploreRoot(ctx, p.b, p.opts, p.check, p.table, p.items[i].prefix, nil)
+	return summaryFromCk(r), cancelled
+}
+
+// Merge folds per-root summaries back into a census, in DFS root order
+// — the identical fold RunCheckpointed and the shared-table engine
+// use, so counts, outcome histograms, violation counts and recorded
+// representatives all match a single-process run. Roots present in
+// neither done nor failed mark the census cancelled-and-partial.
+// Census.Prune is nil: prune counters are per-process telemetry and do
+// not aggregate across workers.
+func (p *DistPlan) Merge(done map[int]RootSummary, failed map[int]RootFailure) *Census {
+	total := newSummary()
+	exhaustive := true
+	cancelled := false
+	var failures []RootFailure
+	for i, it := range p.items {
+		if it.prefix == nil {
+			total.addTerminal(*it.leaf, p.check)
+			continue
+		}
+		if f, lost := failed[i]; lost {
+			failures = append(failures, f)
+			exhaustive = false
+			continue
+		}
+		r, explored := done[i]
+		if !explored {
+			exhaustive = false
+			cancelled = true
+			continue
+		}
+		total.merge(r.ck().toSummary(p.b, p.opts))
+		if r.Capped {
+			exhaustive = false
+		}
+	}
+	c := censusFrom(total, exhaustive)
+	c.FailedRoots = failures
+	c.Errors = failureStrings(failures)
+	c.Cancelled = cancelled
+	return c
+}
+
+// FingerprintOptions resolves opts against b (defaults plus the
+// symmetry audit, which can flip Symmetry off) and returns the
+// census-shaping fingerprint. Workers call this to verify a leased
+// work item's options agree with their own resolution before
+// exploring under them.
+func FingerprintOptions(b Builder, opts Options) string {
+	opts = opts.withDefaults()
+	if opts.Prune {
+		opts = resolveSymmetry(b, opts)
+	}
+	return optionsFingerprint(opts)
+}
+
+// SubtreeCheckpoint configures ExploreSubtree's in-flight progress
+// persistence: the leased subtree is split again at a shallow
+// sub-frontier and completed sub-roots are recorded in Path, so a
+// worker killed mid-subtree resumes from its last save instead of
+// restarting the whole work item.
+type SubtreeCheckpoint struct {
+	// Path is the checkpoint file; empty disables checkpointing.
+	Path string
+	// Every saves after this many newly completed sub-roots (0 = 4).
+	Every int
+	// Resume credits Path's recorded sub-roots when it matches.
+	Resume bool
+}
+
+// SubtreeStats reports what ExploreSubtree did.
+type SubtreeStats struct {
+	// SubRoots is the sub-frontier size (0: explored monolithically).
+	SubRoots int
+	// Resumed is how many sub-roots were credited from the checkpoint.
+	Resumed int
+	// Saves counts checkpoint writes.
+	Saves int
+	// Warning is set when Resume found an unusable file.
+	Warning string
+}
+
+// ExploreSubtree fully explores the subtree rooted at prefix — one
+// distributed work item — and returns its summary, bit-identical in
+// every count to the same subtree explored inside a local census.
+// beat, when non-nil, is bumped on engine progress (the caller's cue
+// to renew its lease: a wedged exploration stops beating and the
+// coordinator's lease expiry takes over). A context cancellation
+// (lease revoked, shutdown) returns ctx's error after flushing the
+// checkpoint; the partial summary is discarded.
+func ExploreSubtree(ctx context.Context, b Builder, opts Options, check func(*sim.Result) error, prefix []Choice, ck SubtreeCheckpoint, beat func()) (RootSummary, SubtreeStats, error) {
+	opts = opts.withDefaults()
+	if opts.Prune {
+		opts = resolveSymmetry(b, opts)
+	}
+	var stats SubtreeStats
+	var table *pruneTable
+	if opts.Prune {
+		table = newPruneTable(opts.PruneTableEntries)
+	}
+	if ck.Path == "" {
+		r, cancelled := exploreRoot(ctx, b, opts, check, table, prefix, beat)
+		if cancelled {
+			return RootSummary{}, stats, ctx.Err()
+		}
+		return summaryFromCk(r), stats, nil
+	}
+
+	items := subFrontier(ctx, b, opts, prefix)
+	if items == nil {
+		// Not splittable (tiny subtree, or enumeration hit the cap):
+		// explore monolithically, with a single-record checkpoint so a
+		// completed-but-undelivered item still resumes instantly.
+		key := foldString(uint64(fnvOffset), optionsFingerprint(opts))
+		key = foldString(key, "|item:"+FormatSchedule(prefix)+"|mono")
+		if ck.Resume {
+			if f, warn := loadCheckpointTolerant(ck.Path); f != nil && f.Key == key {
+				if v, ok := f.Done["0"]; ok && v.Err == "" {
+					stats.Resumed = 1
+					return summaryFromCk(v), stats, nil
+				}
+			} else {
+				stats.Warning = warn
+			}
+		}
+		r, cancelled := exploreRoot(ctx, b, opts, check, table, prefix, beat)
+		if cancelled {
+			return RootSummary{}, stats, ctx.Err()
+		}
+		if err := saveCheckpoint(ck.Path, &ckFile{Key: key, Done: map[string]ckRoot{"0": r}}); err != nil {
+			return RootSummary{}, stats, err
+		}
+		stats.Saves++
+		return summaryFromCk(r), stats, nil
+	}
+	stats.SubRoots = 0
+	for _, it := range items {
+		if it.prefix != nil {
+			stats.SubRoots++
+		}
+	}
+
+	// The sub-checkpoint key extends the standard options fold with the
+	// work item's own prefix, so files from different roots (or jobs)
+	// never cross-resume.
+	key := foldString(uint64(fnvOffset), optionsFingerprint(opts))
+	key = foldString(key, "|item:"+FormatSchedule(prefix))
+	for _, it := range items {
+		if it.prefix != nil {
+			key = foldString(key, "|"+FormatSchedule(it.prefix))
+		} else {
+			key = foldString(key, "|leaf:"+FormatSchedule(it.leaf.Schedule))
+		}
+	}
+
+	done := make(map[int]ckRoot)
+	if ck.Resume {
+		f, warn := loadCheckpointTolerant(ck.Path)
+		switch {
+		case f == nil:
+			stats.Warning = warn
+		case f.Key != key:
+			stats.Warning = "subtree checkpoint ignored: key mismatch; starting fresh"
+		default:
+			for k, v := range f.Done {
+				if i, err := strconv.Atoi(k); err == nil && i >= 0 && i < len(items) &&
+					items[i].prefix != nil && v.Err == "" {
+					done[i] = v
+				}
+			}
+			stats.Resumed = len(done)
+		}
+	}
+	every := ck.Every
+	if every <= 0 {
+		every = 4
+	}
+	save := func() error {
+		f := ckFile{Key: key, Done: make(map[string]ckRoot, len(done))}
+		for i, r := range done {
+			f.Done[strconv.Itoa(i)] = r
+		}
+		if err := saveCheckpoint(ck.Path, &f); err != nil {
+			return err
+		}
+		stats.Saves++
+		return nil
+	}
+
+	unsaved := 0
+	for i, it := range items {
+		if it.prefix == nil {
+			continue
+		}
+		if _, ok := done[i]; ok {
+			continue
+		}
+		r, cancelled := exploreRoot(ctx, b, opts, check, table, it.prefix, beat)
+		if cancelled {
+			_ = save() // flush progress; the error is the cancellation
+			return RootSummary{}, stats, ctx.Err()
+		}
+		done[i] = r
+		if beat != nil {
+			beat()
+		}
+		unsaved++
+		if unsaved >= every {
+			if err := save(); err != nil {
+				return RootSummary{}, stats, err
+			}
+			unsaved = 0
+		}
+	}
+	if err := save(); err != nil {
+		return RootSummary{}, stats, err
+	}
+
+	// Deterministic merge in DFS sub-root order — identical to the
+	// monolithic walk of the same subtree in every count and in the
+	// first ≤MaxRecordedViolations representatives.
+	total := newSummary()
+	capped := false
+	for i, it := range items {
+		if it.prefix == nil {
+			total.addTerminal(*it.leaf, check)
+			continue
+		}
+		r := done[i]
+		total.merge(r.toSummary(b, opts))
+		if r.Capped {
+			capped = true
+		}
+	}
+	out := RootSummary{
+		Complete:   total.complete,
+		Incomplete: total.incomplete,
+		Outcomes:   total.outcomes,
+		Violations: total.violations,
+		Capped:     capped,
+	}
+	for _, rep := range total.reps {
+		out.Reps = append(out.Reps, rep.Schedule)
+	}
+	return out, stats, nil
+}
+
+// subFrontier splits the subtree rooted at prefix at a shallow depth,
+// mirroring frontier()'s split policy relative to the prefix. nil
+// means the subtree is not worth splitting (or enumeration was capped
+// or cancelled) and the caller should explore it monolithically.
+func subFrontier(ctx context.Context, b Builder, opts Options, prefix []Choice) []frontierItem {
+	const target = 8
+	base := len(prefix)
+	var items []frontierItem
+	for split := 1; ; split++ {
+		items = items[:0]
+		roots := 0
+		shallow := opts
+		shallow.MaxDepth = base + split
+		en := &engine{b: b, opts: shallow, root: prefix, ctx: ctx, visit: func(o Outcome) bool {
+			if o.Result.Halted && len(o.Schedule) == base+split {
+				items = append(items, frontierItem{prefix: o.Schedule})
+				roots++
+			} else {
+				oc := o
+				items = append(items, frontierItem{leaf: &oc})
+			}
+			return true
+		}}
+		en.run()
+		if en.capped || en.cancelled {
+			return nil
+		}
+		if roots == 0 && split == 1 {
+			return nil // the whole subtree is a handful of terminal runs
+		}
+		if roots >= target || roots == 0 || base+split+1 >= opts.MaxDepth || split >= 12 {
+			return items
+		}
+	}
+}

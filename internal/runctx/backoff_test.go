@@ -1,0 +1,80 @@
+package runctx
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayShape: the exponential doubles from Base, caps at
+// Max, and every delay is jittered into [d/2, d].
+func TestBackoffDelayShape(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Seed: 42}
+	exp := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 800 * time.Millisecond, // capped
+	}
+	for i, d := range exp {
+		got := b.Delay(7, i+1)
+		if got < d/2 || got > d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i+1, got, d/2, d)
+		}
+	}
+	// Zeros mean the 50ms/2s defaults.
+	if d := (Backoff{}).Delay(0, 1); d < 25*time.Millisecond || d > 50*time.Millisecond {
+		t.Fatalf("default base delay %v outside [25ms, 50ms]", d)
+	}
+	if d := (Backoff{}).Delay(0, 20); d < time.Second || d > 2*time.Second {
+		t.Fatalf("default capped delay %v outside [1s, 2s]", d)
+	}
+}
+
+// TestBackoffDeterministicJitter: equal (Seed, key, attempt) always
+// produces the identical delay — reproducible failure handling — while
+// different seeds or keys spread retriers apart.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Seed: 1}
+	if b.Delay(3, 4) != b.Delay(3, 4) {
+		t.Fatal("jitter not deterministic")
+	}
+	// Across many keys, at least one must land differently (jitter is
+	// doing something), and all stay within the envelope.
+	base := b.Delay(0, 4)
+	varied := false
+	for key := uint64(1); key <= 64; key++ {
+		d := b.Delay(key, 4)
+		if d != base {
+			varied = true
+		}
+		if d < 4*time.Second || d > 8*time.Second {
+			t.Fatalf("key %d: delay %v outside [4s, 8s]", key, d)
+		}
+	}
+	if !varied {
+		t.Fatal("64 keys produced identical delays; jitter inert")
+	}
+	s2 := (Backoff{Base: time.Second, Max: time.Minute, Seed: 2}).Delay(0, 4)
+	s3 := (Backoff{Base: time.Second, Max: time.Minute, Seed: 3}).Delay(0, 4)
+	if s2 == base && s3 == base {
+		t.Fatal("seed does not influence jitter")
+	}
+}
+
+// TestBackoffSleepCancel: Sleep returns false promptly when the context
+// dies mid-wait — the retry loop's exit condition.
+func TestBackoffSleepCancel(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	if b.Sleep(ctx, 0, 1) {
+		t.Fatal("Sleep completed despite cancellation")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on cancel")
+	}
+	// And true when the wait actually elapses.
+	if !(Backoff{Base: time.Millisecond, Max: time.Millisecond}).Sleep(context.Background(), 0, 1) {
+		t.Fatal("Sleep returned false without cancellation")
+	}
+}

@@ -74,6 +74,69 @@ func WithDrain(parent context.Context, d time.Duration) (context.Context, func()
 	}
 }
 
+// Backoff is a seeded, capped exponential backoff for retrying
+// transient failures (a coordinator briefly down, a connection
+// refused mid-restart). Delays are jittered deterministically from
+// (Seed, key, attempt) into the upper half of the exponential value,
+// the same shape the exploration supervisor uses for root retries:
+// concurrent retriers spread out, and runs with equal seeds retry at
+// identical times — reproducibility all the way into failure handling.
+type Backoff struct {
+	// Base and Max shape the exponential: attempt k (k >= 1) waits
+	// min(Base << (k-1), Max), jittered into [d/2, d]. Zeros mean
+	// 50ms / 2s.
+	Base, Max time.Duration
+	// Seed feeds the jitter.
+	Seed int64
+}
+
+// Delay is the wait before retry number attempt (1-based) of the
+// operation identified by key.
+func (b Backoff) Delay(key uint64, attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		if d >= max {
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	h := uint64(14695981039346656037) // FNV-1a over (seed, key, attempt)
+	for _, v := range [...]uint64{uint64(b.Seed), key, uint64(attempt)} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return half + time.Duration(h%uint64(half+1))
+}
+
+// Sleep waits Delay(key, attempt), returning false early if ctx is
+// cancelled — the caller's cue to stop retrying.
+func (b Backoff) Sleep(ctx context.Context, key uint64, attempt int) bool {
+	t := time.NewTimer(b.Delay(key, attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // WithTimeout adds a deadline to parent when d > 0 and is a no-op
 // otherwise, so callers can pass a -timeout flag value straight
 // through. The returned stop must be deferred either way.

@@ -1,0 +1,143 @@
+#!/usr/bin/env sh
+# Times the distributed census end to end — real censusd coordinator,
+# real censusworker processes over loopback HTTP — and distills the
+# results into BENCH_dist.json at the repo root: wall-clock seconds per
+# configuration for a fixed reference census (cas k=4 n=3), at 0 (pure
+# local fallback), 1, and 2 workers. Each record carries the worker
+# count and the host CPU counts; distribution over loopback on one box
+# measures protocol overhead, not speedup — the numbers bound the
+# coordination tax, they do not advertise scaling.
+#
+#   scripts/bench_dist.sh [--force]
+set -eu
+
+cd "$(dirname "$0")/.."
+. scripts/bench_env.sh
+bench_filter_args "$@" && eval "set -- $bench_args"
+bench_guard BENCH_dist.json
+
+for tool in curl jq; do
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		echo "bench_dist: $tool not found; skipping distributed bench" >&2
+		exit 0
+	fi
+done
+
+work="$(mktemp -d)"
+daemon_pid=""
+worker_pids=""
+cleanup() {
+	for pid in $worker_pids $daemon_pid; do
+		if kill -0 "$pid" 2>/dev/null; then
+			kill -9 "$pid" 2>/dev/null || true
+			wait "$pid" 2>/dev/null || true
+		fi
+	done
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building censusd and censusworker"
+go build -o "$work/censusd" ./cmd/censusd
+go build -o "$work/censusworker" ./cmd/censusworker
+
+start_daemon() {
+	"$work/censusd" -addr 127.0.0.1:0 -dir "$1" \
+		-workers 1 -checkpoint-every 1 \
+		-lease-ttl 5s -worker-poll 50ms \
+		>"$work/daemon.out" 2>"$work/daemon.err" &
+	daemon_pid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		addr="$(sed -n 's/^censusd: listening on //p' "$work/daemon.out" 2>/dev/null | head -n1)"
+		if [ -n "$addr" ]; then
+			base="http://$addr"
+			return 0
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "bench_dist: coordinator never reported its address" >&2
+	exit 1
+}
+
+# run_config WORKERS -> seconds on stdout
+run_config() {
+	nworkers="$1"
+	: >"$work/daemon.out"
+	start_daemon "$work/data-$nworkers"
+	worker_pids=""
+	i=0
+	while [ $i -lt "$nworkers" ]; do
+		"$work/censusworker" -coordinator "$base" -dir "$work/w$nworkers-$i" \
+			-id "bench-w$i" -poll 50ms >/dev/null 2>&1 &
+		worker_pids="$worker_pids $!"
+		i=$((i + 1))
+	done
+	if [ "$nworkers" -gt 0 ]; then
+		i=0
+		while :; do
+			live="$(curl -sS "$base/healthz" | jq -r .workers_live)"
+			[ "$live" -ge "$nworkers" ] 2>/dev/null && break
+			i=$((i + 1))
+			if [ $i -gt 100 ]; then
+				echo "bench_dist: workers never registered" >&2
+				exit 1
+			fi
+			sleep 0.1
+		done
+	fi
+
+	t0="$(date +%s%N 2>/dev/null || date +%s)"
+	id="$(curl -sS -X POST "$base/jobs" -d '{"protocol":"cas","k":4,"n":3,"workers":2}' | jq -r .id)"
+	i=0
+	while :; do
+		state="$(curl -sS "$base/jobs/$id" | jq -r .state)"
+		[ "$state" = "done" ] && break
+		if [ "$state" = "failed" ]; then
+			echo "bench_dist: job failed" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		if [ $i -gt 6000 ]; then
+			echo "bench_dist: job stuck in $state" >&2
+			exit 1
+		fi
+		sleep 0.05
+	done
+	t1="$(date +%s%N 2>/dev/null || date +%s)"
+	remote="$(curl -sS "$base/healthz" | jq -r .remote_roots)"
+
+	for pid in $worker_pids; do
+		kill -TERM "$pid" 2>/dev/null || true
+		wait "$pid" 2>/dev/null || true
+	done
+	worker_pids=""
+	kill -TERM "$daemon_pid" 2>/dev/null || true
+	wait "$daemon_pid" 2>/dev/null || true
+	daemon_pid=""
+
+	# Nanosecond timestamps when the platform has them, else seconds.
+	case "$t0$t1" in
+	*N*) secs="unknown" ;;
+	*) secs="$(awk -v a="$t0" -v b="$t1" 'BEGIN { d = b - a; if (d > 1000000) d /= 1e9; printf "%.3f", d }')" ;;
+	esac
+	echo "$secs $remote"
+}
+
+echo "== timing cas k=4 n=3 at 0, 1, and 2 workers"
+out="[\n"
+first=1
+for n in 0 1 2; do
+	set -- $(run_config "$n")
+	secs="$1"
+	remote="$2"
+	echo "   workers=$n: ${secs}s (remote_roots=$remote)"
+	[ "$first" = "1" ] || out="$out,\n"
+	first=0
+	out="$out  {\"name\": \"dist/cas-k4-n3/workers=$n\", \"workers\": $n, \"seconds\": $secs, \"remote_roots\": $remote, \"cpus\": $cpus, \"num_cpu\": $num_cpu}"
+done
+out="$out\n]"
+printf "$out\n" > BENCH_dist.json
+
+echo "wrote BENCH_dist.json ($(grep -c '"name"' BENCH_dist.json) entries)"

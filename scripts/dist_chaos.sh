@@ -1,0 +1,205 @@
+#!/usr/bin/env sh
+# Distributed-census chaos smoke: a censusd coordinator with two real
+# censusworker processes, a worker kill -9 mid-lease, a coordinator
+# kill -9 and restart over the same store, and a resurrection of the
+# killed worker over its old state directory. Every census must come
+# out bit-identical to a direct cmd/explore run (lease expiry requeues
+# the orphaned roots; the generation guard rejects the resurrected
+# worker's late deliveries as stale instead of double-counting them).
+# Needs curl and jq. Run from the repo root; scripts/verify.sh invokes it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+	if ! command -v "$tool" >/dev/null 2>&1; then
+		echo "dist_chaos: $tool not found; skipping distributed chaos smoke" >&2
+		exit 0
+	fi
+done
+
+work="$(mktemp -d)"
+daemon_pid=""
+w1_pid=""
+w2_pid=""
+w1b_pid=""
+cleanup() {
+	for pid in "$daemon_pid" "$w1_pid" "$w2_pid" "$w1b_pid"; do
+		if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+			kill -9 "$pid" 2>/dev/null || true
+			wait "$pid" 2>/dev/null || true
+		fi
+	done
+	rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building censusd, censusworker, and explore"
+go build -o "$work/censusd" ./cmd/censusd
+go build -o "$work/censusworker" ./cmd/censusworker
+go build -o "$work/explore" ./cmd/explore
+
+start_daemon() {
+	"$work/censusd" -addr 127.0.0.1:0 -dir "$work/data" \
+		-workers 1 -checkpoint-every 1 \
+		-lease-ttl 2s -worker-poll 100ms \
+		>"$work/daemon.out" 2>"$work/daemon.err" &
+	daemon_pid=$!
+	i=0
+	while [ $i -lt 100 ]; do
+		addr="$(sed -n 's/^censusd: listening on //p' "$work/daemon.out" 2>/dev/null | head -n1)"
+		if [ -n "$addr" ]; then
+			base="http://$addr"
+			return 0
+		fi
+		if ! kill -0 "$daemon_pid" 2>/dev/null; then
+			echo "dist_chaos: coordinator died on startup:" >&2
+			cat "$work/daemon.err" >&2
+			exit 1
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "dist_chaos: coordinator never reported its address" >&2
+	exit 1
+}
+
+# start_worker DIR ID -> pid on stdout
+start_worker() {
+	"$work/censusworker" -coordinator "$base" -dir "$1" -id "$2" -poll 100ms \
+		>>"$work/$2.log" 2>&1 &
+	echo $!
+}
+
+submit() {
+	curl -sS -X POST "$base/jobs" -d "$1" | jq -r .id
+}
+
+job_field() {
+	curl -sS "$base/jobs/$1" | jq -r "$2"
+}
+
+health_field() {
+	curl -sS "$base/healthz" | jq -r "$1"
+}
+
+# wait_health JQ_EXPR MIN TRIES LABEL
+wait_health() {
+	i=0
+	while :; do
+		v="$(health_field "$1" 2>/dev/null || echo 0)"
+		[ "$v" -ge "$2" ] 2>/dev/null && return 0
+		i=$((i + 1))
+		if [ $i -gt "$3" ]; then
+			echo "dist_chaos: FAIL — $4 (have $v, want >= $2)" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+echo "== starting coordinator"
+start_daemon
+echo "   listening at $base"
+
+echo "== starting 2 workers"
+w1_pid="$(start_worker "$work/w1" w1)"
+w2_pid="$(start_worker "$work/w2" w2)"
+wait_health .workers_live 2 100 "workers never registered"
+echo "   both workers live"
+
+echo "== submitting 3 jobs (rw3 is the kill target; cas runs symmetry-reduced)"
+long_id="$(submit '{"protocol":"rw3","workers":1}')"
+cas_id="$(submit '{"protocol":"cas","k":4,"n":3,"symmetry":true,"workers":2}')"
+fa_id="$(submit '{"protocol":"fa2","workers":2}')"
+echo "   jobs: $long_id $cas_id $fa_id"
+
+echo "== waiting for an outstanding lease, then kill -9 worker w1"
+i=0
+while :; do
+	leases="$(health_field .leases_active)"
+	if [ "$leases" -ge 1 ] 2>/dev/null; then
+		break
+	fi
+	i=$((i + 1))
+	if [ $i -gt 600 ]; then
+		echo "dist_chaos: FAIL — no lease ever granted" >&2
+		exit 1
+	fi
+	sleep 0.05
+done
+kill -9 "$w1_pid"
+wait "$w1_pid" 2>/dev/null || true
+w1_pid=""
+echo "   killed w1 mid-lease ($leases leases outstanding)"
+
+echo "== waiting for the orphaned lease to expire and requeue"
+wait_health .lease_expiries 1 300 "orphaned lease never expired"
+echo "   lease expired and requeued"
+
+echo "== kill -9 the coordinator mid-run, restart over the same store"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+: >"$work/daemon.out"
+start_daemon
+echo "   coordinator back at $base (workers re-register implicitly)"
+
+echo "== waiting for all jobs to finish"
+for id in "$long_id" "$cas_id" "$fa_id"; do
+	i=0
+	while :; do
+		state="$(job_field "$id" .state)"
+		case "$state" in
+		done) break ;;
+		failed)
+			echo "dist_chaos: FAIL — job $id failed: $(job_field "$id" .error)" >&2
+			exit 1
+			;;
+		esac
+		i=$((i + 1))
+		if [ $i -gt 2400 ]; then
+			echo "dist_chaos: FAIL — job $id stuck in state $state" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+echo "   all jobs done"
+
+echo "== resurrecting w1 over its old state dir: late delivery must be rejected stale"
+w1b_pid="$(start_worker "$work/w1" w1)"
+wait_health .stale_results 1 600 "resurrected worker's delivery was never rejected as stale"
+echo "   generation guard rejected the late delivery (stale_results >= 1)"
+
+echo "== comparing distributed results against direct cmd/explore runs"
+# Distributed results merge partial censuses from many processes, so
+# the per-process prune and supervision telemetry are not part of the
+# census content; drop them from both sides before diffing.
+compare() {
+	id="$1"
+	shift
+	curl -sS "$base/jobs/$id" | jq -S 'del(.result.supervision, .result.prune) | .result' >"$work/daemon.json"
+	"$work/explore" "$@" -json -bivalence=false | jq -S 'del(.supervision, .prune)' >"$work/direct.json"
+	if ! diff -u "$work/direct.json" "$work/daemon.json"; then
+		echo "dist_chaos: FAIL — job $id census differs from the direct run" >&2
+		exit 1
+	fi
+}
+compare "$long_id" -protocol rw3 -workers 1
+compare "$cas_id" -protocol cas -k 4 -n 3 -symmetry -workers 2
+compare "$fa_id" -protocol fa2 -workers 2
+echo "   all censuses bit-identical"
+
+echo "== graceful shutdown"
+kill -TERM "$w2_pid" 2>/dev/null || true
+kill -TERM "$w1b_pid" 2>/dev/null || true
+wait "$w2_pid" 2>/dev/null || true
+wait "$w1b_pid" 2>/dev/null || true
+w2_pid=""
+w1b_pid=""
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "dist_chaos: OK"

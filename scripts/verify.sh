@@ -21,6 +21,9 @@ go test -race ./internal/explore/... ./internal/sim/... ./internal/faults/... ./
 echo "== census daemon under the race detector (admission, dedup, recovery, kill -9 chaos)"
 go test -race -count=1 ./internal/censusd/
 
+echo "== distributed-census client/worker under the race detector"
+go test -race -count=1 ./internal/distcensus/
+
 echo "== supervisor tests under the race detector (chaos, watchdog, cancellation, checkpoint)"
 go test -race -count=1 -run 'Supervis|Chaos|Watchdog|Cancel|Checkpoint|Backoff|WorkerPanic' \
 	./internal/explore/
@@ -54,6 +57,9 @@ rm -f "$ck"
 
 echo "== daemon chaos smoke: kill -9 the census daemon mid-run, restart, assert bit-identical results"
 scripts/daemon_chaos.sh
+
+echo "== distributed chaos smoke: kill -9 a worker mid-lease and the coordinator mid-run, assert bit-identical results and stale rejection"
+scripts/dist_chaos.sh
 
 echo "== timeout smoke: a cancelled census must exit non-zero (and zero with -allow-partial)"
 if go run ./cmd/explore -protocol cas -k 5 -n 4 -crashes 1 -maxruns 100000000 \
