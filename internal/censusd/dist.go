@@ -386,7 +386,7 @@ func (ds *distState) liveWorkers(now time.Time) int {
 	return n
 }
 
-func (ds *distState) add(d *distJob)      { ds.mu.Lock(); ds.jobs[d.id] = d; ds.mu.Unlock() }
+func (ds *distState) add(d *distJob) { ds.mu.Lock(); ds.jobs[d.id] = d; ds.mu.Unlock() }
 func (ds *distState) job(id string) *distJob {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()

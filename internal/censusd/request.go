@@ -228,12 +228,17 @@ func props(n int) []sim.Value {
 // protocols is the shared registry of explorable protocols, used by
 // cmd/explore's -protocol flag and the daemon's request decoding.
 var protocols = map[string]protocolSpec{
+	// Every entry builds its protocol in machine form (SpawnMachine), so
+	// jobs run on the explorers' direct-dispatch + in-place backtracking
+	// fast path; the machine ports are bit-identical to the Program
+	// forms (enforced by the equivalence tests in internal/explore), so
+	// job identities, checkpoints and census numbers are unchanged.
 	"rw2": {build: func(_, _ int) (explore.Builder, []sim.Value) {
 		p := props(2)
 		return func() *sim.System {
 			sys := sim.NewSystem()
-			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
-				sys.Spawn(prog)
+			for _, m := range consensus.RWMachines(sys, "rw", p) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}, p
@@ -242,8 +247,8 @@ var protocols = map[string]protocolSpec{
 		p := props(3)
 		return func() *sim.System {
 			sys := sim.NewSystem()
-			for _, prog := range consensus.RWAttempt(sys, "rw", p) {
-				sys.Spawn(prog)
+			for _, m := range consensus.RWMachines(sys, "rw", p) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}, p
@@ -255,8 +260,8 @@ var protocols = map[string]protocolSpec{
 			sys := sim.NewSystem()
 			ts := objects.NewTestAndSet("t")
 			sys.Add(ts)
-			for _, prog := range consensus.TASProtocol(sys, ts, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
+			for _, m := range consensus.TASMachines(sys, ts, [2]sim.Value{p[0], p[1]}) {
+				sys.SpawnMachine(m)
 			}
 			sys.DeclareSymmetry(spec)
 			return sys
@@ -268,21 +273,23 @@ var protocols = map[string]protocolSpec{
 			sys := sim.NewSystem()
 			fa := objects.NewFetchAdd("f", 0)
 			sys.Add(fa)
-			for _, prog := range consensus.FetchAddProtocol(sys, fa, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
+			for _, m := range consensus.FetchAddMachines(sys, fa, [2]sim.Value{p[0], p[1]}) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}, p
 	}},
 	"queue2": {build: func(_, _ int) (explore.Builder, []sim.Value) {
 		p := props(2)
+		spec := consensus.QueueSymmetric()
 		return func() *sim.System {
 			sys := sim.NewSystem()
 			q := objects.NewQueue("q", "winner")
 			sys.Add(q)
-			for _, prog := range consensus.QueueProtocol(sys, q, [2]sim.Value{p[0], p[1]}) {
-				sys.Spawn(prog)
+			for _, m := range consensus.QueueMachines(sys, q, [2]sim.Value{p[0], p[1]}) {
+				sys.SpawnMachine(m)
 			}
+			sys.DeclareSymmetry(spec)
 			return sys
 		}, p
 	}},
@@ -293,11 +300,9 @@ var protocols = map[string]protocolSpec{
 			sys := sim.NewSystem()
 			sb := objects.NewStickyBit("s")
 			sys.Add(sb)
-			sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-				return func(e *sim.Env) (sim.Value, error) {
-					return sb.WriteSticky(e, p[id]), nil
-				}
-			})
+			for _, m := range consensus.StickyBitMachines(sb, p) {
+				sys.SpawnMachine(m)
+			}
 			sys.DeclareSymmetry(spec)
 			return sys
 		}, p
@@ -309,8 +314,8 @@ var protocols = map[string]protocolSpec{
 			sys := sim.NewSystem()
 			cas := objects.NewCAS("cas", k)
 			sys.Add(cas)
-			for _, prog := range consensus.CASProtocol(sys, cas, p) {
-				sys.Spawn(prog)
+			for _, m := range consensus.CASMachines(sys, cas, p) {
+				sys.SpawnMachine(m)
 			}
 			sys.DeclareSymmetry(spec)
 			return sys
@@ -324,8 +329,8 @@ var protocols = map[string]protocolSpec{
 			sys := sim.NewSystem()
 			cas := faults.Wrap(objects.NewCAS("cas", k))
 			sys.Add(cas)
-			for _, prog := range consensus.DegradingCASProtocol(sys, cas, p) {
-				sys.Spawn(prog)
+			for _, m := range consensus.DegradingCASMachines(sys, cas, p) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}, p

@@ -71,8 +71,10 @@ func CensusCAS(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
 		sys.Add(cas)
-		for _, p := range CASProtocol(sys, cas, props) {
-			sys.Spawn(p)
+		// Machine form: direct-dispatch fast path, bit-identical to
+		// CASProtocol (cross-checked by the equivalence tests).
+		for _, m := range CASMachines(sys, cas, props) {
+			sys.SpawnMachine(m)
 		}
 		sys.DeclareSymmetry(spec)
 		return sys
@@ -135,8 +137,77 @@ func CensusTAS(maxRuns int, tunes ...explore.Tune) *explore.Census {
 		sys := sim.NewSystem()
 		ts := objects.NewTestAndSet("t")
 		sys.Add(ts)
-		for _, p := range TASProtocol(sys, ts, props) {
-			sys.Spawn(p)
+		// Machine form: direct-dispatch fast path, bit-identical to
+		// TASProtocol (cross-checked by the equivalence tests).
+		for _, m := range TASMachines(sys, ts, props) {
+			sys.SpawnMachine(m)
+		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		if err := CheckAgreement(res); err != nil {
+			return err
+		}
+		return CheckValidity(res, props[:])
+	})
+}
+
+// QueueSymmetric is the process-symmetry spec of the queue 2-consensus
+// census: proposals are 100+i and each process announces in its own
+// SWMR cell "q.ann[i]". The queue's pre-loaded "winner" token carries
+// no process identity (strings pass through RenameValue untouched), so
+// renaming the two processes renames proposal 100+i to 100+π(i) and
+// cell "q.ann[i]" to "q.ann[π(i)]" and nothing else. Tied to those
+// conventions, like TASSymmetric.
+func QueueSymmetric() *sim.Symmetry {
+	const n = 2
+	const pre = "q.ann["
+	renameProp := func(v int, perm []sim.ProcID) int {
+		if v >= 100 && v < 100+n {
+			return 100 + int(perm[v-100])
+		}
+		return v
+	}
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			if x, ok := v.(int); ok {
+				return renameProp(x, perm)
+			}
+			return v
+		},
+		RenameObject: func(name string, perm []sim.ProcID) string {
+			if strings.HasPrefix(name, pre) && strings.HasSuffix(name, "]") {
+				if i, err := strconv.Atoi(name[len(pre) : len(name)-1]); err == nil && i >= 0 && i < n {
+					return fmt.Sprintf("q.ann[%d]", perm[i])
+				}
+			}
+			return name
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(v int) int { return renameProp(v, perm) })
+		},
+	}
+}
+
+// CensusQueue exhaustively censuses the queue 2-consensus protocol
+// (announce, dequeue, token-holder keeps its proposal, the other
+// adopts), checking agreement and validity on every complete run with
+// up to one crash. The builder declares QueueSymmetric, so
+// explore.WithSymmetry() folds the two-process permutation classes.
+func CensusQueue(maxRuns int, tunes ...explore.Tune) *explore.Census {
+	props := [2]sim.Value{100, 101}
+	spec := QueueSymmetric()
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		q := objects.NewQueue("q", "winner")
+		sys.Add(q)
+		// Machine form: direct-dispatch fast path, bit-identical to
+		// QueueProtocol (cross-checked by the equivalence tests).
+		for _, m := range QueueMachines(sys, q, props) {
+			sys.SpawnMachine(m)
 		}
 		sys.DeclareSymmetry(spec)
 		return sys
@@ -191,11 +262,11 @@ func CensusStickyBit(n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		sys := sim.NewSystem()
 		sb := objects.NewStickyBit("s")
 		sys.Add(sb)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				return sb.WriteSticky(e, props[id]), nil
-			}
-		})
+		// Machine form: direct-dispatch fast path, bit-identical to the
+		// one-line Program (cross-checked by the equivalence tests).
+		for _, m := range StickyBitMachines(sb, props) {
+			sys.SpawnMachine(m)
+		}
 		sys.DeclareSymmetry(spec)
 		return sys
 	}

@@ -54,8 +54,11 @@ func CensusDirect(k, n, maxRuns int, tunes ...explore.Tune) *explore.Census {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
 		sys.Add(cas)
-		for _, p := range DirectCAS(cas, n) {
-			sys.Spawn(p)
+		// Machine form: runs on the direct-dispatch fast path (and the
+		// explorers' in-place backtracking DFS); bit-identical to the
+		// Program form, which the equivalence tests cross-check.
+		for _, m := range DirectCASMachines(cas, k, n) {
+			sys.SpawnMachine(m)
 		}
 		sys.DeclareSymmetry(spec)
 		return sys

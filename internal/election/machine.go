@@ -1,0 +1,65 @@
+package election
+
+import (
+	"fmt"
+
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// Machine (direct-dispatch) port of the DirectCAS election. The op
+// sequence is identical to DirectCASOn's Program — c&s(⊥ → own symbol),
+// read, decide owner — so schedules, fingerprints and censuses are
+// bit-identical between the two forms; only the high-level "elect" span
+// is omitted (spans are trace-only and never fold into fingerprints).
+
+// directCASMachine is one process of the DirectCAS election as a
+// resumable state machine: pc 0 is the claim, pc 1 the read.
+type directCASMachine struct {
+	obj sim.Object
+	i   int
+	pc  int
+}
+
+var _ sim.Machine = (*directCASMachine)(nil)
+
+// Pending implements sim.Machine.
+func (m *directCASMachine) Pending() sim.MachineOp {
+	if m.pc == 0 {
+		return sim.MachineOp{
+			Obj: m.obj, Op: objects.OpCAS, NArgs: 2,
+			Args: [2]sim.Value{objects.Bottom, objects.Symbol(m.i + 1)},
+		}
+	}
+	return sim.MachineOp{Obj: m.obj, Op: sim.OpRead}
+}
+
+// Finish implements sim.Machine.
+func (m *directCASMachine) Finish(v sim.Value) (bool, sim.Value, error) {
+	if m.pc == 0 {
+		m.pc = 1
+		return false, nil, nil
+	}
+	return true, int(v.(objects.Symbol)) - 1, nil
+}
+
+// Save implements sim.Machine.
+func (m *directCASMachine) Save(s *sim.Snap) { s.Int(m.pc) }
+
+// Restore implements sim.Machine.
+func (m *directCASMachine) Restore(r *sim.SnapReader) { m.pc = r.Int() }
+
+// DirectCASMachines is DirectCASOn in machine form: n election state
+// machines over one compare&swap-(k)-speaking object, for
+// sim.SpawnMachine. Same capacity precondition, same panic.
+func DirectCASMachines(obj sim.Object, k, n int) []sim.Machine {
+	if n > k-1 {
+		panic(fmt.Sprintf("election: DirectCAS: %d processes exceed compare&swap-(%d) capacity %d",
+			n, k, k-1))
+	}
+	ms := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = &directCASMachine{obj: obj, i: i}
+	}
+	return ms
+}

@@ -60,11 +60,41 @@ func electionInstance(k, n, crashes int) benchInstance {
 	}
 }
 
+// electionMachineInstance is the same election workload on the
+// sim.Machine port (DirectCASMachines): System.Run auto-selects the
+// direct-dispatch runner and the engines backtrack in place, so the
+// gap between a machine row and its goroutine twin is the tentpole
+// speedup, gated per-engine by scripts/bench_compare.sh. New rows vs a
+// pre-machine base ref need the one-time BENCH_COMPARE_ALLOW_NEW=1.
+func electionMachineInstance(k, n, crashes int) benchInstance {
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	spec := election.DirectSymmetric(n)
+	return benchInstance{
+		name: fmt.Sprintf("direct-cas-machine/k=%d/n=%d/crashes=%d", k, n, crashes),
+		b: func() *sim.System {
+			sys := sim.NewSystem()
+			cas := objects.NewCAS("cas", k)
+			sys.Add(cas)
+			for _, m := range election.DirectCASMachines(cas, k, n) {
+				sys.SpawnMachine(m)
+			}
+			sys.DeclareSymmetry(spec)
+			return sys
+		},
+		opts:  explore.Options{MaxCrashes: crashes},
+		check: func(res *sim.Result) error { return election.CheckElection(res, ids) },
+	}
+}
+
 func benchInstances() []benchInstance {
 	return []benchInstance{
 		electionInstance(5, 3, 1),
 		electionInstance(5, 4, 0),
 		electionInstance(5, 4, 1),
+		electionMachineInstance(5, 4, 1),
 	}
 }
 

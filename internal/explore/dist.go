@@ -62,6 +62,15 @@ type DistPlan struct {
 	check func(*sim.Result) error
 	items []frontierItem
 
+	// orbit, when non-nil (symmetry resolved), partitions the roots
+	// into symmetry-orbit representatives and twins: Roots() hands out
+	// only representatives, and Merge credits each twin its rep's
+	// summary renamed into the twin's orientation (orbit.go). The
+	// checkpoint key and item indexing are unchanged — a checkpoint
+	// written by a non-orbit run resumes exactly, recorded twins
+	// included.
+	orbit *orbitInfo
+
 	key        uint64
 	optsFP     string
 	frontierFP uint64
@@ -85,25 +94,36 @@ func NewDistPlan(b Builder, opts Options, check func(*sim.Result) error) (*DistP
 	if !ok {
 		return nil, false
 	}
-	return &DistPlan{
+	p := &DistPlan{
 		b: b, opts: opts, check: check, items: items,
 		key:        checkpointKey(opts, items),
 		optsFP:     optionsFingerprint(opts),
 		frontierFP: frontierFingerprint(items),
-	}, true
+	}
+	if opts.canon != nil {
+		p.orbit = orbitPartition(b, opts, items)
+	}
+	return p, true
 }
 
 // Len is the number of frontier items (roots and above-split leaves).
 func (p *DistPlan) Len() int { return len(p.items) }
 
 // Roots lists the indices of the distributable items — frontier
-// entries that are subtree roots, not leaves.
+// entries that are subtree roots, not leaves. Under an orbit partition
+// (symmetry on) only orbit REPRESENTATIVES are listed: their twins
+// need no exploration anywhere, Merge credits them from the rep's
+// returned summary.
 func (p *DistPlan) Roots() []int {
 	var out []int
 	for i, it := range p.items {
-		if it.prefix != nil {
-			out = append(out, i)
+		if it.prefix == nil {
+			continue
 		}
+		if p.orbit != nil && p.orbit.rep[i] != i {
+			continue
+		}
+		out = append(out, i)
 	}
 	return out
 }
@@ -176,12 +196,17 @@ func (p *DistPlan) ExploreRootLocal(ctx context.Context, i int) (RootSummary, bo
 // use, so counts, outcome histograms, violation counts and recorded
 // representatives all match a single-process run. Roots present in
 // neither done nor failed mark the census cancelled-and-partial.
+// Under an orbit partition a twin with no recorded summary of its own
+// (the normal case — Roots never hands twins out) is credited its
+// representative's summary renamed through the composed orientation,
+// and the skips are reported in Census.Prune.OrbitSkips. Otherwise
 // Census.Prune is nil: prune counters are per-process telemetry and do
 // not aggregate across workers.
 func (p *DistPlan) Merge(done map[int]RootSummary, failed map[int]RootFailure) *Census {
 	total := newSummary()
 	exhaustive := true
 	cancelled := false
+	var orbitSkips uint64
 	var failures []RootFailure
 	for i, it := range p.items {
 		if it.prefix == nil {
@@ -195,6 +220,27 @@ func (p *DistPlan) Merge(done map[int]RootSummary, failed map[int]RootFailure) *
 		}
 		r, explored := done[i]
 		if !explored {
+			if p.orbit != nil && p.orbit.rep[i] != i {
+				// Orbit twin: credit the representative's summary in the
+				// twin's own coordinates. A twin whose rep is unresolved
+				// shares the rep's disposition (the rep's own iteration
+				// already recorded the deficit).
+				j := p.orbit.rep[i]
+				if rj, ok := done[j]; ok {
+					total.mergeRenamed(rj.ck().toSummary(p.b, p.opts),
+						orbitRenamerRaw(p.opts.canon, p.orbit.perm[j], p.orbit.perm[i]))
+					if rj.Capped {
+						exhaustive = false
+					}
+					orbitSkips++
+					continue
+				}
+				exhaustive = false
+				if _, lost := failed[j]; !lost {
+					cancelled = true
+				}
+				continue
+			}
 			exhaustive = false
 			cancelled = true
 			continue
@@ -208,6 +254,11 @@ func (p *DistPlan) Merge(done map[int]RootSummary, failed map[int]RootFailure) *
 	c.FailedRoots = failures
 	c.Errors = failureStrings(failures)
 	c.Cancelled = cancelled
+	if p.orbit != nil {
+		st := &PruneStats{OrbitSkips: orbitSkips}
+		p.opts.markReducers(st)
+		c.Prune = st
+	}
 	return c
 }
 

@@ -92,6 +92,19 @@ type engine struct {
 	// pr is the embedded prober, reset per probe instead of allocated.
 	pr prober
 
+	// me, when non-nil, is the in-place backtracking fast path: the
+	// builder's system is machine-backed and snapshotable, so it is
+	// built ONCE and every probe resumes from the deepest frame's
+	// snapshot instead of replaying root+path on a fresh system. Each
+	// tree edge then executes exactly once — O(edges) simulated steps
+	// for the whole walk instead of O(runs×depth) — with identical
+	// visit order, counts and fingerprints (the prober logic is shared
+	// verbatim). meTried latches the one-time probe of the builder;
+	// snaps is the LIFO snapshot arena, frames holding their offsets.
+	me      *sim.MachineExec
+	meTried bool
+	snaps   sim.Snap
+
 	// pool/item/attempt/workerID tie a work-stealing census engine to
 	// the steal pool (steal.go): hungry() polls are answered by donating
 	// untried sibling subtrees from the shallowest open frame, and
@@ -140,6 +153,10 @@ type frame struct {
 	// (or an ancestor of one): its accumulator no longer covers the
 	// whole subtree under its key and must never be published.
 	donated bool
+	// snapW/snapV locate this decision point's snapshot in the engine's
+	// snaps arena (machine mode only): restoring it puts the system back
+	// at this frame, ready to take a different edge.
+	snapW, snapV int
 }
 
 // scratchPool recycles sim.Scratch buffers across census engines.
@@ -217,35 +234,30 @@ func (en *engine) release() {
 	}
 }
 
-// probe rebuilds the system, replays root+path, and descends first-child
-// until a terminal run or a table hit. New decision points push frames
-// and extend path.
+// probe executes one root-to-terminal descent: replay the committed
+// choices, then keep taking the first ready process — pushing a frame
+// per new decision point — until a terminal run or a table hit. In
+// machine mode the replay is a snapshot restore; otherwise the system
+// is rebuilt and the prefix re-run.
 func (en *engine) probe() (*sim.Result, *summary) {
+	if !en.meTried {
+		en.meTried = true
+		if !en.opts.ForceGoroutines {
+			en.initMachine()
+		}
+	}
+	if en.table != nil {
+		en.table.probes.Add(1)
+	}
+	if en.me != nil {
+		return en.probeMachine()
+	}
 	en.plan = append(en.plan[:0], en.root...)
 	en.plan = append(en.plan, en.path...)
 	sys := en.b()
 	en.pr = prober{en: en, sys: sys, plan: en.plan, crashBuf: en.pr.crashBuf}
 	p := &en.pr
-	if en.table != nil {
-		en.table.probes.Add(1)
-	}
-	cfg := sim.Config{
-		Scheduler:       p,
-		Faults:          p,
-		MaxStepsPerProc: en.opts.MaxStepsPerProc,
-		MaxTotalSteps:   en.opts.MaxDepth + 1,
-		DisableTrace:    true,
-		Fingerprint:     en.table != nil,
-		Canon:           en.canon,
-		Scratch:         en.scratch,
-	}
-	if en.opts.ObjectFaults > 0 {
-		cfg.ObjectFaults = p
-	}
-	if en.onStep != nil {
-		beat := en.onStep
-		cfg.OnStep = func(int) { beat() }
-	}
+	cfg := en.simConfig()
 	res, err := sys.Run(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("explore: probe failed: %v", err))
@@ -255,6 +267,81 @@ func (en *engine) probe() (*sim.Result, *summary) {
 			FormatSchedule(en.plan[:p.i])))
 	}
 	return res, p.pruned
+}
+
+// simConfig is the per-probe sim configuration; the prober (a stable
+// pointer into the engine) serves as scheduler and fault plans.
+func (en *engine) simConfig() sim.Config {
+	p := &en.pr
+	cfg := sim.Config{
+		Scheduler:       p,
+		Faults:          p,
+		MaxStepsPerProc: en.opts.MaxStepsPerProc,
+		MaxTotalSteps:   en.opts.MaxDepth + 1,
+		DisableTrace:    true,
+		Fingerprint:     en.table != nil,
+		Canon:           en.canon,
+		Scratch:         en.scratch,
+		ForceGoroutines: en.opts.ForceGoroutines,
+	}
+	if en.opts.ObjectFaults > 0 {
+		cfg.ObjectFaults = p
+	}
+	if en.onStep != nil {
+		beat := en.onStep
+		cfg.OnStep = func(int) { beat() }
+	}
+	return cfg
+}
+
+// initMachine engages the in-place backtracking fast path when the
+// builder produces a snapshotable machine-backed system: the system is
+// built once, started under the engine's prober, and its initial state
+// snapshotted at arena offset (0,0). Any failure leaves en.me nil and
+// the engine on the rebuild-per-probe path.
+func (en *engine) initMachine() {
+	sys := en.b()
+	if !sys.Snapshotable() {
+		return
+	}
+	me, err := sys.StartMachines(en.simConfig())
+	if err != nil {
+		return
+	}
+	en.me = me
+	en.me.Snapshot(&en.snaps)
+}
+
+// probeMachine is probe on the fast path: restore the deepest frame's
+// snapshot (the decision point the new edge leaves from), hand the
+// prober just that edge as its plan, and resume execution in place.
+// Only the probe's NEW steps are simulated — each tree edge runs once.
+func (en *engine) probeMachine() (*sim.Result, *summary) {
+	if d := len(en.frames) - 1; d >= 0 {
+		f := &en.frames[d]
+		en.me.Restore(en.snaps.ReaderAt(f.snapW, f.snapV))
+		en.plan = append(en.plan[:0], en.path[d:]...)
+		en.pr = prober{
+			en: en, sys: en.me.System(), plan: en.plan,
+			pos: len(en.root) + d, crashes: f.crashes, faults: f.faults,
+			crashBuf: en.pr.crashBuf,
+		}
+	} else {
+		// First probe (or a walk whose every frame was popped): replay
+		// the fixed root prefix from the initial snapshot.
+		en.me.Restore(en.snaps.ReaderAt(0, 0))
+		en.plan = append(en.plan[:0], en.root...)
+		en.pr = prober{en: en, sys: en.me.System(), plan: en.plan, crashBuf: en.pr.crashBuf}
+	}
+	res, err := en.me.Run()
+	if err != nil {
+		panic(fmt.Sprintf("explore: probe failed: %v", err))
+	}
+	if en.pr.dead {
+		panic(fmt.Sprintf("explore: builder is nondeterministic: planned pick not ready (schedule %s)",
+			FormatSchedule(en.plan[:en.pr.i])))
+	}
+	return res, en.pr.pruned
 }
 
 // terminal delivers or accumulates one terminal run.
@@ -275,6 +362,9 @@ func (en *engine) terminal(res *sim.Result) {
 		// Result aliases the scratch: abandon the scratch to it and
 		// continue on a fresh one.
 		en.scratch = scratchPool.Get().(*sim.Scratch)
+		if en.me != nil {
+			en.me.SetScratch(en.scratch)
+		}
 	}
 }
 
@@ -524,6 +614,9 @@ func (en *engine) popFrame(publish bool) {
 	if en.sleep {
 		en.pendingArena = en.pendingArena[:f.readyOff]
 	}
+	if en.me != nil {
+		en.snaps.Truncate(f.snapW, f.snapV)
+	}
 	en.readyArena = en.readyArena[:f.readyOff]
 	en.frames = en.frames[:i]
 	en.path = en.path[:i]
@@ -695,6 +788,13 @@ func (p *prober) Next(ready []sim.ProcID, _ int) sim.ProcID {
 	f.next = 1 // child 0 is the descent we take right now
 	if en.acc != nil {
 		f.acc = en.getSummary()
+	}
+	if en.me != nil {
+		// Machine mode: capture this decision point so backtracking can
+		// resume here in place. The callback runs between steps, so the
+		// system is quiescent — exactly the state a sibling edge needs.
+		f.snapW, f.snapV = en.snaps.Len()
+		en.me.Snapshot(&en.snaps)
 	}
 	en.frames = append(en.frames, f)
 	en.path = append(en.path, Choice{Pick: ready[0]})

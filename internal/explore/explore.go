@@ -135,6 +135,14 @@ type Options struct {
 	// (it is the transposition argument applied eagerly); the savings
 	// show up as fewer probes, not fewer credited runs. Implies Prune.
 	SleepSets bool
+	// ForceGoroutines disables the machine fast paths: probes run the
+	// goroutine runner even when the builder's system is machine-backed,
+	// and the engines' in-place backtracking DFS is never engaged. An
+	// execution-strategy switch for cross-checking and ablation — it
+	// must not change any count or fingerprint, which the equivalence
+	// tests enforce. Excluded from checkpoint keys (like Context, it
+	// does not shape the tree).
+	ForceGoroutines bool
 	// Context, when non-nil, cancels the walk cooperatively: engines
 	// check it once per terminal probe (and the supervisor between root
 	// claims), so a cancelled run stops within one probe per worker and
@@ -194,6 +202,12 @@ func WithPruneBudget(entries int) Tune {
 // converting runaway executions into census entries.
 func WithStepLimit(n int) Tune {
 	return func(o *Options) { o.MaxStepsPerProc = n }
+}
+
+// WithForceGoroutines enables Options.ForceGoroutines, pinning every
+// probe to the goroutine runner for cross-checking the machine paths.
+func WithForceGoroutines() Tune {
+	return func(o *Options) { o.ForceGoroutines = true }
 }
 
 // WithContext tunes Options.Context, threading cooperative cancellation

@@ -1,0 +1,128 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/election"
+	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/objects"
+	"repro/internal/sim"
+)
+
+// TestMachineCensusMatchesGoroutine is the soundness matrix for the
+// machine execution mode: every protocol census must be bit-identical —
+// run counts, outcome-fingerprint histograms, violation counts —
+// between the in-place backtracking machine DFS (the default for
+// machine-backed builders) and the goroutine replay engine
+// (Options.ForceGoroutines), across the reducer and fault dimensions,
+// sequentially and under forced-donation work stealing. Run under
+// -race in the tier-1 suite.
+func TestMachineCensusMatchesGoroutine(t *testing.T) {
+	explore.ForceDonation(t)
+	protocols := []struct {
+		name string
+		run  func(force bool, tunes ...explore.Tune) *explore.Census
+	}{
+		{"election-direct-cas", func(force bool, tunes ...explore.Tune) *explore.Census {
+			return election.CensusDirect(4, 3, 0, withForce(force, tunes)...)
+		}},
+		{"consensus-cas", func(force bool, tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusCAS(3, 2, 0, withForce(force, tunes)...)
+		}},
+		{"consensus-queue", func(force bool, tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusQueue(0, withForce(force, tunes)...)
+		}},
+		{"consensus-stickybit", func(force bool, tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusStickyBit(3, 0, withForce(force, tunes)...)
+		}},
+		// Object-fault enumeration over the fault-wrapped degrading CAS:
+		// the machine port must take the same degradation branches on the
+		// same injected-fault placements.
+		{"consensus-casdeg-faults", func(force bool, tunes ...explore.Tune) *explore.Census {
+			props := []sim.Value{100, 101}
+			b := func() *sim.System {
+				sys := sim.NewSystem()
+				obj := faults.Wrap(objects.NewCAS("cas", 3))
+				sys.Add(obj)
+				for _, m := range consensus.DegradingCASMachines(sys, obj, props) {
+					sys.SpawnMachine(m)
+				}
+				return sys
+			}
+			opts := explore.Options{
+				MaxCrashes:      1,
+				ObjectFaults:    1,
+				FaultModes:      []sim.FaultMode{sim.FaultCrash, sim.FaultGarble},
+				ForceGoroutines: force,
+			}.With(tunes...)
+			return explore.Run(b, opts, func(res *sim.Result) error {
+				if err := consensus.CheckAgreement(res); err != nil {
+					return err
+				}
+				return consensus.CheckValidity(res, props)
+			})
+		}},
+	}
+	configs := []struct {
+		name  string
+		tunes []explore.Tune
+	}{
+		{"plain", nil},
+		{"reduced", []explore.Tune{explore.WithSymmetry(), explore.WithSleepSets()}},
+		{"workers4", []explore.Tune{explore.WithWorkers(4)}},
+	}
+	for _, p := range protocols {
+		t.Run(p.name, func(t *testing.T) {
+			for _, c := range configs {
+				want := p.run(true, c.tunes...) // goroutine engine: ground truth
+				got := p.run(false, c.tunes...) // machine in-place DFS
+				assertCensusEqual(t, c.name, got, want)
+			}
+		})
+	}
+}
+
+func withForce(force bool, tunes []explore.Tune) []explore.Tune {
+	if !force {
+		return tunes
+	}
+	return append([]explore.Tune{explore.WithForceGoroutines()}, tunes...)
+}
+
+// TestMachineProgramCensusAgree pins the cross-form claim end to end:
+// a census over the hand-written Program protocol (necessarily on the
+// goroutine runner) and one over its machine port (on the in-place
+// DFS) count the same tree — same totals, same outcome fingerprints.
+func TestMachineProgramCensusAgree(t *testing.T) {
+	props := []sim.Value{100, 101}
+	check := func(res *sim.Result) error {
+		if err := consensus.CheckAgreement(res); err != nil {
+			return err
+		}
+		return consensus.CheckValidity(res, props)
+	}
+	programs := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", 3)
+		sys.Add(cas)
+		for _, prog := range consensus.CASProtocol(sys, cas, props) {
+			sys.Spawn(prog)
+		}
+		return sys
+	}
+	machines := func() *sim.System {
+		sys := sim.NewSystem()
+		cas := objects.NewCAS("cas", 3)
+		sys.Add(cas)
+		for _, m := range consensus.CASMachines(sys, cas, props) {
+			sys.SpawnMachine(m)
+		}
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, Prune: true}
+	want := explore.Run(programs, opts, check)
+	got := explore.Run(machines, opts, check)
+	assertCensusEqual(t, "program-vs-machine", got, want)
+}

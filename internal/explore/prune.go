@@ -218,6 +218,13 @@ type PruneStats struct {
 	Probes       uint64 `json:"probes,omitempty"`
 	SymmetryHits uint64 `json:"symmetry_hits,omitempty"`
 	SleepSkips   uint64 `json:"sleep_skips,omitempty"`
+	// OrbitSkips counts frontier roots skipped at GENERATION time
+	// because their state lies in the symmetry orbit of an earlier
+	// root (orbit.go): each was credited its representative's summary
+	// — renamed into its own orientation — without ever being enqueued
+	// or explored. Zero for sequential censuses and when symmetry is
+	// off.
+	OrbitSkips uint64 `json:"orbit_skips,omitempty"`
 	// SymmetryOn/SleepSetsOn record which reducers were ACTIVE (symmetry
 	// may be refused even when requested); SymmetryNote says why it was
 	// refused, empty otherwise.

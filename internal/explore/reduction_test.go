@@ -56,6 +56,9 @@ func TestReducedCensusMatchesUnreduced(t *testing.T) {
 		{"consensus-tas", func(tunes ...explore.Tune) *explore.Census {
 			return consensus.CensusTAS(0, tunes...)
 		}},
+		{"consensus-queue", func(tunes ...explore.Tune) *explore.Census {
+			return consensus.CensusQueue(0, tunes...)
+		}},
 		{"consensus-stickybit", func(tunes ...explore.Tune) *explore.Census {
 			return consensus.CensusStickyBit(3, 0, tunes...)
 		}},

@@ -183,7 +183,10 @@ type stealPool struct {
 }
 
 // stealCensus runs the shared-table pruned census over the frontier
-// items on a work-stealing pool and assembles the Census.
+// items on a work-stealing pool and assembles the Census. With
+// symmetry resolved, the frontier is orbit-partitioned first: only one
+// representative per symmetry orbit is enqueued, and its twins are
+// credited from the table after the pool drains (orbit.go).
 func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *pruneTable, items []frontierItem, workers int) *Census {
 	cfg := opts.supervise()
 	p := &stealPool{
@@ -192,10 +195,17 @@ func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *
 		claims: make(map[*stealClaim]struct{}), finished: make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
-	for _, it := range items {
+	var orbit *orbitInfo
+	if opts.canon != nil {
+		orbit = orbitPartition(b, opts, items)
+	}
+	for i, it := range items {
 		if it.prefix == nil {
 			p.total.addTerminal(*it.leaf, check)
 			continue
+		}
+		if orbit != nil && orbit.rep[i] != i {
+			continue // symmetric twin: credited from its representative after the drain
 		}
 		p.queue = append(p.queue, &stealItem{pool: p, idx: p.itemSeq, prefix: it.prefix, donor: -1, queued: true})
 		p.itemSeq++
@@ -228,6 +238,14 @@ func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *
 
 	p.mu.Lock()
 	cancelled := p.outstanding > 0
+	p.mu.Unlock()
+
+	var orbitSkips uint64
+	if orbit != nil && !cancelled {
+		orbitSkips, cancelled = p.creditTwins(items, orbit)
+	}
+
+	p.mu.Lock()
 	failed := p.failed
 	capped := p.capped
 	p.mu.Unlock()
@@ -239,9 +257,82 @@ func stealCensus(b Builder, opts Options, check func(*sim.Result) error, table *
 	st := table.statsSnapshot()
 	st.Donations = p.donations.Load()
 	st.Steals = p.steals.Load()
+	st.OrbitSkips = orbitSkips
 	opts.markReducers(st)
 	c.Prune = st
 	return c
+}
+
+// creditTwins settles the orbit twins after the pool has drained. The
+// normal path is a table lookup: the representative's fully explored
+// root subtree was published under the shared canonical key, and the
+// twin merges it renamed into its own orientation — the identical
+// translation a table hit at the twin's root node performs, so counts
+// are bit-identical to enqueuing the twin. When the entry is missing
+// (the rep's root frame was poisoned by a donation, evicted, or its
+// item failed) the twin falls back to a direct exploration with the
+// supervisor's retry budget — partitioning degrades, counts never do.
+// It returns how many twins were credited without exploration and
+// whether the context cancelled the settling mid-way.
+func (p *stealPool) creditTwins(items []frontierItem, orbit *orbitInfo) (skips uint64, cancelled bool) {
+	for i, it := range items {
+		if it.prefix == nil || orbit.rep[i] == i {
+			continue
+		}
+		if p.ctx.Err() != nil {
+			return skips, true
+		}
+		if s, hit := p.table.get(orbit.key[i]); hit {
+			p.total.mergeRenamed(s, orbitRenamer(p.opts.canon, orbit.perm[i]))
+			if orbit.perm[i] != 0 {
+				p.table.symHits.Add(1)
+			}
+			if s.complete+s.incomplete >= p.opts.MaxRuns {
+				p.capped = true
+			}
+			skips++
+			continue
+		}
+		if p.exploreTwin(i, it.prefix) {
+			return skips, true
+		}
+	}
+	return skips, false
+}
+
+// exploreTwin is creditTwins' fallback: walk the twin's subtree on the
+// calling goroutine, sharing the transposition table, with the
+// supervisor's retry-with-backoff policy. Reports whether the context
+// cancelled the attempt.
+func (p *stealPool) exploreTwin(idx int, prefix []Choice) (cancelled bool) {
+	var msg string
+	for att := 1; att <= p.cfg.maxAttempts; att++ {
+		p.cfg.stats.Attempts.Add(1)
+		if att > 1 {
+			p.cfg.stats.Retries.Add(1)
+			if !sleepCtx(p.ctx, p.cfg.backoff(idx, att)) {
+				return true
+			}
+		}
+		en := &engine{
+			b: p.b, opts: p.opts, acc: newSummary(), check: p.check,
+			table: p.table, root: prefix, ctx: p.ctx,
+		}
+		msg = runRecovering(en)
+		if msg == "" {
+			if en.cancelled {
+				return true
+			}
+			p.total.merge(en.acc)
+			if en.capped {
+				p.capped = true
+			}
+			return false
+		}
+	}
+	p.cfg.stats.Failed.Add(1)
+	p.failed = append(p.failed, RootFailure{Prefix: prefix, Attempts: p.cfg.maxAttempts, Err: msg})
+	return false
 }
 
 func (p *stealPool) finish() { p.finOnce.Do(func() { close(p.finished) }) }

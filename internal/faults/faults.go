@@ -184,6 +184,29 @@ func (f *Faulty) ApplyFault(caller sim.ProcID, op sim.OpKind, args []sim.Value, 
 	}
 }
 
+// CanRestore implements sim.RestoreProber: a Faulty is snapshottable
+// exactly when its inner object is.
+func (f *Faulty) CanRestore() bool {
+	_, ok := f.inner.(sim.Restorable)
+	return ok
+}
+
+// SaveState implements sim.Restorable by delegating to the inner
+// object, prefixed with the wrapper's own fault state. Callers check
+// CanRestore (sim's Snapshotable does) before relying on it.
+func (f *Faulty) SaveState(s *sim.Snap) {
+	s.Bool(f.failed)
+	s.Int(f.injected)
+	f.inner.(sim.Restorable).SaveState(s)
+}
+
+// RestoreState implements sim.Restorable.
+func (f *Faulty) RestoreState(r *sim.SnapReader) {
+	f.failed = r.Bool()
+	f.injected = r.Int()
+	f.inner.(sim.Restorable).RestoreState(r)
+}
+
 // StateKey implements sim.StateKeyer. Fault state (failed latch and
 // injection count) is part of the key: states differing in fault
 // history are conservatively distinct, which can only weaken pruning,

@@ -1,0 +1,158 @@
+package objects
+
+import "repro/internal/sim"
+
+// Restorable (snapshot/restore) support for every object type, enabling
+// the explore package's in-place backtracking DFS on machine-backed
+// systems. The contract (sim.Restorable) is observational equivalence:
+// RestoreState must leave the object exactly as it was when SaveState
+// ran. Restores always rewind to an ancestor state along the current
+// exploration path, and every implementation reuses slice/map capacity,
+// so steady-state backtracking allocates nothing.
+
+var (
+	_ sim.Restorable = (*CAS)(nil)
+	_ sim.Restorable = (*TestAndSet)(nil)
+	_ sim.Restorable = (*FetchAdd)(nil)
+	_ sim.Restorable = (*Swap)(nil)
+	_ sim.Restorable = (*StickyBit)(nil)
+	_ sim.Restorable = (*Queue)(nil)
+	_ sim.Restorable = (*RMW)(nil)
+	_ sim.Restorable = (*LLSC)(nil)
+	_ sim.Restorable = (*Consensus)(nil)
+)
+
+// saveHistory / restoreHistory handle the value-history slices kept by
+// CAS and RMW. The history only ever grows, but restore does not assume
+// that: it rebuilds the recorded sequence, reusing capacity.
+func saveHistory(s *sim.Snap, h []Symbol) {
+	s.Int(len(h))
+	for _, v := range h {
+		s.Int(int(v))
+	}
+}
+
+func restoreHistory(r *sim.SnapReader, h []Symbol) []Symbol {
+	n := r.Int()
+	h = h[:0]
+	for i := 0; i < n; i++ {
+		h = append(h, Symbol(r.Int()))
+	}
+	return h
+}
+
+// SaveState implements sim.Restorable.
+func (c *CAS) SaveState(s *sim.Snap) {
+	s.Int(int(c.value))
+	saveHistory(s, c.history)
+}
+
+// RestoreState implements sim.Restorable.
+func (c *CAS) RestoreState(r *sim.SnapReader) {
+	c.value = Symbol(r.Int())
+	c.history = restoreHistory(r, c.history)
+}
+
+// SaveState implements sim.Restorable.
+func (t *TestAndSet) SaveState(s *sim.Snap) { s.Bool(t.set) }
+
+// RestoreState implements sim.Restorable.
+func (t *TestAndSet) RestoreState(r *sim.SnapReader) { t.set = r.Bool() }
+
+// SaveState implements sim.Restorable.
+func (f *FetchAdd) SaveState(s *sim.Snap) { s.Int(f.value) }
+
+// RestoreState implements sim.Restorable.
+func (f *FetchAdd) RestoreState(r *sim.SnapReader) { f.value = r.Int() }
+
+// SaveState implements sim.Restorable.
+func (s *Swap) SaveState(sn *sim.Snap) { sn.Value(s.value) }
+
+// RestoreState implements sim.Restorable.
+func (s *Swap) RestoreState(r *sim.SnapReader) { s.value = r.Value() }
+
+// SaveState implements sim.Restorable.
+func (b *StickyBit) SaveState(s *sim.Snap) { s.Value(b.value) }
+
+// RestoreState implements sim.Restorable.
+func (b *StickyBit) RestoreState(r *sim.SnapReader) { b.value = r.Value() }
+
+// SaveState implements sim.Restorable.
+func (q *Queue) SaveState(s *sim.Snap) {
+	s.Int(len(q.items))
+	for _, v := range q.items {
+		s.Value(v)
+	}
+}
+
+// RestoreState implements sim.Restorable. Deq advances the items slice
+// (items = items[1:]), so restore rebuilds into a fresh prefix of the
+// same backing array only when capacity allows; a shrunken-capacity
+// slice is regrown once and then reused.
+func (q *Queue) RestoreState(r *sim.SnapReader) {
+	n := r.Int()
+	if cap(q.items) < n {
+		q.items = make([]sim.Value, 0, n)
+	}
+	q.items = q.items[:0]
+	for i := 0; i < n; i++ {
+		q.items = append(q.items, r.Value())
+	}
+}
+
+// SaveState implements sim.Restorable.
+func (m *RMW) SaveState(s *sim.Snap) {
+	s.Int(int(m.value))
+	saveHistory(s, m.history)
+}
+
+// RestoreState implements sim.Restorable.
+func (m *RMW) RestoreState(r *sim.SnapReader) {
+	m.value = Symbol(r.Int())
+	m.history = restoreHistory(r, m.history)
+}
+
+// SaveState implements sim.Restorable.
+func (l *LLSC) SaveState(s *sim.Snap) {
+	s.Int(int(l.value))
+	s.Int(l.version)
+	saveHistory(s, l.history)
+	s.Int(len(l.links))
+	// Iterate links deterministically by probing process IDs in order;
+	// link maps are tiny (≤ NumProcs) and sparse.
+	saved := 0
+	for id := sim.ProcID(0); saved < len(l.links); id++ {
+		if v, ok := l.links[id]; ok {
+			s.Int(int(id))
+			s.Int(v)
+			saved++
+		}
+	}
+}
+
+// RestoreState implements sim.Restorable.
+func (l *LLSC) RestoreState(r *sim.SnapReader) {
+	l.value = Symbol(r.Int())
+	l.version = r.Int()
+	l.history = restoreHistory(r, l.history)
+	n := r.Int()
+	for id := range l.links {
+		delete(l.links, id)
+	}
+	for i := 0; i < n; i++ {
+		id := sim.ProcID(r.Int())
+		l.links[id] = r.Int()
+	}
+}
+
+// SaveState implements sim.Restorable.
+func (c *Consensus) SaveState(s *sim.Snap) {
+	s.Bool(c.decided)
+	s.Value(c.value)
+}
+
+// RestoreState implements sim.Restorable.
+func (c *Consensus) RestoreState(r *sim.SnapReader) {
+	c.decided = r.Bool()
+	c.value = r.Value()
+}

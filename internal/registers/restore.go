@@ -1,0 +1,25 @@
+package registers
+
+import "repro/internal/sim"
+
+// Restorable (snapshot/restore) support for the register types used by
+// machine-backed protocols; see internal/objects/restore.go for the
+// contract. Only the current value is mutable state — owner and initial
+// are static structure.
+
+var (
+	_ sim.Restorable = (*SWMR)(nil)
+	_ sim.Restorable = (*MWMR)(nil)
+)
+
+// SaveState implements sim.Restorable.
+func (r *SWMR) SaveState(s *sim.Snap) { s.Value(r.value) }
+
+// RestoreState implements sim.Restorable.
+func (r *SWMR) RestoreState(sr *sim.SnapReader) { r.value = sr.Value() }
+
+// SaveState implements sim.Restorable.
+func (r *MWMR) SaveState(s *sim.Snap) { s.Value(r.value) }
+
+// RestoreState implements sim.Restorable.
+func (r *MWMR) RestoreState(sr *sim.SnapReader) { r.value = sr.Value() }

@@ -14,35 +14,47 @@ import (
 // BENCH_hotpath.json; the allocs/op column is the same guard as
 // TestSimStepAllocFree, visible in the recorded numbers.
 func BenchmarkSimStep(b *testing.B) {
-	for _, fp := range []bool{false, true} {
-		name := "fingerprint=off"
-		if fp {
-			name = "fingerprint=on"
-		}
-		b.Run(name, func(b *testing.B) {
-			sc := sim.NewScratch()
-			const rounds = 64
-			steps := 0
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sys := casLoop(rounds)
-				res, err := sys.Run(sim.Config{
-					Scheduler:    &rrSched{},
-					Fingerprint:  fp,
-					DisableTrace: true,
-					Scratch:      sc,
-				})
-				if err != nil {
-					b.Fatal(err)
+	for _, mode := range []string{"goroutine", "machine"} {
+		for _, fp := range []bool{false, true} {
+			// The goroutine rows keep their original names so recorded
+			// baselines stay comparable; the machine rows are new names.
+			name := "fingerprint=off"
+			if fp {
+				name = "fingerprint=on"
+			}
+			if mode == "machine" {
+				name = "machine," + name
+			}
+			b.Run(name, func(b *testing.B) {
+				sc := sim.NewScratch()
+				const rounds = 64
+				steps := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var sys *sim.System
+					if mode == "machine" {
+						sys = casLoopMachines(rounds)
+					} else {
+						sys = casLoop(rounds)
+					}
+					res, err := sys.Run(sim.Config{
+						Scheduler:    &rrSched{},
+						Fingerprint:  fp,
+						DisableTrace: true,
+						Scratch:      sc,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps += res.TotalSteps
 				}
-				steps += res.TotalSteps
-			}
-			b.StopTimer()
-			if steps == 0 {
-				b.Fatal("no steps executed")
-			}
-			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
-		})
+				b.StopTimer()
+				if steps == 0 {
+					b.Fatal("no steps executed")
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(steps), "ns/step")
+			})
+		}
 	}
 }

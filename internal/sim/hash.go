@@ -182,15 +182,8 @@ func (s *System) StateHash() (uint64, bool) {
 	if !s.fingerprint {
 		return 0, false
 	}
-	if len(s.objNames) != len(s.objects) {
-		s.objNames = s.objNames[:0]
-		for name := range s.objects {
-			s.objNames = append(s.objNames, name)
-		}
-		sort.Strings(s.objNames)
-	}
 	h := NewHash()
-	for _, name := range s.objNames {
+	for _, name := range s.sortedNames() {
 		h = h.FoldString(name)
 		switch o := s.objects[name].(type) {
 		case StateFolder:
@@ -217,6 +210,20 @@ func (s *System) StateHash() (uint64, bool) {
 		}
 	}
 	return uint64(h), true
+}
+
+// sortedNames returns the object names in sorted order, cached after
+// the first call (object sets are static once a run starts). Both
+// StateHash and machine snapshots iterate objects in this order.
+func (s *System) sortedNames() []string {
+	if len(s.objNames) != len(s.objects) {
+		s.objNames = s.objNames[:0]
+		for name := range s.objects {
+			s.objNames = append(s.objNames, name)
+		}
+		sort.Strings(s.objNames)
+	}
+	return s.objNames
 }
 
 // foldOp accumulates one observed operation into the process's

@@ -87,6 +87,10 @@ type System struct {
 type proc struct {
 	id      ProcID
 	program Program
+	// machine is non-nil for processes added with SpawnMachine; when
+	// every process has one, Run takes the direct-dispatch fast path
+	// (see machine.go) unless Config.ForceGoroutines is set.
+	machine Machine
 	grant   chan struct{}
 	steps   int
 	value   Value
@@ -200,6 +204,11 @@ type Config struct {
 	// needs. The Canonicalizer is read-only and safely shared across
 	// concurrent runs; see NewCanonicalizer.
 	Canon *Canonicalizer
+	// ForceGoroutines disables the direct-dispatch fast path for fully
+	// machine-backed systems, running them through the goroutine runner
+	// instead. The two paths are semantically identical; this exists for
+	// cross-checking and benchmarks.
+	ForceGoroutines bool
 	// OnStep, if set, is called from the runner goroutine after each
 	// granted shared-memory step with the cumulative step count. It is
 	// the progress-heartbeat hook for exploration supervisors; it must
@@ -286,6 +295,15 @@ func (r *Result) DistinctDecisions() []Value {
 // run, or an invalid scheduler choice); protocol-level failures are
 // reported per process inside the Result.
 func (s *System) Run(cfg Config) (*Result, error) {
+	if !cfg.ForceGoroutines && s.machineBacked() && !s.ran {
+		// Direct-dispatch fast path: every process is a state machine,
+		// so the run needs no goroutines or channels at all.
+		m, err := s.StartMachines(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return m.Run()
+	}
 	if s.ran {
 		return nil, errors.New("sim: system already ran")
 	}
@@ -393,6 +411,16 @@ func (s *System) Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	return s.buildResult(&cfg, ready, halted, func(id ProcID) {
+		s.crashWith(id, ErrHalted)
+	}), nil
+}
+
+// buildResult assembles the Result after a run's scheduling loop ends.
+// halt tears down one still-ready process with ErrHalted; it differs
+// between the goroutine runner (gate teardown) and the machine runner
+// (direct marking), which otherwise share this tail verbatim.
+func (s *System) buildResult(cfg *Config, ready []ProcID, halted bool, halt func(ProcID)) *Result {
 	var res *Result
 	if cfg.Scratch != nil {
 		res = cfg.Scratch.prep(len(s.procs))
@@ -414,7 +442,7 @@ func (s *System) Run(cfg Config) (*Result, error) {
 			res.ReadyAtHalt = append([]ProcID(nil), ready...)
 		}
 		for _, id := range ready {
-			s.crashWith(id, ErrHalted)
+			halt(id)
 		}
 	}
 	res.Fingerprint, res.FingerprintOK = s.StateHash()
@@ -433,7 +461,7 @@ func (s *System) Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // runProc is the goroutine wrapper for one process.

@@ -35,6 +35,20 @@ go test -race -count=1 -run 'TestReducedCensusMatchesUnreduced|TestSymmetryRefus
 echo "== reduction smoke: reduced census must match unreduced bit-for-bit (fast tier)"
 go test -count=1 -run 'TestReducedCensusMatchesUnreduced' ./internal/explore/
 
+echo "== machine-engine census smoke: direct dispatch vs -goroutines must agree byte for byte"
+mjson="$(mktemp)"
+gjson="$(mktemp)"
+go run ./cmd/explore -protocol cas -k 4 -n 2 -crashes 1 -prune -symmetry \
+	-workers 1 -bivalence=false -json > "$mjson"
+go run ./cmd/explore -protocol cas -k 4 -n 2 -crashes 1 -prune -symmetry \
+	-workers 1 -bivalence=false -json -goroutines > "$gjson"
+if ! cmp -s "$mjson" "$gjson"; then
+	echo "verify: FAIL — machine-engine census differs from the goroutine engine:" >&2
+	diff "$mjson" "$gjson" >&2 || true
+	exit 1
+fi
+rm -f "$mjson" "$gjson"
+
 echo "== benchmark smoke (-benchtime 1x: every benchmark still runs)"
 go test -run '^$' -bench 'BenchmarkSimStep' -benchtime 1x ./internal/sim/ >/dev/null
 go test -run '^$' -bench 'BenchmarkExplore' -benchtime 1x ./internal/explore/ >/dev/null
