@@ -453,7 +453,7 @@ func (ds *distState) totals() (stale, dup, expiries, remote int64, leases int) {
 // cap semantics.
 func (s *Server) runJobDistributed(ctx, jobCtx context.Context, js *jobState, id string, req Request,
 	builder explore.Builder, props []sim.Value, settle func(mutate func(j *Job))) bool {
-	plan, ok := explore.NewDistPlan(builder, req.Options(), Check(props))
+	plan, ok := explore.NewDistPlan(builder, req.Options(), req.Check(props))
 	if !ok {
 		return false
 	}

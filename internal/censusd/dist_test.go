@@ -24,7 +24,7 @@ func planFor(t *testing.T, req Request) *explore.DistPlan {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, ok := explore.NewDistPlan(b, req.Options(), Check(props))
+	plan, ok := explore.NewDistPlan(b, req.Options(), req.Check(props))
 	if !ok {
 		t.Fatal("request does not frontier-split")
 	}

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/consensus"
+	"repro/internal/election"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/objects"
@@ -29,13 +30,14 @@ import (
 // only affect how fast the identical census is produced.
 type Request struct {
 	// Protocol names a registry entry: rw2, rw3, tas2, fa2, queue2,
-	// sticky, cas, casdeg.
+	// sticky, swap, cas, casdeg, casdegel.
 	Protocol string `json:"protocol"`
 	// K is the object's size parameter (compare&swap alphabet) for
-	// cas/casdeg; ignored — and normalized away — for the others.
+	// cas/casdeg/casdegel; ignored — and normalized away — for the
+	// others.
 	K int `json:"k,omitempty"`
-	// N is the process count for cas/casdeg/sticky; ignored and
-	// normalized away for the fixed-arity protocols.
+	// N is the process count for the n-ary protocols; ignored and
+	// normalized away for the fixed-arity ones.
 	N int `json:"n,omitempty"`
 	// Crashes is the crash budget per schedule (default 1).
 	Crashes *int `json:"crashes,omitempty"`
@@ -102,7 +104,7 @@ func (r *Request) Normalize() error {
 		r.MaxRuns = DefaultMaxRuns
 	}
 	if r.ObjFaults > 0 && !spec.faultable {
-		return fmt.Errorf("protocol %q is not fault-wrapped; objfaults needs casdeg", r.Protocol)
+		return fmt.Errorf("protocol %q is not fault-wrapped; objfaults needs casdeg or casdegel", r.Protocol)
 	}
 	if r.ObjFaults == 0 {
 		r.FaultModes = nil
@@ -196,11 +198,13 @@ func BuildRaw(raw []byte) (explore.Builder, explore.Options, func(*sim.Result) e
 	if err != nil {
 		return nil, explore.Options{}, nil, err
 	}
-	return b, req.Options(), Check(props), nil
+	return b, req.Options(), req.Check(props), nil
 }
 
-// Check returns the per-run verdict for the request's protocol:
-// consensus agreement and validity over its proposal set.
+// Check returns the consensus per-run verdict — agreement and validity
+// over the proposal set — the registry default. Protocols whose verdict
+// is not consensus-shaped (the election entries) override it per spec;
+// resolve through Request.Check rather than calling this directly.
 func Check(props []sim.Value) func(*sim.Result) error {
 	return func(res *sim.Result) error {
 		if err := consensus.CheckAgreement(res); err != nil {
@@ -210,11 +214,26 @@ func Check(props []sim.Value) func(*sim.Result) error {
 	}
 }
 
+// Check resolves the per-run verdict for the request's protocol: the
+// spec's own check when it declares one (election protocols validate
+// leader agreement over process ids, not proposal consensus), the
+// consensus default otherwise. props must be the slice returned by
+// Build. Call Normalize first.
+func (r Request) Check(props []sim.Value) func(*sim.Result) error {
+	if spec, ok := protocols[r.Protocol]; ok && spec.check != nil {
+		return spec.check(props)
+	}
+	return Check(props)
+}
+
 // protocolSpec is one registry entry.
 type protocolSpec struct {
 	usesK, usesN bool
 	faultable    bool
 	build        func(k, n int) (explore.Builder, []sim.Value)
+	// check, when set, replaces the consensus agreement/validity default
+	// with a protocol-specific verdict over build's value set.
+	check func(props []sim.Value) func(*sim.Result) error
 }
 
 func props(n int) []sim.Value {
@@ -321,6 +340,42 @@ var protocols = map[string]protocolSpec{
 			return sys
 		}, p
 	}},
+	"swap": {usesN: true, build: func(_, n int) (explore.Builder, []sim.Value) {
+		p := props(n)
+		spec := consensus.SwapSymmetric(n)
+		return func() *sim.System {
+			sys := sim.NewSystem()
+			sw := objects.NewSwap("s", nil)
+			sys.Add(sw)
+			for _, m := range consensus.SwapMachines(sys, sw, p) {
+				sys.SpawnMachine(m)
+			}
+			sys.DeclareSymmetry(spec)
+			return sys
+		}, p
+	}},
+	"casdegel": {usesK: true, usesN: true, faultable: true,
+		build: func(k, n int) (explore.Builder, []sim.Value) {
+			// Degrading leader election (election.DegradingCAS) over a
+			// fault-wrapped compare&swap-(k): the decisions are process
+			// ids, so the entry carries the election verdict below.
+			ids := make([]sim.Value, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			return func() *sim.System {
+				sys := sim.NewSystem()
+				cas := faults.Wrap(objects.NewCAS("cas", k))
+				sys.Add(cas)
+				for _, m := range election.DegradingCASMachines(sys, cas, n) {
+					sys.SpawnMachine(m)
+				}
+				return sys
+			}, ids
+		},
+		check: func(ids []sim.Value) func(*sim.Result) error {
+			return func(res *sim.Result) error { return election.CheckElection(res, ids) }
+		}},
 	"casdeg": {usesK: true, usesN: true, faultable: true, build: func(k, n int) (explore.Builder, []sim.Value) {
 		// Fault-wrapped compare&swap consensus with graceful degradation
 		// to registers: the protocol for objfaults experiments.

@@ -435,7 +435,7 @@ func (s *Server) runJob(ctx context.Context, id string) {
 	opts.Context = jobCtx
 	opts.Supervision = &sup
 
-	c, ckStats, err := explore.RunCheckpointed(builder, opts, Check(props), explore.Checkpoint{
+	c, ckStats, err := explore.RunCheckpointed(builder, opts, req.Check(props), explore.Checkpoint{
 		Path:   s.store.CheckpointPath(id),
 		Every:  s.cfg.CheckpointEvery,
 		Resume: true,

@@ -40,7 +40,7 @@ func groundTruth(t *testing.T, req Request) *explore.Census {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return explore.Run(b, req.Options(), Check(props))
+	return explore.Run(b, req.Options(), req.Check(props))
 }
 
 func assertResultMatches(t *testing.T, label string, got *Result, want *explore.Census) {

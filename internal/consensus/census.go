@@ -154,6 +154,78 @@ func CensusTAS(maxRuns int, tunes ...explore.Tune) *explore.Census {
 	})
 }
 
+// SwapSymmetric is the process-symmetry spec of the swap n-consensus
+// census: proposals are 100+i, process i swaps its own id i into the
+// shared register (so stored ids 0..n-1 rename through the
+// permutation), and each process announces in its own SWMR cell
+// "s.ann[i]". Tied to those conventions, like CASSymmetric.
+func SwapSymmetric(n int) *sim.Symmetry {
+	const pre = "s.ann["
+	return &sim.Symmetry{
+		Perms: sim.FullPerms(n),
+		RenameValue: func(v sim.Value, perm []sim.ProcID) sim.Value {
+			if x, ok := v.(int); ok {
+				switch {
+				case x >= 0 && x < n:
+					return int(perm[x])
+				case x >= 100 && x < 100+n:
+					return 100 + int(perm[x-100])
+				}
+			}
+			return v
+		},
+		RenameObject: func(name string, perm []sim.ProcID) string {
+			if strings.HasPrefix(name, pre) && strings.HasSuffix(name, "]") {
+				if i, err := strconv.Atoi(name[len(pre) : len(name)-1]); err == nil && i >= 0 && i < n {
+					return fmt.Sprintf("s.ann[%d]", perm[i])
+				}
+			}
+			return name
+		},
+		RenameOutcome: func(key string, perm []sim.ProcID) string {
+			return sim.RenameIntKey(key, func(v int) int {
+				if v >= 100 && v < 100+n {
+					return 100 + int(perm[v-100])
+				}
+				return v
+			})
+		},
+	}
+}
+
+// CensusSwap exhaustively censuses swap n-consensus (announce, swap
+// your id in, nil-getter wins, losers adopt — the witness protocol
+// that solves n = 2 and is refuted at n = 3), checking agreement and
+// validity on every complete run with up to one crash. The builder
+// declares SwapSymmetric, so explore.WithSymmetry() folds the
+// process-permutation classes of the walk.
+func CensusSwap(n, maxRuns int, tunes ...explore.Tune) *explore.Census {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	spec := SwapSymmetric(n)
+	b := func() *sim.System {
+		sys := sim.NewSystem()
+		sw := objects.NewSwap("s", nil)
+		sys.Add(sw)
+		// Machine form: direct-dispatch fast path, bit-identical to the
+		// witness Program (cross-checked by the equivalence tests).
+		for _, m := range SwapMachines(sys, sw, props) {
+			sys.SpawnMachine(m)
+		}
+		sys.DeclareSymmetry(spec)
+		return sys
+	}
+	opts := explore.Options{MaxCrashes: 1, MaxRuns: maxRuns}.With(tunes...)
+	return explore.Run(b, opts, func(res *sim.Result) error {
+		if err := CheckAgreement(res); err != nil {
+			return err
+		}
+		return CheckValidity(res, props)
+	})
+}
+
 // QueueSymmetric is the process-symmetry spec of the queue 2-consensus
 // census: proposals are 100+i and each process announces in its own
 // SWMR cell "q.ann[i]". The queue's pre-loaded "winner" token carries

@@ -109,6 +109,113 @@ func QueueMachines(sys *sim.System, q *objects.Queue, proposals [2]sim.Value) []
 	return ms
 }
 
+// witnessMachine generalizes duelMachine to the hierarchy's n-process
+// witness shape: announce, consult the oracle once, keep your proposal
+// if you won; a loser with exactly one peer adopts the other
+// announcement, a loser among n ≥ 3 scans every announce cell in index
+// order and adopts the smallest (the "natural generalization" the
+// hierarchy censuses refute at level 2). Program counters: 0 announce,
+// 1 oracle, 2 read the other cell (two-process loser), 3 scan cell j.
+type witnessMachine struct {
+	ann    *registers.Array
+	props  []sim.Value
+	i      int
+	oracle sim.MachineOp
+	won    func(sim.Value) bool
+	pc, j  int
+	best   sim.Value
+}
+
+var _ sim.Machine = (*witnessMachine)(nil)
+
+// Pending implements sim.Machine.
+func (m *witnessMachine) Pending() sim.MachineOp {
+	switch m.pc {
+	case 0:
+		return sim.MachineOp{Obj: m.ann.Reg(m.i), Op: sim.OpWrite, NArgs: 1, Args: [2]sim.Value{m.props[m.i]}}
+	case 1:
+		return m.oracle
+	case 2:
+		return sim.MachineOp{Obj: m.ann.Reg(1 - m.i), Op: sim.OpRead}
+	default:
+		return sim.MachineOp{Obj: m.ann.Reg(m.j), Op: sim.OpRead}
+	}
+}
+
+// Finish implements sim.Machine.
+func (m *witnessMachine) Finish(v sim.Value) (bool, sim.Value, error) {
+	switch m.pc {
+	case 0:
+		m.pc = 1
+	case 1:
+		if m.won(v) {
+			return true, m.props[m.i], nil
+		}
+		if len(m.props) == 2 {
+			m.pc = 2
+		} else {
+			m.pc, m.j, m.best = 3, 0, nil
+		}
+	case 2:
+		return true, v, nil
+	default:
+		// The same nil-skipping rendered-order minimum as the Program
+		// form's announceHelper.smallest.
+		if v != nil && (m.best == nil || fmt.Sprint(v) < fmt.Sprint(m.best)) {
+			m.best = v
+		}
+		m.j++
+		if m.j == len(m.props) {
+			return true, m.best, nil
+		}
+	}
+	return false, nil, nil
+}
+
+// Save implements sim.Machine.
+func (m *witnessMachine) Save(s *sim.Snap) {
+	s.Int(m.pc)
+	s.Int(m.j)
+	s.Value(m.best)
+}
+
+// Restore implements sim.Machine.
+func (m *witnessMachine) Restore(r *sim.SnapReader) {
+	m.pc = r.Int()
+	m.j = r.Int()
+	m.best = r.Value()
+}
+
+// WitnessMachines builds n hierarchy-witness machines over a shared
+// oracle: oracle(i) is process i's single oracle operation and won
+// classifies its result. The announce array is created under annName
+// (the hierarchy builders use plain "ann" to stay bit-identical with
+// their Program twins; censuses use "<obj>.ann").
+func WitnessMachines(sys *sim.System, annName string, proposals []sim.Value,
+	oracle func(i int) sim.MachineOp, won func(sim.Value) bool) []sim.Machine {
+	n := len(proposals)
+	ann := registers.NewArray(sys, annName, n, nil)
+	ms := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = &witnessMachine{
+			ann: ann, props: proposals, i: i,
+			oracle: oracle(i), won: won,
+		}
+	}
+	return ms
+}
+
+// SwapMachines is the swap-register witness protocol in machine form:
+// announce, swap your id in; whoever got nil back went first and wins,
+// a loser adopts the other announcement (n = 2) or the smallest (n ≥ 3).
+func SwapMachines(sys *sim.System, sw *objects.Swap, proposals []sim.Value) []sim.Machine {
+	return WitnessMachines(sys, sw.Name()+".ann", proposals,
+		func(i int) sim.MachineOp {
+			return sim.MachineOp{Obj: sw, Op: objects.OpSwap, NArgs: 1, Args: [2]sim.Value{i}}
+		},
+		func(v sim.Value) bool { return v == nil })
+}
+
 // casConsMachine is one process of CASProtocol as a state machine:
 // announce, c&s(⊥ → own symbol), read the winner, adopt its
 // announcement.

@@ -122,8 +122,10 @@ func DegradeCensus(k, n, faultBudget, maxRuns int, modes []sim.FaultMode, tunes 
 		sys := sim.NewSystem()
 		cas := faults.Wrap(objects.NewCAS("cas", k))
 		sys.Add(cas)
-		for _, p := range DegradingCAS(sys, cas, n) {
-			sys.Spawn(p)
+		// Machine form: direct-dispatch fast path, same op sequence as
+		// DegradingCAS (cross-checked by the equivalence tests).
+		for _, m := range DegradingCASMachines(sys, cas, n) {
+			sys.SpawnMachine(m)
 		}
 		return sys
 	}

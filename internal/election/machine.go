@@ -3,7 +3,9 @@ package election
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/objects"
+	"repro/internal/registers"
 	"repro/internal/sim"
 )
 
@@ -60,6 +62,137 @@ func DirectCASMachines(obj sim.Object, k, n int) []sim.Machine {
 	ms := make([]sim.Machine, n)
 	for i := 0; i < n; i++ {
 		ms[i] = &directCASMachine{obj: obj, i: i}
+	}
+	return ms
+}
+
+// degradeElectMachine is one process of the DegradingCAS election as a
+// state machine. Program counters:
+//
+//	0 c&s · 1 read · 2 scan published decisions (j) ·
+//	3 fallback read · 4 fallback announce · 5 fallback re-read ·
+//	6 publish own decision, then decide
+//
+// Every transition mirrors DegradingCAS's control flow, including the
+// failed-object sentinel checks (which arrive as ordinary values) and
+// the decide-publishes-first discipline; only the trace-only "elect"
+// span is omitted, as in the direct port above.
+type degradeElectMachine struct {
+	obj      sim.Object
+	dec      *registers.Array
+	fb       *registers.MWMR
+	i, n     int
+	pc, j    int
+	decision sim.Value
+}
+
+var _ sim.Machine = (*degradeElectMachine)(nil)
+
+// Pending implements sim.Machine.
+func (m *degradeElectMachine) Pending() sim.MachineOp {
+	switch m.pc {
+	case 0:
+		return sim.MachineOp{
+			Obj: m.obj, Op: objects.OpCAS, NArgs: 2,
+			Args: [2]sim.Value{objects.Bottom, objects.Symbol(m.i + 1)},
+		}
+	case 1:
+		return sim.MachineOp{Obj: m.obj, Op: sim.OpRead}
+	case 2:
+		return sim.MachineOp{Obj: m.dec.Reg(m.j), Op: sim.OpRead}
+	case 3, 5:
+		return sim.MachineOp{Obj: m.fb, Op: sim.OpRead}
+	case 4:
+		return sim.MachineOp{Obj: m.fb, Op: sim.OpWrite, NArgs: 1, Args: [2]sim.Value{m.i}}
+	default:
+		return sim.MachineOp{Obj: m.dec.Reg(m.i), Op: sim.OpWrite, NArgs: 1, Args: [2]sim.Value{m.decision}}
+	}
+}
+
+// degrade enters the registers-only path: scan published decisions.
+func (m *degradeElectMachine) degrade() {
+	m.pc, m.j = 2, 0
+}
+
+// decide publishes w on the way out (pc 6), like the Program's decide.
+func (m *degradeElectMachine) decide(w sim.Value) {
+	m.decision = w
+	m.pc = 6
+}
+
+// Finish implements sim.Machine.
+func (m *degradeElectMachine) Finish(v sim.Value) (bool, sim.Value, error) {
+	switch m.pc {
+	case 0:
+		if faults.IsFailed(v) {
+			m.degrade()
+		} else {
+			m.pc = 1
+		}
+	case 1:
+		if !faults.IsFailed(v) {
+			if s, isSym := v.(objects.Symbol); isSym && s != objects.Bottom {
+				m.decide(int(s) - 1)
+				break
+			}
+			// A garbled/omitted response left no usable winner (⊥ or a
+			// foreign value): treat like a failure and degrade rather
+			// than decide garbage.
+		}
+		m.degrade()
+	case 2:
+		if v != nil {
+			m.decide(v)
+			break
+		}
+		m.j++
+		if m.j == m.n {
+			m.pc = 3
+		}
+	case 3:
+		if v != nil {
+			m.decide(v)
+		} else {
+			m.pc = 4
+		}
+	case 4:
+		m.pc = 5
+	case 5:
+		if v != nil {
+			m.decide(v)
+		} else {
+			m.decide(m.i)
+		}
+	default:
+		return true, m.decision, nil
+	}
+	return false, nil, nil
+}
+
+// Save implements sim.Machine.
+func (m *degradeElectMachine) Save(s *sim.Snap) {
+	s.Int(m.pc)
+	s.Int(m.j)
+	s.Value(m.decision)
+}
+
+// Restore implements sim.Machine.
+func (m *degradeElectMachine) Restore(r *sim.SnapReader) {
+	m.pc = r.Int()
+	m.j = r.Int()
+	m.decision = r.Value()
+}
+
+// DegradingCASMachines is DegradingCAS in machine form: n degrading
+// election machines plus their decision array and fallback register,
+// for sim.SpawnMachine.
+func DegradingCASMachines(sys *sim.System, obj sim.Object, n int) []sim.Machine {
+	dec := registers.NewArray(sys, obj.Name()+".dec", n, nil)
+	fb := registers.NewMWMR(obj.Name()+".fb", nil)
+	sys.Add(fb)
+	ms := make([]sim.Machine, n)
+	for i := 0; i < n; i++ {
+		ms[i] = &degradeElectMachine{obj: obj, dec: dec, fb: fb, i: i, n: n}
 	}
 	return ms
 }

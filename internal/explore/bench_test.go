@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/election"
 	"repro/internal/explore"
 	"repro/internal/objects"
@@ -89,12 +90,49 @@ func electionMachineInstance(k, n, crashes int) benchInstance {
 	}
 }
 
+// consensusMachineInstance is the canonical symmetric CAS-consensus
+// census on the machine port (CASMachines + CASSymmetric): a full
+// process-permutation group over per-process announce cells plus a
+// shared value-carrying register. Its symmetry-engine rows are the
+// census-level evidence for the incremental canonical fingerprint
+// cache — every transposition-table probe under WithSymmetry reads
+// StateHashCanon, so canonical-hash cost lands in the
+// bench_compare.sh >10% regression gate through these rows.
+func consensusMachineInstance(k, n, crashes int) benchInstance {
+	props := make([]sim.Value, n)
+	for i := range props {
+		props[i] = 100 + i
+	}
+	spec := consensus.CASSymmetric(n)
+	return benchInstance{
+		name: fmt.Sprintf("cas-consensus-machine/k=%d/n=%d/crashes=%d", k, n, crashes),
+		b: func() *sim.System {
+			sys := sim.NewSystem()
+			cas := objects.NewCAS("cas", k)
+			sys.Add(cas)
+			for _, m := range consensus.CASMachines(sys, cas, props) {
+				sys.SpawnMachine(m)
+			}
+			sys.DeclareSymmetry(spec)
+			return sys
+		},
+		opts: explore.Options{MaxCrashes: crashes},
+		check: func(res *sim.Result) error {
+			if err := consensus.CheckAgreement(res); err != nil {
+				return err
+			}
+			return consensus.CheckValidity(res, props)
+		},
+	}
+}
+
 func benchInstances() []benchInstance {
 	return []benchInstance{
 		electionInstance(5, 3, 1),
 		electionInstance(5, 4, 0),
 		electionInstance(5, 4, 1),
 		electionMachineInstance(5, 4, 1),
+		consensusMachineInstance(4, 3, 1),
 	}
 }
 

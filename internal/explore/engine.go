@@ -274,15 +274,16 @@ func (en *engine) probe() (*sim.Result, *summary) {
 func (en *engine) simConfig() sim.Config {
 	p := &en.pr
 	cfg := sim.Config{
-		Scheduler:       p,
-		Faults:          p,
-		MaxStepsPerProc: en.opts.MaxStepsPerProc,
-		MaxTotalSteps:   en.opts.MaxDepth + 1,
-		DisableTrace:    true,
-		Fingerprint:     en.table != nil,
-		Canon:           en.canon,
-		Scratch:         en.scratch,
-		ForceGoroutines: en.opts.ForceGoroutines,
+		Scheduler:          p,
+		Faults:             p,
+		MaxStepsPerProc:    en.opts.MaxStepsPerProc,
+		MaxTotalSteps:      en.opts.MaxDepth + 1,
+		DisableTrace:       true,
+		Fingerprint:        en.table != nil,
+		Canon:              en.canon,
+		Scratch:            en.scratch,
+		ForceGoroutines:    en.opts.ForceGoroutines,
+		VerifyFingerprints: en.opts.VerifyFingerprints,
 	}
 	if en.opts.ObjectFaults > 0 {
 		cfg.ObjectFaults = p

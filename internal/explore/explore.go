@@ -135,6 +135,15 @@ type Options struct {
 	// (it is the transposition argument applied eagerly); the savings
 	// show up as fewer probes, not fewer credited runs. Implies Prune.
 	SleepSets bool
+	// VerifyFingerprints forwards sim.Config.VerifyFingerprints to every
+	// probe: each granted step's incrementally maintained fingerprint
+	// vector (plain and, under Symmetry, all |G| canonical words) is
+	// cross-checked against a from-scratch recompute, panicking on the
+	// first divergence. A soundness audit for the incremental cache —
+	// orders of magnitude slower, for verification runs and CI smokes,
+	// never for production censuses. It must not change any count or
+	// fingerprint, so it is excluded from checkpoint keys.
+	VerifyFingerprints bool
 	// ForceGoroutines disables the machine fast paths: probes run the
 	// goroutine runner even when the builder's system is machine-backed,
 	// and the engines' in-place backtracking DFS is never engaged. An
@@ -208,6 +217,13 @@ func WithStepLimit(n int) Tune {
 // probe to the goroutine runner for cross-checking the machine paths.
 func WithForceGoroutines() Tune {
 	return func(o *Options) { o.ForceGoroutines = true }
+}
+
+// WithVerifyFingerprints enables Options.VerifyFingerprints, auditing
+// the incremental fingerprint caches against from-scratch recomputes on
+// every granted step of every probe.
+func WithVerifyFingerprints() Tune {
+	return func(o *Options) { o.VerifyFingerprints = true }
 }
 
 // WithContext tunes Options.Context, threading cooperative cancellation

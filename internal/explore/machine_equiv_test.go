@@ -1,6 +1,7 @@
 package explore_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/consensus"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/objects"
+	"repro/internal/registers"
 	"repro/internal/sim"
 )
 
@@ -125,4 +127,111 @@ func TestMachineProgramCensusAgree(t *testing.T) {
 	want := explore.Run(programs, opts, check)
 	got := explore.Run(machines, opts, check)
 	assertCensusEqual(t, "program-vs-machine", got, want)
+}
+
+// TestWitnessMachinePortAgrees pins the hierarchy-witness port: the
+// announce / swap-oracle / adopt protocol as a hand-written Program
+// census against consensus.WitnessMachines (via SwapMachines's oracle
+// shape but on the hierarchy's plain "ann" array), at both arities —
+// n = 2 exercises the read-the-other-cell loser branch, n = 3 the
+// smallest-announced scan.
+func TestWitnessMachinePortAgrees(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		props := make([]sim.Value, n)
+		for i := range props {
+			props[i] = 100 + i
+		}
+		check := func(res *sim.Result) error {
+			if err := consensus.CheckAgreement(res); err != nil {
+				return err
+			}
+			return consensus.CheckValidity(res, props)
+		}
+		programs := func() *sim.System {
+			sys := sim.NewSystem()
+			sw := objects.NewSwap("s", nil)
+			sys.Add(sw)
+			ann := registers.NewArray(sys, "ann", n, nil)
+			sys.SpawnN(n, func(id sim.ProcID) sim.Program {
+				return func(e *sim.Env) (sim.Value, error) {
+					ann.Write(e, props[id])
+					if sw.Swap(e, int(id)) == nil {
+						return props[id], nil
+					}
+					if n == 2 {
+						return ann.Read(e, 1-int(id)), nil
+					}
+					best := sim.Value(nil)
+					for _, v := range ann.Collect(e) {
+						if v == nil {
+							continue
+						}
+						if best == nil || fmt.Sprint(v) < fmt.Sprint(best) {
+							best = v
+						}
+					}
+					return best, nil
+				}
+			})
+			return sys
+		}
+		machines := func() *sim.System {
+			sys := sim.NewSystem()
+			sw := objects.NewSwap("s", nil)
+			sys.Add(sw)
+			ms := consensus.WitnessMachines(sys, "ann", props,
+				func(i int) sim.MachineOp {
+					return sim.MachineOp{Obj: sw, Op: objects.OpSwap, NArgs: 1, Args: [2]sim.Value{i}}
+				},
+				func(v sim.Value) bool { return v == nil })
+			for _, m := range ms {
+				sys.SpawnMachine(m)
+			}
+			return sys
+		}
+		opts := explore.Options{MaxCrashes: 1, Prune: true}
+		want := explore.Run(programs, opts, check)
+		got := explore.Run(machines, opts, check)
+		assertCensusEqual(t, fmt.Sprintf("swap-witness/n=%d", n), got, want)
+	}
+}
+
+// TestDegradeElectionMachinePortAgrees pins the degrading-election
+// port under object-fault enumeration: election.DegradingCAS (Program,
+// goroutine runner) and election.DegradingCASMachines (in-place DFS)
+// must census the same tree, degradation branches included.
+func TestDegradeElectionMachinePortAgrees(t *testing.T) {
+	const k, n = 3, 2
+	ids := make([]sim.Value, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	check := func(res *sim.Result) error { return election.CheckElection(res, ids) }
+	programs := func() *sim.System {
+		sys := sim.NewSystem()
+		obj := faults.Wrap(objects.NewCAS("cas", k))
+		sys.Add(obj)
+		for _, p := range election.DegradingCAS(sys, obj, n) {
+			sys.Spawn(p)
+		}
+		return sys
+	}
+	machines := func() *sim.System {
+		sys := sim.NewSystem()
+		obj := faults.Wrap(objects.NewCAS("cas", k))
+		sys.Add(obj)
+		for _, m := range election.DegradingCASMachines(sys, obj, n) {
+			sys.SpawnMachine(m)
+		}
+		return sys
+	}
+	opts := explore.Options{
+		MaxCrashes:   1,
+		ObjectFaults: 1,
+		FaultModes:   []sim.FaultMode{sim.FaultCrash, sim.FaultGarble},
+		Prune:        true,
+	}
+	want := explore.Run(programs, opts, check)
+	got := explore.Run(machines, opts, check)
+	assertCensusEqual(t, "degrading-election", got, want)
 }

@@ -81,14 +81,15 @@ func rootOrbitKey(b Builder, opts Options, prefix []Choice) (tableKey, int, bool
 	sys := b()
 	r := &orbitReplay{plan: prefix, sys: sys}
 	cfg := sim.Config{
-		Scheduler:       r,
-		Faults:          r,
-		MaxStepsPerProc: opts.MaxStepsPerProc,
-		MaxTotalSteps:   opts.MaxDepth + 1,
-		DisableTrace:    true,
-		Fingerprint:     true,
-		Canon:           opts.canon,
-		ForceGoroutines: opts.ForceGoroutines,
+		Scheduler:          r,
+		Faults:             r,
+		MaxStepsPerProc:    opts.MaxStepsPerProc,
+		MaxTotalSteps:      opts.MaxDepth + 1,
+		DisableTrace:       true,
+		Fingerprint:        true,
+		Canon:              opts.canon,
+		ForceGoroutines:    opts.ForceGoroutines,
+		VerifyFingerprints: opts.VerifyFingerprints,
 	}
 	if opts.ObjectFaults > 0 {
 		cfg.ObjectFaults = r

@@ -18,7 +18,6 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/objects"
-	"repro/internal/registers"
 	"repro/internal/sim"
 )
 
@@ -126,22 +125,21 @@ func CheckTAS(n int, maxRuns int, tunes ...explore.Tune) Witness {
 		sys := sim.NewSystem()
 		ts := objects.NewTestAndSet("t")
 		sys.Add(ts)
+		// Machine form: direct-dispatch fast path, same op sequence as
+		// the Program (duel at n = 2, announce/oracle/smallest-scan
+		// witness beyond), cross-checked by the equivalence tests.
 		if n == 2 {
-			for _, p := range consensus.TASProtocol(sys, ts, [2]sim.Value{props[0], props[1]}) {
-				sys.Spawn(p)
+			for _, m := range consensus.TASMachines(sys, ts, [2]sim.Value{props[0], props[1]}) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}
-		ann := newAnnounce(sys, n, props)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				ann.announce(e)
-				if ts.TestAndSet(e) {
-					return props[id], nil
-				}
-				return ann.smallest(e), nil
-			}
-		})
+		ms := consensus.WitnessMachines(sys, "ann", props,
+			func(int) sim.MachineOp { return sim.MachineOp{Obj: ts, Op: objects.OpTAS} },
+			func(v sim.Value) bool { return v.(bool) })
+		for _, m := range ms {
+			sys.SpawnMachine(m)
+		}
 		return sys
 	}
 	w := checkAll(b, props, maxRuns, tunes...)
@@ -158,21 +156,19 @@ func CheckFetchAdd(n int, maxRuns int, tunes ...explore.Tune) Witness {
 		fa := objects.NewFetchAdd("f", 0)
 		sys.Add(fa)
 		if n == 2 {
-			for _, p := range consensus.FetchAddProtocol(sys, fa, [2]sim.Value{props[0], props[1]}) {
-				sys.Spawn(p)
+			for _, m := range consensus.FetchAddMachines(sys, fa, [2]sim.Value{props[0], props[1]}) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}
-		ann := newAnnounce(sys, n, props)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				ann.announce(e)
-				if fa.FetchAdd(e, 1) == 0 {
-					return props[id], nil
-				}
-				return ann.smallest(e), nil
-			}
-		})
+		ms := consensus.WitnessMachines(sys, "ann", props,
+			func(int) sim.MachineOp {
+				return sim.MachineOp{Obj: fa, Op: objects.OpFetchAdd, NArgs: 1, Args: [2]sim.Value{1}}
+			},
+			func(v sim.Value) bool { return v.(int) == 0 })
+		for _, m := range ms {
+			sys.SpawnMachine(m)
+		}
 		return sys
 	}
 	w := checkAll(b, props, maxRuns, tunes...)
@@ -190,20 +186,17 @@ func CheckSwap(n int, maxRuns int, tunes ...explore.Tune) Witness {
 		sys := sim.NewSystem()
 		sw := objects.NewSwap("s", nil)
 		sys.Add(sw)
-		ann := newAnnounce(sys, n, props)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				ann.announce(e)
-				if sw.Swap(e, int(id)) == nil {
-					return props[id], nil
-				}
-				if n == 2 {
-					// Two processes: the other one won.
-					return ann.arr.Read(e, 1-int(id)), nil
-				}
-				return ann.smallest(e), nil
-			}
-		})
+		// The witness machine covers both arities: a nil swap return
+		// means you went first; a two-process loser adopts the other
+		// announcement, a larger loser scans for the smallest.
+		ms := consensus.WitnessMachines(sys, "ann", props,
+			func(i int) sim.MachineOp {
+				return sim.MachineOp{Obj: sw, Op: objects.OpSwap, NArgs: 1, Args: [2]sim.Value{i}}
+			},
+			func(v sim.Value) bool { return v == nil })
+		for _, m := range ms {
+			sys.SpawnMachine(m)
+		}
 		return sys
 	}
 	w := checkAll(b, props, maxRuns, tunes...)
@@ -219,21 +212,17 @@ func CheckQueue(n int, maxRuns int, tunes ...explore.Tune) Witness {
 		q := objects.NewQueue("q", "winner")
 		sys.Add(q)
 		if n == 2 {
-			for _, p := range consensus.QueueProtocol(sys, q, [2]sim.Value{props[0], props[1]}) {
-				sys.Spawn(p)
+			for _, m := range consensus.QueueMachines(sys, q, [2]sim.Value{props[0], props[1]}) {
+				sys.SpawnMachine(m)
 			}
 			return sys
 		}
-		ann := newAnnounce(sys, n, props)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				ann.announce(e)
-				if q.Deq(e) == "winner" {
-					return props[id], nil
-				}
-				return ann.smallest(e), nil
-			}
-		})
+		ms := consensus.WitnessMachines(sys, "ann", props,
+			func(int) sim.MachineOp { return sim.MachineOp{Obj: q, Op: objects.OpDeq} },
+			func(v sim.Value) bool { return v == "winner" })
+		for _, m := range ms {
+			sys.SpawnMachine(m)
+		}
 		return sys
 	}
 	w := checkAll(b, props, maxRuns, tunes...)
@@ -247,8 +236,8 @@ func CheckRW(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	props := proposals(n)
 	b := func() *sim.System {
 		sys := sim.NewSystem()
-		for _, p := range consensus.RWAttempt(sys, "rw", props) {
-			sys.Spawn(p)
+		for _, m := range consensus.RWMachines(sys, "rw", props) {
+			sys.SpawnMachine(m)
 		}
 		return sys
 	}
@@ -265,8 +254,8 @@ func CheckCAS(k, n int, maxRuns int, tunes ...explore.Tune) Witness {
 		sys := sim.NewSystem()
 		cas := objects.NewCAS("cas", k)
 		sys.Add(cas)
-		for _, p := range consensus.CASProtocol(sys, cas, props) {
-			sys.Spawn(p)
+		for _, m := range consensus.CASMachines(sys, cas, props) {
+			sys.SpawnMachine(m)
 		}
 		return sys
 	}
@@ -283,11 +272,9 @@ func CheckStickyBit(n int, maxRuns int, tunes ...explore.Tune) Witness {
 		sys := sim.NewSystem()
 		sb := objects.NewStickyBit("s")
 		sys.Add(sb)
-		sys.SpawnN(n, func(id sim.ProcID) sim.Program {
-			return func(e *sim.Env) (sim.Value, error) {
-				return sb.WriteSticky(e, props[id]), nil
-			}
-		})
+		for _, m := range consensus.StickyBitMachines(sb, props) {
+			sys.SpawnMachine(m)
+		}
 		return sys
 	}
 	w := checkAll(b, props, maxRuns, tunes...)
@@ -295,31 +282,3 @@ func CheckStickyBit(n int, maxRuns int, tunes ...explore.Tune) Witness {
 	return w
 }
 
-// announceHelper bundles an announce array with the "smallest announced
-// value" adoption rule used by the doomed n ≥ 3 level-2
-// generalizations.
-type announceHelper struct {
-	arr   *registers.Array
-	props []sim.Value
-}
-
-func newAnnounce(sys *sim.System, n int, props []sim.Value) *announceHelper {
-	return &announceHelper{arr: registers.NewArray(sys, "ann", n, nil), props: props}
-}
-
-func (h *announceHelper) announce(e *sim.Env) {
-	h.arr.Write(e, h.props[e.ID()])
-}
-
-func (h *announceHelper) smallest(e *sim.Env) sim.Value {
-	best := sim.Value(nil)
-	for _, v := range h.arr.Collect(e) {
-		if v == nil {
-			continue
-		}
-		if best == nil || fmt.Sprint(v) < fmt.Sprint(best) {
-			best = v
-		}
-	}
-	return best
-}

@@ -90,15 +90,26 @@ func (e *Env) apply(obj Object, op OpKind, args []Value) Value {
 		if e.sys.trace != nil {
 			e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, e.traceArgs(args), err)
 		}
+		if e.sys.fingerprint {
+			// The process dies with this error (its status component
+			// changes once runProc records it) and the object may have
+			// mutated before rejecting — mark both stale.
+			e.sys.fpTouchObj(obj.Name())
+			e.sys.fpTouchProc(int(e.proc.id))
+		}
 		panic(opError{err: err})
 	}
 	if e.sys.trace != nil {
 		e.sys.trace.record(e.sys.steps, e.proc.id, obj.Name(), op, e.traceArgs(args), v)
 	}
 	if e.sys.fingerprint {
-		e.proc.foldOp(obj.Name(), op, args, v)
+		e.proc.foldOp(v)
 		if e.sys.canon != nil {
-			e.sys.canon.foldOpPerms(e.proc, obj.Name(), op, args, v)
+			e.sys.canon.foldOpPerms(e.proc, v)
+		}
+		if e.sys.fp.init {
+			e.sys.fpTouchObj(obj.Name())
+			e.sys.fpTouchProc(int(e.proc.id))
 		}
 	}
 	return v

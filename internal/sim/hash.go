@@ -83,14 +83,17 @@ func (h Hash) FoldString(s string) Hash {
 	return Hash(x)
 }
 
-// FoldUint64 folds the eight bytes of v.
+// FoldUint64 folds v as one word: xor, multiply, fold the high bits
+// back down. Cheaper than eight byte rounds and still invertible in
+// both arguments, which is all the fingerprinting layers need — words
+// are framed by the surrounding tag bytes exactly like the byte form
+// was. This is the hottest fold in the simulator (every per-step
+// observation fold and every per-component state fold goes through
+// it), which is why it is not the generic byte loop.
 func (h Hash) FoldUint64(v uint64) Hash {
-	x := uint64(h)
-	for i := 0; i < 8; i++ {
-		x ^= v & 0xff
-		x *= fnvPrime64
-		v >>= 8
-	}
+	x := uint64(h) ^ v
+	x *= fnvPrime64
+	x ^= x >> 32
 	return Hash(x)
 }
 
@@ -143,12 +146,7 @@ func (h Hash) FoldValue(v Value) Hash {
 	}
 }
 
-// foldString and foldUint64 are the legacy free-function forms, kept
-// for call sites that carry a bare uint64.
-func foldString(h uint64, s string) uint64 { return uint64(Hash(h).FoldString(s)) }
-func foldUint64(h, v uint64) uint64        { return uint64(Hash(h).FoldUint64(v)) }
-
-// Per-process status tags folded by StateHash.
+// Per-process status tags folded into the fingerprint components.
 const (
 	tagProcErr     byte = 0xd0
 	tagProcDone    byte = 0xd1
@@ -178,38 +176,22 @@ const (
 // processes parked at their gates, so the state is quiescent. This is
 // the cheap mid-run observation hook used by the explore package to
 // fingerprint the frontier without a separate replay per node.
+// StateHash is incrementally maintained (see fingerprint.go): the
+// first call builds the per-component cache, later calls recompute only
+// the components the runner marked dirty since — O(steps since last
+// read), not O(state).
 func (s *System) StateHash() (uint64, bool) {
 	if !s.fingerprint {
 		return 0, false
 	}
-	h := NewHash()
-	for _, name := range s.sortedNames() {
-		h = h.FoldString(name)
-		switch o := s.objects[name].(type) {
-		case StateFolder:
-			h = o.FoldState(h)
-		case StateKeyer:
-			h = h.FoldString(o.StateKey())
-		default:
-			return 0, false
-		}
+	s.fpEnsure()
+	if !s.fp.ok {
+		return 0, false
 	}
-	for _, p := range s.procs {
-		h = h.FoldUint64(p.opHash)
-		h = h.FoldInt(p.steps)
-		switch {
-		case p.done && p.err != nil:
-			h = h.FoldByte(tagProcErr).FoldString(p.err.Error())
-		case p.done:
-			h = h.FoldByte(tagProcDone).FoldValue(p.value)
-		default:
-			h = h.FoldByte(tagProcLive)
-		}
-		if p.crashed {
-			h = h.FoldByte(tagProcCrashed)
-		}
+	if s.verifyFP {
+		s.fpVerifyPlain()
 	}
-	return uint64(h), true
+	return s.fp.plain, true
 }
 
 // sortedNames returns the object names in sorted order, cached after
@@ -227,15 +209,18 @@ func (s *System) sortedNames() []string {
 }
 
 // foldOp accumulates one observed operation into the process's
-// observation-history hash. Called from Env.apply while the runner is
-// blocked on this process, so the write is race-free. Everything on
-// this path folds binary — no fmt, no intermediate strings — because
-// it runs once per shared step of every fingerprinted exploration.
-func (p *proc) foldOp(objName string, op OpKind, args []Value, result Value) {
-	h := Hash(p.opHash).FoldString(objName).FoldString(string(op))
-	h = h.FoldInt(len(args))
-	for _, a := range args {
-		h = h.FoldValue(a)
-	}
-	p.opHash = uint64(h.FoldValue(result))
+// observation-history hash. Called from Env.apply (or the machine
+// stepper) while the runner is blocked on this process, so the write is
+// race-free.
+//
+// Only the RESULT is folded. The process is deterministic, so which
+// object it targets, which operation it issues and with which arguments
+// are all functions of its prior results (the first operation is fixed
+// by the program): by induction, the sequence of results determines the
+// full observation record. Folding the result alone therefore yields
+// the same equivalence classes as folding the whole record — and it is
+// the difference between one word fold and several string folds on the
+// hottest line of every fingerprinted exploration.
+func (p *proc) foldOp(result Value) {
+	p.opHash = uint64(Hash(p.opHash).FoldValue(result))
 }

@@ -268,6 +268,8 @@ func (s *System) StartMachines(cfg Config) (*MachineExec, error) {
 		s.trace = nil
 	}
 	s.fingerprint = cfg.Fingerprint
+	s.verifyFP = cfg.VerifyFingerprints
+	s.scratch = cfg.Scratch
 	s.objFaults = cfg.ObjectFaults
 	if cfg.Canon != nil && cfg.Fingerprint {
 		s.canon = cfg.Canon
@@ -406,15 +408,23 @@ func (m *MachineExec) step(p *proc) (finished bool) {
 		}
 		p.done = true
 		p.err = err
+		if s.fingerprint {
+			s.fpTouchObj(obj.Name())
+			s.fpTouchProc(int(p.id))
+		}
 		return true
 	}
 	if s.trace != nil {
 		s.trace.record(idx, p.id, obj.Name(), op.Op, copyArgs(args), v)
 	}
 	if s.fingerprint {
-		p.foldOp(obj.Name(), op.Op, args, v)
+		p.foldOp(v)
 		if s.canon != nil {
-			s.canon.foldOpPerms(p, obj.Name(), op.Op, args, v)
+			s.canon.foldOpPerms(p, v)
+		}
+		if s.fp.init {
+			s.fpTouchObj(obj.Name())
+			s.fpTouchProc(int(p.id))
 		}
 	}
 	done, dec, ferr := p.machine.Finish(v)
@@ -444,6 +454,9 @@ func (s *System) machineCrash(id ProcID, err error) {
 	p.done = true
 	p.err = err
 	p.crashed = err == ErrCrashed
+	if s.fingerprint {
+		s.fpTouchProc(int(id))
+	}
 }
 
 // Snapshot appends the full mutable state of the execution — global
@@ -468,6 +481,9 @@ func (m *MachineExec) Snapshot(sn *Snap) {
 	}
 	for _, name := range s.sortedNames() {
 		s.objects[name].(Restorable).SaveState(sn)
+	}
+	if s.fingerprint {
+		s.fpSnapshot(sn)
 	}
 }
 
@@ -501,5 +517,8 @@ func (m *MachineExec) Restore(r SnapReader) {
 	}
 	for _, name := range s.sortedNames() {
 		s.objects[name].(Restorable).RestoreState(&r)
+	}
+	if s.fingerprint {
+		s.fpRestore(&r)
 	}
 }

@@ -178,25 +178,88 @@ func TestMachineSnapshotRestore(t *testing.T) {
 // off, an additional machine step must allocate NOTHING. Same
 // differential method — 256 extra steps, delta must be zero.
 func TestMachineStepAllocFree(t *testing.T) {
-	sc := sim.NewScratch()
-	allocs := func(rounds int) float64 {
-		return testing.AllocsPerRun(20, func() {
-			sys := casLoopMachines(rounds)
-			_, err := sys.Run(sim.Config{
-				Scheduler:    &rrSched{},
-				Fingerprint:  true,
-				DisableTrace: true,
-				Scratch:      sc,
+	// Three fingerprint regimes: lazy (fingerprint on but never read
+	// mid-run, the plain-census configuration), "on" (the incremental
+	// plain cache read at every decision point), and "canon" (a
+	// symmetric system with the per-permutation cache read at every
+	// decision point). Steady-state steps must allocate nothing in all
+	// of them — the fingerprint vectors are Scratch-backed and fixed
+	// size, so extra steps only recompute into existing buffers.
+	modes := []struct {
+		name  string
+		canon bool
+		read  bool
+	}{
+		{name: "lazy"},
+		{name: "on", read: true},
+		{name: "canon", canon: true, read: true},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			sc := sim.NewScratch()
+			var canon *sim.Canonicalizer
+			if mode.canon {
+				probe := symLoopMachines(1, 3)
+				var err error
+				canon, err = sim.NewCanonicalizer(probe, probe.SymmetrySpec())
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			var sys *sim.System
+			rr := 0
+			sched := sim.SchedulerFunc(func(ready []sim.ProcID, _ int) sim.ProcID {
+				if mode.read {
+					if mode.canon {
+						sys.StateHashCanon()
+					} else if _, ok := sys.StateHash(); !ok {
+						t.Fatal("fingerprint unavailable mid-run")
+					}
+				}
+				rr++
+				return ready[rr%len(ready)]
 			})
-			if err != nil {
-				t.Fatal(err)
+			allocs := func(rounds int) float64 {
+				return testing.AllocsPerRun(20, func() {
+					if mode.canon {
+						sys = symLoopMachines(rounds, 3)
+					} else {
+						sys = casLoopMachines(rounds)
+					}
+					_, err := sys.Run(sim.Config{
+						Scheduler:    sched,
+						Fingerprint:  true,
+						Canon:        canon,
+						DisableTrace: true,
+						Scratch:      sc,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			// Min-of-two measurements, and a fail threshold of 2: under
+			// -race the runtime's type-switch/assert cache builds and
+			// GC-timed fmt-pool refills add a few rounds-INDEPENDENT
+			// stray allocations per block, which AllocsPerRun's integer
+			// division can turn into a spurious 1.0 delta. Any real
+			// steady-state allocation is per step (+768/run here) or at
+			// least per round (+64/run) — orders of magnitude above the
+			// threshold.
+			min2 := func(rounds int) float64 {
+				a, b := allocs(rounds), allocs(rounds)
+				if b < a {
+					return b
+				}
+				return a
+			}
+			short := min2(32)
+			long := min2(96)
+			if delta := long - short; delta >= 2 {
+				t.Fatalf("extra machine steps allocate %.1f objects, want 0 (short=%.1f long=%.1f)",
+					delta, short, long)
 			}
 		})
-	}
-	short := allocs(32)
-	long := allocs(96)
-	if delta := long - short; delta > 0 {
-		t.Fatalf("256 extra machine steps allocate %.1f objects (%.4f/step), want 0", delta, delta/256)
 	}
 }
 

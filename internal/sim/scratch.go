@@ -24,6 +24,13 @@ type Scratch struct {
 	ready   []ProcID
 	halt    []ProcID
 	perm    []uint64
+	fpwords []uint64
+	fpints  []int
+	fpmarks []bool
+	fpobjs  []Object
+	fpfold  []StateFolder
+	fpkey   []StateKeyer
+	fpperm  []PermStateFolder
 }
 
 // NewScratch returns an empty Scratch. Buffers grow on first use and
@@ -64,6 +71,41 @@ func (sc *Scratch) permBuf(n int) []uint64 {
 		sc.perm = make([]uint64, n)
 	}
 	return sc.perm[:n]
+}
+
+// fpBufs returns the backing storage for the incremental fingerprint
+// cache (fpState.alloc): `words` component/hash words, plus `slots`
+// dirty-queue ints and dirty-mark bools. The caller zeroes the marks;
+// everything else is overwritten before use.
+func (sc *Scratch) fpBufs(words, slots int) ([]uint64, []int, []bool) {
+	if cap(sc.fpwords) < words {
+		sc.fpwords = make([]uint64, words)
+	}
+	if cap(sc.fpints) < slots {
+		sc.fpints = make([]int, slots)
+	}
+	if cap(sc.fpmarks) < slots {
+		sc.fpmarks = make([]bool, slots)
+	}
+	return sc.fpwords[:words], sc.fpints[:slots], sc.fpmarks[:slots]
+}
+
+// fpObjBufs returns the object-pointer caches of the fingerprint flush
+// path (fpState.alloc). Rebuild overwrites every entry before use.
+func (sc *Scratch) fpObjBufs(n int) ([]Object, []StateFolder, []StateKeyer, []PermStateFolder) {
+	if cap(sc.fpobjs) < n {
+		sc.fpobjs = make([]Object, n)
+	}
+	if cap(sc.fpfold) < n {
+		sc.fpfold = make([]StateFolder, n)
+	}
+	if cap(sc.fpkey) < n {
+		sc.fpkey = make([]StateKeyer, n)
+	}
+	if cap(sc.fpperm) < n {
+		sc.fpperm = make([]PermStateFolder, n)
+	}
+	return sc.fpobjs[:n], sc.fpfold[:n], sc.fpkey[:n], sc.fpperm[:n]
 }
 
 // haltList copies ready into the retained ReadyAtHalt buffer.

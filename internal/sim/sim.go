@@ -74,6 +74,13 @@ type System struct {
 	// objNames caches the sorted object names for StateHash.
 	fingerprint bool
 	objNames    []string
+	// fp is the incremental fingerprint cache (see fingerprint.go);
+	// verifyFP (Config.VerifyFingerprints) cross-checks it against
+	// from-scratch recomputes on every read. scratch is Config.Scratch,
+	// retained so the cache can draw its vectors from it.
+	fp       fpState
+	verifyFP bool
+	scratch  *Scratch
 	// objFaults is Config.ObjectFaults, consulted by Env.Apply.
 	objFaults ObjectFaultPlan
 	// symmetry is the protocol's declared process-symmetry spec (see
@@ -204,6 +211,11 @@ type Config struct {
 	// needs. The Canonicalizer is read-only and safely shared across
 	// concurrent runs; see NewCanonicalizer.
 	Canon *Canonicalizer
+	// VerifyFingerprints cross-checks the incrementally maintained
+	// fingerprints against from-scratch recomputes at every read,
+	// panicking on divergence. Debug mode: it restores the O(state)
+	// (× |G| for canon) per-probe cost the incremental scheme removes.
+	VerifyFingerprints bool
 	// ForceGoroutines disables the direct-dispatch fast path for fully
 	// machine-backed systems, running them through the goroutine runner
 	// instead. The two paths are semantically identical; this exists for
@@ -321,6 +333,8 @@ func (s *System) Run(cfg Config) (*Result, error) {
 		s.trace = nil
 	}
 	s.fingerprint = cfg.Fingerprint
+	s.verifyFP = cfg.VerifyFingerprints
+	s.scratch = cfg.Scratch
 	s.objFaults = cfg.ObjectFaults
 	if cfg.Canon != nil && cfg.Fingerprint {
 		s.canon = cfg.Canon
@@ -408,6 +422,10 @@ func (s *System) Run(cfg Config) (*Result, error) {
 		}
 		if !ev.finished {
 			ready = insertReady(ready, ev.id)
+		} else if s.fingerprint {
+			// The process's status component changed (done/value/err set
+			// by runProc after its last operation's fold).
+			s.fpTouchProc(int(ev.id))
 		}
 	}
 
@@ -492,6 +510,9 @@ func (s *System) crash(id ProcID) {
 	p := s.procs[id]
 	close(p.grant)
 	<-s.events // the finish event of p
+	if s.fingerprint {
+		s.fpTouchProc(int(id))
+	}
 }
 
 // crashWith is crash with a specific recorded error.

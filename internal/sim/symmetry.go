@@ -304,73 +304,46 @@ func (c *Canonicalizer) OutcomeRenamerInv(k int) func(string) string { return c.
 
 // foldOpPerms extends proc.foldOp to every non-identity permutation:
 // p.permHash[k-1] accumulates the observation history process p would
-// have in the π_k-renamed execution (renamed object, renamed
-// arguments, renamed result). Everything here is precomputed closures
-// and binary folds — this runs once per shared step per permutation.
-func (c *Canonicalizer) foldOpPerms(p *proc, objName string, op OpKind, args []Value, result Value) {
-	oi, known := c.objIndex[objName]
+// have in the π_k-renamed execution. Like foldOp it folds only the
+// (renamed) result — the renamed operation record is a function of the
+// renamed prior results by the same determinism argument, applied to
+// the renamed execution (which is an execution of the same protocol by
+// the equivariance contract AuditSymmetry checks).
+func (c *Canonicalizer) foldOpPerms(p *proc, result Value) {
 	for k := 1; k < len(c.perms); k++ {
-		rv := c.renameVal[k]
-		name := objName
-		if known {
-			name = c.renamedNames[k][oi]
-		}
-		h := Hash(p.permHash[k-1]).FoldString(name).FoldString(string(op))
-		h = h.FoldInt(len(args))
-		for _, a := range args {
-			h = h.FoldValue(rv(a))
-		}
-		p.permHash[k-1] = uint64(h.FoldValue(rv(result)))
+		p.permHash[k-1] = uint64(Hash(p.permHash[k-1]).FoldValue(c.renameVal[k](result)))
 	}
 }
 
-// tagCanon is the leading byte of every canonical-orientation fold, so
-// the canonical keyspace can never collide with plain StateHash keys —
-// a census may legitimately mix both (see the StateHashCanon bail-out).
-const tagCanon byte = 0xc1
-
-// stateHashUnder folds the global state the system WOULD have in the
-// π_k-renamed execution: objects in renamed-name order with renamed
-// values, processes in renamed-ID order with their per-permutation
-// observation hashes. By the PermStateFolder contract this equals the
-// identity fold of the renamed state, so comparing folds across k
-// compares renamed states.
+// stateHashUnder folds — from scratch — the global state the system
+// WOULD have in the π_k-renamed execution, as the XOR combination of
+// the per-permutation components (see fingerprint.go): renamed-name-
+// salted object folds with renamed values, renamed-slot-salted process
+// folds with the per-permutation observation hashes. By the
+// PermStateFolder contract each object component equals the identity
+// component of the renamed object, and XOR makes the combination
+// order-free, so comparing combinations across k compares renamed
+// states. canonSeed (≠ plainSeed) keeps this keyspace disjoint from
+// plain StateHash — a census may legitimately mix both (see the
+// StateHashCanon bail-out).
+//
+// This is the canonical keyspace's from-scratch reference: AuditSymmetry
+// compares executions through it, and Config.VerifyFingerprints checks
+// the incrementally maintained canonHash vector against it.
 func (s *System) stateHashUnder(k int) (uint64, bool) {
 	c := s.canon
-	h := NewHash().FoldByte(tagCanon)
-	rv := c.renameVal[k]
-	perm := c.perms[k]
-	rn := c.renamedNames[k]
-	for _, oi := range c.foldOrder[k] {
-		obj, ok := s.objects[c.names[oi]].(PermStateFolder)
+	h := canonSeed
+	for oi := range c.names {
+		comp, ok := s.fpCanonObjComp(k, oi)
 		if !ok {
 			return 0, false
 		}
-		h = h.FoldString(rn[oi])
-		h = obj.FoldStateUnder(h, perm, rv)
+		h ^= mix64(comp)
 	}
-	inv := c.inv[k]
-	for j := 0; j < len(s.procs); j++ {
-		p := s.procs[inv[j]]
-		oph := p.opHash
-		if k != 0 {
-			oph = p.permHash[k-1]
-		}
-		h = h.FoldUint64(oph)
-		h = h.FoldInt(p.steps)
-		switch {
-		case p.done && p.err != nil:
-			h = h.FoldByte(tagProcErr).FoldString(p.err.Error())
-		case p.done:
-			h = h.FoldByte(tagProcDone).FoldValue(rv(p.value))
-		default:
-			h = h.FoldByte(tagProcLive)
-		}
-		if p.crashed {
-			h = h.FoldByte(tagProcCrashed)
-		}
+	for i := range s.procs {
+		h ^= mix64(s.fpCanonProcComp(k, i))
 	}
-	return uint64(h), true
+	return h, true
 }
 
 // isSentinelErr reports whether err is one of the runner's ID-free
@@ -393,8 +366,12 @@ func isSentinelErr(err error) bool {
 // escapes the renamers), it falls back to the plain StateHash with
 // orientation 0. The bail-out predicate is itself equivariant — a
 // renamed execution errs exactly when the original does — so bailed
-// states simply fold in the plain keyspace (tagCanon keeps the two
+// states simply fold in the plain keyspace (canonSeed keeps the two
 // keyspaces disjoint) and lose reduction, never soundness.
+//
+// The per-permutation hashes are incrementally maintained (see
+// fingerprint.go): after the dirty-component flush this is a min over
+// |G| cached words, not |G| full state folds.
 func (s *System) StateHashCanon() (uint64, int, bool) {
 	c := s.canon
 	if c == nil {
@@ -407,16 +384,18 @@ func (s *System) StateHashCanon() (uint64, int, bool) {
 			return fp, 0, ok
 		}
 	}
-	var best uint64
-	bestK := 0
-	for k := range c.perms {
-		fp, ok := s.stateHashUnder(k)
-		if !ok {
-			fp2, ok2 := s.StateHash()
-			return fp2, 0, ok2
-		}
-		if k == 0 || fp < best {
-			best, bestK = fp, k
+	s.fpEnsure()
+	if !s.fp.ok || !s.fp.canonOK {
+		fp, ok := s.StateHash()
+		return fp, 0, ok
+	}
+	if s.verifyFP {
+		s.fpVerifyCanon()
+	}
+	best, bestK := s.fp.canonHash[0], 0
+	for k := 1; k < len(s.fp.canonHash); k++ {
+		if s.fp.canonHash[k] < best {
+			best, bestK = s.fp.canonHash[k], k
 		}
 	}
 	return best, bestK, true

@@ -47,7 +47,20 @@ if ! cmp -s "$mjson" "$gjson"; then
 	diff "$mjson" "$gjson" >&2 || true
 	exit 1
 fi
+go run ./cmd/explore -protocol swap -n 3 -crashes 1 -symmetry \
+	-workers 1 -bivalence=false -json > "$mjson"
+go run ./cmd/explore -protocol swap -n 3 -crashes 1 -symmetry \
+	-workers 1 -bivalence=false -json -goroutines > "$gjson"
+if ! cmp -s "$mjson" "$gjson"; then
+	echo "verify: FAIL — swap-witness machine census differs from the goroutine engine:" >&2
+	diff "$mjson" "$gjson" >&2 || true
+	exit 1
+fi
 rm -f "$mjson" "$gjson"
+
+echo "== fingerprint audit census: incremental plain+canonical hashes cross-checked against from-scratch recomputes on every step"
+go run ./cmd/explore -protocol cas -k 4 -n 3 -crashes 1 -symmetry -verifyfp \
+	-workers 1 -maxruns 200000 -bivalence=false >/dev/null
 
 echo "== benchmark smoke (-benchtime 1x: every benchmark still runs)"
 go test -run '^$' -bench 'BenchmarkSimStep' -benchtime 1x ./internal/sim/ >/dev/null
